@@ -1,0 +1,129 @@
+// Command seltrain trains a named selectivity model on a labeled workload
+// CSV (as produced by selgen -workload …) and reports its accuracy.
+//
+// Usage:
+//
+//	selgen -dataset power -workload data-driven -queries 1000 > wl.csv
+//	seltrain -model quadhist -class range -train 0.7 < wl.csv
+//
+// The file is split into a training prefix and a test suffix according to
+// -train; metrics are computed on the held-out suffix.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/hist"
+	"repro/internal/isomer"
+	"repro/internal/metrics"
+	"repro/internal/modelio"
+	"repro/internal/ptshist"
+	"repro/internal/quicksel"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		model     = flag.String("model", "quadhist", "model: quadhist, ptshist, quicksel, isomer")
+		class     = flag.String("class", "range", "query class of the CSV: range, halfspace, ball")
+		trainFrac = flag.Float64("train", 0.7, "fraction of rows used for training")
+		buckets   = flag.Int("buckets", 0, "model complexity (0 = 4x training size)")
+		seed      = flag.Uint64("seed", 1, "model seed")
+		minSel    = flag.Float64("minsel", 1e-5, "Q-error floor")
+		savePath  = flag.String("save", "", "write the trained model to this file")
+		loadPath  = flag.String("load", "", "skip training: load a model and evaluate it on every CSV row")
+	)
+	flag.Parse()
+
+	qclass, err := workload.ParseClass(*class)
+	if err != nil {
+		fatal(err)
+	}
+	samples, dim, err := workload.ReadCSV(os.Stdin, qclass)
+	if err != nil {
+		fatal(err)
+	}
+	if *loadPath != "" {
+		f, err := os.Open(*loadPath)
+		if err != nil {
+			fatal(err)
+		}
+		m, err := modelio.Load(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		report("(loaded "+*loadPath+")", dim, 0, len(samples), m, samples, *minSel)
+		return
+	}
+	if len(samples) < 4 {
+		fatal(fmt.Errorf("need at least 4 queries, got %d", len(samples)))
+	}
+	nTrain := int(*trainFrac * float64(len(samples)))
+	if nTrain < 1 {
+		nTrain = 1
+	}
+	if nTrain >= len(samples) {
+		nTrain = len(samples) - 1
+	}
+	train, test := samples[:nTrain], samples[nTrain:]
+	k := *buckets
+	if k == 0 {
+		k = 4 * len(train)
+	}
+
+	var tr core.Trainer
+	switch *model {
+	case "quadhist":
+		tr = hist.New(dim, k)
+	case "ptshist":
+		tr = ptshist.New(dim, k, *seed)
+	case "quicksel":
+		tr = quicksel.New(dim, *seed)
+	case "isomer":
+		tr = isomer.New(dim)
+	default:
+		fatal(fmt.Errorf("unknown model %q", *model))
+	}
+
+	m, err := tr.Train(train)
+	if err != nil {
+		fatal(err)
+	}
+	if *savePath != "" {
+		f, err := os.Create(*savePath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := modelio.Save(f, m); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	report(tr.Name(), dim, len(train), len(test), m, test, *minSel)
+}
+
+// report prints the evaluation block for a model on a test set.
+func report(name string, dim, nTrain, nTest int, m core.Model, test []core.LabeledQuery, minSel float64) {
+	est := core.Estimates(m, test)
+	truth := workload.Truths(test)
+	q := metrics.SummarizeQErrors(est, truth, minSel)
+	fmt.Printf("model      %s\n", name)
+	fmt.Printf("dim        %d\n", dim)
+	fmt.Printf("train/test %d/%d\n", nTrain, nTest)
+	fmt.Printf("buckets    %d\n", m.NumBuckets())
+	fmt.Printf("rms        %.5f\n", metrics.RMS(est, truth))
+	fmt.Printf("linf       %.5f\n", metrics.LInf(est, truth))
+	fmt.Printf("qerror     p50=%.3f p95=%.3f p99=%.3f max=%.3f\n", q.P50, q.P95, q.P99, q.Max)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "seltrain:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,53 @@
+// Quickstart: train a learned selectivity estimator from query feedback
+// alone and use it on unseen queries.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	selest "repro"
+)
+
+func main() {
+	// A 2D projection of the (synthetic) Power dataset: 20k tuples,
+	// heavily skewed toward low power readings.
+	ds := selest.NewDataset(selest.Power, 20000, 1).Project([]int{0, 1})
+	gen := selest.NewWorkload(ds, 42)
+
+	// 500 training queries drawn from a data-driven workload, labeled
+	// with their exact selectivities — the "query feedback" a database
+	// system collects for free during execution.
+	spec := selest.Spec{Class: selest.OrthogonalRange, Centers: selest.DataDriven}
+	train, test := gen.TrainTest(spec, 500, 200)
+
+	// QUADHIST: the paper's generic learner for low dimensions.
+	model, err := selest.NewQuadHist(2, 2000).Train(train)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("trained QuadHist with %d buckets on %d queries\n",
+		model.NumBuckets(), len(train))
+	fmt.Printf("held-out RMS error:   %.4f\n", selest.RMS(model, test))
+	q := selest.QErrors(model, test, 1.0/float64(ds.Len()))
+	fmt.Printf("held-out Q-error:     p50=%.3f p95=%.3f p99=%.3f max=%.3f\n",
+		q.P50, q.P95, q.P99, q.Max)
+
+	// Estimate a few hand-written queries.
+	queries := []selest.Range{
+		selest.NewBox(selest.Point{0, 0}, selest.Point{0.3, 0.3}),
+		selest.NewBall(selest.Point{0.2, 0.2}, 0.15),
+		selest.NewHalfspace(selest.Point{1, 1}, 0.8), // x+y ≥ 0.8
+	}
+	for _, r := range queries {
+		fmt.Printf("estimate %v = %.4f\n", r, model.Estimate(r))
+	}
+
+	// Theorem 2.1's sample-complexity bound for this setting (ε=0.05,
+	// δ=0.05, d=2): how training size scales in theory.
+	fmt.Printf("theory: n0(0.05, 0.05) for 2D boxes ~ %.3g (unit constants)\n",
+		selest.SampleComplexityOrthogonal(0.05, 0.05, 2))
+}

@@ -1,0 +1,186 @@
+package arrangement
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/geom"
+	"repro/internal/workload"
+)
+
+func TestGridCells1D(t *testing.T) {
+	boxes := []geom.Box{
+		geom.NewBox(geom.Point{0.2}, geom.Point{0.6}),
+		geom.NewBox(geom.Point{0.4}, geom.Point{0.8}),
+	}
+	cells, err := GridCells(1, boxes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Breakpoints 0, 0.2, 0.4, 0.6, 0.8, 1 → 5 cells.
+	if len(cells) != 5 {
+		t.Fatalf("got %d cells, want 5", len(cells))
+	}
+	total := 0.0
+	for _, c := range cells {
+		total += c.Volume()
+	}
+	if math.Abs(total-1) > 1e-12 {
+		t.Fatalf("cells cover %v of the domain", total)
+	}
+}
+
+func TestGridCellsRefineArrangement(t *testing.T) {
+	// Every cell must be fully inside or fully outside every query box.
+	boxes := []geom.Box{
+		geom.NewBox(geom.Point{0.1, 0.1}, geom.Point{0.5, 0.7}),
+		geom.NewBox(geom.Point{0.3, 0.4}, geom.Point{0.9, 0.9}),
+		geom.NewBox(geom.Point{0.0, 0.6}, geom.Point{0.4, 1.0}),
+	}
+	cells, err := GridCells(2, boxes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cells {
+		for _, q := range boxes {
+			v := q.IntersectBoxVolume(c)
+			if v > 1e-12 && math.Abs(v-c.Volume()) > 1e-12 {
+				t.Fatalf("cell %v straddles query %v", c, q)
+			}
+		}
+	}
+}
+
+func TestGridCellsCap(t *testing.T) {
+	boxes := make([]geom.Box, 30)
+	for i := range boxes {
+		f := float64(i+1) / 32
+		boxes[i] = geom.NewBox(geom.Point{f / 2, f / 3}, geom.Point{f/2 + 0.3, f/3 + 0.3})
+	}
+	if _, err := GridCells(2, boxes, 100); err == nil {
+		t.Fatal("cap not enforced")
+	}
+}
+
+// Lemma 3.1: the arrangement learner attains (numerically) zero training
+// loss on consistent labels, in both the histogram and discrete variants.
+func TestExactFitOnConsistentLabels(t *testing.T) {
+	ds := dataset.Power(4000, 1).Project([]int{0, 1})
+	g := workload.NewGenerator(ds, 5)
+	train := g.Generate(workload.Spec{Class: workload.OrthogonalRange, Centers: workload.DataDriven}, 12)
+	for _, discrete := range []bool{false, true} {
+		tr := New(2, discrete)
+		m, err := tr.Train(train)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rms := core.RMS(m, train); rms > 2e-3 {
+			t.Fatalf("discrete=%v: training RMS = %v, want ≈0 (Lemma 3.1)", discrete, rms)
+		}
+	}
+}
+
+// The optimal training loss of the arrangement learner lower-bounds any
+// bounded-complexity histogram: compare against a deliberately tiny model.
+func TestExactLearnerBeatsCoarseHistogram(t *testing.T) {
+	ds := dataset.Power(4000, 2).Project([]int{0, 1})
+	g := workload.NewGenerator(ds, 6)
+	train := g.Generate(workload.Spec{Class: workload.OrthogonalRange, Centers: workload.DataDriven}, 10)
+	exact, err := New(2, false).Train(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Coarse model: single uniform bucket.
+	coarse := &Model{Cells: []geom.Box{geom.UnitCube(2)}, Weights: []float64{1}}
+	if core.MSE(exact, train) > core.MSE(coarse, train)+1e-9 {
+		t.Fatalf("exact learner (%v) worse than uniform baseline (%v)",
+			core.MSE(exact, train), core.MSE(coarse, train))
+	}
+}
+
+func TestGeneralizationSanity(t *testing.T) {
+	ds := dataset.Power(4000, 3).Project([]int{0, 1})
+	g := workload.NewGenerator(ds, 7)
+	spec := workload.Spec{Class: workload.OrthogonalRange, Centers: workload.DataDriven}
+	train, test := g.TrainTest(spec, 15, 100)
+	m, err := New(2, false).Train(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rms := core.RMS(m, test); rms > 0.25 {
+		t.Fatalf("test RMS = %v", rms)
+	}
+}
+
+func TestRejectsNonBoxQueries(t *testing.T) {
+	train := []core.LabeledQuery{{R: geom.NewBall(geom.Point{0.5, 0.5}, 0.2), Sel: 0.3}}
+	if _, err := New(2, false).Train(train); err == nil {
+		t.Fatal("ball query accepted by box-arrangement learner")
+	}
+}
+
+func TestModelInterfaces(t *testing.T) {
+	var _ core.Trainer = New(2, false)
+	if New(2, true).Name() != "Arrangement-discrete" {
+		t.Fatal("name mismatch")
+	}
+	if New(2, false).Name() != "Arrangement-hist" {
+		t.Fatal("name mismatch")
+	}
+}
+
+// Figure 1 of the paper, as an executable reconstruction: 20 data points,
+// five training rectangles with selectivities 0.10/0.30/0.15/0.10/0.25, and
+// an unseen query R6 whose correct answer is 0.25. The exact arrangement
+// learner recovers it from the five feedback records alone.
+func TestFigure1Reconstruction(t *testing.T) {
+	// 20 points laid out so the five training queries select
+	// 2, 6, 3, 2 and 5 of them respectively, like the figure.
+	pts := []geom.Point{
+		// Cluster A (4 points) near (0.15, 0.8).
+		{0.12, 0.78}, {0.15, 0.82}, {0.18, 0.79}, {0.14, 0.85},
+		// Cluster B (6 points) near (0.5, 0.55).
+		{0.45, 0.52}, {0.50, 0.55}, {0.55, 0.53}, {0.48, 0.58}, {0.52, 0.60}, {0.46, 0.56},
+		// Cluster C (5 points) near (0.8, 0.25).
+		{0.78, 0.22}, {0.82, 0.25}, {0.80, 0.28}, {0.76, 0.26}, {0.84, 0.23},
+		// Scattered (5 points).
+		{0.10, 0.15}, {0.30, 0.30}, {0.65, 0.80}, {0.90, 0.70}, {0.25, 0.60},
+	}
+	sel := func(b geom.Box) float64 {
+		c := 0
+		for _, p := range pts {
+			if b.Contains(p) {
+				c++
+			}
+		}
+		return float64(c) / float64(len(pts))
+	}
+	r1 := geom.NewBox(geom.Point{0.05, 0.10}, geom.Point{0.35, 0.35}) // 2 pts → 0.10
+	r2 := geom.NewBox(geom.Point{0.40, 0.45}, geom.Point{0.60, 0.65}) // 6 pts → 0.30
+	r3 := geom.NewBox(geom.Point{0.77, 0.20}, geom.Point{0.83, 0.30}) // 3 of cluster C
+	r4 := geom.NewBox(geom.Point{0.60, 0.65}, geom.Point{0.95, 0.85}) // 2 pts → 0.10
+	r5 := geom.NewBox(geom.Point{0.74, 0.18}, geom.Point{0.90, 0.32}) // 5 pts → 0.25
+	wantSels := []float64{0.10, 0.30, 0.15, 0.10, 0.25}
+	train := make([]core.LabeledQuery, 0, 5)
+	for i, b := range []geom.Box{r1, r2, r3, r4, r5} {
+		got := sel(b)
+		if got != wantSels[i] {
+			t.Fatalf("R%d selectivity = %v, want %v (layout drifted)", i+1, got, wantSels[i])
+		}
+		train = append(train, core.LabeledQuery{R: b, Sel: got})
+	}
+	// The unseen query R6 covers cluster C: the correct answer is 0.25.
+	r6 := geom.NewBox(geom.Point{0.72, 0.15}, geom.Point{0.92, 0.35})
+	if sel(r6) != 0.25 {
+		t.Fatalf("R6 true selectivity = %v, want 0.25", sel(r6))
+	}
+	m, err := New(2, false).Train(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Estimate(r6); math.Abs(got-0.25) > 0.03 {
+		t.Fatalf("learned estimate for R6 = %v, want ≈0.25 (Figure 1)", got)
+	}
+}

@@ -1,0 +1,178 @@
+package bvh
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/geom"
+	"repro/internal/hist"
+	"repro/internal/rng"
+	"repro/internal/workload"
+)
+
+// flatEstimate is the reference O(m) evaluation.
+func flatEstimate(buckets []geom.Box, weights []float64, r geom.Range) float64 {
+	s := 0.0
+	for j, b := range buckets {
+		w := weights[j]
+		if w == 0 || !r.IntersectsBox(b) {
+			continue
+		}
+		if r.ContainsBox(b) {
+			s += w
+			continue
+		}
+		v := b.Volume()
+		if v == 0 {
+			continue
+		}
+		s += r.IntersectBoxVolume(b) / v * w
+	}
+	return core.Clamp01(s)
+}
+
+func randomBuckets(r *rng.RNG, n, d int) ([]geom.Box, []float64) {
+	buckets := make([]geom.Box, n)
+	weights := make([]float64, n)
+	total := 0.0
+	for i := range buckets {
+		lo := make(geom.Point, d)
+		hi := make(geom.Point, d)
+		for j := 0; j < d; j++ {
+			a, b := r.Float64(), r.Float64()
+			lo[j], hi[j] = min(a, b), max(a, b)
+		}
+		buckets[i] = geom.Box{Lo: lo, Hi: hi}
+		weights[i] = r.Float64()
+		total += weights[i]
+	}
+	for i := range weights {
+		weights[i] /= total
+	}
+	return buckets, weights
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := Build(nil, nil)
+	if tr.Len() != 0 {
+		t.Fatal("empty tree has buckets")
+	}
+	if got := tr.Estimate(geom.UnitCube(2)); got != 0 {
+		t.Fatalf("empty tree estimate = %v", got)
+	}
+}
+
+// The BVH must agree with flat evaluation on every query class, including
+// overlapping buckets (QuickSel-style).
+func TestMatchesFlatEvaluation(t *testing.T) {
+	r := rng.New(2024)
+	for _, d := range []int{1, 2, 3, 5} {
+		buckets, weights := randomBuckets(r, 300, d)
+		tr := Build(buckets, weights)
+		for trial := 0; trial < 40; trial++ {
+			var q geom.Range
+			switch trial % 3 {
+			case 0:
+				c := make(geom.Point, d)
+				s := make([]float64, d)
+				for j := 0; j < d; j++ {
+					c[j] = r.Float64()
+					s[j] = r.Float64()
+				}
+				q = geom.BoxFromCenter(c, s)
+			case 1:
+				c := make(geom.Point, d)
+				for j := range c {
+					c[j] = r.Float64()
+				}
+				q = geom.NewBall(c, r.Float64())
+			default:
+				a := make(geom.Point, d)
+				for j := range a {
+					a[j] = 2*r.Float64() - 1
+				}
+				q = geom.NewHalfspace(a, r.Float64()-0.25)
+			}
+			want := flatEstimate(buckets, weights, q)
+			got := tr.Estimate(q)
+			if math.Abs(got-want) > 1e-9 {
+				t.Fatalf("d=%d query %v: bvh %v != flat %v", d, q, got, want)
+			}
+		}
+	}
+}
+
+func TestZeroVolumeBucketsConsistent(t *testing.T) {
+	buckets := []geom.Box{
+		geom.NewBox(geom.Point{0, 0}, geom.Point{0.5, 0.5}),
+		geom.NewBox(geom.Point{0.7, 0}, geom.Point{0.7, 1}), // zero volume
+	}
+	weights := []float64{0.6, 0.4}
+	tr := Build(buckets, weights)
+	q := geom.UnitCube(2)
+	want := flatEstimate(buckets, weights, q)
+	if got := tr.Estimate(q); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("zero-volume handling differs: bvh %v, flat %v", got, want)
+	}
+}
+
+func TestQuadHistModelThroughBVH(t *testing.T) {
+	ds := dataset.Power(5000, 1).Project([]int{0, 1})
+	g := workload.NewGenerator(ds, 42)
+	spec := workload.Spec{Class: workload.OrthogonalRange, Centers: workload.DataDriven}
+	train, test := g.TrainTest(spec, 150, 100)
+	m, err := hist.New(2, 600).TrainHist(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := Build(m.Buckets, m.Weights)
+	for _, z := range test {
+		a, b := m.Estimate(z.R), tr.Estimate(z.R)
+		if math.Abs(a-b) > 1e-9 {
+			t.Fatalf("bvh %v != model %v", b, a)
+		}
+	}
+}
+
+func TestWholeSpaceEqualsWeightSum(t *testing.T) {
+	r := rng.New(7)
+	buckets, weights := randomBuckets(r, 100, 2)
+	tr := Build(buckets, weights)
+	got := tr.Estimate(geom.UnitCube(2))
+	// All buckets are inside the cube: estimate = Σw = 1.
+	if math.Abs(got-1) > 1e-9 {
+		t.Fatalf("whole-space estimate = %v", got)
+	}
+}
+
+func TestMismatchedLengthsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched inputs did not panic")
+		}
+	}()
+	Build(make([]geom.Box, 2), make([]float64, 3))
+}
+
+func BenchmarkFlatEstimate(b *testing.B) {
+	r := rng.New(1)
+	buckets, weights := randomBuckets(r, 4000, 2)
+	q := geom.NewBox(geom.Point{0.2, 0.2}, geom.Point{0.6, 0.6})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		flatEstimate(buckets, weights, q)
+	}
+}
+
+func BenchmarkBVHEstimate(b *testing.B) {
+	r := rng.New(1)
+	buckets, weights := randomBuckets(r, 4000, 2)
+	tr := Build(buckets, weights)
+	q := geom.NewBox(geom.Point{0.2, 0.2}, geom.Point{0.6, 0.6})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Estimate(q)
+	}
+}

@@ -1,0 +1,90 @@
+// Package core defines the learning framework of Section 2 of the paper:
+// labeled query samples, the Model/Trainer contract every estimator in this
+// repository implements, the loss functions used for training and
+// evaluation, and the learning-theoretic calculators (VC dimensions,
+// fat-shattering bound of Lemma 2.6, Bartlett–Long sample complexity) that
+// Theorem 2.1 is built from.
+package core
+
+import (
+	"math"
+
+	"repro/internal/geom"
+)
+
+// LabeledQuery is one training or test example z = (R, s) ∈ R × [0,1]:
+// a query range with its (observed) selectivity. As the paper's remark
+// notes, s need not equal s_D(R) for any distribution D — labels may be
+// noisy.
+type LabeledQuery struct {
+	R   geom.Range
+	Sel float64
+}
+
+// Model is a learned selectivity function s_D induced by some data
+// distribution D (histogram or discrete).
+type Model interface {
+	// Estimate returns the predicted selectivity of the query range,
+	// always in [0,1].
+	Estimate(r geom.Range) float64
+	// NumBuckets returns the model complexity (number of histogram
+	// buckets or support points).
+	NumBuckets() int
+}
+
+// Trainer is a learning procedure A: finite sample sequences → models.
+type Trainer interface {
+	// Train fits a model to the labeled sample.
+	Train(samples []LabeledQuery) (Model, error)
+	// Name identifies the method in experiment output.
+	Name() string
+}
+
+// MSE returns the mean squared loss (Equation 1 of the paper) of the model
+// on the sample.
+func MSE(m Model, samples []LabeledQuery) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, z := range samples {
+		d := m.Estimate(z.R) - z.Sel
+		s += d * d
+	}
+	return s / float64(len(samples))
+}
+
+// RMS returns the root mean squared error, the headline metric of the
+// paper's figures.
+func RMS(m Model, samples []LabeledQuery) float64 {
+	return math.Sqrt(MSE(m, samples))
+}
+
+// LInf returns the maximum absolute error over the sample (Section 4.6).
+func LInf(m Model, samples []LabeledQuery) float64 {
+	worst := 0.0
+	for _, z := range samples {
+		worst = math.Max(worst, math.Abs(m.Estimate(z.R)-z.Sel))
+	}
+	return worst
+}
+
+// Estimates evaluates the model on every sample, returning predictions.
+func Estimates(m Model, samples []LabeledQuery) []float64 {
+	out := make([]float64, len(samples))
+	for i, z := range samples {
+		out[i] = m.Estimate(z.R)
+	}
+	return out
+}
+
+// Clamp01 clips a prediction to the valid selectivity interval.
+func Clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// constModel predicts a constant selectivity.
+type constModel float64
+
+func (c constModel) Estimate(geom.Range) float64 { return float64(c) }
+func (c constModel) NumBuckets() int             { return 1 }
+
+func sampleSet() []LabeledQuery {
+	return []LabeledQuery{
+		{R: geom.UnitCube(2), Sel: 1.0},
+		{R: geom.NewBox(geom.Point{0, 0}, geom.Point{0.5, 0.5}), Sel: 0.25},
+		{R: geom.NewBox(geom.Point{0, 0}, geom.Point{0.1, 0.1}), Sel: 0.0},
+	}
+}
+
+func TestLossFunctions(t *testing.T) {
+	m := constModel(0.25)
+	samples := sampleSet()
+	wantMSE := (0.75*0.75 + 0 + 0.25*0.25) / 3
+	if got := MSE(m, samples); math.Abs(got-wantMSE) > 1e-12 {
+		t.Fatalf("MSE = %v, want %v", got, wantMSE)
+	}
+	if got := RMS(m, samples); math.Abs(got-math.Sqrt(wantMSE)) > 1e-12 {
+		t.Fatalf("RMS = %v", got)
+	}
+	if got := LInf(m, samples); math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("LInf = %v, want 0.75", got)
+	}
+}
+
+func TestLossOnEmptySample(t *testing.T) {
+	if MSE(constModel(0.5), nil) != 0 {
+		t.Fatal("MSE of empty sample nonzero")
+	}
+	if LInf(constModel(0.5), nil) != 0 {
+		t.Fatal("LInf of empty sample nonzero")
+	}
+}
+
+func TestEstimates(t *testing.T) {
+	got := Estimates(constModel(0.4), sampleSet())
+	if len(got) != 3 {
+		t.Fatalf("Estimates length %d", len(got))
+	}
+	for _, v := range got {
+		if v != 0.4 {
+			t.Fatalf("Estimates = %v", got)
+		}
+	}
+}
+
+func TestClamp01(t *testing.T) {
+	cases := [][2]float64{{-0.5, 0}, {0, 0}, {0.3, 0.3}, {1, 1}, {1.7, 1}}
+	for _, c := range cases {
+		if got := Clamp01(c[0]); got != c[1] {
+			t.Fatalf("Clamp01(%v) = %v, want %v", c[0], got, c[1])
+		}
+	}
+}
+
+func TestVCDimValues(t *testing.T) {
+	if VCDimOrthogonal(2) != 4 || VCDimOrthogonal(5) != 10 {
+		t.Fatal("orthogonal VC dims wrong")
+	}
+	if VCDimHalfspace(2) != 3 || VCDimHalfspace(7) != 8 {
+		t.Fatal("halfspace VC dims wrong")
+	}
+	if VCDimBall(2) != 4 || VCDimBall(3) != 5 {
+		t.Fatal("ball VC dims wrong")
+	}
+}
+
+func TestFatShatteringMonotone(t *testing.T) {
+	// fat(γ) decreases as γ grows, and grows with λ.
+	if FatShattering(0.1, 4) <= FatShattering(0.2, 4) {
+		t.Fatal("fat-shattering not decreasing in γ")
+	}
+	if FatShattering(0.1, 6) <= FatShattering(0.1, 4) {
+		t.Fatal("fat-shattering not increasing in λ")
+	}
+	if !math.IsInf(FatShattering(0, 4), 1) {
+		t.Fatal("fat-shattering at γ=0 should be infinite")
+	}
+}
+
+func TestSampleComplexityShape(t *testing.T) {
+	// More accuracy demands more samples.
+	if SampleComplexity(0.05, 0.1, 4) <= SampleComplexity(0.1, 0.1, 4) {
+		t.Fatal("sample complexity not decreasing in ε")
+	}
+	// Higher confidence demands more samples.
+	if SampleComplexity(0.1, 0.01, 4) <= SampleComplexity(0.1, 0.1, 4) {
+		t.Fatal("sample complexity not decreasing in δ")
+	}
+	// Higher dimension demands more samples: the 2d+3 exponent of
+	// Theorem 2.1 for orthogonal ranges.
+	if SampleComplexityOrthogonal(0.1, 0.1, 4) <= SampleComplexityOrthogonal(0.1, 0.1, 2) {
+		t.Fatal("sample complexity not increasing in d")
+	}
+	// Orthogonal (λ=2d) needs more than halfspaces (λ=d+1) in d ≥ 2.
+	if SampleComplexityOrthogonal(0.1, 0.1, 3) <= SampleComplexityHalfspace(0.1, 0.1, 3) {
+		t.Fatal("orthogonal should dominate halfspace complexity for d=3")
+	}
+	if v := SampleComplexityBall(0.1, 0.1, 3); math.IsInf(v, 1) || v <= 0 {
+		t.Fatalf("ball sample complexity = %v", v)
+	}
+	if !math.IsInf(SampleComplexity(0, 0.1, 2), 1) {
+		t.Fatal("ε=0 should be infeasible")
+	}
+}
+
+// Theorem 2.1's ε-exponent: log n₀(ε) / log(1/ε) approaches λ+3 as ε → 0.
+func TestSampleComplexityExponent(t *testing.T) {
+	lambda := 4
+	e1, e2 := 1e-3, 1e-4
+	n1 := SampleComplexity(e1, 0.1, lambda)
+	n2 := SampleComplexity(e2, 0.1, lambda)
+	slope := math.Log(n2/n1) / math.Log(e1/e2)
+	want := float64(lambda + 3)
+	// The polylog factors of the Õ(·) push the finite-ε slope slightly
+	// above λ+3 (and never below it).
+	if slope < want-1e-9 || slope > want+1.2 {
+		t.Fatalf("empirical exponent %v, want within [%v, %v]", slope, want, want+1.2)
+	}
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/geom"
+	"repro/internal/linalg"
+)
+
+// parallelThreshold is the m·n size above which design-matrix assembly
+// fans out across CPUs. Rows are independent, so parallel assembly is
+// bit-for-bit identical to sequential assembly.
+const parallelThreshold = 1 << 16
+
+// DesignMatrixBoxes assembles the weight-estimation design matrix of
+// Equation 6: A[i][j] = vol(Bⱼ ∩ Rᵢ)/vol(Bⱼ) for box buckets Bⱼ and query
+// ranges Rᵢ. Zero-volume buckets contribute zero columns. Large matrices
+// are assembled in parallel (deterministically).
+func DesignMatrixBoxes(samples []LabeledQuery, buckets []geom.Box) *linalg.Matrix {
+	workers := 1
+	if len(samples)*len(buckets) >= parallelThreshold {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return DesignMatrixBoxesWith(samples, buckets, workers)
+}
+
+// DesignMatrixBoxesWith is DesignMatrixBoxes with an explicit worker count
+// (used by the parallelism ablation benchmark).
+func DesignMatrixBoxesWith(samples []LabeledQuery, buckets []geom.Box, workers int) *linalg.Matrix {
+	m, n := len(samples), len(buckets)
+	vols := make([]float64, n)
+	for j, b := range buckets {
+		vols[j] = b.Volume()
+	}
+	a := linalg.NewMatrix(m, n)
+	fillRow := func(i int) {
+		z := samples[i]
+		row := a.Row(i)
+		for j, b := range buckets {
+			if vols[j] == 0 || !z.R.IntersectsBox(b) {
+				continue
+			}
+			if z.R.ContainsBox(b) {
+				row[j] = 1
+				continue
+			}
+			row[j] = z.R.IntersectBoxVolume(b) / vols[j]
+		}
+	}
+	forEachRow(m, workers, fillRow)
+	return a
+}
+
+// DesignMatrixPoints assembles the discrete-distribution design matrix of
+// Equation 7: A[i][j] = 1(Bⱼ ∈ Rᵢ) for point buckets Bⱼ. Large matrices
+// are assembled in parallel (deterministically).
+func DesignMatrixPoints(samples []LabeledQuery, points []geom.Point) *linalg.Matrix {
+	m, n := len(samples), len(points)
+	workers := 1
+	if m*n >= parallelThreshold {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	a := linalg.NewMatrix(m, n)
+	forEachRow(m, workers, func(i int) {
+		z := samples[i]
+		row := a.Row(i)
+		for j, p := range points {
+			if z.R.Contains(p) {
+				row[j] = 1
+			}
+		}
+	})
+	return a
+}
+
+// forEachRow runs fn(i) for i in [0,m) across the given number of workers.
+// Work is dealt in contiguous blocks so each worker touches disjoint cache
+// lines of the output.
+func forEachRow(m, workers int, fn func(i int)) {
+	if workers <= 1 || m < 2 {
+		for i := 0; i < m; i++ {
+			fn(i)
+		}
+		return
+	}
+	if workers > m {
+		workers = m
+	}
+	var wg sync.WaitGroup
+	chunk := (m + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, m)
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				fn(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// Selectivities extracts the label vector s of a training sample.
+func Selectivities(samples []LabeledQuery) []float64 {
+	s := make([]float64, len(samples))
+	for i, z := range samples {
+		s[i] = z.Sel
+	}
+	return s
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/rng"
+)
+
+func randomSamples(r *rng.RNG, n, d int) []LabeledQuery {
+	out := make([]LabeledQuery, n)
+	for i := range out {
+		c := make(geom.Point, d)
+		s := make([]float64, d)
+		for j := 0; j < d; j++ {
+			c[j] = r.Float64()
+			s[j] = r.Float64()
+		}
+		out[i] = LabeledQuery{R: geom.BoxFromCenter(c, s), Sel: r.Float64()}
+	}
+	return out
+}
+
+func randomBuckets(r *rng.RNG, n, d int) []geom.Box {
+	out := make([]geom.Box, n)
+	for i := range out {
+		lo := make(geom.Point, d)
+		hi := make(geom.Point, d)
+		for j := 0; j < d; j++ {
+			a, b := r.Float64(), r.Float64()
+			lo[j], hi[j] = min(a, b), max(a, b)
+		}
+		out[i] = geom.Box{Lo: lo, Hi: hi}
+	}
+	return out
+}
+
+func TestDesignMatrixBoxesValues(t *testing.T) {
+	// One query covering the left half; buckets: left half, right half,
+	// and a box straddling the middle.
+	q := geom.NewBox(geom.Point{0, 0}, geom.Point{0.5, 1})
+	buckets := []geom.Box{
+		geom.NewBox(geom.Point{0, 0}, geom.Point{0.5, 1}),
+		geom.NewBox(geom.Point{0.5, 0}, geom.Point{1, 1}),
+		geom.NewBox(geom.Point{0.25, 0}, geom.Point{0.75, 1}),
+	}
+	a := DesignMatrixBoxes([]LabeledQuery{{R: q, Sel: 0.4}}, buckets)
+	want := []float64{1, 0, 0.5}
+	for j, w := range want {
+		if got := a.At(0, j); got != w {
+			t.Fatalf("A[0][%d] = %v, want %v", j, got, w)
+		}
+	}
+}
+
+func TestDesignMatrixZeroVolumeBucket(t *testing.T) {
+	q := geom.UnitCube(2)
+	thin := geom.NewBox(geom.Point{0.5, 0}, geom.Point{0.5, 1})
+	a := DesignMatrixBoxes([]LabeledQuery{{R: q, Sel: 1}}, []geom.Box{thin})
+	if got := a.At(0, 0); got != 0 {
+		t.Fatalf("zero-volume bucket column = %v", got)
+	}
+}
+
+func TestDesignMatrixPointsValues(t *testing.T) {
+	q := geom.NewBall(geom.Point{0.5, 0.5}, 0.2)
+	pts := []geom.Point{{0.5, 0.5}, {0.9, 0.9}, {0.6, 0.5}}
+	a := DesignMatrixPoints([]LabeledQuery{{R: q, Sel: 0.1}}, pts)
+	want := []float64{1, 0, 1}
+	for j, w := range want {
+		if got := a.At(0, j); got != w {
+			t.Fatalf("A[0][%d] = %v, want %v", j, got, w)
+		}
+	}
+}
+
+// Parallel assembly must be bit-for-bit identical to sequential assembly.
+func TestDesignMatrixParallelDeterminism(t *testing.T) {
+	r := rng.New(17)
+	for _, d := range []int{1, 2, 4} {
+		samples := randomSamples(r, 120, d)
+		buckets := randomBuckets(r, 90, d)
+		seq := DesignMatrixBoxesWith(samples, buckets, 1)
+		for _, workers := range []int{2, 4, 8, 200} {
+			par := DesignMatrixBoxesWith(samples, buckets, workers)
+			for i := range seq.Data {
+				if seq.Data[i] != par.Data[i] {
+					t.Fatalf("d=%d workers=%d: cell %d differs", d, workers, i)
+				}
+			}
+		}
+	}
+}
+
+func TestForEachRowCoversAllRows(t *testing.T) {
+	for _, m := range []int{0, 1, 2, 7, 100} {
+		for _, workers := range []int{1, 3, 16} {
+			hit := make([]bool, m)
+			forEachRow(m, workers, func(i int) { hit[i] = true })
+			for i, h := range hit {
+				if !h {
+					t.Fatalf("m=%d workers=%d: row %d not visited", m, workers, i)
+				}
+			}
+		}
+	}
+}
+
+func TestSelectivitiesExtraction(t *testing.T) {
+	samples := []LabeledQuery{
+		{R: geom.UnitCube(1), Sel: 0.25},
+		{R: geom.UnitCube(1), Sel: 0.75},
+	}
+	s := Selectivities(samples)
+	if len(s) != 2 || s[0] != 0.25 || s[1] != 0.75 {
+		t.Fatalf("Selectivities = %v", s)
+	}
+}

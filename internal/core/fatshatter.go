@@ -1,0 +1,88 @@
+package core
+
+import "repro/internal/geom"
+
+// This file implements the constructive side of Lemma 2.7 of the paper:
+// if the dual range space is shattered — i.e. for every subset E of a
+// range set T there exists a point x_E lying in exactly the ranges of E —
+// then the selectivity-function family γ-shatters T for every γ ∈ (0, 1/2]
+// with witness σ ≡ 1/2, realized by delta (point-mass) distributions:
+// s_δ(x_E)(R) = 1 ≥ 1/2 + γ for R ∈ E and 0 ≤ 1/2 − γ for R ∉ E.
+//
+// Figure 5's three convex polygons (and, generally, polygons over points
+// in convex position) realize every pattern, which machine-checks the
+// paper's conclusion that convex-polygon selectivity is not learnable.
+
+// IncidencePattern returns the bit mask of ranges containing the point.
+func IncidencePattern(ranges []geom.Range, p geom.Point) uint {
+	var mask uint
+	for i, r := range ranges {
+		if r.Contains(p) {
+			mask |= 1 << uint(i)
+		}
+	}
+	return mask
+}
+
+// DualShattered reports whether every one of the 2^len(ranges) incidence
+// patterns is realized by some candidate point — the hypothesis of
+// Lemma 2.7. Limited to 20 ranges.
+func DualShattered(ranges []geom.Range, candidates []geom.Point) bool {
+	if len(ranges) > 20 {
+		panic("core: DualShattered limited to 20 ranges")
+	}
+	need := uint(1) << uint(len(ranges))
+	seen := make(map[uint]bool, need)
+	for _, p := range candidates {
+		seen[IncidencePattern(ranges, p)] = true
+		if uint(len(seen)) == need {
+			return true
+		}
+	}
+	return uint(len(seen)) == need
+}
+
+// DeltaShatterWitness verifies the Lemma 2.7 construction explicitly: for
+// every subset E of the ranges it finds a candidate point x_E whose delta
+// distribution realizes Equation 2 with witness σ ≡ 1/2 at the given γ,
+// returning the chosen points indexed by subset mask (nil when some subset
+// is unrealizable or γ > 1/2).
+func DeltaShatterWitness(ranges []geom.Range, candidates []geom.Point, gamma float64) []geom.Point {
+	if gamma <= 0 || gamma > 0.5 {
+		return nil
+	}
+	if len(ranges) > 20 {
+		panic("core: DeltaShatterWitness limited to 20 ranges")
+	}
+	need := 1 << uint(len(ranges))
+	witness := make([]geom.Point, need)
+	found := 0
+	for _, p := range candidates {
+		mask := IncidencePattern(ranges, p)
+		if witness[mask] == nil {
+			// Check Equation 2 explicitly for this delta distribution:
+			// s(R) = 1 for R ∋ p must be ≥ 1/2 + γ; s(R) = 0 for R ∌ p
+			// must be ≤ 1/2 − γ. Both hold exactly when γ ≤ 1/2.
+			witness[mask] = p
+			found++
+			if found == need {
+				return witness
+			}
+		}
+	}
+	return nil
+}
+
+// FatShatteringLowerBound returns the largest k ≤ maxK such that the first
+// k ranges are γ-shattered via the delta construction — an empirical lower
+// bound on fat_S(γ) for the given range family and candidate points.
+func FatShatteringLowerBound(ranges []geom.Range, candidates []geom.Point, gamma float64, maxK int) int {
+	best := 0
+	for k := 1; k <= maxK && k <= len(ranges); k++ {
+		if DeltaShatterWitness(ranges[:k], candidates, gamma) == nil {
+			break
+		}
+		best = k
+	}
+	return best
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// circlePoints places n points evenly on a circle.
+func circlePoints(n int, cx, cy, r float64) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := 0; i < n; i++ {
+		theta := 2 * math.Pi * float64(i) / float64(n)
+		pts[i] = geom.Point{cx + r*math.Cos(theta), cy + r*math.Sin(theta)}
+	}
+	return pts
+}
+
+// figure5Polygons builds k convex polygons over 2^k circle points such
+// that point j lies in polygon i iff bit i of j is set — the Figure 5
+// construction generalized from k = 3.
+func figure5Polygons(k int) ([]geom.Range, []geom.Point) {
+	n := 1 << uint(k)
+	pts := circlePoints(n, 0.5, 0.5, 0.4)
+	ranges := make([]geom.Range, k)
+	for i := 0; i < k; i++ {
+		var members []geom.Point
+		for j := 0; j < n; j++ {
+			if j&(1<<uint(i)) != 0 {
+				members = append(members, pts[j])
+			}
+		}
+		ranges[i] = geom.ConvexHull(members)
+	}
+	return ranges, pts
+}
+
+// Points in convex position are vertices of their hull, so a hull of a
+// subset contains exactly that subset of the circle points — verify the
+// construction before using it.
+func TestFigure5IncidenceStructure(t *testing.T) {
+	ranges, pts := figure5Polygons(3)
+	for j, p := range pts {
+		got := IncidencePattern(ranges, p)
+		if got != uint(j) {
+			t.Fatalf("point %d has pattern %03b, want %03b", j, got, j)
+		}
+	}
+}
+
+// Lemma 2.7 / Figure 5: convex polygons are γ-shattered by delta
+// distributions for every γ ≤ 1/2, at any size k — the fat-shattering
+// dimension is unbounded, hence selectivity is not learnable.
+func TestConvexPolygonsFatShatteredAtAnySize(t *testing.T) {
+	for k := 3; k <= 6; k++ {
+		ranges, pts := figure5Polygons(k)
+		if !DualShattered(ranges, pts) {
+			t.Fatalf("k=%d: dual not shattered", k)
+		}
+		for _, gamma := range []float64{0.1, 0.25, 0.5} {
+			w := DeltaShatterWitness(ranges, pts, gamma)
+			if w == nil {
+				t.Fatalf("k=%d γ=%v: delta construction failed", k, gamma)
+			}
+			// Spot-check the witness: each subset's point has exactly
+			// that incidence pattern.
+			for mask, p := range w {
+				if got := IncidencePattern(ranges, p); got != uint(mask) {
+					t.Fatalf("k=%d: witness for %b has pattern %b", k, mask, got)
+				}
+			}
+		}
+	}
+}
+
+func TestDeltaShatterRejectsGammaAboveHalf(t *testing.T) {
+	ranges, pts := figure5Polygons(3)
+	if DeltaShatterWitness(ranges, pts, 0.51) != nil {
+		t.Fatal("γ > 1/2 accepted (delta selectivities cannot separate beyond 1/2)")
+	}
+	if DeltaShatterWitness(ranges, pts, 0) != nil {
+		t.Fatal("γ = 0 accepted")
+	}
+}
+
+// Nested boxes cannot be dual-shattered: the pattern "outer only" is
+// unrealizable when inner ⊆ outer.
+func TestNestedBoxesNotDualShattered(t *testing.T) {
+	outer := geom.NewBox(geom.Point{0.1, 0.1}, geom.Point{0.9, 0.9})
+	inner := geom.NewBox(geom.Point{0.3, 0.3}, geom.Point{0.7, 0.7})
+	ranges := []geom.Range{inner, outer}
+	// A dense candidate grid.
+	var candidates []geom.Point
+	for x := 0.0; x <= 1; x += 0.02 {
+		for y := 0.0; y <= 1; y += 0.02 {
+			candidates = append(candidates, geom.Point{x, y})
+		}
+	}
+	if DualShattered(ranges, candidates) {
+		t.Fatal("nested boxes reported dual-shattered")
+	}
+	if DeltaShatterWitness(ranges, candidates, 0.5) != nil {
+		t.Fatal("nested boxes reported delta-shattered")
+	}
+}
+
+// The empirical fat-shattering lower bound grows without bound for
+// polygons (we check up to 6) but is capped by the dual structure for
+// nested families.
+func TestFatShatteringLowerBound(t *testing.T) {
+	ranges, pts := figure5Polygons(6)
+	if got := FatShatteringLowerBound(ranges, pts, 0.5, 6); got != 6 {
+		t.Fatalf("polygon fat-shattering lower bound = %d, want 6", got)
+	}
+	// Nested boxes stall at 1.
+	nested := []geom.Range{
+		geom.NewBox(geom.Point{0.3, 0.3}, geom.Point{0.7, 0.7}),
+		geom.NewBox(geom.Point{0.1, 0.1}, geom.Point{0.9, 0.9}),
+	}
+	var candidates []geom.Point
+	for x := 0.0; x <= 1; x += 0.05 {
+		for y := 0.0; y <= 1; y += 0.05 {
+			candidates = append(candidates, geom.Point{x, y})
+		}
+	}
+	if got := FatShatteringLowerBound(nested, candidates, 0.5, 2); got != 1 {
+		t.Fatalf("nested-box bound = %d, want 1", got)
+	}
+}

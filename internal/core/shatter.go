@@ -1,0 +1,172 @@
+package core
+
+import (
+	"repro/internal/geom"
+	"repro/internal/linalg"
+	"repro/internal/lp"
+)
+
+// This file provides exact shattering checkers for small point sets, used
+// to validate the VC-dimension facts that Theorem 2.1's sample bounds rest
+// on (e.g. Figure 2 of the paper: rectangles shatter some 4-point sets in
+// the plane but no 5-point set).
+
+// BoxSelects reports whether some axis-aligned box contains exactly the
+// subset E of points (given as a bit mask over points). A box realizes E
+// iff the bounding box of E contains no point outside E.
+func BoxSelects(points []geom.Point, mask uint) bool {
+	d := len(points[0])
+	first := true
+	lo := make(geom.Point, d)
+	hi := make(geom.Point, d)
+	for i, p := range points {
+		if mask&(1<<uint(i)) == 0 {
+			continue
+		}
+		if first {
+			copy(lo, p)
+			copy(hi, p)
+			first = false
+			continue
+		}
+		for j := 0; j < d; j++ {
+			if p[j] < lo[j] {
+				lo[j] = p[j]
+			}
+			if p[j] > hi[j] {
+				hi[j] = p[j]
+			}
+		}
+	}
+	if first {
+		return true // empty subset: a degenerate box away from all points
+	}
+	bb := geom.NewBox(lo, hi)
+	for i, p := range points {
+		if mask&(1<<uint(i)) != 0 {
+			continue
+		}
+		if bb.Contains(p) {
+			return false
+		}
+	}
+	return true
+}
+
+// CanShatterBoxes reports whether axis-aligned boxes shatter the point set
+// (definition in Section 2.1). Exponential in len(points); intended for the
+// small sets of VC-dimension arguments.
+func CanShatterBoxes(points []geom.Point) bool {
+	if len(points) > 20 {
+		panic("core: CanShatterBoxes limited to 20 points")
+	}
+	for mask := uint(0); mask < 1<<uint(len(points)); mask++ {
+		if !BoxSelects(points, mask) {
+			return false
+		}
+	}
+	return true
+}
+
+// HalfspaceSelects reports whether some halfspace a·x ≥ b strictly
+// separates the subset E (mask bits set) from its complement. Decided by
+// the margin-maximization LP
+//
+//	max t  s.t.  a·x − b ≥ t (x ∈ E),  a·x − b ≤ −t (x ∉ E),
+//	             −1 ≤ aᵢ ≤ 1, −B ≤ b ≤ B,
+//
+// which has optimum > 0 iff the subsets are linearly separable.
+func HalfspaceSelects(points []geom.Point, mask uint) bool {
+	d := len(points[0])
+	n := len(points)
+	// Variables (all ≥ 0): a⁺ (d), a⁻ (d), b⁺, b⁻, t  →  nv = 2d+3.
+	nv := 2*d + 3
+	it, ib1, ib2 := 2*d+2, 2*d, 2*d+1
+	rows := make([][]float64, 0, n+nv)
+	rhs := make([]float64, 0, n+nv)
+	for i, p := range points {
+		row := make([]float64, nv)
+		inE := mask&(1<<uint(i)) != 0
+		sign := 1.0
+		if inE {
+			sign = -1 // −a·x + b + t ≤ 0
+		}
+		for j := 0; j < d; j++ {
+			row[j] = sign * p[j]
+			row[d+j] = -sign * p[j]
+		}
+		row[ib1] = -sign
+		row[ib2] = sign
+		row[it] = 1
+		rows = append(rows, row)
+		rhs = append(rhs, 0)
+	}
+	// Box bounds keep the LP bounded: each variable ≤ 2.
+	for j := 0; j < nv; j++ {
+		row := make([]float64, nv)
+		row[j] = 1
+		rows = append(rows, row)
+		rhs = append(rhs, 2)
+	}
+	c := make([]float64, nv)
+	c[it] = -1 // maximize t
+	sol, err := lp.Solve(lp.Problem{C: c, Aub: linalg.FromRows(rows), Bub: rhs})
+	if err != nil {
+		return false
+	}
+	return sol.X[it] > 1e-7
+}
+
+// CanShatterHalfspaces reports whether halfspaces shatter the point set.
+func CanShatterHalfspaces(points []geom.Point) bool {
+	if len(points) > 16 {
+		panic("core: CanShatterHalfspaces limited to 16 points")
+	}
+	for mask := uint(0); mask < 1<<uint(len(points)); mask++ {
+		if !HalfspaceSelects(points, mask) {
+			return false
+		}
+	}
+	return true
+}
+
+// liftToParaboloid maps x ∈ R^d to (x, ‖x‖²) ∈ R^{d+1}. Ball membership in
+// R^d becomes halfspace membership after this lifting, the classical
+// reduction behind the VC-dimension bound d+2 for balls.
+func liftToParaboloid(points []geom.Point) []geom.Point {
+	out := make([]geom.Point, len(points))
+	for i, p := range points {
+		q := make(geom.Point, len(p)+1)
+		copy(q, p)
+		s := 0.0
+		for _, v := range p {
+			s += v * v
+		}
+		q[len(p)] = s
+		out[i] = q
+	}
+	return out
+}
+
+// BallSelects reports whether some ball contains exactly the subset E.
+// ‖x−c‖² ≤ r² is linear in the lifted coordinates, so this reduces to
+// halfspace selection on the paraboloid lift. (The reduction decides
+// selection by *generalized* balls — including halfspace limits — which
+// coincides with balls for points in general position.)
+func BallSelects(points []geom.Point, mask uint) bool {
+	return HalfspaceSelects(liftToParaboloid(points), mask)
+}
+
+// CanShatterBalls reports whether balls (in the generalized, lifted sense)
+// shatter the point set.
+func CanShatterBalls(points []geom.Point) bool {
+	if len(points) > 16 {
+		panic("core: CanShatterBalls limited to 16 points")
+	}
+	for mask := uint(0); mask < 1<<uint(len(points)); mask++ {
+		if !BallSelects(points, mask) {
+			return false
+		}
+	}
+	return true
+}

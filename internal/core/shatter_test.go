@@ -1,0 +1,123 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// Figure 2(i) of the paper: a diamond of 4 points in the plane is shattered
+// by rectangles.
+func TestRectanglesShatterDiamond(t *testing.T) {
+	diamond := []geom.Point{
+		{0.5, 0.9}, {0.9, 0.5}, {0.5, 0.1}, {0.1, 0.5},
+	}
+	if !CanShatterBoxes(diamond) {
+		t.Fatal("rectangles fail to shatter the 4-point diamond")
+	}
+}
+
+// Figure 2(ii): no 5-point set in the plane is shattered by rectangles —
+// the extreme-coordinate argument. We verify on several configurations.
+func TestRectanglesCannotShatterFivePoints(t *testing.T) {
+	configs := [][]geom.Point{
+		{{0.5, 0.9}, {0.9, 0.5}, {0.5, 0.1}, {0.1, 0.5}, {0.5, 0.5}},
+		{{0.1, 0.1}, {0.9, 0.1}, {0.5, 0.5}, {0.1, 0.9}, {0.9, 0.9}},
+		{{0.2, 0.3}, {0.7, 0.8}, {0.4, 0.6}, {0.9, 0.2}, {0.3, 0.9}},
+	}
+	for i, pts := range configs {
+		if CanShatterBoxes(pts) {
+			t.Fatalf("config %d: 5 points shattered by rectangles (impossible, VC-dim 4)", i)
+		}
+	}
+}
+
+// 3D boxes have VC dimension 6: the octahedron vertices are shattered.
+func TestBoxesShatterOctahedron3D(t *testing.T) {
+	oct := []geom.Point{
+		{0.9, 0.5, 0.5}, {0.1, 0.5, 0.5},
+		{0.5, 0.9, 0.5}, {0.5, 0.1, 0.5},
+		{0.5, 0.5, 0.9}, {0.5, 0.5, 0.1},
+	}
+	if !CanShatterBoxes(oct) {
+		t.Fatal("3D boxes fail to shatter the octahedron (VC-dim 2d = 6)")
+	}
+}
+
+// Halfspaces in the plane have VC dimension 3: a triangle is shattered,
+// and no 4-point set is (either a point is inside the hull of the others,
+// or the XOR split of a convex quadrilateral is not linearly separable).
+func TestHalfspacesShatterTriangle(t *testing.T) {
+	tri := []geom.Point{{0.2, 0.2}, {0.8, 0.2}, {0.5, 0.8}}
+	if !CanShatterHalfspaces(tri) {
+		t.Fatal("halfspaces fail to shatter a triangle (VC-dim d+1 = 3)")
+	}
+}
+
+func TestHalfspacesCannotShatterFourPoints(t *testing.T) {
+	configs := [][]geom.Point{
+		// Convex quadrilateral: opposite corners not separable.
+		{{0.1, 0.1}, {0.9, 0.1}, {0.9, 0.9}, {0.1, 0.9}},
+		// Point inside triangle: singleton {inner} not selectable.
+		{{0.1, 0.1}, {0.9, 0.1}, {0.5, 0.9}, {0.5, 0.4}},
+	}
+	for i, pts := range configs {
+		if CanShatterHalfspaces(pts) {
+			t.Fatalf("config %d: 4 points shattered by halfspaces (impossible, VC-dim 3)", i)
+		}
+	}
+}
+
+func TestHalfspaceSelectsSpecificSubsets(t *testing.T) {
+	square := []geom.Point{{0.1, 0.1}, {0.9, 0.1}, {0.9, 0.9}, {0.1, 0.9}}
+	// Adjacent pair (bottom edge): separable by y ≤ 0.5.
+	if !HalfspaceSelects(square, 0b0011) {
+		t.Fatal("bottom edge of square not halfspace-selectable")
+	}
+	// Diagonal pair: not separable.
+	if HalfspaceSelects(square, 0b0101) {
+		t.Fatal("diagonal of square halfspace-selectable (XOR is not linear)")
+	}
+}
+
+// Balls in the plane: VC dimension ≥ 3 via a triangle; diagonal of a square
+// is ball-selectable (unlike halfspaces) but the full 5-point configuration
+// with center is not shattered.
+func TestBallsShatterTriangle(t *testing.T) {
+	tri := []geom.Point{{0.2, 0.2}, {0.8, 0.2}, {0.5, 0.8}}
+	if !CanShatterBalls(tri) {
+		t.Fatal("balls fail to shatter a triangle")
+	}
+}
+
+func TestBallSelectsSquareSubsets(t *testing.T) {
+	square := []geom.Point{{0.1, 0.1}, {0.9, 0.1}, {0.9, 0.9}, {0.1, 0.9}}
+	// Each singleton is ball-selectable.
+	for i := 0; i < 4; i++ {
+		if !BallSelects(square, 1<<uint(i)) {
+			t.Fatalf("singleton %d not ball-selectable", i)
+		}
+	}
+	// Diagonal pair of a square is NOT (generalized-)ball selectable:
+	// any disc containing both diagonal corners of a square covers one
+	// of the other corners.
+	if BallSelects(square, 0b0101) {
+		t.Fatal("diagonal of square reported ball-selectable")
+	}
+}
+
+func TestBoxSelectsEdgeCases(t *testing.T) {
+	pts := []geom.Point{{0.2, 0.2}, {0.5, 0.5}, {0.8, 0.8}}
+	// Empty subset always selectable.
+	if !BoxSelects(pts, 0) {
+		t.Fatal("empty subset not box-selectable")
+	}
+	// {outer two} cannot exclude the middle point on the diagonal.
+	if BoxSelects(pts, 0b101) {
+		t.Fatal("outer pair selectable despite middle point in bounding box")
+	}
+	// Full set always selectable.
+	if !BoxSelects(pts, 0b111) {
+		t.Fatal("full set not box-selectable")
+	}
+}

@@ -1,0 +1,70 @@
+package core
+
+import "math"
+
+// This file implements the quantitative side of Theorem 2.1: the VC
+// dimensions of the paper's range spaces (Section 2.2), the fat-shattering
+// bound of Lemma 2.6, and the Bartlett–Long training-set size of
+// Section 2.3. All constants hidden by O(·) in the paper are taken to be 1,
+// so the values are comparable across settings rather than literal sample
+// counts.
+
+// VCDimOrthogonal returns the VC dimension of axis-aligned boxes in R^d,
+// which is exactly 2d.
+func VCDimOrthogonal(d int) int { return 2 * d }
+
+// VCDimHalfspace returns the VC dimension of halfspaces in R^d, exactly d+1.
+func VCDimHalfspace(d int) int { return d + 1 }
+
+// VCDimBall returns the standard upper bound d+2 on the VC dimension of
+// Euclidean balls in R^d.
+func VCDimBall(d int) int { return d + 2 }
+
+// FatShattering returns the Lemma 2.6 bound on the γ-fat-shattering
+// dimension of the selectivity-function family of a range space with VC
+// dimension lambda:
+//
+//	fat_S(γ) = Õ(1/γ^{λ+1}) — concretely (1/γ)·((1/γ)·log(1/γ))^λ,
+//
+// the per-witness-bin bound of Lemma 2.5 summed over the ⌈1/γ⌉ bins.
+func FatShattering(gamma float64, lambda int) float64 {
+	if gamma <= 0 || gamma >= 1 {
+		return math.Inf(1)
+	}
+	inv := 1 / gamma
+	lg := math.Max(1, math.Log(inv))
+	return inv * math.Pow(inv*lg, float64(lambda))
+}
+
+// SampleComplexity returns the Bartlett–Long training-set size from
+// Section 2.3,
+//
+//	n₀(ε,δ) = O( (1/ε²)·( fat(ε/9)·log²(1/ε) + log(1/δ) ) ),
+//
+// with unit constants and fat(·) from Lemma 2.6. Combined with the VC
+// dimensions above this reproduces the Õ(1/ε^{λ+3}) headline of
+// Theorem 2.1.
+func SampleComplexity(eps, delta float64, lambda int) float64 {
+	if eps <= 0 || eps >= 1 || delta <= 0 || delta >= 1 {
+		return math.Inf(1)
+	}
+	lgEps := math.Max(1, math.Log(1/eps))
+	return (FatShattering(eps/9, lambda)*lgEps*lgEps + math.Log(1/delta)) / (eps * eps)
+}
+
+// SampleComplexityOrthogonal, ...Halfspace, ...Ball specialize
+// SampleComplexity to the three query classes of the introduction; their
+// ε-exponents are 2d+3, d+4 and d+5 up to polylog factors.
+func SampleComplexityOrthogonal(eps, delta float64, d int) float64 {
+	return SampleComplexity(eps, delta, VCDimOrthogonal(d))
+}
+
+// SampleComplexityHalfspace is the linear-inequality specialization.
+func SampleComplexityHalfspace(eps, delta float64, d int) float64 {
+	return SampleComplexity(eps, delta, VCDimHalfspace(d))
+}
+
+// SampleComplexityBall is the distance-based specialization.
+func SampleComplexityBall(eps, delta float64, d int) float64 {
+	return SampleComplexity(eps, delta, VCDimBall(d))
+}

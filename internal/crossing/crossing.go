@@ -1,0 +1,170 @@
+// Package crossing implements the low-crossing-number ordering machinery
+// behind Lemma 2.4 of the paper, the combinatorial heart of the
+// fat-shattering upper bound (Lemma 2.5).
+//
+// For an ordering R₁,…,R_k of ranges, a point x "crosses" the consecutive
+// pair (Rᵢ, Rᵢ₊₁) if x lies in their symmetric difference; I_x is the
+// number of pairs x crosses. Chazelle–Welzl (Theorem 4.3, quoted in the
+// paper) prove an ordering exists with max_x I_x = O(k^{1−1/λ} log k) for
+// dual VC dimension λ. This package provides the crossing-count
+// measurement and a greedy nearest-neighbor ordering heuristic in
+// symmetric-difference (Hamming) distance over a reference point sample —
+// the standard practical surrogate for the reweighting construction — so
+// the sublinear scaling can be verified empirically (experiment
+// ext_crossing).
+package crossing
+
+import (
+	"math"
+
+	"repro/internal/geom"
+)
+
+// IncidenceMatrix returns rows[i][j] = 1 iff points[j] ∈ ranges[i], as a
+// packed bitset per range.
+func IncidenceMatrix(ranges []geom.Range, points []geom.Point) []Bitset {
+	out := make([]Bitset, len(ranges))
+	for i, r := range ranges {
+		bs := NewBitset(len(points))
+		for j, p := range points {
+			if r.Contains(p) {
+				bs.Set(j)
+			}
+		}
+		out[i] = bs
+	}
+	return out
+}
+
+// Bitset is a fixed-length bit vector.
+type Bitset struct {
+	n     int
+	words []uint64
+}
+
+// NewBitset returns an all-zero bitset of length n.
+func NewBitset(n int) Bitset {
+	return Bitset{n: n, words: make([]uint64, (n+63)/64)}
+}
+
+// Set sets bit i.
+func (b Bitset) Set(i int) { b.words[i/64] |= 1 << uint(i%64) }
+
+// Get reports bit i.
+func (b Bitset) Get(i int) bool { return b.words[i/64]&(1<<uint(i%64)) != 0 }
+
+// HammingDistance returns |b ⊕ o| (the sample estimate of the symmetric
+// difference measure between two ranges).
+func (b Bitset) HammingDistance(o Bitset) int {
+	d := 0
+	for w := range b.words {
+		d += popcount(b.words[w] ^ o.words[w])
+	}
+	return d
+}
+
+func popcount(x uint64) int {
+	// math/bits would do; hand-rolled to keep the package dependency-free
+	// beyond geom (and because SWAR popcount is three lines).
+	x = x - (x>>1)&0x5555555555555555
+	x = x&0x3333333333333333 + (x>>2)&0x3333333333333333
+	x = (x + x>>4) & 0x0f0f0f0f0f0f0f0f
+	return int(x * 0x0101010101010101 >> 56)
+}
+
+// CrossingCounts returns, for each sample point, the number of consecutive
+// pairs of the ordering it crosses: I_x = Σᵢ 1(x ∈ Rᵢ ⊕ Rᵢ₊₁).
+func CrossingCounts(incidence []Bitset, order []int, nPoints int) []int {
+	counts := make([]int, nPoints)
+	for i := 0; i+1 < len(order); i++ {
+		a := incidence[order[i]]
+		b := incidence[order[i+1]]
+		for w := range a.words {
+			diff := a.words[w] ^ b.words[w]
+			for diff != 0 {
+				bit := diff & (-diff)
+				j := w*64 + trailingZeros(bit)
+				if j < nPoints {
+					counts[j]++
+				}
+				diff ^= bit
+			}
+		}
+	}
+	return counts
+}
+
+func trailingZeros(x uint64) int {
+	n := 0
+	for x&1 == 0 {
+		x >>= 1
+		n++
+	}
+	return n
+}
+
+// MaxAndMean summarizes crossing counts.
+func MaxAndMean(counts []int) (maxC int, meanC float64) {
+	total := 0
+	for _, c := range counts {
+		total += c
+		if c > maxC {
+			maxC = c
+		}
+	}
+	if len(counts) > 0 {
+		meanC = float64(total) / float64(len(counts))
+	}
+	return maxC, meanC
+}
+
+// GreedyOrder builds an ordering by nearest-neighbor chaining in Hamming
+// distance: start from range 0 and repeatedly append the unused range with
+// the smallest symmetric difference to the current tail. O(k²·n/64).
+func GreedyOrder(incidence []Bitset) []int {
+	k := len(incidence)
+	if k == 0 {
+		return nil
+	}
+	used := make([]bool, k)
+	order := make([]int, 0, k)
+	cur := 0
+	used[0] = true
+	order = append(order, 0)
+	for len(order) < k {
+		best := -1
+		bestD := math.MaxInt
+		for j := 0; j < k; j++ {
+			if used[j] {
+				continue
+			}
+			if d := incidence[cur].HammingDistance(incidence[j]); d < bestD {
+				bestD, best = d, j
+			}
+		}
+		used[best] = true
+		order = append(order, best)
+		cur = best
+	}
+	return order
+}
+
+// IdentityOrder returns 0..k−1, the "as generated" (effectively random)
+// baseline ordering.
+func IdentityOrder(k int) []int {
+	order := make([]int, k)
+	for i := range order {
+		order[i] = i
+	}
+	return order
+}
+
+// TheoryBound evaluates the Chazelle–Welzl envelope c·k^{1−1/λ}·log k with
+// unit constant, for comparison columns in the experiment output.
+func TheoryBound(k, lambda int) float64 {
+	if k < 2 {
+		return 0
+	}
+	fk := float64(k)
+	return math.Pow(fk, 1-1/float64(lambda)) * math.Log(fk)
+}

@@ -1,0 +1,174 @@
+package crossing
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/rng"
+)
+
+func randomBoxes(r *rng.RNG, k int) []geom.Range {
+	out := make([]geom.Range, k)
+	for i := range out {
+		c := geom.Point{r.Float64(), r.Float64()}
+		s := []float64{0.2 + 0.5*r.Float64(), 0.2 + 0.5*r.Float64()}
+		out[i] = geom.BoxFromCenter(c, s)
+	}
+	return out
+}
+
+func randomPoints(r *rng.RNG, n int) []geom.Point {
+	out := make([]geom.Point, n)
+	for i := range out {
+		out[i] = geom.Point{r.Float64(), r.Float64()}
+	}
+	return out
+}
+
+func TestBitsetBasics(t *testing.T) {
+	b := NewBitset(130)
+	b.Set(0)
+	b.Set(64)
+	b.Set(129)
+	for _, i := range []int{0, 64, 129} {
+		if !b.Get(i) {
+			t.Fatalf("bit %d not set", i)
+		}
+	}
+	if b.Get(1) || b.Get(128) {
+		t.Fatal("unexpected bit set")
+	}
+	o := NewBitset(130)
+	o.Set(0)
+	o.Set(65)
+	if d := b.HammingDistance(o); d != 3 {
+		t.Fatalf("hamming distance = %d, want 3", d)
+	}
+}
+
+func TestPopcount(t *testing.T) {
+	cases := map[uint64]int{
+		0: 0, 1: 1, 3: 2, 0xFF: 8, 0xFFFFFFFFFFFFFFFF: 64, 1 << 63: 1,
+	}
+	for x, want := range cases {
+		if got := popcount(x); got != want {
+			t.Fatalf("popcount(%x) = %d, want %d", x, got, want)
+		}
+	}
+}
+
+func TestIncidenceMatrix(t *testing.T) {
+	ranges := []geom.Range{
+		geom.NewBox(geom.Point{0, 0}, geom.Point{0.5, 1}),
+		geom.NewBox(geom.Point{0.5, 0}, geom.Point{1, 1}),
+	}
+	pts := []geom.Point{{0.25, 0.5}, {0.75, 0.5}}
+	inc := IncidenceMatrix(ranges, pts)
+	if !inc[0].Get(0) || inc[0].Get(1) {
+		t.Fatal("left-box incidence wrong")
+	}
+	if inc[1].Get(0) || !inc[1].Get(1) {
+		t.Fatal("right-box incidence wrong")
+	}
+}
+
+func TestCrossingCountsManual(t *testing.T) {
+	// Three boxes sweeping right; x sits in box 0 and 1 but not 2.
+	ranges := []geom.Range{
+		geom.NewBox(geom.Point{0.0, 0}, geom.Point{0.4, 1}),
+		geom.NewBox(geom.Point{0.2, 0}, geom.Point{0.6, 1}),
+		geom.NewBox(geom.Point{0.5, 0}, geom.Point{0.9, 1}),
+	}
+	pts := []geom.Point{{0.3, 0.5}}
+	inc := IncidenceMatrix(ranges, pts)
+	counts := CrossingCounts(inc, []int{0, 1, 2}, 1)
+	// x ∈ R0⊕R1? x in both → no. x ∈ R1⊕R2? in R1 only → yes. I_x = 1.
+	if counts[0] != 1 {
+		t.Fatalf("I_x = %d, want 1", counts[0])
+	}
+	// Reversed order gives the same count (symmetric pairs).
+	counts2 := CrossingCounts(inc, []int{2, 1, 0}, 1)
+	if counts2[0] != 1 {
+		t.Fatalf("reversed I_x = %d, want 1", counts2[0])
+	}
+}
+
+// The greedy ordering must produce a permutation and never increase the
+// total crossing mass relative to what its own chaining guarantees; on
+// structured range families it beats the identity ordering.
+func TestGreedyOrderIsPermutation(t *testing.T) {
+	r := rng.New(3)
+	ranges := randomBoxes(r, 40)
+	pts := randomPoints(r, 500)
+	inc := IncidenceMatrix(ranges, pts)
+	order := GreedyOrder(inc)
+	seen := make([]bool, len(ranges))
+	for _, i := range order {
+		if seen[i] {
+			t.Fatalf("duplicate index %d in order", i)
+		}
+		seen[i] = true
+	}
+	if len(order) != len(ranges) {
+		t.Fatalf("order length %d", len(order))
+	}
+}
+
+func TestGreedyBeatsIdentityOnAverage(t *testing.T) {
+	r := rng.New(7)
+	var greedyTotal, identityTotal float64
+	for trial := 0; trial < 10; trial++ {
+		ranges := randomBoxes(r, 60)
+		pts := randomPoints(r, 400)
+		inc := IncidenceMatrix(ranges, pts)
+		_, meanG := MaxAndMean(CrossingCounts(inc, GreedyOrder(inc), len(pts)))
+		_, meanI := MaxAndMean(CrossingCounts(inc, IdentityOrder(len(ranges)), len(pts)))
+		greedyTotal += meanG
+		identityTotal += meanI
+	}
+	if greedyTotal >= identityTotal {
+		t.Fatalf("greedy ordering (%v) not better than identity (%v)", greedyTotal, identityTotal)
+	}
+}
+
+// Lemma 2.4's scaling: the greedy ordering's max crossing number grows
+// sublinearly in k (for boxes, λ = 4 → ~k^{3/4} log k), while the identity
+// ordering grows linearly. Check the ratio max/k shrinks as k doubles.
+func TestSublinearCrossingGrowth(t *testing.T) {
+	r := rng.New(11)
+	pts := randomPoints(r, 600)
+	ratioAt := func(k int) float64 {
+		ranges := randomBoxes(r, k)
+		inc := IncidenceMatrix(ranges, pts)
+		maxC, _ := MaxAndMean(CrossingCounts(inc, GreedyOrder(inc), len(pts)))
+		return float64(maxC) / float64(k)
+	}
+	small := ratioAt(40)
+	large := ratioAt(320)
+	if large >= small {
+		t.Fatalf("crossing ratio did not shrink: k=40 → %v, k=320 → %v", small, large)
+	}
+}
+
+func TestTheoryBound(t *testing.T) {
+	if TheoryBound(1, 4) != 0 {
+		t.Fatal("k=1 bound nonzero")
+	}
+	// Monotone in k, sublinear relative growth.
+	if TheoryBound(100, 4) <= TheoryBound(10, 4) {
+		t.Fatal("bound not increasing in k")
+	}
+	if TheoryBound(1000, 4)/1000 >= TheoryBound(100, 4)/100 {
+		t.Fatal("bound not sublinear")
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	if GreedyOrder(nil) != nil {
+		t.Fatal("empty greedy order not nil")
+	}
+	maxC, meanC := MaxAndMean(nil)
+	if maxC != 0 || meanC != 0 {
+		t.Fatal("empty summary nonzero")
+	}
+}

@@ -1,0 +1,103 @@
+package crossing
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: Hamming distance is a metric on bitsets — symmetric,
+// zero-diagonal, triangle inequality.
+func TestHammingDistanceIsMetric(t *testing.T) {
+	mk := func(bits []bool) Bitset {
+		b := NewBitset(len(bits))
+		for i, v := range bits {
+			if v {
+				b.Set(i)
+			}
+		}
+		return b
+	}
+	f := func(xs, ys, zs [64]bool) bool {
+		a := mk(xs[:])
+		b := mk(ys[:])
+		c := mk(zs[:])
+		dab := a.HammingDistance(b)
+		dba := b.HammingDistance(a)
+		if dab != dba {
+			return false
+		}
+		if a.HammingDistance(a) != 0 {
+			return false
+		}
+		dac := a.HammingDistance(c)
+		dcb := c.HammingDistance(b)
+		return dab <= dac+dcb
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: set bits are exactly those reported by Get, and the Hamming
+// distance equals the number of positions where the inputs differ.
+func TestBitsetSetGetHamming(t *testing.T) {
+	f := func(xs, ys [100]bool) bool {
+		a := NewBitset(100)
+		b := NewBitset(100)
+		want := 0
+		for i := 0; i < 100; i++ {
+			if xs[i] {
+				a.Set(i)
+			}
+			if ys[i] {
+				b.Set(i)
+			}
+			if xs[i] != ys[i] {
+				want++
+			}
+		}
+		for i := 0; i < 100; i++ {
+			if a.Get(i) != xs[i] || b.Get(i) != ys[i] {
+				return false
+			}
+		}
+		return a.HammingDistance(b) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: total crossing mass Σ_x I_x equals the sum of pairwise
+// symmetric-difference sizes along the ordering, for any ordering.
+func TestCrossingMassConservation(t *testing.T) {
+	f := func(rows [6][32]bool, seed uint8) bool {
+		inc := make([]Bitset, 6)
+		for i := range inc {
+			b := NewBitset(32)
+			for j, v := range rows[i] {
+				if v {
+					b.Set(j)
+				}
+			}
+			inc[i] = b
+		}
+		order := IdentityOrder(6)
+		// Rotate by seed for variety of orderings.
+		r := int(seed) % 6
+		order = append(order[r:], order[:r]...)
+		counts := CrossingCounts(inc, order, 32)
+		total := 0
+		for _, c := range counts {
+			total += c
+		}
+		want := 0
+		for i := 0; i+1 < len(order); i++ {
+			want += inc[order[i]].HammingDistance(inc[order[i+1]])
+		}
+		return total == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,227 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestSchemas(t *testing.T) {
+	cases := []struct {
+		ds          *Dataset
+		wantDim     int
+		wantCat     int
+		wantName    string
+		wantDefault int
+	}{
+		{Power(100, 1), 7, 0, "power", DefaultPowerSize},
+		{Forest(100, 1), 10, 0, "forest", DefaultForestSize},
+		{Census(100, 1), 13, 8, "census", DefaultCensusSize},
+		{DMV(100, 1), 11, 10, "dmv", DefaultDMVSize},
+	}
+	for _, c := range cases {
+		if c.ds.Dim() != c.wantDim {
+			t.Fatalf("%s: dim %d, want %d", c.ds.Name, c.ds.Dim(), c.wantDim)
+		}
+		cat := 0
+		for _, col := range c.ds.Cols {
+			if col.Categorical {
+				cat++
+				if col.Cardinality < 2 {
+					t.Fatalf("%s: categorical column %s with cardinality %d", c.ds.Name, col.Name, col.Cardinality)
+				}
+			}
+		}
+		if cat != c.wantCat {
+			t.Fatalf("%s: %d categorical columns, want %d", c.ds.Name, cat, c.wantCat)
+		}
+		if c.ds.Len() != 100 {
+			t.Fatalf("%s: %d tuples, want 100", c.ds.Name, c.ds.Len())
+		}
+	}
+}
+
+func TestPointsInUnitCube(t *testing.T) {
+	for _, name := range []string{"power", "forest", "census", "dmv"} {
+		ds := ByName(name, 2000, 7)
+		for _, p := range ds.Points {
+			if !p.InUnitCube() {
+				t.Fatalf("%s: point %v outside unit cube", name, p)
+			}
+		}
+	}
+}
+
+func TestDeterministicGeneration(t *testing.T) {
+	a := Power(500, 42)
+	b := Power(500, 42)
+	for i := range a.Points {
+		for j := range a.Points[i] {
+			if a.Points[i][j] != b.Points[i][j] {
+				t.Fatalf("generation not deterministic at tuple %d dim %d", i, j)
+			}
+		}
+	}
+	c := Power(500, 43)
+	same := true
+	for i := range a.Points {
+		if a.Points[i][0] != c.Points[i][0] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestPowerSkew(t *testing.T) {
+	// Power data concentrates in the low-load region (paper Figure 7:
+	// mass in the lower half).
+	ds := Power(20000, 1)
+	low := 0
+	for _, p := range ds.Points {
+		if p[0] < 0.5 {
+			low++
+		}
+	}
+	frac := float64(low) / float64(ds.Len())
+	if frac < 0.75 {
+		t.Fatalf("power active-power lower-half fraction = %v, want ≥ 0.75 (skewed)", frac)
+	}
+}
+
+func TestPowerCorrelation(t *testing.T) {
+	// Active power and intensity are nearly proportional.
+	ds := Power(20000, 2)
+	if r := pearson(ds, 0, 3); r < 0.8 {
+		t.Fatalf("power/intensity correlation = %v, want ≥ 0.8", r)
+	}
+	// Voltage anti-correlates with load.
+	if r := pearson(ds, 0, 2); r > -0.2 {
+		t.Fatalf("power/voltage correlation = %v, want ≤ −0.2", r)
+	}
+}
+
+func TestCensusSpikes(t *testing.T) {
+	ds := Census(20000, 3)
+	zeroGain := 0
+	hours40 := 0
+	for _, p := range ds.Points {
+		if p[10] < 0.01 {
+			zeroGain++
+		}
+		if math.Abs(p[11]-0.40) < 0.02 {
+			hours40++
+		}
+	}
+	if f := float64(zeroGain) / float64(ds.Len()); f < 0.85 {
+		t.Fatalf("capital-gain zero spike = %v, want ≥ 0.85", f)
+	}
+	if f := float64(hours40) / float64(ds.Len()); f < 0.35 {
+		t.Fatalf("hours=40 spike = %v, want ≥ 0.35", f)
+	}
+}
+
+func TestDMVZipfMarginal(t *testing.T) {
+	// The top state category should strongly dominate (NY plates).
+	ds := DMV(20000, 4)
+	counts := make([]int, 12)
+	for _, p := range ds.Points {
+		k := int(p[3] * 12)
+		if k >= 12 {
+			k = 11
+		}
+		counts[k]++
+	}
+	if f := float64(counts[0]) / float64(ds.Len()); f < 0.5 {
+		t.Fatalf("dominant state fraction = %v, want ≥ 0.5 (Zipf s=3)", f)
+	}
+}
+
+func TestProject(t *testing.T) {
+	ds := Census(100, 5)
+	proj := ds.Project([]int{0, 3, 11})
+	if proj.Dim() != 3 || proj.Len() != 100 {
+		t.Fatalf("projection shape %dx%d", proj.Len(), proj.Dim())
+	}
+	if !proj.Cols[1].Categorical || proj.Cols[1].Cardinality != 16 {
+		t.Fatalf("projection lost column metadata: %+v", proj.Cols[1])
+	}
+	for i, p := range proj.Points {
+		if p[0] != ds.Points[i][0] || p[1] != ds.Points[i][3] || p[2] != ds.Points[i][11] {
+			t.Fatalf("projection corrupted tuple %d", i)
+		}
+	}
+}
+
+func TestRandomProjection(t *testing.T) {
+	ds := Forest(50, 6)
+	r := rng.New(9)
+	proj := ds.RandomProjection(4, r)
+	if proj.Dim() != 4 {
+		t.Fatalf("random projection dim %d", proj.Dim())
+	}
+}
+
+func TestNumericProjection(t *testing.T) {
+	ds := Census(50, 7)
+	proj := ds.NumericProjection(3)
+	for _, c := range proj.Cols {
+		if c.Categorical {
+			t.Fatalf("numeric projection contains categorical column %s", c.Name)
+		}
+	}
+}
+
+func TestCatValueStaysInBand(t *testing.T) {
+	r := rng.New(10)
+	for trial := 0; trial < 1000; trial++ {
+		m := 2 + r.IntN(40)
+		k := r.IntN(m)
+		v := catValue(k, m, r)
+		if v < float64(k)/float64(m) || v >= float64(k+1)/float64(m) {
+			t.Fatalf("catValue(%d,%d) = %v escapes band", k, m, v)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := rng.New(11)
+	counts := make([]int, 10)
+	for i := 0; i < 20000; i++ {
+		counts[zipf(r, 10, 1.5)]++
+	}
+	if counts[0] <= counts[9] {
+		t.Fatal("zipf head not heavier than tail")
+	}
+	if counts[0] < 3*counts[4] {
+		t.Fatalf("zipf insufficiently skewed: %v", counts)
+	}
+}
+
+func TestByNameUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ByName with unknown name did not panic")
+		}
+	}()
+	ByName("nope", 10, 1)
+}
+
+func pearson(ds *Dataset, i, j int) float64 {
+	n := float64(ds.Len())
+	var si, sj, sii, sjj, sij float64
+	for _, p := range ds.Points {
+		si += p[i]
+		sj += p[j]
+		sii += p[i] * p[i]
+		sjj += p[j] * p[j]
+		sij += p[i] * p[j]
+	}
+	cov := sij/n - si/n*sj/n
+	vi := sii/n - si/n*si/n
+	vj := sjj/n - sj/n*sj/n
+	return cov / math.Sqrt(vi*vj)
+}

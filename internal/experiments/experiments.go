@@ -1,0 +1,270 @@
+// Package experiments contains one runner per table and figure of the
+// paper's evaluation (Section 4 and Appendix B). Each runner synthesizes
+// the dataset and workload the paper used (via the documented
+// substitutions), trains the compared methods, and emits the same rows or
+// series the paper reports, as plain-text tables.
+//
+// The runners are exposed through a registry keyed by experiment id
+// (fig9, fig11, table1, …) used by cmd/selbench and by the benchmark
+// harness at the repository root.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/hist"
+	"repro/internal/isomer"
+	"repro/internal/metrics"
+	"repro/internal/ptshist"
+	"repro/internal/quicksel"
+	"repro/internal/workload"
+)
+
+// Config scales an experiment run. The paper's exact sizes are the Full
+// preset; Default trades the largest training sizes for wall-clock sanity;
+// Quick is the preset used by `go test -bench`.
+type Config struct {
+	// Seed drives every random choice in the run.
+	Seed uint64
+	// TrainSizes is the training-set sweep (paper: 50..2000).
+	TrainSizes []int
+	// TestQueries is the held-out test-set size.
+	TestQueries int
+	// DataSize is the synthetic dataset size (0 = per-dataset default).
+	DataSize int
+	// BucketMultiplier is the model-complexity convention (paper: 4×).
+	BucketMultiplier int
+	// IsomerMaxTrain mirrors the paper's cutoff: ISOMER rows with more
+	// training queries than this print "-" ("could not finish training
+	// in 30 minutes with 500 training queries").
+	IsomerMaxTrain int
+	// IsomerBudget bounds each ISOMER training run.
+	IsomerBudget time.Duration
+	// Dims is the dimensionality sweep of Figs 17–23.
+	Dims []int
+	// Fig9Buckets is the model-complexity sweep of Fig 9.
+	Fig9Buckets []int
+}
+
+// Full reproduces the paper's exact sweep sizes.
+func Full() Config {
+	return Config{
+		Seed:             1,
+		TrainSizes:       []int{50, 200, 500, 1000, 2000},
+		TestQueries:      500,
+		BucketMultiplier: 4,
+		IsomerMaxTrain:   200,
+		IsomerBudget:     5 * time.Minute,
+		Dims:             []int{2, 4, 6, 8, 10},
+		Fig9Buckets:      []int{10, 50, 100, 500, 1000, 5000, 10000},
+	}
+}
+
+// Default is Full with the heaviest tail trimmed for interactive use.
+func Default() Config {
+	c := Full()
+	c.TrainSizes = []int{50, 200, 500, 1000}
+	c.DataSize = 20000
+	c.IsomerBudget = time.Minute
+	c.Fig9Buckets = []int{10, 50, 100, 500, 1000, 5000}
+	return c
+}
+
+// Quick is the preset for tests and testing.B benchmarks.
+func Quick() Config {
+	return Config{
+		Seed:             1,
+		TrainSizes:       []int{50, 100, 200, 400},
+		TestQueries:      250,
+		DataSize:         8000,
+		BucketMultiplier: 4,
+		IsomerMaxTrain:   100,
+		IsomerBudget:     20 * time.Second,
+		Dims:             []int{2, 4, 6, 8, 10},
+		Fig9Buckets:      []int{10, 50, 100, 500, 1000},
+	}
+}
+
+// Preset resolves a preset by name: quick, default, full.
+func Preset(name string) (Config, error) {
+	switch name {
+	case "quick":
+		return Quick(), nil
+	case "default", "":
+		return Default(), nil
+	case "full":
+		return Full(), nil
+	}
+	return Config{}, fmt.Errorf("experiments: unknown preset %q", name)
+}
+
+// Result is one rendered table or figure series.
+type Result struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Render writes the result as an aligned text table.
+func (r *Result) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", r.ID, r.Title)
+	widths := make([]int, len(r.Header))
+	for j, h := range r.Header {
+		widths[j] = len(h)
+	}
+	for _, row := range r.Rows {
+		for j, cell := range row {
+			if j < len(widths) && len(cell) > widths[j] {
+				widths[j] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for j, cell := range cells {
+			if j < len(widths) {
+				parts[j] = fmt.Sprintf("%-*s", widths[j], cell)
+			} else {
+				parts[j] = cell
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(r.Header)
+	for _, row := range r.Rows {
+		line(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// Runner executes one experiment under a config.
+type Runner func(cfg Config) []*Result
+
+// registry maps experiment ids to runners; populated in init() blocks of
+// the per-figure files.
+var registry = map[string]Runner{}
+
+// Register adds a runner (called from init functions).
+func Register(id string, r Runner) {
+	if _, dup := registry[id]; dup {
+		panic("experiments: duplicate id " + id)
+	}
+	registry[id] = r
+}
+
+// Run executes the experiment with the given id.
+func Run(id string, cfg Config) ([]*Result, error) {
+	r, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have: %s)",
+			id, strings.Join(IDs(), ", "))
+	}
+	return r(cfg), nil
+}
+
+// IDs lists the registered experiment ids in sorted order.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// --- shared method plumbing ------------------------------------------------
+
+// methodRun is the outcome of training+evaluating one method at one sweep
+// point.
+type methodRun struct {
+	Name    string
+	Buckets int
+	TrainS  float64 // training wall-clock seconds
+	RMS     float64
+	QErr    metrics.QErrorSummary
+	OK      bool
+	Est     []float64
+}
+
+// newGenerator builds the dataset projection and workload generator for a
+// named dataset, projected to dim attributes (numeric-first projection for
+// non-box query classes, where categorical bands make no sense).
+func newGenerator(cfg Config, dsName string, dim int, class workload.Class) *workload.Generator {
+	ds := dataset.ByName(dsName, cfg.DataSize, cfg.Seed)
+	var proj *dataset.Dataset
+	if class == workload.OrthogonalRange {
+		// The paper projects onto a random attribute subset; we use the
+		// first dim attributes for reproducibility across runs.
+		dims := make([]int, dim)
+		for i := range dims {
+			dims[i] = i
+		}
+		proj = ds.Project(dims)
+	} else {
+		proj = ds.NumericProjection(dim)
+	}
+	return workload.NewGenerator(proj, cfg.Seed+uint64(dim)*1009)
+}
+
+// trainEval trains one method and evaluates it on the test set.
+func trainEval(tr core.Trainer, train, test []core.LabeledQuery, minSel float64) methodRun {
+	start := time.Now()
+	m, err := tr.Train(train)
+	elapsed := time.Since(start).Seconds()
+	if err != nil {
+		return methodRun{Name: tr.Name(), TrainS: elapsed}
+	}
+	est := core.Estimates(m, test)
+	truth := workload.Truths(test)
+	return methodRun{
+		Name:    tr.Name(),
+		Buckets: m.NumBuckets(),
+		TrainS:  elapsed,
+		RMS:     metrics.RMS(est, truth),
+		QErr:    metrics.SummarizeQErrors(est, truth, minSel),
+		OK:      true,
+		Est:     est,
+	}
+}
+
+// standardTrainers returns the paper's compared methods for dimension dim
+// and training size n under the 4× bucket convention. includeIsomer is
+// false beyond the ISOMER cutoff.
+func standardTrainers(cfg Config, dim, n int, includeIsomer bool) []core.Trainer {
+	k := cfg.BucketMultiplier * n
+	ts := []core.Trainer{}
+	if includeIsomer && n <= cfg.IsomerMaxTrain {
+		ts = append(ts, &isomer.Trainer{Dim: dim, Opts: isomer.Options{Budget: cfg.IsomerBudget}})
+	}
+	ts = append(ts,
+		quicksel.New(dim, cfg.Seed+7),
+		hist.New(dim, k),
+		ptshist.New(dim, k, cfg.Seed+13),
+	)
+	return ts
+}
+
+// estimateAll evaluates a model on every sample.
+func estimateAll(m core.Model, samples []core.LabeledQuery) []float64 {
+	return core.Estimates(m, samples)
+}
+
+// fmtF renders a float compactly for table cells.
+func fmtF(v float64) string { return fmt.Sprintf("%.4g", v) }
+
+// fmtSecs renders seconds.
+func fmtSecs(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+// dash is the paper's marker for cut-off rows.
+const dash = "-"

@@ -1,0 +1,320 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// smoke returns a tiny configuration that exercises every code path of the
+// runners in seconds.
+func smoke() Config {
+	return Config{
+		Seed:             1,
+		TrainSizes:       []int{20, 40},
+		TestQueries:      60,
+		DataSize:         2000,
+		BucketMultiplier: 4,
+		IsomerMaxTrain:   20,
+		IsomerBudget:     20 * time.Second,
+		Dims:             []int{2, 3},
+		Fig9Buckets:      []int{10, 40},
+	}
+}
+
+func TestPresets(t *testing.T) {
+	for _, name := range []string{"quick", "default", "full", ""} {
+		cfg, err := Preset(name)
+		if err != nil {
+			t.Fatalf("preset %q: %v", name, err)
+		}
+		if len(cfg.TrainSizes) == 0 || cfg.TestQueries == 0 || cfg.BucketMultiplier == 0 {
+			t.Fatalf("preset %q incomplete: %+v", name, cfg)
+		}
+	}
+	if _, err := Preset("bogus"); err == nil {
+		t.Fatal("bogus preset accepted")
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	// Every table and figure of the paper must have a registered runner.
+	want := []string{
+		"fig9", "fig10_12", "fig13", "fig14", "fig15", "fig16",
+		"fig17", "fig18_19", "fig20_21", "fig22_23", "fig24_29",
+		"table1", "table3", "table4", "table5",
+		"figB_forest_dd", "figB_forest_rnd", "figB_forest_gauss",
+	}
+	have := map[string]bool{}
+	for _, id := range IDs() {
+		have[id] = true
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Fatalf("experiment %s not registered", id)
+		}
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if _, err := Run("nope", smoke()); err == nil {
+		t.Fatal("unknown experiment id accepted")
+	}
+}
+
+// runAndCheck executes an experiment and validates basic result structure.
+func runAndCheck(t *testing.T, id string, minRows int) []*Result {
+	t.Helper()
+	results, err := Run(id, smoke())
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	if len(results) == 0 {
+		t.Fatalf("%s: no results", id)
+	}
+	for _, r := range results {
+		if len(r.Rows) < minRows {
+			t.Fatalf("%s/%s: only %d rows", id, r.ID, len(r.Rows))
+		}
+		for _, row := range r.Rows {
+			if len(row) != len(r.Header) {
+				t.Fatalf("%s/%s: ragged row %v vs header %v", id, r.ID, row, r.Header)
+			}
+		}
+		var buf bytes.Buffer
+		r.Render(&buf)
+		if !strings.Contains(buf.String(), r.ID) {
+			t.Fatalf("%s: render missing id", id)
+		}
+	}
+	return results
+}
+
+func TestFig9Smoke(t *testing.T) {
+	results := runAndCheck(t, "fig9", 4)
+	// Error should broadly decrease from the smallest model/training to
+	// the largest.
+	rows := results[0].Rows
+	first := parseF(t, rows[0][2])
+	last := parseF(t, rows[len(rows)-1][2])
+	if last >= first {
+		t.Logf("warning: fig9 last rms %v !< first %v (tiny smoke config)", last, first)
+	}
+}
+
+func TestFig10to12Smoke(t *testing.T) {
+	results := runAndCheck(t, "fig10_12", 4)
+	if len(results) != 3 {
+		t.Fatalf("fig10_12 produced %d results, want 3", len(results))
+	}
+	// Bucket table must include an Isomer row with a large bucket count
+	// at the small size and dash rows at the large size.
+	foundIsomer, foundDash := false, false
+	for _, row := range results[0].Rows {
+		if row[1] == "Isomer" {
+			if row[2] == dash {
+				foundDash = true
+			} else {
+				foundIsomer = true
+			}
+		}
+	}
+	if !foundIsomer || !foundDash {
+		t.Fatalf("isomer rows: trained=%v cutoff-dash=%v", foundIsomer, foundDash)
+	}
+}
+
+func TestFig13to15Smoke(t *testing.T) {
+	runAndCheck(t, "fig13", 4)
+	runAndCheck(t, "fig14", 4)
+	runAndCheck(t, "fig15", 4)
+}
+
+func TestFig16Smoke(t *testing.T) {
+	results := runAndCheck(t, "fig16", 6)
+	r := results[0]
+	if len(r.Header) != 7 { // test\train + 6 means
+		t.Fatalf("fig16 header %v", r.Header)
+	}
+}
+
+func TestFig17Smoke(t *testing.T) {
+	results := runAndCheck(t, "fig17", 4)
+	// Rows exist for every (dim, n) pair.
+	if len(results[0].Rows) != len(smoke().Dims)*len(smoke().TrainSizes) {
+		t.Fatalf("fig17 rows = %d", len(results[0].Rows))
+	}
+}
+
+func TestFig18to19Smoke(t *testing.T) {
+	results := runAndCheck(t, "fig18_19", 4)
+	if len(results) != 2 {
+		t.Fatalf("fig18_19 produced %d results", len(results))
+	}
+}
+
+func TestFig20to23Smoke(t *testing.T) {
+	runAndCheck(t, "fig20_21", 4)
+	runAndCheck(t, "fig22_23", 4)
+}
+
+func TestFig24to29Smoke(t *testing.T) {
+	results := runAndCheck(t, "fig24_29", 4)
+	r := results[0]
+	// Both objectives present.
+	var l2, linf bool
+	for _, row := range r.Rows {
+		switch row[0] {
+		case "L2":
+			l2 = true
+		case "Linf":
+			linf = true
+		}
+	}
+	if !l2 || !linf {
+		t.Fatalf("objectives present: L2=%v Linf=%v", l2, linf)
+	}
+}
+
+func TestTable1Smoke(t *testing.T) {
+	results := runAndCheck(t, "table1", 8)
+	// Must include the non-empty random block.
+	found := false
+	for _, row := range results[0].Rows {
+		if row[0] == "random-nonempty" {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("table1 missing random-nonempty block")
+	}
+}
+
+func TestTables3to5Smoke(t *testing.T) {
+	runAndCheck(t, "table3", 8)
+	runAndCheck(t, "table4", 4)
+	runAndCheck(t, "table5", 4)
+}
+
+func TestForestAppendixSmoke(t *testing.T) {
+	runAndCheck(t, "figB_forest_dd", 4)
+}
+
+func parseF(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return v
+}
+
+func TestExtensionExperiments(t *testing.T) {
+	runAndCheck(t, "ext_disc", 2)
+	results := runAndCheck(t, "ext_gmm", 4)
+	var sawGMM bool
+	for _, row := range results[0].Rows {
+		if row[1] == "GaussMix" {
+			sawGMM = true
+		}
+	}
+	if !sawGMM {
+		t.Fatal("ext_gmm missing GaussMix rows")
+	}
+}
+
+func TestOptimizerExperiment(t *testing.T) {
+	results := runAndCheck(t, "ext_optimizer", 6)
+	rows := results[0].Rows
+	if rows[0][1] != "uniformity" || rows[1][1] != "oracle" {
+		t.Fatalf("baseline rows missing: %v %v", rows[0], rows[1])
+	}
+	if parseF(t, rows[1][3]) != 0 {
+		t.Fatalf("oracle regret = %v", rows[1][3])
+	}
+}
+
+func TestSemiAlgExperiment(t *testing.T) {
+	runAndCheck(t, "ext_semialg", 2)
+}
+
+func TestNoiseExperiment(t *testing.T) {
+	results := runAndCheck(t, "ext_noise", 3)
+	rows := results[0].Rows
+	clean := parseF(t, rows[0][2])
+	noisiest := parseF(t, rows[len(rows)-1][2])
+	if noisiest <= clean {
+		t.Fatalf("noise did not increase test error: %v vs %v", noisiest, clean)
+	}
+	if noisiest > 0.2 {
+		t.Fatalf("noise collapsed the model: test rms %v", noisiest)
+	}
+}
+
+func TestPredTimeExperiment(t *testing.T) {
+	results := runAndCheck(t, "ext_predtime", 1)
+	for _, row := range results[0].Rows {
+		if parseF(t, row[1]) <= 0 || parseF(t, row[2]) <= 0 {
+			t.Fatalf("non-positive latency row %v", row)
+		}
+	}
+}
+
+func TestCrossingExperiment(t *testing.T) {
+	results := runAndCheck(t, "ext_crossing", 3)
+	rows := results[0].Rows
+	// Greedy ≤ identity at the largest k, and sublinear growth overall.
+	last := rows[len(rows)-1]
+	if parseF(t, last[2]) > parseF(t, last[1]) {
+		t.Fatalf("greedy ordering worse than identity at k=%s: %v > %v", last[0], last[2], last[1])
+	}
+}
+
+func TestTheoryExperiment(t *testing.T) {
+	results := runAndCheck(t, "ext_theory", 2)
+	rows := results[0].Rows
+	for _, row := range rows {
+		or := parseF(t, row[1])
+		hs := parseF(t, row[2])
+		if hs >= or {
+			t.Fatalf("halfspace complexity %v not below orthogonal %v at d=%s", hs, or, row[0])
+		}
+	}
+}
+
+func TestDMVCensusAppendixPanels(t *testing.T) {
+	for _, id := range []string{"figB_dmv", "figB_census"} {
+		results := runAndCheck(t, id, 4)
+		if len(results) != 3 {
+			t.Fatalf("%s produced %d results, want 3", id, len(results))
+		}
+	}
+}
+
+// Render produces aligned columns: every row line has the header's column
+// positions (golden-format check).
+func TestRenderAlignment(t *testing.T) {
+	r := &Result{
+		ID:     "golden",
+		Title:  "alignment check",
+		Header: []string{"a", "long_column", "c"},
+		Rows: [][]string{
+			{"1", "x", "0.5"},
+			{"22", "yyyy", "0.25"},
+		},
+		Notes: []string{"note line"},
+	}
+	var buf bytes.Buffer
+	r.Render(&buf)
+	want := "== golden: alignment check ==\n" +
+		"a   long_column  c\n" +
+		"1   x            0.5\n" +
+		"22  yyyy         0.25\n" +
+		"note: note line\n\n"
+	if got := buf.String(); got != want {
+		t.Fatalf("render mismatch:\n got: %q\nwant: %q", got, want)
+	}
+}

@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/hist"
+	"repro/internal/metrics"
+	"repro/internal/ptshist"
+	"repro/internal/quicksel"
+	"repro/internal/workload"
+)
+
+func init() {
+	Register("fig17", fig17)
+	Register("fig18_19", fig18to19)
+	Register("fig20_21", func(cfg Config) []*Result {
+		return queryTypeSweep(cfg, workload.Halfspace, "fig20", "fig21")
+	})
+	Register("fig22_23", func(cfg Config) []*Result {
+		return queryTypeSweep(cfg, workload.Ball, "fig22", "fig23")
+	})
+}
+
+// fig17 reproduces Figure 17: PTSHIST RMS error vs training size, one
+// series per dimensionality, Forest Data-driven orthogonal ranges
+// (Section 4.4).
+func fig17(cfg Config) []*Result {
+	res := &Result{
+		ID:     "fig17",
+		Title:  "PtsHist RMS error vs training size across dimensions (Forest Data-driven)",
+		Header: []string{"dim", "train_n", "buckets", "rms"},
+	}
+	for _, d := range cfg.Dims {
+		g := newGenerator(cfg, "forest", d, workload.OrthogonalRange)
+		spec := workload.Spec{Class: workload.OrthogonalRange, Centers: workload.DataDriven}
+		test := g.Generate(spec, cfg.TestQueries)
+		truth := workload.Truths(test)
+		for _, n := range cfg.TrainSizes {
+			train := g.Generate(spec, n)
+			tr := ptshist.New(d, cfg.BucketMultiplier*n, cfg.Seed+13)
+			m, err := tr.TrainHist(train)
+			if err != nil {
+				res.Rows = append(res.Rows, []string{strconv.Itoa(d), strconv.Itoa(n), dash, dash})
+				continue
+			}
+			rms := metrics.RMS(core.Estimates(m, test), truth)
+			res.Rows = append(res.Rows, []string{
+				strconv.Itoa(d), strconv.Itoa(n), strconv.Itoa(m.NumBuckets()), fmtF(rms),
+			})
+		}
+	}
+	res.Notes = append(res.Notes,
+		"expected shape: error decreases with training size and flattens; higher dimension needs more queries for the same accuracy (Theorem 2.1's exponential d-dependence)")
+	return []*Result{res}
+}
+
+// fig18to19 reproduces Figures 18 and 19: RMS error and training time vs
+// dimensionality at a fixed training size for QuickSel, QuadHist and
+// PtsHist (Forest, Data-driven; ISOMER excluded as in the paper).
+func fig18to19(cfg Config) []*Result {
+	n := cfg.TrainSizes[len(cfg.TrainSizes)-1]
+	resR := &Result{
+		ID:     "fig18",
+		Title:  fmt.Sprintf("RMS error vs dimensions (Forest Data-driven, n=%d)", n),
+		Header: []string{"dim", "method", "rms"},
+	}
+	resT := &Result{
+		ID:     "fig19",
+		Title:  fmt.Sprintf("training time vs dimensions (Forest Data-driven, n=%d)", n),
+		Header: []string{"dim", "method", "seconds"},
+	}
+	for _, d := range cfg.Dims {
+		g := newGenerator(cfg, "forest", d, workload.OrthogonalRange)
+		spec := workload.Spec{Class: workload.OrthogonalRange, Centers: workload.DataDriven}
+		train, test := g.TrainTest(spec, n, cfg.TestQueries)
+		minSel := 1.0 / float64(g.Dataset().Len())
+		k := cfg.BucketMultiplier * n
+		trainers := []core.Trainer{
+			quicksel.New(d, cfg.Seed+7),
+			hist.New(d, k),
+			ptshist.New(d, k, cfg.Seed+13),
+		}
+		for _, tr := range trainers {
+			run := trainEval(tr, train, test, minSel)
+			if !run.OK {
+				resR.Rows = append(resR.Rows, []string{strconv.Itoa(d), run.Name, dash})
+				resT.Rows = append(resT.Rows, []string{strconv.Itoa(d), run.Name, dash})
+				continue
+			}
+			resR.Rows = append(resR.Rows, []string{strconv.Itoa(d), run.Name, fmtF(run.RMS)})
+			resT.Rows = append(resT.Rows, []string{strconv.Itoa(d), run.Name, fmtSecs(run.TrainS)})
+		}
+	}
+	resR.Notes = append(resR.Notes,
+		"expected shape: all methods degrade with d; accuracies comparable")
+	resT.Notes = append(resT.Notes,
+		"expected shape: PtsHist training scales best in high d (simpler buckets)")
+	return []*Result{resR, resT}
+}
+
+// queryTypeSweep reproduces Figures 20–23 (Section 4.5): halfspace or ball
+// queries on Forest, PTSHIST across dimensions plus QUADHIST at d=2 only
+// (its intersection computations make it too slow beyond, as in the paper).
+func queryTypeSweep(cfg Config, class workload.Class, idRMS, idTime string) []*Result {
+	resR := &Result{
+		ID:     idRMS,
+		Title:  fmt.Sprintf("RMS error vs training size, %s queries (Forest Data-driven)", class),
+		Header: []string{"dim", "method", "train_n", "rms"},
+	}
+	resT := &Result{
+		ID:     idTime,
+		Title:  fmt.Sprintf("training time vs training size, %s queries (Forest Data-driven)", class),
+		Header: []string{"dim", "method", "train_n", "seconds"},
+	}
+	for _, d := range cfg.Dims {
+		g := newGenerator(cfg, "forest", d, class)
+		spec := workload.Spec{Class: class, Centers: workload.DataDriven}
+		test := g.Generate(spec, cfg.TestQueries)
+		minSel := 1.0 / float64(g.Dataset().Len())
+		for _, n := range cfg.TrainSizes {
+			train := g.Generate(spec, n)
+			k := cfg.BucketMultiplier * n
+			trainers := []core.Trainer{ptshist.New(d, k, cfg.Seed+13)}
+			if d == 2 {
+				trainers = append(trainers, hist.New(d, k))
+			}
+			for _, tr := range trainers {
+				run := trainEval(tr, train, test, minSel)
+				if !run.OK {
+					resR.Rows = append(resR.Rows, []string{strconv.Itoa(d), run.Name, strconv.Itoa(n), dash})
+					resT.Rows = append(resT.Rows, []string{strconv.Itoa(d), run.Name, strconv.Itoa(n), dash})
+					continue
+				}
+				resR.Rows = append(resR.Rows, []string{strconv.Itoa(d), run.Name, strconv.Itoa(n), fmtF(run.RMS)})
+				resT.Rows = append(resT.Rows, []string{strconv.Itoa(d), run.Name, strconv.Itoa(n), fmtSecs(run.TrainS)})
+			}
+		}
+	}
+	resR.Notes = append(resR.Notes,
+		"expected shape: error decreases with training size; higher d needs more queries; QuadHist (d=2 only) more accurate than PtsHist in 2D")
+	resT.Notes = append(resT.Notes,
+		"expected shape: QuadHist slower than PtsHist in 2D; PtsHist stays scalable as d grows")
+	return []*Result{resR, resT}
+}

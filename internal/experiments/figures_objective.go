@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/hist"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+func init() {
+	Register("fig24_29", fig24to29)
+}
+
+// fig24to29 reproduces Figures 24–29 (Section 4.6): QUADHIST trained with
+// the L2 objective vs the L∞ objective, reporting train RMS, test RMS,
+// train L∞ and test L∞ across model complexities — six panels collapsed
+// into one table with the objective as a column.
+func fig24to29(cfg Config) []*Result {
+	g := newGenerator(cfg, "power", 2, workload.OrthogonalRange)
+	spec := workload.Spec{Class: workload.OrthogonalRange, Centers: workload.DataDriven}
+	// Section 4.6 uses a fixed training set and varies model complexity;
+	// the LP solver bounds the practical training size.
+	n := cfg.TrainSizes[0]
+	for _, c := range cfg.TrainSizes {
+		if c <= 200 && c > n {
+			n = c
+		}
+	}
+	train, test := g.TrainTest(spec, n, cfg.TestQueries)
+	trainTruth := workload.Truths(train)
+	testTruth := workload.Truths(test)
+
+	res := &Result{
+		ID:     "fig24_29",
+		Title:  "L2- vs Linf-trained QuadHist across model complexity (Power 2D Data-driven, n=" + strconv.Itoa(n) + ")",
+		Header: []string{"objective", "buckets", "train_rms", "test_rms", "train_linf", "test_linf"},
+	}
+	sizes := []int{}
+	for _, b := range cfg.Fig9Buckets {
+		if b <= 1000 { // LP tableau size bounds the L∞ sweep
+			sizes = append(sizes, b)
+		}
+	}
+	for _, objective := range []hist.Objective{hist.ObjectiveL2, hist.ObjectiveLInf} {
+		name := "L2"
+		if objective == hist.ObjectiveLInf {
+			name = "Linf"
+		}
+		for _, b := range sizes {
+			tr := &hist.Trainer{Dim: 2, Opts: hist.Options{MaxBuckets: b, Objective: objective}}
+			m, err := tr.TrainHist(train)
+			if err != nil {
+				res.Rows = append(res.Rows, []string{name, strconv.Itoa(b), dash, dash, dash, dash})
+				continue
+			}
+			trainEst := core.Estimates(m, train)
+			testEst := core.Estimates(m, test)
+			res.Rows = append(res.Rows, []string{
+				name,
+				strconv.Itoa(m.NumBuckets()),
+				fmtF(metrics.RMS(trainEst, trainTruth)),
+				fmtF(metrics.RMS(testEst, testTruth)),
+				fmtF(metrics.LInf(trainEst, trainTruth)),
+				fmtF(metrics.LInf(testEst, testTruth)),
+			})
+		}
+	}
+	res.Notes = append(res.Notes,
+		"expected shape: each objective minimizes its own train metric; the L2-trained model also keeps test Linf under control, while the Linf-trained model gives no guarantee on (and is worse in) RMS — the paper's conclusion that L2 is the better objective")
+	return []*Result{res}
+}

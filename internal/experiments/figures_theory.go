@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/crossing"
+	"repro/internal/geom"
+	"repro/internal/rng"
+)
+
+func init() {
+	Register("ext_crossing", extCrossing)
+	Register("ext_theory", extTheory)
+}
+
+// extCrossing empirically validates Lemma 2.4: there is an ordering of any
+// range set whose consecutive symmetric differences are crossed by every
+// point only O(k^{1−1/λ} log k) times. We compare the identity ordering
+// (linear growth) against the greedy Hamming-chaining ordering, with the
+// Chazelle–Welzl envelope as a reference column (λ = 4 for 2D boxes).
+func extCrossing(cfg Config) []*Result {
+	r := rng.New(cfg.Seed + 4242)
+	pts := make([]geom.Point, 800)
+	for i := range pts {
+		pts[i] = geom.Point{r.Float64(), r.Float64()}
+	}
+	res := &Result{
+		ID:     "ext_crossing",
+		Title:  "extension: Lemma 2.4 crossing numbers — identity vs greedy low-crossing ordering (2D boxes, λ=4)",
+		Header: []string{"k", "max_cross_identity", "max_cross_greedy", "envelope_k^0.75*logk"},
+	}
+	for _, k := range []int{32, 64, 128, 256, 512} {
+		ranges := make([]geom.Range, k)
+		for i := range ranges {
+			c := geom.Point{r.Float64(), r.Float64()}
+			s := []float64{0.2 + 0.5*r.Float64(), 0.2 + 0.5*r.Float64()}
+			ranges[i] = geom.BoxFromCenter(c, s)
+		}
+		inc := crossing.IncidenceMatrix(ranges, pts)
+		maxI, _ := crossing.MaxAndMean(crossing.CrossingCounts(inc, crossing.IdentityOrder(k), len(pts)))
+		maxG, _ := crossing.MaxAndMean(crossing.CrossingCounts(inc, crossing.GreedyOrder(inc), len(pts)))
+		res.Rows = append(res.Rows, []string{
+			strconv.Itoa(k),
+			strconv.Itoa(maxI),
+			strconv.Itoa(maxG),
+			fmtF(crossing.TheoryBound(k, 4)),
+		})
+	}
+	res.Notes = append(res.Notes,
+		"expected shape: identity ordering crossings grow ~linearly in k; the greedy low-crossing ordering grows sublinearly, tracking the k^{1-1/λ} log k envelope that Lemma 2.5 turns into the fat-shattering bound")
+	return []*Result{res}
+}
+
+// extTheory prints the Theorem 2.1 sample-complexity table for the three
+// headline query classes across dimensions — the quantitative face of the
+// learnability results, with unit constants (comparable across cells, not
+// literal counts).
+func extTheory(cfg Config) []*Result {
+	res := &Result{
+		ID:     "ext_theory",
+		Title:  "Theorem 2.1 sample-complexity calculator, n0(eps=0.1, delta=0.05), unit constants",
+		Header: []string{"d", "orthogonal_2d+3", "halfspace_d+4", "ball_d+5"},
+	}
+	for _, d := range cfg.Dims {
+		res.Rows = append(res.Rows, []string{
+			strconv.Itoa(d),
+			fmtF(core.SampleComplexityOrthogonal(0.1, 0.05, d)),
+			fmtF(core.SampleComplexityHalfspace(0.1, 0.05, d)),
+			fmtF(core.SampleComplexityBall(0.1, 0.05, d)),
+		})
+	}
+	res.Notes = append(res.Notes,
+		"expected shape: every column grows with d; orthogonal (lambda=2d) grows fastest for d>=3, matching the 2d+3 vs d+4 vs d+5 exponents")
+	return []*Result{res}
+}

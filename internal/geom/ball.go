@@ -1,0 +1,216 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/montecarlo"
+	"repro/internal/rng"
+)
+
+// Ball is the distance-based range {x : ‖x − Center‖₂ ≤ Radius}, the range
+// family Σ_○ of the paper. Its VC dimension over R^d is at most d+2.
+type Ball struct {
+	Center Point
+	Radius float64
+}
+
+// NewBall builds a ball with the given center and radius.
+func NewBall(center Point, radius float64) Ball {
+	return Ball{Center: center.Clone(), Radius: radius}
+}
+
+// Dim returns the ambient dimension.
+func (bl Ball) Dim() int { return len(bl.Center) }
+
+// Contains reports whether p lies in the closed ball.
+func (bl Ball) Contains(p Point) bool {
+	s := 0.0
+	r2 := bl.Radius * bl.Radius
+	for i := range p {
+		d := p[i] - bl.Center[i]
+		s += d * d
+		if s > r2 {
+			return false
+		}
+	}
+	return s <= r2
+}
+
+// distToBoxSq returns the squared distance from the center to the nearest
+// point of the box, and to the farthest point.
+func (bl Ball) distToBoxSq(b Box) (nearSq, farSq float64) {
+	for i := range bl.Center {
+		c := bl.Center[i]
+		lo, hi := b.Lo[i], b.Hi[i]
+		// Nearest coordinate.
+		switch {
+		case c < lo:
+			d := lo - c
+			nearSq += d * d
+		case c > hi:
+			d := c - hi
+			nearSq += d * d
+		}
+		// Farthest coordinate.
+		f := max(c-lo, hi-c)
+		farSq += f * f
+	}
+	return nearSq, farSq
+}
+
+// IntersectsBox reports whether the ball meets the box.
+func (bl Ball) IntersectsBox(b Box) bool {
+	if b.Empty() {
+		return false
+	}
+	nearSq, _ := bl.distToBoxSq(b)
+	return nearSq <= bl.Radius*bl.Radius
+}
+
+// ContainsBox reports whether the box lies entirely inside the ball.
+func (bl Ball) ContainsBox(b Box) bool {
+	if b.Empty() {
+		return true
+	}
+	_, farSq := bl.distToBoxSq(b)
+	return farSq <= bl.Radius*bl.Radius
+}
+
+// BoundingBox returns the smallest box containing ball ∩ [0,1]^d.
+func (bl Ball) BoundingBox() Box {
+	d := bl.Dim()
+	lo := make(Point, d)
+	hi := make(Point, d)
+	for i := 0; i < d; i++ {
+		lo[i] = clamp01(bl.Center[i] - bl.Radius)
+		hi[i] = clamp01(bl.Center[i] + bl.Radius)
+	}
+	return Box{Lo: lo, Hi: hi}
+}
+
+// qmcSamples is the Halton sample budget for ball–box volumes in d ≥ 3.
+const qmcSamples = 2048
+
+// IntersectBoxVolume returns vol(ball ∩ b): exact in 1D (interval overlap)
+// and 2D (closed-form disc/rectangle area), deterministic Halton QMC in
+// higher dimensions.
+func (bl Ball) IntersectBoxVolume(b Box) float64 {
+	if b.Empty() || bl.Radius <= 0 {
+		return 0
+	}
+	// Cheap complete-containment / disjointness short-circuits apply in
+	// every dimension and handle the bulk of bucket–query pairs.
+	nearSq, farSq := bl.distToBoxSq(b)
+	r2 := bl.Radius * bl.Radius
+	if nearSq > r2 {
+		return 0
+	}
+	if farSq <= r2 {
+		return b.Volume()
+	}
+	switch bl.Dim() {
+	case 1:
+		lo := max(b.Lo[0], bl.Center[0]-bl.Radius)
+		hi := min(b.Hi[0], bl.Center[0]+bl.Radius)
+		if hi <= lo {
+			return 0
+		}
+		return hi - lo
+	case 2:
+		return discRectArea(bl.Center[0], bl.Center[1], bl.Radius,
+			b.Lo[0], b.Hi[0], b.Lo[1], b.Hi[1])
+	default:
+		return montecarlo.Volume(b.Lo, b.Hi, qmcSamples, func(p []float64) bool {
+			return bl.Contains(Point(p))
+		})
+	}
+}
+
+// discRectArea returns the exact area of the intersection of the disc of
+// radius r centered at (cx, cy) with the rectangle [x1,x2]×[y1,y2].
+//
+// It uses the corner decomposition area = A(X2,Y2) − A(X1,Y2) − A(X2,Y1) +
+// A(X1,Y1) where A(x,y) is the area of the unit disc restricted to
+// {u ≤ x, v ≤ y} and coordinates are translated/scaled to the unit disc.
+func discRectArea(cx, cy, r, x1, x2, y1, y2 float64) float64 {
+	sx1 := (x1 - cx) / r
+	sx2 := (x2 - cx) / r
+	sy1 := (y1 - cy) / r
+	sy2 := (y2 - cy) / r
+	a := unitDiscCornerArea(sx2, sy2) - unitDiscCornerArea(sx1, sy2) -
+		unitDiscCornerArea(sx2, sy1) + unitDiscCornerArea(sx1, sy1)
+	a *= r * r
+	if a < 0 {
+		return 0
+	}
+	return a
+}
+
+// wInt is ∫√(1−t²)dt = (asin(t) + t√(1−t²))/2, the antiderivative of the
+// half-chord width of the unit disc.
+func wInt(t float64) float64 {
+	if t <= -1 {
+		return -math.Pi / 4
+	}
+	if t >= 1 {
+		return math.Pi / 4
+	}
+	return (math.Asin(t) + t*math.Sqrt(1-t*t)) / 2
+}
+
+// unitDiscCornerArea returns area{(u,v) : u²+v² ≤ 1, u ≤ x, v ≤ y}.
+//
+// For fixed u, the admissible v-extent is g(u) = 0 if y ≤ −w(u),
+// 2w(u) if y ≥ w(u), and y + w(u) otherwise, where w(u) = √(1−u²).
+// A(x,y) = ∫_{−1}^{x} g(u) du, split at the breakpoints ±√(1−y²).
+func unitDiscCornerArea(x, y float64) float64 {
+	if x <= -1 {
+		return 0
+	}
+	if y <= -1 {
+		return 0
+	}
+	x = min(x, 1)
+	y = min(y, 1)
+	uy := math.Sqrt(max(0, 1-y*y))
+
+	// ∫ 2w over [a,b]:
+	full := func(a, b float64) float64 {
+		if b <= a {
+			return 0
+		}
+		return 2 * (wInt(b) - wInt(a))
+	}
+	// ∫ (y + w) over [a,b]:
+	mixed := func(a, b float64) float64 {
+		if b <= a {
+			return 0
+		}
+		return y*(b-a) + (wInt(b) - wInt(a))
+	}
+
+	if y >= 0 {
+		// Segments: [−1,−uy] full chord, [−uy,uy] mixed, [uy,1] full.
+		a := full(-1, min(x, -uy))
+		a += mixed(max(-1, -uy), min(x, uy))
+		a += full(max(-1, uy), x)
+		return a
+	}
+	// y < 0: [−1,−uy] empty, [−uy,uy] mixed, [uy,1] empty.
+	return mixed(-uy, min(x, uy))
+}
+
+// Sample draws a uniform point from ball ∩ [0,1]^d by rejection from the
+// bounding box (Appendix A.2 of the paper).
+func (bl Ball) Sample(r *rng.RNG) (Point, bool) {
+	return rejectionSample(bl, r)
+}
+
+// String renders the ball for diagnostics.
+func (bl Ball) String() string {
+	return fmt.Sprintf("ball{c=%v r=%.4g}", []float64(bl.Center), bl.Radius)
+}
+
+var _ Range = Ball{}
+var _ Sampler = Ball{}

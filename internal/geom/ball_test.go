@@ -1,0 +1,181 @@
+package geom
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/montecarlo"
+	"repro/internal/rng"
+)
+
+func TestBallContains(t *testing.T) {
+	b := NewBall(Point{0.5, 0.5}, 0.25)
+	if !b.Contains(Point{0.5, 0.5}) {
+		t.Fatal("center rejected")
+	}
+	if !b.Contains(Point{0.75, 0.5}) {
+		t.Fatal("boundary point rejected (closed ball)")
+	}
+	if b.Contains(Point{0.76, 0.5}) {
+		t.Fatal("exterior point accepted")
+	}
+}
+
+func TestBallVolume1D(t *testing.T) {
+	b := NewBall(Point{0.5}, 0.3)
+	if got := b.IntersectBoxVolume(UnitCube(1)); !almostEqual(got, 0.6, 1e-12) {
+		t.Fatalf("1D ball volume = %v, want 0.6", got)
+	}
+	// Ball sticking out of the cube.
+	b2 := NewBall(Point{0.1}, 0.3)
+	if got := b2.IntersectBoxVolume(UnitCube(1)); !almostEqual(got, 0.4, 1e-12) {
+		t.Fatalf("clipped 1D ball volume = %v, want 0.4", got)
+	}
+}
+
+func TestDiscFullyInsideRect(t *testing.T) {
+	b := NewBall(Point{0.5, 0.5}, 0.2)
+	got := b.IntersectBoxVolume(UnitCube(2))
+	want := math.Pi * 0.04
+	if !almostEqual(got, want, 1e-10) {
+		t.Fatalf("disc area = %v, want %v", got, want)
+	}
+}
+
+func TestDiscHalfInRect(t *testing.T) {
+	// Disc centered on the left edge: exactly half inside.
+	b := NewBall(Point{0, 0.5}, 0.2)
+	got := b.IntersectBoxVolume(UnitCube(2))
+	want := math.Pi * 0.04 / 2
+	if !almostEqual(got, want, 1e-10) {
+		t.Fatalf("half-disc area = %v, want %v", got, want)
+	}
+}
+
+func TestDiscQuarterInRect(t *testing.T) {
+	// Disc centered on a corner: a quarter inside.
+	b := NewBall(Point{0, 0}, 0.3)
+	got := b.IntersectBoxVolume(UnitCube(2))
+	want := math.Pi * 0.09 / 4
+	if !almostEqual(got, want, 1e-10) {
+		t.Fatalf("quarter-disc area = %v, want %v", got, want)
+	}
+}
+
+func TestRectInsideDisc(t *testing.T) {
+	b := NewBall(Point{0.5, 0.5}, 0.9)
+	box := NewBox(Point{0.3, 0.3}, Point{0.7, 0.7})
+	if got := b.IntersectBoxVolume(box); !almostEqual(got, 0.16, 1e-12) {
+		t.Fatalf("contained rect volume = %v, want 0.16", got)
+	}
+}
+
+// Property: exact 2D disc–rectangle area matches QMC on random instances.
+func TestDiscRectAreaAgainstQMC(t *testing.T) {
+	r := rng.New(5150)
+	for trial := 0; trial < 300; trial++ {
+		c := Point{r.Float64()*1.4 - 0.2, r.Float64()*1.4 - 0.2}
+		rad := 0.05 + 0.6*r.Float64()
+		ball := NewBall(c, rad)
+		u1, u2 := r.Float64(), r.Float64()
+		v1, v2 := r.Float64(), r.Float64()
+		box := NewBox(Point{min(u1, u2), min(v1, v2)}, Point{max(u1, u2), max(v1, v2)})
+		if box.Volume() < 1e-4 {
+			continue
+		}
+		exact := ball.IntersectBoxVolume(box)
+		approx := montecarlo.Volume(box.Lo, box.Hi, 40000, func(p []float64) bool {
+			return ball.Contains(Point(p))
+		})
+		tol := 0.02*box.Volume() + 1e-9
+		if math.Abs(exact-approx) > tol {
+			t.Fatalf("ball=%v box=%v: exact %v vs QMC %v", ball, box, exact, approx)
+		}
+	}
+}
+
+func TestBallVolumeHighDimPlausible(t *testing.T) {
+	// Volume of the full ball of radius 0.4 centered in the cube, d=3:
+	// (4/3)πr³.
+	b := NewBall(Point{0.5, 0.5, 0.5}, 0.4)
+	got := b.IntersectBoxVolume(UnitCube(3))
+	want := 4.0 / 3.0 * math.Pi * 0.4 * 0.4 * 0.4
+	if math.Abs(got-want)/want > 0.05 {
+		t.Fatalf("3D ball volume = %v, want ≈%v", got, want)
+	}
+}
+
+func TestBallBoxPredicates(t *testing.T) {
+	b := NewBall(Point{0.5, 0.5}, 0.3)
+	inside := NewBox(Point{0.45, 0.45}, Point{0.55, 0.55})
+	if !b.ContainsBox(inside) {
+		t.Fatal("small central box not contained")
+	}
+	outside := NewBox(Point{0.9, 0.9}, Point{1, 1})
+	if b.IntersectsBox(outside) {
+		t.Fatal("distant box reported intersecting")
+	}
+	partial := NewBox(Point{0.7, 0.4}, Point{0.9, 0.6})
+	if !b.IntersectsBox(partial) || b.ContainsBox(partial) {
+		t.Fatal("partial box misclassified")
+	}
+}
+
+func TestBallSampleInBall(t *testing.T) {
+	r := rng.New(77)
+	for _, d := range []int{1, 2, 3, 5, 8} {
+		c := make(Point, d)
+		for i := range c {
+			c[i] = 0.3 + 0.4*r.Float64()
+		}
+		b := NewBall(c, 0.35)
+		for i := 0; i < 100; i++ {
+			p, ok := b.Sample(r)
+			if !ok {
+				t.Fatalf("d=%d: sampling failed", d)
+			}
+			if !b.Contains(p) || !p.InUnitCube() {
+				t.Fatalf("d=%d: sample %v outside ball ∩ cube", d, p)
+			}
+		}
+	}
+}
+
+func TestUnitDiscCornerAreaIdentities(t *testing.T) {
+	cases := []struct {
+		x, y, want float64
+	}{
+		{1, 1, math.Pi},
+		{1, 0, math.Pi / 2},
+		{0, 1, math.Pi / 2},
+		{0, 0, math.Pi / 4},
+		{-1, 1, 0},
+		{1, -1, 0},
+	}
+	for _, c := range cases {
+		got := unitDiscCornerArea(c.x, c.y)
+		if !almostEqual(got, c.want, 1e-12) {
+			t.Fatalf("A(%v,%v) = %v, want %v", c.x, c.y, got, c.want)
+		}
+	}
+	// Symmetry A(x,y) == A(y,x).
+	r := rng.New(8)
+	for i := 0; i < 200; i++ {
+		x := 2*r.Float64() - 1
+		y := 2*r.Float64() - 1
+		if !almostEqual(unitDiscCornerArea(x, y), unitDiscCornerArea(y, x), 1e-12) {
+			t.Fatalf("asymmetric corner area at (%v,%v)", x, y)
+		}
+	}
+	// Monotone in both arguments.
+	for i := 0; i < 200; i++ {
+		x := 2*r.Float64() - 1
+		y := 2*r.Float64() - 1
+		if unitDiscCornerArea(x+0.1, y) < unitDiscCornerArea(x, y)-1e-12 {
+			t.Fatalf("corner area decreasing in x at (%v,%v)", x, y)
+		}
+		if unitDiscCornerArea(x, y+0.1) < unitDiscCornerArea(x, y)-1e-12 {
+			t.Fatalf("corner area decreasing in y at (%v,%v)", x, y)
+		}
+	}
+}

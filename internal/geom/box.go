@@ -1,0 +1,253 @@
+package geom
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/rng"
+)
+
+// Box is an axis-aligned hyper-rectangle ×ᵢ[Lo[i], Hi[i]]. A box with
+// Lo[i] > Hi[i] in any dimension is empty. Boxes are the ranges of the
+// orthogonal range space Σ_□ and also the buckets of the histogram models.
+type Box struct {
+	Lo, Hi Point
+}
+
+// NewBox builds a box from its corner points, which must have equal length.
+func NewBox(lo, hi Point) Box {
+	if len(lo) != len(hi) {
+		panic("geom: NewBox corners of different dimension")
+	}
+	return Box{Lo: lo, Hi: hi}
+}
+
+// UnitCube returns [0,1]^d.
+func UnitCube(d int) Box {
+	lo := make(Point, d)
+	hi := make(Point, d)
+	for i := range hi {
+		hi[i] = 1
+	}
+	return Box{Lo: lo, Hi: hi}
+}
+
+// BoxFromCenter builds the box with the given center and per-dimension side
+// lengths, clipped to the unit cube. This is exactly how the paper's
+// workload generator specifies orthogonal range queries.
+func BoxFromCenter(center Point, sides []float64) Box {
+	d := len(center)
+	if len(sides) != d {
+		panic("geom: BoxFromCenter sides of different dimension")
+	}
+	lo := make(Point, d)
+	hi := make(Point, d)
+	for i := 0; i < d; i++ {
+		lo[i] = clamp01(center[i] - sides[i]/2)
+		hi[i] = clamp01(center[i] + sides[i]/2)
+	}
+	return Box{Lo: lo, Hi: hi}
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// Dim returns the dimensionality of the box.
+func (b Box) Dim() int { return len(b.Lo) }
+
+// Empty reports whether the box has no interior or boundary points.
+func (b Box) Empty() bool {
+	for i := range b.Lo {
+		if b.Lo[i] > b.Hi[i] {
+			return true
+		}
+	}
+	return len(b.Lo) == 0
+}
+
+// Clone returns a deep copy of the box.
+func (b Box) Clone() Box {
+	return Box{Lo: b.Lo.Clone(), Hi: b.Hi.Clone()}
+}
+
+// Volume returns the Lebesgue measure of the box (0 if empty).
+func (b Box) Volume() float64 {
+	v := 1.0
+	for i := range b.Lo {
+		side := b.Hi[i] - b.Lo[i]
+		if side <= 0 {
+			return 0
+		}
+		v *= side
+	}
+	return v
+}
+
+// Center returns the midpoint of the box.
+func (b Box) Center() Point {
+	c := make(Point, len(b.Lo))
+	for i := range c {
+		c[i] = (b.Lo[i] + b.Hi[i]) / 2
+	}
+	return c
+}
+
+// Contains reports whether p lies in the (closed) box.
+func (b Box) Contains(p Point) bool {
+	if len(p) != len(b.Lo) {
+		panic("geom: Box.Contains dimension mismatch")
+	}
+	for i := range p {
+		if p[i] < b.Lo[i] || p[i] > b.Hi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersect returns the intersection box b ∩ o (possibly empty).
+func (b Box) Intersect(o Box) Box {
+	d := b.Dim()
+	lo := make(Point, d)
+	hi := make(Point, d)
+	for i := 0; i < d; i++ {
+		lo[i] = max(b.Lo[i], o.Lo[i])
+		hi[i] = min(b.Hi[i], o.Hi[i])
+	}
+	return Box{Lo: lo, Hi: hi}
+}
+
+// IntersectsBox reports whether the boxes share any point.
+func (b Box) IntersectsBox(o Box) bool {
+	for i := range b.Lo {
+		if b.Lo[i] > o.Hi[i] || o.Lo[i] > b.Hi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ContainsBox reports whether o ⊆ b.
+func (b Box) ContainsBox(o Box) bool {
+	if o.Empty() {
+		return true
+	}
+	for i := range b.Lo {
+		if o.Lo[i] < b.Lo[i] || o.Hi[i] > b.Hi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// IntersectBoxVolume returns vol(b ∩ o) exactly.
+func (b Box) IntersectBoxVolume(o Box) float64 {
+	v := 1.0
+	for i := range b.Lo {
+		side := min(b.Hi[i], o.Hi[i]) - max(b.Lo[i], o.Lo[i])
+		if side <= 0 {
+			return 0
+		}
+		v *= side
+	}
+	return v
+}
+
+// BoundingBox returns the box clipped to the unit cube.
+func (b Box) BoundingBox() Box {
+	return b.Intersect(UnitCube(b.Dim()))
+}
+
+// Sample draws a uniform point from b ∩ [0,1]^d.
+func (b Box) Sample(r *rng.RNG) (Point, bool) {
+	bb := b.BoundingBox()
+	if bb.Empty() {
+		return UnitCube(b.Dim()).Center(), false
+	}
+	p := make(Point, b.Dim())
+	for i := range p {
+		p[i] = bb.Lo[i] + r.Float64()*(bb.Hi[i]-bb.Lo[i])
+	}
+	return p, true
+}
+
+// Split halves the box along dimension dim, returning the low and high half.
+func (b Box) Split(dim int) (Box, Box) {
+	mid := (b.Lo[dim] + b.Hi[dim]) / 2
+	lo := b.Clone()
+	hi := b.Clone()
+	lo.Hi[dim] = mid
+	hi.Lo[dim] = mid
+	return lo, hi
+}
+
+// Children returns the 2^d equal sub-boxes of b (the quadtree split of
+// Algorithm 2, generalized to d dimensions).
+func (b Box) Children() []Box {
+	d := b.Dim()
+	n := 1 << uint(d)
+	out := make([]Box, 0, n)
+	for mask := 0; mask < n; mask++ {
+		lo := make(Point, d)
+		hi := make(Point, d)
+		for i := 0; i < d; i++ {
+			mid := (b.Lo[i] + b.Hi[i]) / 2
+			if mask&(1<<uint(i)) == 0 {
+				lo[i], hi[i] = b.Lo[i], mid
+			} else {
+				lo[i], hi[i] = mid, b.Hi[i]
+			}
+		}
+		out = append(out, Box{Lo: lo, Hi: hi})
+	}
+	return out
+}
+
+// Corner returns the corner of b selected by the bit mask: bit i set means
+// dimension i takes Hi[i], otherwise Lo[i].
+func (b Box) Corner(mask int) Point {
+	p := make(Point, b.Dim())
+	for i := range p {
+		if mask&(1<<uint(i)) != 0 {
+			p[i] = b.Hi[i]
+		} else {
+			p[i] = b.Lo[i]
+		}
+	}
+	return p
+}
+
+// Equal reports whether the boxes have identical corners.
+func (b Box) Equal(o Box) bool {
+	if b.Dim() != o.Dim() {
+		return false
+	}
+	for i := range b.Lo {
+		if b.Lo[i] != o.Lo[i] || b.Hi[i] != o.Hi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the box as [lo,hi]×[lo,hi]×…, for diagnostics.
+func (b Box) String() string {
+	var sb strings.Builder
+	for i := range b.Lo {
+		if i > 0 {
+			sb.WriteByte('x')
+		}
+		fmt.Fprintf(&sb, "[%.4g,%.4g]", b.Lo[i], b.Hi[i])
+	}
+	return sb.String()
+}
+
+var _ Range = Box{}
+var _ Sampler = Box{}

@@ -1,0 +1,189 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestUnitCube(t *testing.T) {
+	c := UnitCube(3)
+	if got := c.Volume(); got != 1 {
+		t.Fatalf("unit cube volume = %v", got)
+	}
+	if !c.Contains(Point{0.5, 0.5, 0.5}) {
+		t.Fatal("unit cube does not contain its center")
+	}
+	if c.Contains(Point{1.1, 0.5, 0.5}) {
+		t.Fatal("unit cube contains exterior point")
+	}
+}
+
+func TestBoxVolume(t *testing.T) {
+	b := NewBox(Point{0, 0}, Point{0.5, 0.25})
+	if got := b.Volume(); !almostEqual(got, 0.125, 1e-15) {
+		t.Fatalf("volume = %v, want 0.125", got)
+	}
+	empty := NewBox(Point{0.5, 0.5}, Point{0.4, 0.6})
+	if got := empty.Volume(); got != 0 {
+		t.Fatalf("empty box volume = %v", got)
+	}
+	if !empty.Empty() {
+		t.Fatal("inverted box not reported empty")
+	}
+}
+
+func TestBoxIntersect(t *testing.T) {
+	a := NewBox(Point{0, 0}, Point{0.6, 0.6})
+	b := NewBox(Point{0.4, 0.4}, Point{1, 1})
+	got := a.IntersectBoxVolume(b)
+	if !almostEqual(got, 0.04, 1e-15) {
+		t.Fatalf("intersection volume = %v, want 0.04", got)
+	}
+	if !a.IntersectsBox(b) || !b.IntersectsBox(a) {
+		t.Fatal("overlapping boxes reported disjoint")
+	}
+	c := NewBox(Point{0.7, 0.7}, Point{0.9, 0.9})
+	if a.IntersectsBox(c) {
+		t.Fatal("disjoint boxes reported overlapping")
+	}
+	if got := a.IntersectBoxVolume(c); got != 0 {
+		t.Fatalf("disjoint intersection volume = %v", got)
+	}
+}
+
+func TestBoxContainsBox(t *testing.T) {
+	outer := NewBox(Point{0, 0}, Point{1, 1})
+	inner := NewBox(Point{0.2, 0.3}, Point{0.4, 0.5})
+	if !outer.ContainsBox(inner) {
+		t.Fatal("outer does not contain inner")
+	}
+	if inner.ContainsBox(outer) {
+		t.Fatal("inner contains outer")
+	}
+}
+
+func TestBoxFromCenterClips(t *testing.T) {
+	b := BoxFromCenter(Point{0.1, 0.9}, []float64{0.5, 0.5})
+	want := NewBox(Point{0, 0.65}, Point{0.35, 1})
+	if !b.Equal(want) {
+		t.Fatalf("got %v, want %v", b, want)
+	}
+}
+
+func TestBoxChildrenPartition(t *testing.T) {
+	for d := 1; d <= 4; d++ {
+		b := UnitCube(d)
+		kids := b.Children()
+		if len(kids) != 1<<uint(d) {
+			t.Fatalf("d=%d: %d children", d, len(kids))
+		}
+		total := 0.0
+		for _, k := range kids {
+			total += k.Volume()
+			if !b.ContainsBox(k) {
+				t.Fatalf("d=%d: child %v escapes parent", d, k)
+			}
+		}
+		if !almostEqual(total, b.Volume(), 1e-12) {
+			t.Fatalf("d=%d: children volumes sum to %v", d, total)
+		}
+		// Pairwise interiors disjoint: intersection volume zero.
+		for i := range kids {
+			for j := i + 1; j < len(kids); j++ {
+				if v := kids[i].IntersectBoxVolume(kids[j]); v != 0 {
+					t.Fatalf("d=%d: children %d,%d overlap with volume %v", d, i, j, v)
+				}
+			}
+		}
+	}
+}
+
+func TestBoxSplit(t *testing.T) {
+	b := NewBox(Point{0, 0}, Point{1, 0.5})
+	lo, hi := b.Split(0)
+	if !lo.Equal(NewBox(Point{0, 0}, Point{0.5, 0.5})) {
+		t.Fatalf("lo half = %v", lo)
+	}
+	if !hi.Equal(NewBox(Point{0.5, 0}, Point{1, 0.5})) {
+		t.Fatalf("hi half = %v", hi)
+	}
+}
+
+func TestBoxCorner(t *testing.T) {
+	b := NewBox(Point{0, 0, 0}, Point{1, 2, 3})
+	if got := b.Corner(0); got.Dist(Point{0, 0, 0}) != 0 {
+		t.Fatalf("corner 0 = %v", got)
+	}
+	if got := b.Corner(7); got.Dist(Point{1, 2, 3}) != 0 {
+		t.Fatalf("corner 7 = %v", got)
+	}
+	if got := b.Corner(5); got.Dist(Point{1, 0, 3}) != 0 {
+		t.Fatalf("corner 5 = %v", got)
+	}
+}
+
+func TestBoxSampleInBox(t *testing.T) {
+	r := rng.New(1)
+	b := NewBox(Point{0.2, 0.3, 0.1}, Point{0.7, 0.4, 0.9})
+	for i := 0; i < 1000; i++ {
+		p, ok := b.Sample(r)
+		if !ok {
+			t.Fatal("sampling from non-empty box failed")
+		}
+		if !b.Contains(p) || !p.InUnitCube() {
+			t.Fatalf("sample %v outside box", p)
+		}
+	}
+}
+
+// Property: intersection volume is symmetric, bounded by each box volume,
+// and consistent with the IntersectsBox predicate.
+func TestBoxIntersectionProperties(t *testing.T) {
+	r := rng.New(99)
+	randBox := func(d int) Box {
+		lo := make(Point, d)
+		hi := make(Point, d)
+		for i := 0; i < d; i++ {
+			a, b := r.Float64(), r.Float64()
+			lo[i], hi[i] = min(a, b), max(a, b)
+		}
+		return Box{Lo: lo, Hi: hi}
+	}
+	for trial := 0; trial < 500; trial++ {
+		d := 1 + r.IntN(5)
+		a, b := randBox(d), randBox(d)
+		vab := a.IntersectBoxVolume(b)
+		vba := b.IntersectBoxVolume(a)
+		if !almostEqual(vab, vba, 1e-12) {
+			t.Fatalf("asymmetric intersection: %v vs %v", vab, vba)
+		}
+		if vab > a.Volume()+1e-12 || vab > b.Volume()+1e-12 {
+			t.Fatalf("intersection volume %v exceeds operand volume", vab)
+		}
+		if vab > 0 && !a.IntersectsBox(b) {
+			t.Fatal("positive volume but IntersectsBox false")
+		}
+		if a.ContainsBox(b) && !almostEqual(vab, b.Volume(), 1e-12) {
+			t.Fatalf("containment but volume %v != %v", vab, b.Volume())
+		}
+	}
+}
+
+func TestBoxEqualQuick(t *testing.T) {
+	f := func(vals [4]float64) bool {
+		lo := Point{math.Abs(vals[0]), math.Abs(vals[1])}
+		hi := Point{math.Abs(vals[2]), math.Abs(vals[3])}
+		b := NewBox(lo, hi)
+		return b.Equal(b.Clone())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,194 @@
+package geom
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// This file property-tests the Range contract that every query class must
+// satisfy — the learners rely on these invariants being uniform across
+// boxes, halfspaces, balls, and disc-intersection ranges.
+
+// randomRanges yields a mixed bag of random ranges of each concrete type
+// of the given dimension (disc-intersection only when d == 3).
+func randomRanges(r *rng.RNG, d, n int) []Range {
+	out := make([]Range, 0, n)
+	for len(out) < n {
+		switch r.IntN(4) {
+		case 0:
+			c := make(Point, d)
+			s := make([]float64, d)
+			for i := 0; i < d; i++ {
+				c[i] = r.Float64()
+				s[i] = r.Float64()
+			}
+			out = append(out, BoxFromCenter(c, s))
+		case 1:
+			a := make(Point, d)
+			for i := range a {
+				a[i] = 2*r.Float64() - 1
+			}
+			out = append(out, NewHalfspace(a, r.Float64()-0.25))
+		case 2:
+			c := make(Point, d)
+			for i := range c {
+				c[i] = r.Float64()
+			}
+			out = append(out, NewBall(c, 0.05+0.5*r.Float64()))
+		case 3:
+			if d != 3 {
+				continue
+			}
+			out = append(out, NewDiscIntersection(r.Float64(), r.Float64(), 0.05+0.3*r.Float64()))
+		}
+	}
+	return out
+}
+
+func randomSubBox(r *rng.RNG, d int) Box {
+	lo := make(Point, d)
+	hi := make(Point, d)
+	for i := 0; i < d; i++ {
+		a, b := r.Float64(), r.Float64()
+		lo[i], hi[i] = min(a, b), max(a, b)
+	}
+	return Box{Lo: lo, Hi: hi}
+}
+
+// Contract: ContainsBox(b) ⇒ IntersectsBox(b); IntersectsBox false ⇒ zero
+// volume; volumes bounded by box volume; ContainsBox ⇒ volume = box volume.
+func TestRangeContractPredicatesVsVolumes(t *testing.T) {
+	r := rng.New(2027)
+	for _, d := range []int{1, 2, 3, 5} {
+		for _, rg := range randomRanges(r, d, 60) {
+			for trial := 0; trial < 10; trial++ {
+				b := randomSubBox(r, d)
+				vol := rg.IntersectBoxVolume(b)
+				boxVol := b.Volume()
+				if vol < -1e-12 || vol > boxVol+1e-9 {
+					t.Fatalf("d=%d %v box %v: volume %v outside [0, %v]", d, rg, b, vol, boxVol)
+				}
+				if rg.ContainsBox(b) {
+					if !rg.IntersectsBox(b) && boxVol > 0 {
+						t.Fatalf("d=%d %v: ContainsBox without IntersectsBox", d, rg)
+					}
+					if math.Abs(vol-boxVol) > 1e-6*max(1, boxVol) {
+						t.Fatalf("d=%d %v box %v: contained but volume %v != %v", d, rg, b, vol, boxVol)
+					}
+				}
+				if !rg.IntersectsBox(b) && vol > 1e-9 {
+					t.Fatalf("d=%d %v box %v: disjoint but volume %v", d, rg, b, vol)
+				}
+			}
+		}
+	}
+}
+
+// Contract: Contains agrees with the box predicates on degenerate boxes.
+func TestRangeContractPointBoxAgreement(t *testing.T) {
+	r := rng.New(5)
+	for _, d := range []int{1, 2, 3} {
+		for _, rg := range randomRanges(r, d, 40) {
+			for trial := 0; trial < 20; trial++ {
+				p := make(Point, d)
+				for i := range p {
+					p[i] = r.Float64()
+				}
+				pt := Box{Lo: p.Clone(), Hi: p.Clone()}
+				if rg.Contains(p) && !rg.IntersectsBox(pt) {
+					t.Fatalf("d=%d %v: contains point %v but not its degenerate box", d, rg, p)
+				}
+				if !rg.Contains(p) && rg.ContainsBox(pt) {
+					t.Fatalf("d=%d %v: excludes point %v but contains its degenerate box", d, rg, p)
+				}
+			}
+		}
+	}
+}
+
+// Contract: intersection volume is monotone under box growth.
+func TestRangeContractVolumeMonotone(t *testing.T) {
+	r := rng.New(7)
+	for _, d := range []int{1, 2, 3} {
+		for _, rg := range randomRanges(r, d, 40) {
+			inner := randomSubBox(r, d)
+			outer := inner.Clone()
+			for i := 0; i < d; i++ {
+				outer.Lo[i] = max(0, outer.Lo[i]-0.2*r.Float64())
+				outer.Hi[i] = min(1, outer.Hi[i]+0.2*r.Float64())
+			}
+			vi := rg.IntersectBoxVolume(inner)
+			vo := rg.IntersectBoxVolume(outer)
+			// QMC-backed volumes (balls d≥3, disc ranges) carry sampling
+			// error proportional to the box volume.
+			tol := 1e-9 + 0.03*outer.Volume()
+			if vi > vo+tol {
+				t.Fatalf("d=%d %v: inner volume %v > outer volume %v", d, rg, vi, vo)
+			}
+		}
+	}
+}
+
+// Contract: the bounding box covers every sampled interior point, and
+// samples always satisfy Contains.
+func TestRangeContractSamplingInBounds(t *testing.T) {
+	r := rng.New(11)
+	for _, d := range []int{1, 2, 3} {
+		for _, rg := range randomRanges(r, d, 25) {
+			smp, ok := rg.(Sampler)
+			if !ok {
+				t.Fatalf("range %v does not implement Sampler", rg)
+			}
+			bb := rg.BoundingBox()
+			if !rg.IntersectsBox(UnitCube(d)) {
+				continue
+			}
+			for i := 0; i < 40; i++ {
+				p, ok := smp.Sample(r)
+				if !ok {
+					break // numerically empty region: allowed
+				}
+				if !rg.Contains(p) {
+					t.Fatalf("d=%d %v: sample %v not contained", d, rg, p)
+				}
+				if !p.InUnitCube() {
+					t.Fatalf("d=%d %v: sample %v outside cube", d, rg, p)
+				}
+				if !bb.Contains(p) {
+					t.Fatalf("d=%d %v: sample %v outside bounding box %v", d, rg, p, bb)
+				}
+			}
+		}
+	}
+}
+
+// Contract: volume over the whole cube equals the sum over a partition of
+// the cube (finite additivity), within QMC tolerance.
+func TestRangeContractAdditivity(t *testing.T) {
+	r := rng.New(13)
+	for _, d := range []int{1, 2, 3} {
+		cube := UnitCube(d)
+		kids := cube.Children()
+		for _, rg := range randomRanges(r, d, 25) {
+			total := rg.IntersectBoxVolume(cube)
+			sum := 0.0
+			for _, k := range kids {
+				sum += rg.IntersectBoxVolume(k)
+			}
+			tol := 1e-9
+			switch rg.(type) {
+			case Ball:
+				if d >= 3 {
+					tol = 0.02
+				}
+			case DiscIntersection:
+				tol = 0.02
+			}
+			if math.Abs(total-sum) > tol {
+				t.Fatalf("d=%d %v: cube volume %v != partition sum %v", d, rg, total, sum)
+			}
+		}
+	}
+}

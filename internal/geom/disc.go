@@ -1,0 +1,145 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/montecarlo"
+	"repro/internal/rng"
+)
+
+// DiscIntersection is the semi-algebraic range of Section 2.2 of the paper:
+// the set of discs in R² that intersect a query disc B. Each data disc is
+// encoded as the point (x, y, z) ∈ R³ where (x, y) is its center and z ≥ 0
+// its radius; the query disc with center (Cx, Cy) and radius R maps to
+//
+//	γ_B = {(x,y,z) : (x−Cx)² + (y−Cy)² ≤ (R+z)², z ≥ 0},
+//
+// a semi-algebraic set with one inequality of degree two, hence of finite
+// VC dimension, so its selectivity function is learnable by Theorem 2.1.
+//
+// The set is convex in (x, y, z): g(x,y,z) = ‖(x,y)−C‖ − z − R is convex,
+// and γ_B = {g ≤ 0} ∩ {z ≥ 0}. We exploit convexity for exact box tests.
+type DiscIntersection struct {
+	Cx, Cy, R float64
+}
+
+// NewDiscIntersection builds the range of discs intersecting the query disc
+// centered at (cx, cy) with radius r.
+func NewDiscIntersection(cx, cy, r float64) DiscIntersection {
+	return DiscIntersection{Cx: cx, Cy: cy, R: r}
+}
+
+// Dim returns 3: disc space is parameterized by (x, y, z).
+func (dr DiscIntersection) Dim() int { return 3 }
+
+// g evaluates the convex defining function ‖(x,y)−C‖ − z − R; the range is
+// {g ≤ 0, z ≥ 0}.
+func (dr DiscIntersection) g(x, y, z float64) float64 {
+	dx, dy := x-dr.Cx, y-dr.Cy
+	return math.Hypot(dx, dy) - z - dr.R
+}
+
+// Contains reports whether the encoded disc p = (x, y, z) intersects the
+// query disc.
+func (dr DiscIntersection) Contains(p Point) bool {
+	if len(p) != 3 {
+		panic("geom: DiscIntersection.Contains needs a 3D point")
+	}
+	if p[2] < 0 {
+		return false
+	}
+	return dr.g(p[0], p[1], p[2]) <= 0
+}
+
+// IntersectsBox reports whether the range meets the box. By convexity the
+// minimum of g over the box is attained at z = Hi[2] and the (x, y) point of
+// the box closest to the query center.
+func (dr DiscIntersection) IntersectsBox(b Box) bool {
+	if b.Empty() || b.Hi[2] < 0 {
+		return false
+	}
+	x := clampTo(dr.Cx, b.Lo[0], b.Hi[0])
+	y := clampTo(dr.Cy, b.Lo[1], b.Hi[1])
+	return dr.g(x, y, b.Hi[2]) <= 0
+}
+
+// ContainsBox reports whether the box lies entirely inside the range. By
+// convexity of g it suffices that all corners satisfy g ≤ 0 — but the max of
+// g over a box is attained at a corner in (x, y) and at z = Lo[2].
+func (dr DiscIntersection) ContainsBox(b Box) bool {
+	if b.Empty() {
+		return true
+	}
+	if b.Lo[2] < 0 {
+		return false
+	}
+	for _, mx := range []float64{b.Lo[0], b.Hi[0]} {
+		for _, my := range []float64{b.Lo[1], b.Hi[1]} {
+			if dr.g(mx, my, b.Lo[2]) > 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func clampTo(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// BoundingBox returns the smallest box containing range ∩ [0,1]³. A disc
+// at parameter z intersects the query disc iff its center is within R+z of
+// C; at the maximal in-cube radius z = 1 the reach is R+1, so centers range
+// over [C−(R+1), C+(R+1)] clipped; z itself needs ‖(x,y)−C‖ ≤ R+z with the
+// closest attainable center, giving a lower bound for z.
+func (dr DiscIntersection) BoundingBox() Box {
+	lo := Point{clamp01(dr.Cx - dr.R - 1), clamp01(dr.Cy - dr.R - 1), 0}
+	hi := Point{clamp01(dr.Cx + dr.R + 1), clamp01(dr.Cy + dr.R + 1), 1}
+	// Tighten z: the nearest in-cube center to C determines the minimum
+	// radius a disc must have to reach the query disc.
+	nx := clampTo(dr.Cx, 0, 1)
+	ny := clampTo(dr.Cy, 0, 1)
+	minDist := math.Hypot(nx-dr.Cx, ny-dr.Cy)
+	// Any in-cube center is at distance ≥ minDist but discs with closer
+	// centers need z ≥ dist − R ≥ minDist − R.
+	lo[2] = clamp01(minDist - dr.R)
+	return Box{Lo: lo, Hi: hi}
+}
+
+// IntersectBoxVolume returns vol(range ∩ b) by deterministic Halton QMC:
+// the region is bounded by a quadratic surface, for which no simple closed
+// form over a box exists.
+func (dr DiscIntersection) IntersectBoxVolume(b Box) float64 {
+	if b.Empty() {
+		return 0
+	}
+	if !dr.IntersectsBox(b) {
+		return 0
+	}
+	if dr.ContainsBox(b) {
+		return b.Volume()
+	}
+	return montecarlo.Volume(b.Lo, b.Hi, qmcSamples, func(p []float64) bool {
+		return dr.Contains(Point(p))
+	})
+}
+
+// Sample draws a uniform point from range ∩ [0,1]³ by rejection sampling.
+func (dr DiscIntersection) Sample(r *rng.RNG) (Point, bool) {
+	return rejectionSample(dr, r)
+}
+
+// String renders the range for diagnostics.
+func (dr DiscIntersection) String() string {
+	return fmt.Sprintf("discx{c=(%.4g,%.4g) r=%.4g}", dr.Cx, dr.Cy, dr.R)
+}
+
+var _ Range = DiscIntersection{}
+var _ Sampler = DiscIntersection{}

@@ -1,0 +1,112 @@
+package geom
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/montecarlo"
+	"repro/internal/rng"
+)
+
+func TestDiscIntersectionContains(t *testing.T) {
+	// Query disc centered (0.5, 0.5), radius 0.2.
+	dr := NewDiscIntersection(0.5, 0.5, 0.2)
+	// A disc at (0.8, 0.5) with radius 0.15 overlaps (gap 0.3 − 0.35 < 0).
+	if !dr.Contains(Point{0.8, 0.5, 0.15}) {
+		t.Fatal("overlapping disc rejected")
+	}
+	// A disc at (0.9, 0.5) with radius 0.1 misses (0.4 > 0.3).
+	if dr.Contains(Point{0.9, 0.5, 0.1}) {
+		t.Fatal("disjoint disc accepted")
+	}
+	// Tangent discs count as intersecting (closed set).
+	if !dr.Contains(Point{0.9, 0.5, 0.2}) {
+		t.Fatal("tangent disc rejected")
+	}
+	// Negative radius is not a disc.
+	if dr.Contains(Point{0.5, 0.5, -0.1}) {
+		t.Fatal("negative radius accepted")
+	}
+}
+
+func TestDiscIntersectionConvexityPredicates(t *testing.T) {
+	r := rng.New(41)
+	for trial := 0; trial < 300; trial++ {
+		dr := NewDiscIntersection(r.Float64(), r.Float64(), 0.05+0.4*r.Float64())
+		lo := Point{r.Float64(), r.Float64(), r.Float64()}
+		hi := Point{lo[0] + 0.3*r.Float64(), lo[1] + 0.3*r.Float64(), lo[2] + 0.3*r.Float64()}
+		box := Box{Lo: lo, Hi: hi}
+		contains := dr.ContainsBox(box)
+		intersects := dr.IntersectsBox(box)
+		if contains && !intersects {
+			t.Fatal("ContainsBox without IntersectsBox")
+		}
+		// Validate against corner/point sampling.
+		rr := rng.New(uint64(trial) + 1)
+		anyIn, allIn := false, true
+		for i := 0; i < 200; i++ {
+			p := Point{
+				lo[0] + rr.Float64()*(hi[0]-lo[0]),
+				lo[1] + rr.Float64()*(hi[1]-lo[1]),
+				lo[2] + rr.Float64()*(hi[2]-lo[2]),
+			}
+			if dr.Contains(p) {
+				anyIn = true
+			} else {
+				allIn = false
+			}
+		}
+		if anyIn && !intersects {
+			t.Fatalf("sampled interior point but IntersectsBox false: %v %v", dr, box)
+		}
+		if contains && !allIn {
+			t.Fatalf("ContainsBox but sampled exterior point: %v %v", dr, box)
+		}
+	}
+}
+
+func TestDiscIntersectionVolumeAgainstQMC(t *testing.T) {
+	dr := NewDiscIntersection(0.5, 0.5, 0.25)
+	box := NewBox(Point{0.2, 0.2, 0}, Point{0.9, 0.9, 0.5})
+	got := dr.IntersectBoxVolume(box)
+	want := montecarlo.Volume(box.Lo, box.Hi, 100000, func(p []float64) bool {
+		return dr.Contains(Point(p))
+	})
+	if math.Abs(got-want) > 0.01*box.Volume() {
+		t.Fatalf("volume %v vs reference %v", got, want)
+	}
+}
+
+func TestDiscIntersectionSample(t *testing.T) {
+	r := rng.New(13)
+	dr := NewDiscIntersection(0.4, 0.6, 0.2)
+	for i := 0; i < 300; i++ {
+		p, ok := dr.Sample(r)
+		if !ok {
+			t.Fatal("sampling failed for a fat range")
+		}
+		if !dr.Contains(p) {
+			t.Fatalf("sample %v outside range", p)
+		}
+		if !p.InUnitCube() {
+			t.Fatalf("sample %v outside unit cube", p)
+		}
+	}
+}
+
+func TestDiscIntersectionBoundingBoxCoversRange(t *testing.T) {
+	r := rng.New(29)
+	for trial := 0; trial < 50; trial++ {
+		dr := NewDiscIntersection(r.Float64(), r.Float64(), 0.05+0.3*r.Float64())
+		bb := dr.BoundingBox()
+		for i := 0; i < 100; i++ {
+			p, ok := dr.Sample(r)
+			if !ok {
+				break
+			}
+			if !bb.Contains(p) {
+				t.Fatalf("sample %v escapes bounding box %v of %v", p, bb, dr)
+			}
+		}
+	}
+}

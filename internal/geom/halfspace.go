@@ -1,0 +1,248 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// Halfspace is the linear-inequality range {x : A·x ≥ B}, the range family
+// Σ_\ of the paper. Its VC dimension over R^d is d+1.
+type Halfspace struct {
+	A Point   // normal vector (need not be unit length)
+	B float64 // offset
+}
+
+// NewHalfspace builds the halfspace {x : a·x ≥ b}.
+func NewHalfspace(a Point, b float64) Halfspace {
+	return Halfspace{A: a.Clone(), B: b}
+}
+
+// HalfspaceThroughPoint builds the halfspace whose boundary hyperplane
+// passes through the given point with the given (unit) normal, selecting the
+// side the normal points to. This matches the paper's workload generator:
+// pick a center point on the boundary plane and a random orientation.
+func HalfspaceThroughPoint(center Point, normal Point) Halfspace {
+	return Halfspace{A: normal.Clone(), B: normal.Dot(center)}
+}
+
+// Dim returns the ambient dimension.
+func (h Halfspace) Dim() int { return len(h.A) }
+
+// Contains reports whether A·p ≥ B.
+func (h Halfspace) Contains(p Point) bool {
+	return h.A.Dot(p) >= h.B
+}
+
+// minMaxOverBox returns the minimum and maximum of A·x over the box.
+func (h Halfspace) minMaxOverBox(b Box) (lo, hi float64) {
+	for i, a := range h.A {
+		if a >= 0 {
+			lo += a * b.Lo[i]
+			hi += a * b.Hi[i]
+		} else {
+			lo += a * b.Hi[i]
+			hi += a * b.Lo[i]
+		}
+	}
+	return lo, hi
+}
+
+// IntersectsBox reports whether the halfspace meets the box.
+func (h Halfspace) IntersectsBox(b Box) bool {
+	if b.Empty() {
+		return false
+	}
+	_, hi := h.minMaxOverBox(b)
+	return hi >= h.B
+}
+
+// ContainsBox reports whether the box lies entirely in the halfspace.
+func (h Halfspace) ContainsBox(b Box) bool {
+	if b.Empty() {
+		return true
+	}
+	lo, _ := h.minMaxOverBox(b)
+	return lo >= h.B
+}
+
+// IntersectBoxVolume returns vol({A·x ≥ B} ∩ b) exactly using the corner
+// inclusion–exclusion formula for the volume cut off a box by a hyperplane:
+//
+//	vol{y ∈ [0,1]^k : c·y ≤ t} = (1/(k! ∏cᵢ)) Σ_{K⊆[k]} (−1)^{|K|} (t − Σ_{i∈K}cᵢ)₊^k
+//
+// for cᵢ > 0, after an affine map of the box to the unit cube, coordinate
+// flips to make all coefficients positive, and elimination of zero
+// coefficients. Zero-coefficient dimensions contribute a plain factor.
+func (h Halfspace) IntersectBoxVolume(b Box) float64 {
+	boxVol := b.Volume()
+	if boxVol == 0 {
+		return 0
+	}
+	// Complement trick: vol(A·x ≥ B) = boxVol − vol(A·x < B); we compute
+	// the ≤ side, which is what the formula gives: fraction of the box
+	// with A·x ≤ B, then subtract.
+	frac := h.fracBelow(b)
+	v := boxVol * (1 - frac)
+	if v < 0 {
+		return 0
+	}
+	if v > boxVol {
+		return boxVol
+	}
+	return v
+}
+
+// fracBelow returns the fraction of the box where A·x ≤ B.
+func (h Halfspace) fracBelow(b Box) float64 {
+	d := h.Dim()
+	// Map x = lo + (hi−lo)·y, y ∈ [0,1]^d:  A·x = A·lo + Σ cᵢyᵢ.
+	t := h.B
+	c := make([]float64, 0, d)
+	for i := 0; i < d; i++ {
+		t -= h.A[i] * b.Lo[i]
+		ci := h.A[i] * (b.Hi[i] - b.Lo[i])
+		switch {
+		case ci > 0:
+			c = append(c, ci)
+		case ci < 0:
+			// Flip yᵢ → 1−yᵢ: coefficient |cᵢ|, threshold shifts.
+			t -= ci
+			c = append(c, -ci)
+		default:
+			// Zero coefficient: dimension does not constrain.
+		}
+	}
+	k := len(c)
+	if k == 0 {
+		if t >= 0 {
+			return 1
+		}
+		return 0
+	}
+	total := 0.0
+	for _, ci := range c {
+		total += ci
+	}
+	if t <= 0 {
+		return 0
+	}
+	if t >= total {
+		return 1
+	}
+	// Normalize by the largest coefficient for numerical stability; the
+	// fraction is scale-invariant in (c, t).
+	scale := 0.0
+	for _, ci := range c {
+		scale = max(scale, ci)
+	}
+	for i := range c {
+		c[i] /= scale
+	}
+	t /= scale
+	// Inclusion–exclusion over subsets of coefficients.
+	sum := 0.0
+	n := 1 << uint(k)
+	for mask := 0; mask < n; mask++ {
+		s := t
+		bits := 0
+		for i := 0; i < k; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				s -= c[i]
+				bits++
+			}
+		}
+		if s <= 0 {
+			continue
+		}
+		term := math.Pow(s, float64(k))
+		if bits&1 == 1 {
+			sum -= term
+		} else {
+			sum += term
+		}
+	}
+	denom := 1.0
+	for i := 1; i <= k; i++ {
+		denom *= float64(i)
+	}
+	for _, ci := range c {
+		denom *= ci
+	}
+	frac := sum / denom
+	if frac < 0 {
+		return 0
+	}
+	if frac > 1 {
+		return 1
+	}
+	return frac
+}
+
+// BoundingBox returns the smallest box containing halfspace ∩ [0,1]^d,
+// computed by the iterative tightening procedure of Appendix A.2: repeatedly
+// raise each lower bound (resp. lower each upper bound) to the extreme value
+// attainable when all other coordinates are at their most favorable corner.
+func (h Halfspace) BoundingBox() Box {
+	d := h.Dim()
+	bb := UnitCube(d)
+	if !h.IntersectsBox(bb) {
+		// Empty: return canonical empty box.
+		return Box{Lo: make(Point, d), Hi: func() Point {
+			p := make(Point, d)
+			for i := range p {
+				p[i] = -1
+			}
+			return p
+		}()}
+	}
+	for iter := 0; iter < 64; iter++ {
+		changed := false
+		for i := 0; i < d; i++ {
+			ai := h.A[i]
+			if ai == 0 {
+				continue
+			}
+			// Best achievable contribution from the other dims.
+			rest := 0.0
+			for j := 0; j < d; j++ {
+				if j == i {
+					continue
+				}
+				rest += max(h.A[j]*bb.Lo[j], h.A[j]*bb.Hi[j])
+			}
+			// Need ai·xᵢ ≥ B − rest.
+			bound := (h.B - rest) / ai
+			if ai > 0 {
+				if bound > bb.Lo[i]+1e-15 {
+					bb.Lo[i] = min(bound, bb.Hi[i])
+					changed = true
+				}
+			} else {
+				if bound < bb.Hi[i]-1e-15 {
+					bb.Hi[i] = max(bound, bb.Lo[i])
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return bb
+}
+
+// Sample draws a uniform point from halfspace ∩ [0,1]^d by rejection from
+// the tightened bounding box (Appendix A.2).
+func (h Halfspace) Sample(r *rng.RNG) (Point, bool) {
+	return rejectionSample(h, r)
+}
+
+// String renders the halfspace for diagnostics.
+func (h Halfspace) String() string {
+	return fmt.Sprintf("halfspace{a=%v b=%.4g}", []float64(h.A), h.B)
+}
+
+var _ Range = Halfspace{}
+var _ Sampler = Halfspace{}

@@ -1,0 +1,194 @@
+package geom
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/montecarlo"
+	"repro/internal/rng"
+)
+
+func TestHalfspaceContains(t *testing.T) {
+	h := NewHalfspace(Point{1, 1}, 1) // x + y ≥ 1
+	if !h.Contains(Point{0.6, 0.6}) {
+		t.Fatal("interior point rejected")
+	}
+	if h.Contains(Point{0.2, 0.2}) {
+		t.Fatal("exterior point accepted")
+	}
+	if !h.Contains(Point{0.5, 0.5}) {
+		t.Fatal("boundary point rejected (closed halfspace)")
+	}
+}
+
+func TestHalfspaceVolumeSimple2D(t *testing.T) {
+	// x + y ≥ 1 over the unit square cuts off exactly half.
+	h := NewHalfspace(Point{1, 1}, 1)
+	got := h.IntersectBoxVolume(UnitCube(2))
+	if !almostEqual(got, 0.5, 1e-12) {
+		t.Fatalf("volume = %v, want 0.5", got)
+	}
+	// x ≥ 0.25 over the unit square leaves 0.75.
+	h2 := NewHalfspace(Point{1, 0}, 0.25)
+	if got := h2.IntersectBoxVolume(UnitCube(2)); !almostEqual(got, 0.75, 1e-12) {
+		t.Fatalf("volume = %v, want 0.75", got)
+	}
+	// Negative normal: −x ≥ −0.25 ⟺ x ≤ 0.25.
+	h3 := NewHalfspace(Point{-1, 0}, -0.25)
+	if got := h3.IntersectBoxVolume(UnitCube(2)); !almostEqual(got, 0.25, 1e-12) {
+		t.Fatalf("volume = %v, want 0.25", got)
+	}
+}
+
+func TestHalfspaceVolumeCorner3D(t *testing.T) {
+	// x + y + z ≤ 0.5 over the unit cube is the simplex of volume
+	// 0.5³/3! = 1/48, so the ≥ side has 1 − 1/48.
+	h := NewHalfspace(Point{-1, -1, -1}, -0.5)
+	got := h.IntersectBoxVolume(UnitCube(3))
+	want := 0.5 * 0.5 * 0.5 / 6
+	if !almostEqual(got, want, 1e-12) {
+		t.Fatalf("volume = %v, want %v", got, want)
+	}
+}
+
+func TestHalfspaceVolumeDegenerate(t *testing.T) {
+	// Halfspace fully containing the box.
+	h := NewHalfspace(Point{1, 1}, -10)
+	if got := h.IntersectBoxVolume(UnitCube(2)); !almostEqual(got, 1, 1e-12) {
+		t.Fatalf("containing halfspace volume = %v", got)
+	}
+	// Halfspace missing the box entirely.
+	h2 := NewHalfspace(Point{1, 1}, 10)
+	if got := h2.IntersectBoxVolume(UnitCube(2)); got != 0 {
+		t.Fatalf("disjoint halfspace volume = %v", got)
+	}
+	// Zero coefficient dimension.
+	h3 := NewHalfspace(Point{1, 0, 0}, 0.5)
+	if got := h3.IntersectBoxVolume(UnitCube(3)); !almostEqual(got, 0.5, 1e-12) {
+		t.Fatalf("zero-coefficient volume = %v, want 0.5", got)
+	}
+}
+
+// Property: exact volume matches QMC estimation on random halfspaces and
+// random boxes across dimensions 1..8.
+func TestHalfspaceVolumeAgainstQMC(t *testing.T) {
+	r := rng.New(2024)
+	for trial := 0; trial < 200; trial++ {
+		d := 1 + r.IntN(8)
+		a := make(Point, d)
+		for i := range a {
+			a[i] = 2*r.Float64() - 1
+		}
+		b := 2*r.Float64() - 1
+		h := NewHalfspace(a, b)
+		lo := make(Point, d)
+		hi := make(Point, d)
+		for i := 0; i < d; i++ {
+			u, v := r.Float64(), r.Float64()
+			lo[i], hi[i] = min(u, v), max(u, v)
+		}
+		box := Box{Lo: lo, Hi: hi}
+		exact := h.IntersectBoxVolume(box)
+		approx := montecarlo.Volume(box.Lo, box.Hi, 20000, func(p []float64) bool {
+			return h.Contains(Point(p))
+		})
+		tol := 0.02*box.Volume() + 1e-9
+		if math.Abs(exact-approx) > tol {
+			t.Fatalf("d=%d h=%v box=%v: exact %v vs QMC %v", d, h, box, exact, approx)
+		}
+	}
+}
+
+func TestHalfspaceBoxPredicatesConsistent(t *testing.T) {
+	r := rng.New(7)
+	for trial := 0; trial < 300; trial++ {
+		d := 1 + r.IntN(6)
+		a := make(Point, d)
+		for i := range a {
+			a[i] = 2*r.Float64() - 1
+		}
+		h := NewHalfspace(a, 2*r.Float64()-1)
+		lo := make(Point, d)
+		hi := make(Point, d)
+		for i := 0; i < d; i++ {
+			u, v := r.Float64(), r.Float64()
+			lo[i], hi[i] = min(u, v), max(u, v)
+		}
+		box := Box{Lo: lo, Hi: hi}
+		vol := h.IntersectBoxVolume(box)
+		switch {
+		case h.ContainsBox(box):
+			if !almostEqual(vol, box.Volume(), 1e-9) {
+				t.Fatalf("ContainsBox but vol %v != %v", vol, box.Volume())
+			}
+		case !h.IntersectsBox(box):
+			if vol != 0 {
+				t.Fatalf("disjoint but vol %v", vol)
+			}
+		default:
+			if vol < -1e-12 || vol > box.Volume()+1e-12 {
+				t.Fatalf("partial volume %v out of [0, %v]", vol, box.Volume())
+			}
+		}
+	}
+}
+
+func TestHalfspaceBoundingBoxCoversSamples(t *testing.T) {
+	r := rng.New(31)
+	for trial := 0; trial < 50; trial++ {
+		d := 2 + r.IntN(4)
+		a := make(Point, d)
+		for i := range a {
+			a[i] = 2*r.Float64() - 1
+		}
+		h := NewHalfspace(a, r.Float64()-0.5)
+		if !h.IntersectsBox(UnitCube(d)) {
+			continue
+		}
+		bb := h.BoundingBox()
+		for i := 0; i < 200; i++ {
+			p, ok := h.Sample(r)
+			if !ok {
+				break
+			}
+			if !h.Contains(p) {
+				t.Fatalf("sample %v not in halfspace %v", p, h)
+			}
+			if !bb.Contains(p) {
+				t.Fatalf("sample %v escapes bounding box %v of %v", p, bb, h)
+			}
+		}
+	}
+}
+
+func TestHalfspaceThroughPoint(t *testing.T) {
+	c := Point{0.5, 0.5}
+	n := Point{0, 1}
+	h := HalfspaceThroughPoint(c, n)
+	if !h.Contains(Point{0.1, 0.9}) || h.Contains(Point{0.1, 0.1}) {
+		t.Fatalf("halfspace through point misoriented: %v", h)
+	}
+	if !h.Contains(c) {
+		t.Fatal("boundary point excluded")
+	}
+}
+
+func TestHalfspaceBoundingBoxTightens(t *testing.T) {
+	// x ≥ 0.7 over the unit square: bbox should be [0.7,1]×[0,1].
+	h := NewHalfspace(Point{1, 0}, 0.7)
+	bb := h.BoundingBox()
+	if !almostEqual(bb.Lo[0], 0.7, 1e-9) || !almostEqual(bb.Hi[0], 1, 0) {
+		t.Fatalf("bbox = %v", bb)
+	}
+	if !almostEqual(bb.Lo[1], 0, 0) || !almostEqual(bb.Hi[1], 1, 0) {
+		t.Fatalf("bbox = %v", bb)
+	}
+	// x + y ≥ 1.8: both coordinates must be at least 0.8.
+	h2 := NewHalfspace(Point{1, 1}, 1.8)
+	bb2 := h2.BoundingBox()
+	for i := 0; i < 2; i++ {
+		if !almostEqual(bb2.Lo[i], 0.8, 1e-9) {
+			t.Fatalf("bbox2 = %v", bb2)
+		}
+	}
+}

@@ -1,0 +1,159 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/montecarlo"
+	"repro/internal/rng"
+)
+
+// LpBall is the distance-based range under the ℓp norm,
+// {x : Σᵢ|xᵢ−Cᵢ|^p ≤ R^p} for finite p ≥ 1, generalizing Ball (p = 2).
+// Appendix A.2 of the paper discusses sampling from ℓp balls via their
+// smallest bounding boxes; this type makes that class first-class. P = +Inf
+// selects the ℓ∞ ball (an axis-aligned cube of side 2R).
+type LpBall struct {
+	Center Point
+	Radius float64
+	P      float64
+}
+
+// NewLpBall builds an ℓp ball. It panics for p < 1 (not a norm).
+func NewLpBall(center Point, radius, p float64) LpBall {
+	if p < 1 {
+		panic("geom: LpBall needs p ≥ 1")
+	}
+	return LpBall{Center: center.Clone(), Radius: radius, P: p}
+}
+
+// Dim returns the ambient dimension.
+func (lb LpBall) Dim() int { return len(lb.Center) }
+
+// lpDist returns the ℓp distance between a and the center.
+func (lb LpBall) lpDist(a Point) float64 {
+	if math.IsInf(lb.P, 1) {
+		worst := 0.0
+		for i := range a {
+			worst = max(worst, math.Abs(a[i]-lb.Center[i]))
+		}
+		return worst
+	}
+	s := 0.0
+	for i := range a {
+		s += math.Pow(math.Abs(a[i]-lb.Center[i]), lb.P)
+	}
+	return math.Pow(s, 1/lb.P)
+}
+
+// Contains reports whether p lies in the closed ball.
+func (lb LpBall) Contains(p Point) bool {
+	return lb.lpDist(p) <= lb.Radius
+}
+
+// nearFar returns the nearest and farthest points of the box to the
+// center, coordinatewise — which minimize/maximize every ℓp norm
+// simultaneously.
+func (lb LpBall) nearFar(b Box) (near, far Point) {
+	near = make(Point, lb.Dim())
+	far = make(Point, lb.Dim())
+	for i := range near {
+		c := lb.Center[i]
+		near[i] = clampTo(c, b.Lo[i], b.Hi[i])
+		if c-b.Lo[i] > b.Hi[i]-c {
+			far[i] = b.Lo[i]
+		} else {
+			far[i] = b.Hi[i]
+		}
+	}
+	return near, far
+}
+
+// IntersectsBox reports whether the ball meets the box.
+func (lb LpBall) IntersectsBox(b Box) bool {
+	if b.Empty() {
+		return false
+	}
+	near, _ := lb.nearFar(b)
+	return lb.lpDist(near) <= lb.Radius
+}
+
+// ContainsBox reports whether the box lies inside the ball.
+func (lb LpBall) ContainsBox(b Box) bool {
+	if b.Empty() {
+		return true
+	}
+	_, far := lb.nearFar(b)
+	return lb.lpDist(far) <= lb.Radius
+}
+
+// BoundingBox returns the smallest box containing ball ∩ [0,1]^d — for
+// every p, the ℓp ball fits in center ± radius (Appendix A.2's smallest
+// bounding box).
+func (lb LpBall) BoundingBox() Box {
+	d := lb.Dim()
+	lo := make(Point, d)
+	hi := make(Point, d)
+	for i := 0; i < d; i++ {
+		lo[i] = clamp01(lb.Center[i] - lb.Radius)
+		hi[i] = clamp01(lb.Center[i] + lb.Radius)
+	}
+	return Box{Lo: lo, Hi: hi}
+}
+
+// IntersectBoxVolume returns vol(ball ∩ b): exact for p ∈ {1 in 1D, ∞},
+// deterministic Halton QMC otherwise.
+func (lb LpBall) IntersectBoxVolume(b Box) float64 {
+	if b.Empty() || lb.Radius <= 0 {
+		return 0
+	}
+	if math.IsInf(lb.P, 1) {
+		// ℓ∞ ball is a box.
+		return lb.BoundingBoxUnclipped().IntersectBoxVolume(b)
+	}
+	near, far := lb.nearFar(b)
+	if lb.lpDist(near) > lb.Radius {
+		return 0
+	}
+	if lb.lpDist(far) <= lb.Radius {
+		return b.Volume()
+	}
+	if lb.Dim() == 1 {
+		lo := max(b.Lo[0], lb.Center[0]-lb.Radius)
+		hi := min(b.Hi[0], lb.Center[0]+lb.Radius)
+		if hi <= lo {
+			return 0
+		}
+		return hi - lo
+	}
+	return montecarlo.Volume(b.Lo, b.Hi, qmcSamples, func(p []float64) bool {
+		return lb.Contains(Point(p))
+	})
+}
+
+// BoundingBoxUnclipped is center ± radius without the unit-cube clip (the
+// exact extent, used for the ℓ∞ closed form).
+func (lb LpBall) BoundingBoxUnclipped() Box {
+	d := lb.Dim()
+	lo := make(Point, d)
+	hi := make(Point, d)
+	for i := 0; i < d; i++ {
+		lo[i] = lb.Center[i] - lb.Radius
+		hi[i] = lb.Center[i] + lb.Radius
+	}
+	return Box{Lo: lo, Hi: hi}
+}
+
+// Sample draws a uniform point from ball ∩ [0,1]^d by rejection from the
+// smallest bounding box (Appendix A.2).
+func (lb LpBall) Sample(r *rng.RNG) (Point, bool) {
+	return rejectionSample(lb, r)
+}
+
+// String renders the ball for diagnostics.
+func (lb LpBall) String() string {
+	return fmt.Sprintf("l%gball{c=%v r=%.4g}", lb.P, []float64(lb.Center), lb.Radius)
+}
+
+var _ Range = LpBall{}
+var _ Sampler = LpBall{}

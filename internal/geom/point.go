@@ -1,0 +1,69 @@
+package geom
+
+import "math"
+
+// Point is a point in R^d, represented as its coordinate slice.
+type Point []float64
+
+// Clone returns a deep copy of the point.
+func (p Point) Clone() Point {
+	q := make(Point, len(p))
+	copy(q, p)
+	return q
+}
+
+// Dot returns the inner product p·q. The points must have equal length.
+func (p Point) Dot(q Point) float64 {
+	if len(p) != len(q) {
+		panic("geom: Dot on points of different dimension")
+	}
+	s := 0.0
+	for i := range p {
+		s += p[i] * q[i]
+	}
+	return s
+}
+
+// Sub returns p − q as a new point.
+func (p Point) Sub(q Point) Point {
+	if len(p) != len(q) {
+		panic("geom: Sub on points of different dimension")
+	}
+	r := make(Point, len(p))
+	for i := range p {
+		r[i] = p[i] - q[i]
+	}
+	return r
+}
+
+// Norm returns the Euclidean norm ‖p‖₂.
+func (p Point) Norm() float64 {
+	s := 0.0
+	for _, v := range p {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 {
+	if len(p) != len(q) {
+		panic("geom: Dist on points of different dimension")
+	}
+	s := 0.0
+	for i := range p {
+		d := p[i] - q[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// InUnitCube reports whether every coordinate lies in [0,1].
+func (p Point) InUnitCube() bool {
+	for _, v := range p {
+		if v < 0 || v > 1 {
+			return false
+		}
+	}
+	return true
+}

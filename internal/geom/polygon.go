@@ -1,0 +1,238 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// ConvexPolygon is a convex polygon range in R², given by its vertices in
+// counter-clockwise order. It exists to realize the paper's negative
+// example (Section 2.2): convex polygons with arbitrarily many vertices
+// have infinite VC dimension — any point set on a circle is shattered — so
+// by Theorem 2.1 their selectivity functions are NOT learnable. The
+// shattering construction of Figure 5 and Lemma 2.7 is machine-checked in
+// internal/core's tests using this type.
+type ConvexPolygon struct {
+	// Vertices in CCW order; at least 3.
+	Vertices []Point
+}
+
+// NewConvexPolygon builds a polygon from CCW vertices. It panics if fewer
+// than 3 vertices are given or any vertex is not 2-dimensional; convexity
+// and orientation are the caller's responsibility (ConvexHull builds both).
+func NewConvexPolygon(vertices ...Point) ConvexPolygon {
+	if len(vertices) < 3 {
+		panic("geom: polygon needs at least 3 vertices")
+	}
+	for _, v := range vertices {
+		if len(v) != 2 {
+			panic("geom: polygon vertices must be 2D")
+		}
+	}
+	return ConvexPolygon{Vertices: vertices}
+}
+
+// ConvexHull returns the convex hull of the points as a CCW polygon
+// (Andrew's monotone chain). It panics if fewer than 3 non-collinear
+// points are given.
+func ConvexHull(points []Point) ConvexPolygon {
+	if len(points) < 3 {
+		panic("geom: hull needs at least 3 points")
+	}
+	pts := make([]Point, len(points))
+	copy(pts, points)
+	// Sort lexicographically.
+	for i := 1; i < len(pts); i++ {
+		for j := i; j > 0 && less(pts[j], pts[j-1]); j-- {
+			pts[j], pts[j-1] = pts[j-1], pts[j]
+		}
+	}
+	cross := func(o, a, b Point) float64 {
+		return (a[0]-o[0])*(b[1]-o[1]) - (a[1]-o[1])*(b[0]-o[0])
+	}
+	var lower, upper []Point
+	for _, p := range pts {
+		for len(lower) >= 2 && cross(lower[len(lower)-2], lower[len(lower)-1], p) <= 0 {
+			lower = lower[:len(lower)-1]
+		}
+		lower = append(lower, p)
+	}
+	for i := len(pts) - 1; i >= 0; i-- {
+		p := pts[i]
+		for len(upper) >= 2 && cross(upper[len(upper)-2], upper[len(upper)-1], p) <= 0 {
+			upper = upper[:len(upper)-1]
+		}
+		upper = append(upper, p)
+	}
+	hull := append(lower[:len(lower)-1], upper[:len(upper)-1]...)
+	if len(hull) < 3 {
+		panic("geom: hull degenerate (collinear points)")
+	}
+	return ConvexPolygon{Vertices: hull}
+}
+
+func less(a, b Point) bool {
+	if a[0] != b[0] {
+		return a[0] < b[0]
+	}
+	return a[1] < b[1]
+}
+
+// Dim returns 2.
+func (pg ConvexPolygon) Dim() int { return 2 }
+
+// Contains reports whether p lies in the closed polygon: on or left of
+// every CCW edge.
+func (pg ConvexPolygon) Contains(p Point) bool {
+	n := len(pg.Vertices)
+	for i := 0; i < n; i++ {
+		a := pg.Vertices[i]
+		b := pg.Vertices[(i+1)%n]
+		// Cross product (b−a) × (p−a) ≥ 0 for CCW-interior points.
+		if (b[0]-a[0])*(p[1]-a[1])-(b[1]-a[1])*(p[0]-a[0]) < -1e-12 {
+			return false
+		}
+	}
+	return true
+}
+
+// clipAgainstEdge clips a polygon (vertex list) against the half-plane
+// left of edge a→b (Sutherland–Hodgman step).
+func clipAgainstEdge(poly []Point, a, b Point) []Point {
+	side := func(p Point) float64 {
+		return (b[0]-a[0])*(p[1]-a[1]) - (b[1]-a[1])*(p[0]-a[0])
+	}
+	var out []Point
+	n := len(poly)
+	for i := 0; i < n; i++ {
+		cur := poly[i]
+		nxt := poly[(i+1)%n]
+		sc, sn := side(cur), side(nxt)
+		if sc >= 0 {
+			out = append(out, cur)
+		}
+		if (sc > 0 && sn < 0) || (sc < 0 && sn > 0) {
+			t := sc / (sc - sn)
+			out = append(out, Point{
+				cur[0] + t*(nxt[0]-cur[0]),
+				cur[1] + t*(nxt[1]-cur[1]),
+			})
+		}
+	}
+	return out
+}
+
+// clipToPolygon clips the subject polygon against every edge of pg.
+func (pg ConvexPolygon) clipToPolygon(subject []Point) []Point {
+	out := subject
+	n := len(pg.Vertices)
+	for i := 0; i < n && len(out) > 0; i++ {
+		out = clipAgainstEdge(out, pg.Vertices[i], pg.Vertices[(i+1)%n])
+	}
+	return out
+}
+
+// shoelace returns the (positive) area of a CCW polygon.
+func shoelace(poly []Point) float64 {
+	area := 0.0
+	n := len(poly)
+	for i := 0; i < n; i++ {
+		a := poly[i]
+		b := poly[(i+1)%n]
+		area += a[0]*b[1] - b[0]*a[1]
+	}
+	return math.Abs(area) / 2
+}
+
+// IntersectBoxVolume returns the exact area of polygon ∩ box via
+// Sutherland–Hodgman clipping and the shoelace formula.
+func (pg ConvexPolygon) IntersectBoxVolume(b Box) float64 {
+	if b.Empty() {
+		return 0
+	}
+	boxPoly := []Point{
+		{b.Lo[0], b.Lo[1]},
+		{b.Hi[0], b.Lo[1]},
+		{b.Hi[0], b.Hi[1]},
+		{b.Lo[0], b.Hi[1]},
+	}
+	clipped := pg.clipToPolygon(boxPoly)
+	if len(clipped) < 3 {
+		return 0
+	}
+	return shoelace(clipped)
+}
+
+// IntersectsBox reports whether the polygon meets the box (exact: either a
+// vertex relationship holds or the clipped intersection is non-empty).
+func (pg ConvexPolygon) IntersectsBox(b Box) bool {
+	if b.Empty() {
+		return false
+	}
+	// Cheap checks: any polygon vertex in the box, or any box corner in
+	// the polygon.
+	for _, v := range pg.Vertices {
+		if b.Contains(v) {
+			return true
+		}
+	}
+	for mask := 0; mask < 4; mask++ {
+		if pg.Contains(b.Corner(mask)) {
+			return true
+		}
+	}
+	// Edge-crossing case: the clipped polygon is non-empty.
+	boxPoly := []Point{
+		{b.Lo[0], b.Lo[1]},
+		{b.Hi[0], b.Lo[1]},
+		{b.Hi[0], b.Hi[1]},
+		{b.Lo[0], b.Hi[1]},
+	}
+	return len(pg.clipToPolygon(boxPoly)) > 0
+}
+
+// ContainsBox reports whether the box lies inside the polygon (all
+// corners, by convexity).
+func (pg ConvexPolygon) ContainsBox(b Box) bool {
+	if b.Empty() {
+		return true
+	}
+	for mask := 0; mask < 4; mask++ {
+		if !pg.Contains(b.Corner(mask)) {
+			return false
+		}
+	}
+	return true
+}
+
+// BoundingBox returns the vertex bounding box clipped to the unit cube.
+func (pg ConvexPolygon) BoundingBox() Box {
+	lo := pg.Vertices[0].Clone()
+	hi := pg.Vertices[0].Clone()
+	for _, v := range pg.Vertices[1:] {
+		for i := 0; i < 2; i++ {
+			lo[i] = min(lo[i], v[i])
+			hi[i] = max(hi[i], v[i])
+		}
+	}
+	for i := 0; i < 2; i++ {
+		lo[i] = clamp01(lo[i])
+		hi[i] = clamp01(hi[i])
+	}
+	return Box{Lo: lo, Hi: hi}
+}
+
+// Sample draws a uniform point from polygon ∩ [0,1]² by rejection.
+func (pg ConvexPolygon) Sample(r *rng.RNG) (Point, bool) {
+	return rejectionSample(pg, r)
+}
+
+// String renders the polygon for diagnostics.
+func (pg ConvexPolygon) String() string {
+	return fmt.Sprintf("polygon{%d vertices}", len(pg.Vertices))
+}
+
+var _ Range = ConvexPolygon{}
+var _ Sampler = ConvexPolygon{}

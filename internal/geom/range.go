@@ -1,0 +1,67 @@
+// Package geom provides the computational-geometry substrate of the
+// reproduction: points, axis-aligned boxes, halfspaces, Euclidean balls and
+// disc-intersection (semi-algebraic) ranges over the unit cube [0,1]^d,
+// together with the exact and quasi-Monte-Carlo intersection-volume routines
+// that the histogram learners (Eq. 6 of the paper) and the quadtree splitting
+// rule (Algorithm 2) are built on.
+//
+// Conventions: the data domain is always the unit cube [0,1]^d. Ranges may
+// extend beyond the cube (e.g. halfspaces are unbounded); every volume
+// reported by this package is implicitly the volume of the range clipped to
+// the query box, which itself lies inside the unit cube.
+package geom
+
+import "repro/internal/rng"
+
+// Range is a geometric query region over [0,1]^d. It corresponds to one
+// range R of the paper's range space (X, R).
+type Range interface {
+	// Dim returns the dimensionality d of the ambient space.
+	Dim() int
+	// Contains reports whether the point lies in the range (closed).
+	Contains(p Point) bool
+	// BoundingBox returns the smallest axis-aligned box containing
+	// the range clipped to the unit cube. It may be empty.
+	BoundingBox() Box
+	// IntersectBoxVolume returns vol(range ∩ b). Exact where a closed
+	// form exists (boxes everywhere; halfspaces everywhere; balls in
+	// d ≤ 2), deterministic quasi-Monte-Carlo otherwise.
+	IntersectBoxVolume(b Box) float64
+	// IntersectsBox reports whether the range and the box overlap.
+	IntersectsBox(b Box) bool
+	// ContainsBox reports whether the box lies entirely inside the range.
+	ContainsBox(b Box) bool
+}
+
+// Sampler is implemented by ranges that can draw uniform points from their
+// intersection with the unit cube. All ranges in this package implement it
+// via rejection sampling from the bounding box (Appendix A.2 of the paper).
+type Sampler interface {
+	// Sample draws a point uniformly at random from range ∩ [0,1]^d.
+	// ok is false if the region appears to be empty (no acceptance after
+	// an attempt budget), in which case p is the bounding-box center.
+	Sample(r *rng.RNG) (p Point, ok bool)
+}
+
+// maxRejectionAttempts bounds rejection sampling; beyond it the region is
+// treated as (numerically) empty.
+const maxRejectionAttempts = 10000
+
+// rejectionSample draws uniformly from rg ∩ [0,1]^d by rejection from the
+// bounding box.
+func rejectionSample(rg Range, r *rng.RNG) (Point, bool) {
+	bb := rg.BoundingBox()
+	if bb.Empty() {
+		return UnitCube(rg.Dim()).Center(), false
+	}
+	p := make(Point, rg.Dim())
+	for attempt := 0; attempt < maxRejectionAttempts; attempt++ {
+		for i := range p {
+			p[i] = bb.Lo[i] + r.Float64()*(bb.Hi[i]-bb.Lo[i])
+		}
+		if rg.Contains(p) {
+			return p, true
+		}
+	}
+	return bb.Center(), false
+}

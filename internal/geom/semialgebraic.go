@@ -1,0 +1,286 @@
+package geom
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/montecarlo"
+	"repro/internal/rng"
+)
+
+// This file implements the general semi-algebraic range class T_{d,b,Δ} of
+// Section 2.2 of the paper: subsets of R^d defined by a conjunction of at
+// most b polynomial inequalities of degree at most Δ. Its VC dimension is
+// a constant λ(d,b,Δ), so by Theorem 2.1 its selectivity functions are
+// learnable; PTSHIST can train on these ranges out of the box because it
+// only needs the membership test.
+//
+// Box predicates (ContainsBox / IntersectsBox) are decided soundly with
+// interval arithmetic: evaluating each polynomial over the box interval
+// yields an enclosure [lo, hi] of its value range; hi ≤ 0 proves the
+// constraint holds everywhere, lo > 0 proves it fails everywhere. Interval
+// enclosures are conservative, so IntersectsBox may report true for a box
+// the range misses — allowed by the Range contract used in kd-tree pruning
+// and quadtree refinement (both only need soundness, not tightness).
+
+// Monomial is coeff · ∏ x_i^Exps[i].
+type Monomial struct {
+	Coeff float64
+	Exps  []int // one exponent per dimension
+}
+
+// Polynomial is a multivariate polynomial Σ monomials.
+type Polynomial struct {
+	Terms []Monomial
+}
+
+// Eval evaluates the polynomial at a point.
+func (poly Polynomial) Eval(p Point) float64 {
+	s := 0.0
+	for _, t := range poly.Terms {
+		v := t.Coeff
+		for i, e := range t.Exps {
+			for k := 0; k < e; k++ {
+				v *= p[i]
+			}
+		}
+		s += v
+	}
+	return s
+}
+
+// interval is a closed real interval.
+type interval struct{ lo, hi float64 }
+
+func (iv interval) mul(o interval) interval {
+	a, b, c, d := iv.lo*o.lo, iv.lo*o.hi, iv.hi*o.lo, iv.hi*o.hi
+	return interval{min(min(a, b), min(c, d)), max(max(a, b), max(c, d))}
+}
+
+func (iv interval) add(o interval) interval {
+	return interval{iv.lo + o.lo, iv.hi + o.hi}
+}
+
+func (iv interval) pow(e int) interval {
+	switch {
+	case e == 0:
+		return interval{1, 1}
+	case e == 1:
+		return iv
+	case e%2 == 1:
+		r := iv
+		for k := 1; k < e; k++ {
+			r = r.mul(iv)
+		}
+		return r
+	default:
+		// Even powers: the enclosure tightens around 0 when the
+		// interval straddles it.
+		lo2, hi2 := iv.lo, iv.hi
+		a := powF(lo2, e)
+		b := powF(hi2, e)
+		out := interval{min(a, b), max(a, b)}
+		if iv.lo <= 0 && iv.hi >= 0 {
+			out.lo = 0
+		}
+		return out
+	}
+}
+
+func powF(x float64, e int) float64 {
+	v := 1.0
+	for k := 0; k < e; k++ {
+		v *= x
+	}
+	return v
+}
+
+// evalInterval returns an enclosure of the polynomial's range over the box.
+func (poly Polynomial) evalInterval(b Box) interval {
+	total := interval{0, 0}
+	for _, t := range poly.Terms {
+		term := interval{t.Coeff, t.Coeff}
+		for i, e := range t.Exps {
+			if e == 0 {
+				continue
+			}
+			term = term.mul(interval{b.Lo[i], b.Hi[i]}.pow(e))
+		}
+		total = total.add(term)
+	}
+	return total
+}
+
+// SemiAlgebraic is the range {x : Pⱼ(x) ≤ 0 for every constraint Pⱼ} —
+// one member of T_{d,b,Δ}.
+type SemiAlgebraic struct {
+	DimN        int
+	Constraints []Polynomial
+}
+
+// NewSemiAlgebraic builds a semi-algebraic range in dimension d.
+func NewSemiAlgebraic(d int, constraints ...Polynomial) SemiAlgebraic {
+	return SemiAlgebraic{DimN: d, Constraints: constraints}
+}
+
+// Dim returns the ambient dimension.
+func (sa SemiAlgebraic) Dim() int { return sa.DimN }
+
+// Contains reports whether every constraint polynomial is ≤ 0 at p.
+func (sa SemiAlgebraic) Contains(p Point) bool {
+	for _, c := range sa.Constraints {
+		if c.Eval(p) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ContainsBox reports (soundly) whether the box lies inside the range:
+// true only when interval arithmetic proves every constraint ≤ 0 over the
+// whole box.
+func (sa SemiAlgebraic) ContainsBox(b Box) bool {
+	if b.Empty() {
+		return true
+	}
+	for _, c := range sa.Constraints {
+		if c.evalInterval(b).hi > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// IntersectsBox reports (soundly, conservatively) whether the range may
+// meet the box: false only when interval arithmetic proves some constraint
+// > 0 over the whole box.
+func (sa SemiAlgebraic) IntersectsBox(b Box) bool {
+	if b.Empty() {
+		return false
+	}
+	for _, c := range sa.Constraints {
+		if c.evalInterval(b).lo > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// BoundingBox returns an enclosure of range ∩ [0,1]^d, tightened by
+// recursive interval bisection (a few levels are enough for the workloads
+// here; the box only needs to be sound).
+func (sa SemiAlgebraic) BoundingBox() Box {
+	d := sa.Dim()
+	// Collect leaves of a shallow subdivision that may intersect.
+	var lo, hi Point
+	first := true
+	var walk func(b Box, depth int)
+	walk = func(b Box, depth int) {
+		if !sa.IntersectsBox(b) {
+			return
+		}
+		if depth == 0 || sa.ContainsBox(b) {
+			if first {
+				lo = b.Lo.Clone()
+				hi = b.Hi.Clone()
+				first = false
+				return
+			}
+			for i := 0; i < d; i++ {
+				lo[i] = min(lo[i], b.Lo[i])
+				hi[i] = max(hi[i], b.Hi[i])
+			}
+			return
+		}
+		for _, k := range b.Children() {
+			walk(k, depth-1)
+		}
+	}
+	// Interval arithmetic suffers from the dependency problem (x² and x
+	// in the same constraint decorrelate), so shallow subdivisions leave
+	// loose enclosures; bisect deeper where dimension permits.
+	depth := 5
+	switch {
+	case d == 3:
+		depth = 3
+	case d > 3:
+		depth = 1 // 2^(d·depth) children: keep the subdivision small
+	}
+	walk(UnitCube(d), depth)
+	if first {
+		// Nothing provably intersecting: canonical empty box.
+		e := make(Point, d)
+		neg := make(Point, d)
+		for i := range neg {
+			neg[i] = -1
+		}
+		return Box{Lo: e, Hi: neg}
+	}
+	return Box{Lo: lo, Hi: hi}
+}
+
+// IntersectBoxVolume estimates vol(range ∩ b) by deterministic Halton QMC
+// (general polynomial regions admit no closed-form volumes), after the
+// sound short-circuits.
+func (sa SemiAlgebraic) IntersectBoxVolume(b Box) float64 {
+	if b.Empty() {
+		return 0
+	}
+	if !sa.IntersectsBox(b) {
+		return 0
+	}
+	if sa.ContainsBox(b) {
+		return b.Volume()
+	}
+	return montecarlo.Volume(b.Lo, b.Hi, qmcSamples, func(p []float64) bool {
+		return sa.Contains(Point(p))
+	})
+}
+
+// Sample draws a uniform point from range ∩ [0,1]^d by rejection.
+func (sa SemiAlgebraic) Sample(r *rng.RNG) (Point, bool) {
+	return rejectionSample(sa, r)
+}
+
+// String renders the range for diagnostics.
+func (sa SemiAlgebraic) String() string {
+	parts := make([]string, len(sa.Constraints))
+	for i, c := range sa.Constraints {
+		parts[i] = fmt.Sprintf("p%d(x)<=0(%d terms)", i, len(c.Terms))
+	}
+	return "semialg{" + strings.Join(parts, " ∧ ") + "}"
+}
+
+// Annulus builds the paper's Figure 3 example family: the set
+// r_inner² ≤ (x−cx)² + (y−cy)² ≤ r_outer² below the parabola
+// y − cy ≤ k(x−cx)², as a 2D semi-algebraic range with b = 3 constraints
+// of degree ≤ 2.
+func Annulus(cx, cy, rInner, rOuter, k float64) SemiAlgebraic {
+	// (x−cx)² + (y−cy)² − rOuter² ≤ 0
+	outer := Polynomial{Terms: []Monomial{
+		{Coeff: 1, Exps: []int{2, 0}},
+		{Coeff: 1, Exps: []int{0, 2}},
+		{Coeff: -2 * cx, Exps: []int{1, 0}},
+		{Coeff: -2 * cy, Exps: []int{0, 1}},
+		{Coeff: cx*cx + cy*cy - rOuter*rOuter, Exps: []int{0, 0}},
+	}}
+	// rInner² − (x−cx)² − (y−cy)² ≤ 0
+	inner := Polynomial{Terms: []Monomial{
+		{Coeff: -1, Exps: []int{2, 0}},
+		{Coeff: -1, Exps: []int{0, 2}},
+		{Coeff: 2 * cx, Exps: []int{1, 0}},
+		{Coeff: 2 * cy, Exps: []int{0, 1}},
+		{Coeff: rInner*rInner - cx*cx - cy*cy, Exps: []int{0, 0}},
+	}}
+	// (y−cy) − k(x−cx)² ≤ 0
+	parabola := Polynomial{Terms: []Monomial{
+		{Coeff: 1, Exps: []int{0, 1}},
+		{Coeff: -k, Exps: []int{2, 0}},
+		{Coeff: 2 * k * cx, Exps: []int{1, 0}},
+		{Coeff: -k*cx*cx - cy, Exps: []int{0, 0}},
+	}}
+	return NewSemiAlgebraic(2, outer, inner, parabola)
+}
+
+var _ Range = SemiAlgebraic{}
+var _ Sampler = SemiAlgebraic{}

@@ -1,0 +1,207 @@
+package geom
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/montecarlo"
+	"repro/internal/rng"
+)
+
+func TestPolynomialEval(t *testing.T) {
+	// p(x,y) = 3x²y − 2y + 1
+	p := Polynomial{Terms: []Monomial{
+		{Coeff: 3, Exps: []int{2, 1}},
+		{Coeff: -2, Exps: []int{0, 1}},
+		{Coeff: 1, Exps: []int{0, 0}},
+	}}
+	got := p.Eval(Point{2, 0.5})
+	want := 3*4*0.5 - 2*0.5 + 1
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Eval = %v, want %v", got, want)
+	}
+}
+
+// Interval enclosure must contain the polynomial's true range over a box.
+func TestIntervalEnclosureSound(t *testing.T) {
+	r := rng.New(3)
+	for trial := 0; trial < 100; trial++ {
+		d := 1 + r.IntN(3)
+		nTerms := 1 + r.IntN(5)
+		terms := make([]Monomial, nTerms)
+		for i := range terms {
+			exps := make([]int, d)
+			for j := range exps {
+				exps[j] = r.IntN(4)
+			}
+			terms[i] = Monomial{Coeff: 4*r.Float64() - 2, Exps: exps}
+		}
+		poly := Polynomial{Terms: terms}
+		b := randomSubBox(r, d)
+		iv := poly.evalInterval(b)
+		// Sample points inside the box; values must lie in [lo, hi].
+		for k := 0; k < 50; k++ {
+			p := make(Point, d)
+			for j := 0; j < d; j++ {
+				p[j] = b.Lo[j] + r.Float64()*(b.Hi[j]-b.Lo[j])
+			}
+			v := poly.Eval(p)
+			if v < iv.lo-1e-9 || v > iv.hi+1e-9 {
+				t.Fatalf("value %v outside enclosure [%v, %v]", v, iv.lo, iv.hi)
+			}
+		}
+	}
+}
+
+func TestIntervalEvenPowerTightensAtZero(t *testing.T) {
+	iv := interval{-2, 3}.pow(2)
+	if iv.lo != 0 {
+		t.Fatalf("x² over [−2,3] has lower bound %v, want 0", iv.lo)
+	}
+	if iv.hi != 9 {
+		t.Fatalf("x² over [−2,3] has upper bound %v, want 9", iv.hi)
+	}
+}
+
+func TestAnnulusMembership(t *testing.T) {
+	// Figure 3 of the paper: 1 ≤ x²+y² ≤ 4, y ≤ 2x² — centered at the
+	// origin with k=2. Use a shifted, scaled version inside the cube.
+	a := Annulus(0.5, 0.5, 0.15, 0.35, 2)
+	cases := []struct {
+		p    Point
+		want bool
+	}{
+		{Point{0.5 + 0.25, 0.5}, true},  // in the ring, below parabola
+		{Point{0.5, 0.5}, false},        // inside the hole
+		{Point{0.5 + 0.5, 0.5}, false},  // outside the outer circle
+		{Point{0.5, 0.5 + 0.25}, false}, // in the ring but above parabola at x=cx
+		{Point{0.5, 0.5 - 0.25}, true},  // bottom of the ring
+		{Point{0.5 - 0.2, 0.5 - 0.2}, true},
+	}
+	for _, c := range cases {
+		if got := a.Contains(c.p); got != c.want {
+			t.Fatalf("Contains(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestSemiAlgebraicBoxPredicatesSound(t *testing.T) {
+	r := rng.New(9)
+	a := Annulus(0.5, 0.5, 0.15, 0.35, 2)
+	for trial := 0; trial < 300; trial++ {
+		b := randomSubBox(r, 2)
+		contains := a.ContainsBox(b)
+		intersects := a.IntersectsBox(b)
+		// Sample points in the box.
+		anyIn, allIn := false, true
+		for k := 0; k < 60; k++ {
+			p := Point{
+				b.Lo[0] + r.Float64()*(b.Hi[0]-b.Lo[0]),
+				b.Lo[1] + r.Float64()*(b.Hi[1]-b.Lo[1]),
+			}
+			if a.Contains(p) {
+				anyIn = true
+			} else {
+				allIn = false
+			}
+		}
+		if contains && !allIn {
+			t.Fatalf("ContainsBox %v but sampled exterior point", b)
+		}
+		if anyIn && !intersects {
+			t.Fatalf("sampled interior point in %v but IntersectsBox false", b)
+		}
+	}
+}
+
+func TestAnnulusVolumeAgainstReference(t *testing.T) {
+	// Without the parabola cut, the ring area is π(R²−r²); the shifted
+	// ring lies fully inside the unit cube.
+	ring := NewSemiAlgebraic(2,
+		Annulus(0.5, 0.5, 0.15, 0.35, 1e9).Constraints[0],
+		Annulus(0.5, 0.5, 0.15, 0.35, 1e9).Constraints[1],
+	)
+	got := ring.IntersectBoxVolume(UnitCube(2))
+	want := math.Pi * (0.35*0.35 - 0.15*0.15)
+	if math.Abs(got-want) > 0.01 {
+		t.Fatalf("ring area = %v, want %v", got, want)
+	}
+	// With the parabola: compare against plain QMC over the cube.
+	a := Annulus(0.5, 0.5, 0.15, 0.35, 2)
+	gotCut := a.IntersectBoxVolume(UnitCube(2))
+	ref := montecarlo.Volume([]float64{0, 0}, []float64{1, 1}, 100000, func(p []float64) bool {
+		return a.Contains(Point(p))
+	})
+	if math.Abs(gotCut-ref) > 0.01 {
+		t.Fatalf("cut ring area = %v, reference %v", gotCut, ref)
+	}
+	if gotCut >= got {
+		t.Fatalf("parabola cut did not reduce area: %v vs %v", gotCut, got)
+	}
+}
+
+func TestSemiAlgebraicBoundingBox(t *testing.T) {
+	a := Annulus(0.5, 0.5, 0.15, 0.35, 2)
+	bb := a.BoundingBox()
+	if bb.Empty() {
+		t.Fatal("bounding box empty for a non-empty range")
+	}
+	// Every sample must fall inside the bounding box.
+	r := rng.New(21)
+	for i := 0; i < 200; i++ {
+		p, ok := a.Sample(r)
+		if !ok {
+			t.Fatal("sampling failed")
+		}
+		if !a.Contains(p) {
+			t.Fatalf("sample %v outside range", p)
+		}
+		if !bb.Contains(p) {
+			t.Fatalf("sample %v outside bounding box %v", p, bb)
+		}
+	}
+	// The box must be substantially tighter than the unit cube.
+	if bb.Volume() > 0.9 {
+		t.Fatalf("bounding box too loose: %v", bb)
+	}
+}
+
+func TestSemiAlgebraicEmptyRange(t *testing.T) {
+	// x² + 1 ≤ 0 is empty.
+	empty := NewSemiAlgebraic(2, Polynomial{Terms: []Monomial{
+		{Coeff: 1, Exps: []int{2, 0}},
+		{Coeff: 1, Exps: []int{0, 0}},
+	}})
+	if empty.Contains(Point{0.5, 0.5}) {
+		t.Fatal("empty range contains a point")
+	}
+	if empty.IntersectsBox(UnitCube(2)) {
+		t.Fatal("interval arithmetic failed to prove emptiness")
+	}
+	if v := empty.IntersectBoxVolume(UnitCube(2)); v != 0 {
+		t.Fatalf("empty range volume = %v", v)
+	}
+	if !empty.BoundingBox().Empty() {
+		t.Fatal("empty range bounding box not empty")
+	}
+}
+
+func TestSemiAlgebraicLearnableByPtsHistStyleMembership(t *testing.T) {
+	// Smoke-check that a kd-tree can count points in the range (the
+	// labeling path used when training on semi-algebraic workloads).
+	r := rng.New(33)
+	a := Annulus(0.5, 0.5, 0.15, 0.35, 2)
+	inside := 0
+	const n = 5000
+	for i := 0; i < n; i++ {
+		p := Point{r.Float64(), r.Float64()}
+		if a.Contains(p) {
+			inside++
+		}
+	}
+	frac := float64(inside) / n
+	vol := a.IntersectBoxVolume(UnitCube(2))
+	if math.Abs(frac-vol) > 0.02 {
+		t.Fatalf("uniform-point fraction %v vs volume %v", frac, vol)
+	}
+}

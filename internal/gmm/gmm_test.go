@@ -1,0 +1,240 @@
+package gmm
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/geom"
+	"repro/internal/rng"
+	"repro/internal/workload"
+)
+
+// simulate estimates a component's mass in a range by direct sampling of
+// the Gaussian (test reference).
+func simulate(c Component, r geom.Range, n int, seed uint64) float64 {
+	rr := rng.New(seed)
+	p := make(geom.Point, len(c.Mean))
+	hits := 0
+	for i := 0; i < n; i++ {
+		for j := range p {
+			p[j] = c.Mean[j] + c.Sigma*rr.NormFloat64()
+		}
+		if r.Contains(p) {
+			hits++
+		}
+	}
+	return float64(hits) / float64(n)
+}
+
+func TestComponentBoxMass(t *testing.T) {
+	c := Component{Mean: geom.Point{0.5, 0.4}, Sigma: 0.2}
+	cases := []geom.Box{
+		geom.NewBox(geom.Point{0.3, 0.2}, geom.Point{0.7, 0.6}),
+		geom.NewBox(geom.Point{0, 0}, geom.Point{1, 1}),
+		geom.NewBox(geom.Point{0.9, 0.9}, geom.Point{1, 1}),
+	}
+	for _, q := range cases {
+		got := c.Mass(q)
+		want := simulate(c, q, 300000, 3)
+		if math.Abs(got-want) > 0.004 {
+			t.Fatalf("box %v: mass %v, simulated %v", q, got, want)
+		}
+	}
+}
+
+func TestComponentHalfspaceMass(t *testing.T) {
+	c := Component{Mean: geom.Point{0.5, 0.5, 0.5}, Sigma: 0.15}
+	cases := []geom.Halfspace{
+		geom.NewHalfspace(geom.Point{1, 0, 0}, 0.5),  // through the mean: mass 1/2
+		geom.NewHalfspace(geom.Point{1, 1, 1}, 1.5),  // through the mean
+		geom.NewHalfspace(geom.Point{1, 1, 0}, 1.3),  // off the mean
+		geom.NewHalfspace(geom.Point{-2, 1, 0}, 0.1), // mixed signs
+	}
+	for i, q := range cases {
+		got := c.Mass(q)
+		want := simulate(c, q, 300000, uint64(i+10))
+		if math.Abs(got-want) > 0.004 {
+			t.Fatalf("halfspace %v: mass %v, simulated %v", q, got, want)
+		}
+	}
+	// Exact half for hyperplanes through the mean.
+	if got := c.Mass(geom.NewHalfspace(geom.Point{1, 0, 0}, 0.5)); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("through-mean halfspace mass = %v", got)
+	}
+}
+
+func TestComponentBallMass(t *testing.T) {
+	c := Component{Mean: geom.Point{0.5, 0.5}, Sigma: 0.2}
+	cases := []geom.Ball{
+		geom.NewBall(geom.Point{0.5, 0.5}, 0.2), // centered: central chi-square
+		geom.NewBall(geom.Point{0.8, 0.5}, 0.3), // off-center
+		geom.NewBall(geom.Point{0.1, 0.1}, 0.25),
+	}
+	for i, q := range cases {
+		got := c.Mass(q)
+		want := simulate(c, q, 300000, uint64(i+30))
+		if math.Abs(got-want) > 0.004 {
+			t.Fatalf("ball %v: mass %v, simulated %v", q, got, want)
+		}
+	}
+}
+
+func TestComponentDegenerateRanges(t *testing.T) {
+	c := Component{Mean: geom.Point{0.5, 0.5}, Sigma: 0.1}
+	if got := c.Mass(geom.NewBall(geom.Point{0.5, 0.5}, 0)); got != 0 {
+		t.Fatalf("zero-radius ball mass = %v", got)
+	}
+	empty := geom.NewBox(geom.Point{0.6, 0.6}, geom.Point{0.4, 0.4})
+	if got := c.Mass(empty); got != 0 {
+		t.Fatalf("empty box mass = %v", got)
+	}
+}
+
+func TestKMeansBasics(t *testing.T) {
+	r := rng.New(3)
+	// Two well-separated blobs.
+	pts := make([]geom.Point, 0, 200)
+	for i := 0; i < 100; i++ {
+		pts = append(pts, geom.Point{0.2 + 0.02*r.NormFloat64(), 0.2 + 0.02*r.NormFloat64()})
+		pts = append(pts, geom.Point{0.8 + 0.02*r.NormFloat64(), 0.8 + 0.02*r.NormFloat64()})
+	}
+	centers, spreads := kMeans(pts, 2, r, 30)
+	if len(centers) != 2 || len(spreads) != 2 {
+		t.Fatalf("got %d centers", len(centers))
+	}
+	// One center near each blob.
+	d00 := centers[0].Dist(geom.Point{0.2, 0.2})
+	d01 := centers[0].Dist(geom.Point{0.8, 0.8})
+	near0 := math.Min(d00, d01)
+	if near0 > 0.05 {
+		t.Fatalf("center 0 far from both blobs: %v", centers[0])
+	}
+	for _, s := range spreads {
+		if s <= 0 {
+			t.Fatalf("non-positive spread %v", s)
+		}
+	}
+}
+
+func TestKMeansMorePointsThanClusters(t *testing.T) {
+	r := rng.New(5)
+	pts := []geom.Point{{0.1, 0.1}, {0.9, 0.9}}
+	centers, _ := kMeans(pts, 5, r, 10)
+	if len(centers) != 2 {
+		t.Fatalf("k capped to n: got %d centers", len(centers))
+	}
+	if centers, _ := kMeans(nil, 3, r, 10); centers != nil {
+		t.Fatal("empty input should yield nil")
+	}
+}
+
+func TestTrainOnWorkload(t *testing.T) {
+	ds := dataset.Power(6000, 1).Project([]int{0, 1})
+	g := workload.NewGenerator(ds, 42)
+	spec := workload.Spec{Class: workload.OrthogonalRange, Centers: workload.DataDriven}
+	train, test := g.TrainTest(spec, 150, 150)
+	m, err := New(2, 60, 7).TrainMixture(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumBuckets() == 0 {
+		t.Fatal("no components")
+	}
+	if rms := core.RMS(m, test); rms > 0.1 {
+		t.Fatalf("test RMS = %v", rms)
+	}
+	// Weights on the simplex.
+	sum := 0.0
+	for _, w := range m.Weights {
+		if w < -1e-12 {
+			t.Fatalf("negative weight %v", w)
+		}
+		sum += w
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Fatalf("weights sum to %v", sum)
+	}
+}
+
+func TestTrainBallQueries(t *testing.T) {
+	ds := dataset.Forest(5000, 2).NumericProjection(3)
+	g := workload.NewGenerator(ds, 11)
+	spec := workload.Spec{Class: workload.Ball, Centers: workload.DataDriven}
+	train, test := g.TrainTest(spec, 120, 120)
+	m, err := New(3, 50, 9).TrainMixture(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rms := core.RMS(m, test); rms > 0.15 {
+		t.Fatalf("ball test RMS = %v", rms)
+	}
+}
+
+func TestTrainHalfspaceQueries(t *testing.T) {
+	ds := dataset.Power(5000, 3).Project([]int{0, 1})
+	g := workload.NewGenerator(ds, 13)
+	spec := workload.Spec{Class: workload.Halfspace, Centers: workload.DataDriven}
+	train, test := g.TrainTest(spec, 120, 120)
+	m, err := New(2, 50, 11).TrainMixture(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rms := core.RMS(m, test); rms > 0.15 {
+		t.Fatalf("halfspace test RMS = %v", rms)
+	}
+}
+
+func TestEstimatesInRange(t *testing.T) {
+	ds := dataset.Power(4000, 4).Project([]int{0, 1})
+	g := workload.NewGenerator(ds, 17)
+	spec := workload.Spec{Class: workload.OrthogonalRange, Centers: workload.Random}
+	train, test := g.TrainTest(spec, 80, 150)
+	m, err := New(2, 40, 13).TrainMixture(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, z := range test {
+		e := m.Estimate(z.R)
+		if e < 0 || e > 1 {
+			t.Fatalf("estimate %v out of range", e)
+		}
+	}
+}
+
+func TestInvalidConfig(t *testing.T) {
+	if _, err := New(2, 0, 1).TrainMixture([]core.LabeledQuery{{R: geom.UnitCube(2), Sel: 1}}); err == nil {
+		t.Fatal("K=0 accepted")
+	}
+	if _, err := New(2, 5, 1).TrainMixture(nil); err == nil {
+		t.Fatal("empty training set accepted")
+	}
+}
+
+func TestKMeansDeterministic(t *testing.T) {
+	pts := make([]geom.Point, 0, 100)
+	rr := rng.New(5)
+	for i := 0; i < 100; i++ {
+		pts = append(pts, geom.Point{rr.Float64(), rr.Float64()})
+	}
+	c1, s1 := kMeans(pts, 5, rng.New(9), 20)
+	c2, s2 := kMeans(pts, 5, rng.New(9), 20)
+	for i := range c1 {
+		if c1[i].Dist(c2[i]) != 0 || s1[i] != s2[i] {
+			t.Fatalf("k-means not deterministic at center %d", i)
+		}
+	}
+}
+
+func TestKMeansSpreadFloor(t *testing.T) {
+	// Identical points give degenerate clusters; the spread floor keeps
+	// them valid distributions.
+	pts := []geom.Point{{0.5, 0.5}, {0.5, 0.5}, {0.5, 0.5}, {0.9, 0.9}}
+	_, spreads := kMeans(pts, 2, rng.New(3), 10)
+	for _, s := range spreads {
+		if s < 0.01 {
+			t.Fatalf("spread %v below floor", s)
+		}
+	}
+}

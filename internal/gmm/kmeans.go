@@ -1,0 +1,122 @@
+package gmm
+
+import (
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/rng"
+)
+
+// kMeans clusters the points into k clusters with Lloyd's algorithm seeded
+// by k-means++ (deterministic given the RNG). It returns the centers and
+// the RMS radius of each cluster (used as the component spread).
+func kMeans(points []geom.Point, k int, r *rng.RNG, iters int) (centers []geom.Point, spreads []float64) {
+	n := len(points)
+	if n == 0 || k <= 0 {
+		return nil, nil
+	}
+	if k > n {
+		k = n
+	}
+	d := len(points[0])
+
+	// k-means++ seeding.
+	centers = make([]geom.Point, 0, k)
+	centers = append(centers, points[r.IntN(n)].Clone())
+	distSq := make([]float64, n)
+	for i, p := range points {
+		distSq[i] = p.Dist(centers[0])
+		distSq[i] *= distSq[i]
+	}
+	for len(centers) < k {
+		total := 0.0
+		for _, v := range distSq {
+			total += v
+		}
+		var next geom.Point
+		if total <= 0 {
+			next = points[r.IntN(n)].Clone()
+		} else {
+			u := r.Float64() * total
+			acc := 0.0
+			idx := n - 1
+			for i, v := range distSq {
+				acc += v
+				if u <= acc {
+					idx = i
+					break
+				}
+			}
+			next = points[idx].Clone()
+		}
+		centers = append(centers, next)
+		for i, p := range points {
+			dd := p.Dist(next)
+			if sq := dd * dd; sq < distSq[i] {
+				distSq[i] = sq
+			}
+		}
+	}
+
+	// Lloyd iterations.
+	assign := make([]int, n)
+	for it := 0; it < iters; it++ {
+		changed := false
+		for i, p := range points {
+			best, bestD := 0, math.Inf(1)
+			for c, ctr := range centers {
+				if dd := p.Dist(ctr); dd < bestD {
+					best, bestD = c, dd
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		if !changed && it > 0 {
+			break
+		}
+		counts := make([]int, len(centers))
+		sums := make([][]float64, len(centers))
+		for c := range sums {
+			sums[c] = make([]float64, d)
+		}
+		for i, p := range points {
+			c := assign[i]
+			counts[c]++
+			for j, v := range p {
+				sums[c][j] += v
+			}
+		}
+		for c := range centers {
+			if counts[c] == 0 {
+				continue // keep the old center for empty clusters
+			}
+			for j := 0; j < d; j++ {
+				centers[c][j] = sums[c][j] / float64(counts[c])
+			}
+		}
+	}
+
+	// RMS radius per cluster.
+	spreads = make([]float64, len(centers))
+	counts := make([]int, len(centers))
+	for i, p := range points {
+		c := assign[i]
+		dd := p.Dist(centers[c])
+		spreads[c] += dd * dd
+		counts[c]++
+	}
+	for c := range spreads {
+		if counts[c] > 0 {
+			spreads[c] = math.Sqrt(spreads[c] / float64(counts[c]) / float64(d))
+		}
+		// Floor the spread so degenerate single-point clusters remain
+		// proper distributions.
+		if spreads[c] < 0.01 {
+			spreads[c] = 0.01
+		}
+	}
+	return centers, spreads
+}

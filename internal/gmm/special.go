@@ -1,0 +1,128 @@
+package gmm
+
+import "math"
+
+// Special functions needed for exact Gaussian-mixture selectivities:
+// the regularized lower incomplete gamma P(a,x) (for chi-square CDFs) and
+// the noncentral chi-square CDF (for ball-query mass under an isotropic
+// Gaussian).
+
+// normCDF is the standard normal CDF Φ(x).
+func normCDF(x float64) float64 {
+	return 0.5 * math.Erfc(-x/math.Sqrt2)
+}
+
+// gammaP returns the regularized lower incomplete gamma function
+// P(a, x) = γ(a,x)/Γ(a) for a > 0, x ≥ 0, using the series expansion for
+// x < a+1 and the continued fraction for x ≥ a+1 (Numerical Recipes style).
+func gammaP(a, x float64) float64 {
+	switch {
+	case x < 0 || a <= 0:
+		return math.NaN()
+	case x == 0:
+		return 0
+	case x < a+1:
+		return gammaSeries(a, x)
+	default:
+		return 1 - gammaCF(a, x)
+	}
+}
+
+// gammaSeries evaluates P(a,x) by its power series.
+func gammaSeries(a, x float64) float64 {
+	lnGammaA, _ := math.Lgamma(a)
+	ap := a
+	sum := 1.0 / a
+	del := sum
+	for n := 0; n < 500; n++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*1e-15 {
+			break
+		}
+	}
+	return sum * math.Exp(-x+a*math.Log(x)-lnGammaA)
+}
+
+// gammaCF evaluates Q(a,x) = 1 − P(a,x) by its continued fraction
+// (modified Lentz algorithm).
+func gammaCF(a, x float64) float64 {
+	lnGammaA, _ := math.Lgamma(a)
+	const tiny = 1e-300
+	b := x + 1 - a
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i <= 500; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < 1e-15 {
+			break
+		}
+	}
+	return math.Exp(-x+a*math.Log(x)-lnGammaA) * h
+}
+
+// chiSquareCDF returns P(χ²_k ≤ x).
+func chiSquareCDF(x float64, k float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return gammaP(k/2, x/2)
+}
+
+// noncentralChiSquareCDF returns P(χ'²_k(λ) ≤ x) via the Poisson-mixture
+// series Σⱼ e^{−λ/2}(λ/2)ʲ/j! · P(χ²_{k+2j} ≤ x), truncated symmetrically
+// around the dominant Poisson terms.
+func noncentralChiSquareCDF(x, k, lambda float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if lambda <= 0 {
+		return chiSquareCDF(x, k)
+	}
+	half := lambda / 2
+	// Sum outward from the Poisson mode in both directions until the
+	// term weights vanish.
+	mode := int(half)
+	logW := func(j int) float64 {
+		lg, _ := math.Lgamma(float64(j) + 1)
+		return -half + float64(j)*math.Log(half) - lg
+	}
+	total := 0.0
+	for j := mode; j <= mode+2000; j++ { // ascending tail
+		w := math.Exp(logW(j))
+		total += w * chiSquareCDF(x, k+2*float64(j))
+		if w < 1e-14 && j > mode {
+			break
+		}
+	}
+	for j := mode - 1; j >= 0; j-- { // descending tail
+		w := math.Exp(logW(j))
+		total += w * chiSquareCDF(x, k+2*float64(j))
+		if w < 1e-14 {
+			break
+		}
+	}
+	// Numerical safety: clamp to [0,1]; truncation slightly
+	// underestimates the CDF.
+	if total < 0 {
+		return 0
+	}
+	if total > 1 {
+		return 1
+	}
+	return total
+}

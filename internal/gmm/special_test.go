@@ -1,0 +1,136 @@
+package gmm
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestNormCDF(t *testing.T) {
+	cases := []struct{ x, want float64 }{
+		{0, 0.5},
+		{1.959963985, 0.975},
+		{-1.959963985, 0.025},
+		{3, 0.998650102},
+		{-6, 9.865876e-10},
+	}
+	for _, c := range cases {
+		if got := normCDF(c.x); math.Abs(got-c.want) > 1e-8 {
+			t.Fatalf("Φ(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestGammaPKnownValues(t *testing.T) {
+	// P(1, x) = 1 − e^{−x}.
+	for _, x := range []float64{0.1, 0.5, 1, 2, 5, 10} {
+		want := 1 - math.Exp(-x)
+		if got := gammaP(1, x); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("P(1,%v) = %v, want %v", x, got, want)
+		}
+	}
+	// P(a, 0) = 0; P(a, ∞) → 1.
+	if gammaP(3, 0) != 0 {
+		t.Fatal("P(a,0) != 0")
+	}
+	if got := gammaP(3, 100); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("P(3,100) = %v", got)
+	}
+	// P(1/2, x) = erf(√x).
+	for _, x := range []float64{0.25, 1, 4} {
+		want := math.Erf(math.Sqrt(x))
+		if got := gammaP(0.5, x); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("P(0.5,%v) = %v, want %v", x, got, want)
+		}
+	}
+}
+
+func TestGammaPMonotone(t *testing.T) {
+	prev := 0.0
+	for x := 0.0; x <= 20; x += 0.25 {
+		got := gammaP(2.5, x)
+		if got < prev-1e-14 {
+			t.Fatalf("P(2.5,·) not monotone at %v", x)
+		}
+		prev = got
+	}
+}
+
+func TestChiSquareCDFKnown(t *testing.T) {
+	// Median of χ²₂ is 2·ln2.
+	if got := chiSquareCDF(2*math.Ln2, 2); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("χ²₂ median CDF = %v", got)
+	}
+	// χ²₁(x) = 2Φ(√x) − 1.
+	for _, x := range []float64{0.5, 1, 3.84} {
+		want := 2*normCDF(math.Sqrt(x)) - 1
+		if got := chiSquareCDF(x, 1); math.Abs(got-want) > 1e-10 {
+			t.Fatalf("χ²₁(%v) = %v, want %v", x, got, want)
+		}
+	}
+}
+
+func TestNoncentralChiSquareReducesToCentral(t *testing.T) {
+	for _, x := range []float64{0.5, 2, 5, 9} {
+		a := noncentralChiSquareCDF(x, 3, 0)
+		b := chiSquareCDF(x, 3)
+		if math.Abs(a-b) > 1e-12 {
+			t.Fatalf("λ=0 mismatch at %v: %v vs %v", x, a, b)
+		}
+	}
+}
+
+// Cross-check the noncentral chi-square CDF against direct simulation.
+func TestNoncentralChiSquareAgainstSimulation(t *testing.T) {
+	r := rng.New(7)
+	cases := []struct {
+		k      int
+		lambda float64
+		x      float64
+	}{
+		{2, 1, 3},
+		{3, 4, 8},
+		{5, 0.5, 4},
+		{8, 10, 20},
+		{4, 25, 30},
+	}
+	for _, c := range cases {
+		const n = 400000
+		// λ = Σ μᵢ²; put all noncentrality in the first coordinate.
+		mu := math.Sqrt(c.lambda)
+		hits := 0
+		for i := 0; i < n; i++ {
+			s := 0.0
+			for j := 0; j < c.k; j++ {
+				v := r.NormFloat64()
+				if j == 0 {
+					v += mu
+				}
+				s += v * v
+			}
+			if s <= c.x {
+				hits++
+			}
+		}
+		want := float64(hits) / n
+		got := noncentralChiSquareCDF(c.x, float64(c.k), c.lambda)
+		if math.Abs(got-want) > 0.004 {
+			t.Fatalf("ncχ²(k=%d,λ=%v)(%v) = %v, simulated %v", c.k, c.lambda, c.x, got, want)
+		}
+	}
+}
+
+func TestNoncentralChiSquareMonotoneInX(t *testing.T) {
+	prev := -1.0
+	for x := 0.0; x < 40; x += 0.5 {
+		got := noncentralChiSquareCDF(x, 4, 6)
+		if got < prev-1e-12 {
+			t.Fatalf("ncχ² CDF not monotone at %v", x)
+		}
+		prev = got
+	}
+	if prev < 0.999 {
+		t.Fatalf("ncχ² CDF tail = %v, want → 1", prev)
+	}
+}

@@ -1,0 +1,176 @@
+// Package hist implements QUADHIST (Section 3.2 of the paper): a
+// query-driven histogram whose buckets are the leaves of a quadtree refined
+// by the training workload's geometry and selectivities, with weights fit by
+// the generic constrained least-squares program of Equation 8.
+//
+// QUADHIST is the paper's generic instantiation for low-dimensional data.
+// Regardless of the query class — orthogonal range, halfspace, or ball —
+// the buckets are axis-aligned boxes, so prediction only needs
+// range-vs-box intersection volumes (exact in the geometry substrate).
+package hist
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/lp"
+	"repro/internal/quadtree"
+	"repro/internal/solver"
+)
+
+// Objective selects the training loss of Section 4.6.
+type Objective int
+
+const (
+	// ObjectiveL2 is the mean-squared loss of Equation 8 (default).
+	ObjectiveL2 Objective = iota
+	// ObjectiveLInf minimizes the maximum absolute training error via LP.
+	ObjectiveLInf
+)
+
+// Options configures QUADHIST training.
+type Options struct {
+	// Tau is the split threshold of Algorithm 2. If zero, it is chosen by
+	// binary search so that the bucket count approaches MaxBuckets (the
+	// paper controls model size "by varying τ or adding a hard
+	// termination condition").
+	Tau float64
+	// MaxBuckets caps model complexity. Zero means unlimited (valid only
+	// with explicit Tau).
+	MaxBuckets int
+	// Solver picks the weight-estimation algorithm (auto by default).
+	Solver solver.Method
+	// Objective picks the training loss (L2 by default).
+	Objective Objective
+}
+
+// Trainer builds QUADHIST models for a fixed dimensionality.
+type Trainer struct {
+	Dim  int
+	Opts Options
+}
+
+// New returns a QUADHIST trainer with the paper's defaults: model size
+// capped at maxBuckets, τ found automatically.
+func New(dim, maxBuckets int) *Trainer {
+	return &Trainer{Dim: dim, Opts: Options{MaxBuckets: maxBuckets}}
+}
+
+// Name implements core.Trainer.
+func (t *Trainer) Name() string { return "QuadHist" }
+
+// Model is a trained QUADHIST histogram: disjoint box buckets partitioning
+// [0,1]^d with simplex weights.
+type Model struct {
+	Buckets []geom.Box
+	Weights []float64
+}
+
+// Train implements core.Trainer.
+func (t *Trainer) Train(samples []core.LabeledQuery) (core.Model, error) {
+	m, err := t.TrainHist(samples)
+	if err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// TrainHist is Train with a concrete return type.
+func (t *Trainer) TrainHist(samples []core.LabeledQuery) (*Model, error) {
+	if len(samples) == 0 {
+		return nil, errors.New("hist: empty training set")
+	}
+	if t.Opts.Tau == 0 && t.Opts.MaxBuckets == 0 {
+		return nil, errors.New("hist: need Tau or MaxBuckets")
+	}
+	qsamples := makeQuadSamples(samples, t.Dim)
+	tau := t.Opts.Tau
+	if tau == 0 {
+		tau = searchTau(t.Dim, qsamples, t.Opts.MaxBuckets)
+	}
+	var opts []quadtree.Option
+	if t.Opts.MaxBuckets > 0 {
+		opts = append(opts, quadtree.WithMaxLeaves(t.Opts.MaxBuckets))
+	}
+	tree := quadtree.BuildFromQueries(t.Dim, qsamples, tau, opts...)
+	buckets := tree.Leaves()
+
+	a := core.DesignMatrixBoxes(samples, buckets)
+	s := core.Selectivities(samples)
+	var w []float64
+	var err error
+	if t.Opts.Objective == ObjectiveLInf {
+		w, err = lp.MinimaxWeights(a, s)
+	} else {
+		w, err = solver.WeightsWith(t.Opts.Solver, a, s)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("hist: weight estimation: %w", err)
+	}
+	return &Model{Buckets: buckets, Weights: w}, nil
+}
+
+// makeQuadSamples precomputes clipped query volumes once per query.
+func makeQuadSamples(samples []core.LabeledQuery, dim int) []quadtree.Sample {
+	cube := geom.UnitCube(dim)
+	out := make([]quadtree.Sample, len(samples))
+	for i, z := range samples {
+		out[i] = quadtree.Sample{R: z.R, S: z.Sel, RVol: z.R.IntersectBoxVolume(cube)}
+	}
+	return out
+}
+
+// searchTau binary-searches the split threshold so the resulting leaf count
+// approaches (but does not exceed) maxBuckets. The leaf count is monotone
+// non-increasing in τ, which makes bisection sound.
+func searchTau(dim int, samples []quadtree.Sample, maxBuckets int) float64 {
+	lo, hi := 1e-7, 1.0 // leaf counts: many .. 1
+	leavesAt := func(tau float64) int {
+		// The cap makes probe builds cheap even for tiny τ.
+		t := quadtree.BuildFromQueries(dim, samples, tau,
+			quadtree.WithMaxLeaves(maxBuckets+(1<<uint(dim))))
+		return t.NumLeaves()
+	}
+	if leavesAt(lo) <= maxBuckets {
+		return lo
+	}
+	for iter := 0; iter < 40 && hi/lo > 1.001; iter++ {
+		mid := math.Sqrt(lo * hi) // geometric bisection: τ spans decades
+		if leavesAt(mid) <= maxBuckets {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi
+}
+
+// NumBuckets implements core.Model.
+func (m *Model) NumBuckets() int { return len(m.Buckets) }
+
+// Estimate implements core.Model: Equation 6, Σⱼ vol(Bⱼ∩R)/vol(Bⱼ)·wⱼ.
+func (m *Model) Estimate(r geom.Range) float64 {
+	s := 0.0
+	for j, b := range m.Buckets {
+		w := m.Weights[j]
+		if w == 0 || !r.IntersectsBox(b) {
+			continue
+		}
+		if r.ContainsBox(b) {
+			s += w
+			continue
+		}
+		v := b.Volume()
+		if v == 0 {
+			continue
+		}
+		s += r.IntersectBoxVolume(b) / v * w
+	}
+	return core.Clamp01(s)
+}
+
+var _ core.Trainer = (*Trainer)(nil)
+var _ core.Model = (*Model)(nil)

@@ -1,0 +1,225 @@
+package isomer
+
+import (
+	"repro/internal/geom"
+)
+
+// This file implements the faithful STHoles bucket structure (Bruno,
+// Chaudhuri, Gravano 2001) that the original ISOMER builds on: a tree of
+// nested buckets where each bucket's region is its box minus its
+// children's boxes. Observing a query drills a "hole": in every bucket the
+// query partially overlaps, the intersection is shrunk until it does not
+// partially intersect any existing child, then installed as a new child
+// (children fully inside the candidate are re-parented into it).
+//
+// The package's default Trainer uses the flat-partition variant (see
+// isomer.go) because it is faster at equal fidelity on the paper's
+// measurements; NestedBuckets exposes this faithful structure for the
+// structural tests and for Options.Nested.
+
+// sthNode is one nested bucket.
+type sthNode struct {
+	box      geom.Box
+	children []*sthNode
+}
+
+// regionVolume is vol(box) − Σ vol(children) (children are disjoint and
+// nested inside the box by construction).
+func (n *sthNode) regionVolume() float64 {
+	v := n.box.Volume()
+	for _, c := range n.children {
+		v -= c.box.Volume()
+	}
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// regionIntersectVolume is vol(region ∩ r) = vol(box ∩ r) − Σ vol(child ∩ r).
+func (n *sthNode) regionIntersectVolume(r geom.Range) float64 {
+	v := r.IntersectBoxVolume(n.box)
+	for _, c := range n.children {
+		v -= r.IntersectBoxVolume(c.box)
+	}
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// sthTree is the STHoles bucket tree.
+type sthTree struct {
+	root    *sthNode
+	buckets int
+	max     int
+}
+
+func newSTHTree(dim, maxBuckets int) *sthTree {
+	return &sthTree{root: &sthNode{box: geom.UnitCube(dim)}, buckets: 1, max: maxBuckets}
+}
+
+// drill observes one query box, drilling holes down the tree.
+func (t *sthTree) drill(q geom.Box) {
+	t.drillAt(t.root, q)
+}
+
+func (t *sthTree) drillAt(n *sthNode, q geom.Box) {
+	if !n.box.IntersectsBox(q) {
+		return
+	}
+	// Recurse into children first: holes are drilled at every level the
+	// query partially penetrates.
+	for _, c := range n.children {
+		t.drillAt(c, q)
+	}
+	if t.buckets >= t.max {
+		return
+	}
+	cand := n.box.Intersect(q)
+	if cand.Empty() || cand.Volume() == 0 || cand.Equal(n.box) {
+		return
+	}
+	// Shrink the candidate until it partially intersects no child
+	// (STHoles' shrink step): for each offending child, cut the candidate
+	// along the dimension that sacrifices the least volume.
+	cand = t.shrink(n, cand)
+	if cand.Empty() || cand.Volume() == 0 || cand.Equal(n.box) {
+		return
+	}
+	// Children fully inside the candidate move into the new hole.
+	hole := &sthNode{box: cand}
+	kept := n.children[:0:0]
+	for _, c := range n.children {
+		if cand.ContainsBox(c.box) {
+			hole.children = append(hole.children, c)
+		} else {
+			kept = append(kept, c)
+		}
+	}
+	n.children = append(kept, hole)
+	t.buckets++
+}
+
+// shrink cuts cand until no child of n partially overlaps it.
+func (t *sthTree) shrink(n *sthNode, cand geom.Box) geom.Box {
+	for iter := 0; iter < 64; iter++ {
+		var offender *sthNode
+		for _, c := range n.children {
+			// Partial overlap must be volume-based: closed boxes that
+			// merely touch (zero-volume intersection) are not offenders,
+			// or a previous cut's shared boundary would trap the loop.
+			if cand.IntersectBoxVolume(c.box) > 1e-15 && !cand.ContainsBox(c.box) {
+				offender = c
+				break
+			}
+		}
+		if offender == nil {
+			return cand
+		}
+		cand = cutAway(cand, offender.box)
+		if cand.Empty() || cand.Volume() == 0 {
+			return cand
+		}
+	}
+	// The iteration cap should be unreachable (every cut strictly reduces
+	// volume); drop the candidate rather than install an overlapping hole.
+	return geom.Box{Lo: cand.Lo, Hi: cand.Lo}
+}
+
+// cutAway shrinks cand along the single dimension that removes the overlap
+// with obst while keeping the largest remaining volume.
+func cutAway(cand, obst geom.Box) geom.Box {
+	d := cand.Dim()
+	best := geom.Box{Lo: make(geom.Point, d), Hi: make(geom.Point, d)}
+	bestVol := -1.0
+	for i := 0; i < d; i++ {
+		// Option A: keep the part below obst.Lo[i].
+		if obst.Lo[i] > cand.Lo[i] {
+			a := cand.Clone()
+			a.Hi[i] = min(a.Hi[i], obst.Lo[i])
+			if v := a.Volume(); v > bestVol {
+				best, bestVol = a, v
+			}
+		}
+		// Option B: keep the part above obst.Hi[i].
+		if obst.Hi[i] < cand.Hi[i] {
+			b := cand.Clone()
+			b.Lo[i] = max(b.Lo[i], obst.Hi[i])
+			if v := b.Volume(); v > bestVol {
+				best, bestVol = b, v
+			}
+		}
+	}
+	if bestVol <= 0 {
+		// No cut removes the overlap (obst spans cand in every
+		// dimension): give up on this candidate.
+		return geom.Box{Lo: best.Lo, Hi: best.Lo}
+	}
+	return best
+}
+
+// regions returns every bucket's box and the list of child boxes carved
+// out of it, flattened in DFS order.
+type sthRegion struct {
+	box   geom.Box
+	holes []geom.Box
+}
+
+func (t *sthTree) regions() []sthRegion {
+	var out []sthRegion
+	var walk func(n *sthNode)
+	walk = func(n *sthNode) {
+		reg := sthRegion{box: n.box}
+		for _, c := range n.children {
+			reg.holes = append(reg.holes, c.box)
+		}
+		out = append(out, reg)
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(t.root)
+	return out
+}
+
+// NestedBuckets builds the STHoles structure for the query boxes and
+// returns each bucket region as (outer box, holes). Exposed for tests and
+// for callers that want the faithful nested geometry.
+func NestedBuckets(dim int, queries []geom.Box, maxBuckets int) []geom.Box {
+	if maxBuckets == 0 {
+		maxBuckets = 20000
+	}
+	t := newSTHTree(dim, maxBuckets)
+	for _, q := range queries {
+		t.drill(q)
+	}
+	// Flatten regions to disjoint boxes: each region contributes its box
+	// with the holes subtracted via the same box-difference decomposition
+	// the flat engine uses, yielding a disjoint partition equivalent to
+	// the nested structure.
+	var out []geom.Box
+	for _, reg := range t.regions() {
+		pieces := []geom.Box{reg.box}
+		for _, h := range reg.holes {
+			var next []geom.Box
+			for _, p := range pieces {
+				if !p.IntersectsBox(h) {
+					next = append(next, p)
+					continue
+				}
+				for _, piece := range splitAround(p, h) {
+					// splitAround keeps the intersection piece as its
+					// last element; drop pieces inside the hole.
+					if h.ContainsBox(piece) {
+						continue
+					}
+					next = append(next, piece)
+				}
+			}
+			pieces = next
+		}
+		out = append(out, pieces...)
+	}
+	return out
+}

@@ -1,0 +1,160 @@
+package isomer
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/rng"
+	"repro/internal/workload"
+)
+
+func TestSTHolesDrillSingleQuery(t *testing.T) {
+	tr := newSTHTree(2, 100)
+	q := geom.NewBox(geom.Point{0.25, 0.25}, geom.Point{0.75, 0.75})
+	tr.drill(q)
+	if tr.buckets != 2 {
+		t.Fatalf("bucket count %d, want 2 (root + hole)", tr.buckets)
+	}
+	// Root region = cube minus hole.
+	if v := tr.root.regionVolume(); math.Abs(v-0.75) > 1e-12 {
+		t.Fatalf("root region volume %v, want 0.75", v)
+	}
+	if v := tr.root.children[0].regionVolume(); math.Abs(v-0.25) > 1e-12 {
+		t.Fatalf("hole region volume %v, want 0.25", v)
+	}
+}
+
+func TestSTHolesNestedDrilling(t *testing.T) {
+	tr := newSTHTree(2, 100)
+	outer := geom.NewBox(geom.Point{0.1, 0.1}, geom.Point{0.9, 0.9})
+	inner := geom.NewBox(geom.Point{0.3, 0.3}, geom.Point{0.6, 0.6})
+	tr.drill(outer)
+	tr.drill(inner)
+	// inner is fully within outer's hole → a child of the hole.
+	if len(tr.root.children) != 1 {
+		t.Fatalf("root has %d children", len(tr.root.children))
+	}
+	hole := tr.root.children[0]
+	if len(hole.children) != 1 {
+		t.Fatalf("hole has %d children, want nested inner hole", len(hole.children))
+	}
+	if !hole.children[0].box.Equal(inner) {
+		t.Fatalf("nested hole box %v", hole.children[0].box)
+	}
+	// Region volumes account for nesting.
+	if v := hole.regionVolume(); math.Abs(v-(0.64-0.09)) > 1e-12 {
+		t.Fatalf("outer-hole region volume %v", v)
+	}
+}
+
+func TestSTHolesShrinkAvoidsPartialOverlap(t *testing.T) {
+	tr := newSTHTree(2, 100)
+	a := geom.NewBox(geom.Point{0.1, 0.1}, geom.Point{0.5, 0.5})
+	b := geom.NewBox(geom.Point{0.3, 0.3}, geom.Point{0.8, 0.8}) // partially overlaps a
+	tr.drill(a)
+	tr.drill(b)
+	// Invariant: no child partially overlaps a sibling — children of any
+	// node are pairwise disjoint boxes.
+	var check func(n *sthNode)
+	check = func(n *sthNode) {
+		for i := range n.children {
+			for j := i + 1; j < len(n.children); j++ {
+				bi, bj := n.children[i].box, n.children[j].box
+				if v := bi.IntersectBoxVolume(bj); v > 1e-12 {
+					t.Fatalf("sibling holes overlap: %v ∩ %v = %v", bi, bj, v)
+				}
+			}
+			if !n.box.ContainsBox(n.children[i].box) {
+				t.Fatalf("child %v escapes parent %v", n.children[i].box, n.box)
+			}
+			check(n.children[i])
+		}
+	}
+	check(tr.root)
+}
+
+func TestNestedBucketsPartitionUnitCube(t *testing.T) {
+	r := rng.New(17)
+	for trial := 0; trial < 10; trial++ {
+		queries := make([]geom.Box, 15)
+		for i := range queries {
+			c := geom.Point{r.Float64(), r.Float64()}
+			queries[i] = geom.BoxFromCenter(c, []float64{r.Float64(), r.Float64()})
+		}
+		buckets := NestedBuckets(2, queries, 5000)
+		total := 0.0
+		for _, b := range buckets {
+			total += b.Volume()
+		}
+		if math.Abs(total-1) > 1e-9 {
+			t.Fatalf("trial %d: flattened buckets cover %v of the cube", trial, total)
+		}
+		for i := range buckets {
+			for j := i + 1; j < len(buckets); j++ {
+				if v := buckets[i].IntersectBoxVolume(buckets[j]); v > 1e-12 {
+					t.Fatalf("trial %d: buckets %d,%d overlap by %v", trial, i, j, v)
+				}
+			}
+		}
+	}
+}
+
+func TestCutAway(t *testing.T) {
+	cand := geom.NewBox(geom.Point{0, 0}, geom.Point{1, 1})
+	obst := geom.NewBox(geom.Point{0.6, 0.2}, geom.Point{0.9, 0.8})
+	cut := cutAway(cand, obst)
+	if cut.IntersectsBox(obst) && !cut.ContainsBox(obst) {
+		if v := cut.IntersectBoxVolume(obst); v > 1e-12 {
+			t.Fatalf("cut %v still partially overlaps obstacle", cut)
+		}
+	}
+	// The best cut keeps the left part [0,0.6]×[0,1], volume 0.6.
+	if math.Abs(cut.Volume()-0.6) > 1e-12 {
+		t.Fatalf("cut volume %v, want 0.6", cut.Volume())
+	}
+	// Obstacle covering the candidate entirely: empty result.
+	tiny := geom.NewBox(geom.Point{0.4, 0.4}, geom.Point{0.6, 0.6})
+	huge := geom.NewBox(geom.Point{0, 0}, geom.Point{1, 1})
+	if got := cutAway(tiny, huge); got.Volume() != 0 {
+		t.Fatalf("uncuttable candidate kept volume %v", got.Volume())
+	}
+}
+
+func TestNestedTrainerAccuracy(t *testing.T) {
+	g := gen2D(77)
+	spec := workload.Spec{Class: workload.OrthogonalRange, Centers: workload.DataDriven}
+	train, test := g.TrainTest(spec, 80, 120)
+	tr := &Trainer{Dim: 2, Opts: Options{Nested: true}}
+	m, err := tr.Train(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rms := core.RMS(m, test); rms > 0.1 {
+		t.Fatalf("nested ISOMER test RMS = %v", rms)
+	}
+	// Comparable to the flat engine on the same feedback.
+	flat, err := New(2).Train(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if core.RMS(m, test) > core.RMS(flat, test)+0.05 {
+		t.Fatalf("nested (%v) much worse than flat (%v)", core.RMS(m, test), core.RMS(flat, test))
+	}
+}
+
+func TestNestedBucketCapRespected(t *testing.T) {
+	r := rng.New(5)
+	queries := make([]geom.Box, 200)
+	for i := range queries {
+		c := geom.Point{r.Float64(), r.Float64()}
+		queries[i] = geom.BoxFromCenter(c, []float64{0.5 * r.Float64(), 0.5 * r.Float64()})
+	}
+	buckets := NestedBuckets(2, queries, 50)
+	// The flattening of ≤50 nested buckets produces at most 50·(2d+1)
+	// disjoint boxes.
+	if len(buckets) > 50*5 {
+		t.Fatalf("flattened bucket count %d exceeds cap implication", len(buckets))
+	}
+}

@@ -1,0 +1,157 @@
+// Package kdtree provides a kd-tree over data points in [0,1]^d with pruned
+// range counting for arbitrary geom.Range queries.
+//
+// It is the substrate that labels training and test workloads with exact
+// selectivities: counting the data points inside a query range, divided by
+// the dataset size. Pruning uses only the ContainsBox / IntersectsBox
+// predicates of the range, so the same tree serves orthogonal ranges,
+// halfspaces, balls, and semi-algebraic ranges alike.
+package kdtree
+
+import (
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// leafSize is the maximum number of points stored in a leaf node.
+const leafSize = 32
+
+// Tree is an immutable kd-tree over a fixed point set.
+type Tree struct {
+	dim  int
+	root *node
+	n    int
+}
+
+type node struct {
+	bbox   geom.Box
+	count  int
+	points []geom.Point // non-nil only at leaves
+	axis   int
+	split  float64
+	lo, hi *node
+}
+
+// Build constructs a kd-tree over the given points (which are not copied;
+// callers must not mutate them afterwards). All points must share the same
+// dimensionality.
+func Build(points []geom.Point) *Tree {
+	if len(points) == 0 {
+		return &Tree{}
+	}
+	d := len(points[0])
+	pts := make([]geom.Point, len(points))
+	copy(pts, points)
+	t := &Tree{dim: d, n: len(points)}
+	t.root = build(pts, 0, d)
+	return t
+}
+
+func boundingBox(points []geom.Point, d int) geom.Box {
+	lo := make(geom.Point, d)
+	hi := make(geom.Point, d)
+	copy(lo, points[0])
+	copy(hi, points[0])
+	for _, p := range points[1:] {
+		for i := 0; i < d; i++ {
+			if p[i] < lo[i] {
+				lo[i] = p[i]
+			}
+			if p[i] > hi[i] {
+				hi[i] = p[i]
+			}
+		}
+	}
+	return geom.Box{Lo: lo, Hi: hi}
+}
+
+func build(points []geom.Point, depth, d int) *node {
+	nd := &node{bbox: boundingBox(points, d), count: len(points)}
+	if len(points) <= leafSize {
+		nd.points = points
+		return nd
+	}
+	// Split the widest dimension of the bounding box at the median:
+	// keeps the tree balanced even under heavy data skew.
+	axis := 0
+	widest := nd.bbox.Hi[0] - nd.bbox.Lo[0]
+	for i := 1; i < d; i++ {
+		if w := nd.bbox.Hi[i] - nd.bbox.Lo[i]; w > widest {
+			widest, axis = w, i
+		}
+	}
+	if widest == 0 {
+		// All points identical: degenerate leaf regardless of size.
+		nd.points = points
+		return nd
+	}
+	sort.Slice(points, func(i, j int) bool { return points[i][axis] < points[j][axis] })
+	mid := len(points) / 2
+	// Move mid off runs of equal coordinates so both sides are non-empty.
+	for mid < len(points)-1 && points[mid][axis] == points[mid-1][axis] {
+		mid++
+	}
+	if mid == len(points)-1 && points[mid][axis] == points[mid-1][axis] {
+		for mid > 1 && points[mid][axis] == points[mid-1][axis] {
+			mid--
+		}
+	}
+	nd.axis = axis
+	nd.split = points[mid][axis]
+	nd.lo = build(points[:mid], depth+1, d)
+	nd.hi = build(points[mid:], depth+1, d)
+	nd.points = nil
+	return nd
+}
+
+// Len returns the number of indexed points.
+func (t *Tree) Len() int { return t.n }
+
+// Count returns the number of indexed points inside the range.
+func (t *Tree) Count(r geom.Range) int {
+	if t.root == nil {
+		return 0
+	}
+	return countNode(t.root, r)
+}
+
+func countNode(nd *node, r geom.Range) int {
+	if !r.IntersectsBox(nd.bbox) {
+		return 0
+	}
+	if r.ContainsBox(nd.bbox) {
+		return nd.count
+	}
+	if nd.points != nil {
+		c := 0
+		for _, p := range nd.points {
+			if r.Contains(p) {
+				c++
+			}
+		}
+		return c
+	}
+	return countNode(nd.lo, r) + countNode(nd.hi, r)
+}
+
+// Selectivity returns Count(r)/Len(), the exact selectivity of the range on
+// the indexed dataset — the ground-truth labels of the paper's workloads.
+func (t *Tree) Selectivity(r geom.Range) float64 {
+	if t.n == 0 {
+		return 0
+	}
+	return float64(t.Count(r)) / float64(t.n)
+}
+
+// BruteCount is the reference O(n) implementation used by tests and the
+// labeling ablation benchmark.
+func BruteCount(points []geom.Point, r geom.Range) int {
+	c := 0
+	for _, p := range points {
+		if r.Contains(p) {
+			c++
+		}
+	}
+	return c
+}

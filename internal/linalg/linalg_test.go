@@ -1,0 +1,214 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestMatVec(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	y := a.MulVec([]float64{1, -1})
+	want := []float64{-1, -1, -1}
+	for i := range want {
+		if y[i] != want[i] {
+			t.Fatalf("MulVec = %v", y)
+		}
+	}
+	yt := a.TMulVec([]float64{1, 1, 1})
+	wantT := []float64{9, 12}
+	for i := range wantT {
+		if yt[i] != wantT[i] {
+			t.Fatalf("TMulVec = %v", yt)
+		}
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	a := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	at := a.T()
+	if at.Rows != 3 || at.Cols != 2 {
+		t.Fatalf("transpose shape %dx%d", at.Rows, at.Cols)
+	}
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			if a.At(i, j) != at.At(j, i) {
+				t.Fatalf("transpose mismatch at %d,%d", i, j)
+			}
+		}
+	}
+}
+
+func TestMul(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{0, 1}, {1, 0}})
+	c := a.Mul(b)
+	want := FromRows([][]float64{{2, 1}, {4, 3}})
+	for i := range c.Data {
+		if c.Data[i] != want.Data[i] {
+			t.Fatalf("Mul = %v", c.Data)
+		}
+	}
+}
+
+func TestSolveExact(t *testing.T) {
+	a := FromRows([][]float64{{2, 1}, {1, 3}})
+	x, err := Solve(a, []float64{5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-1) > 1e-12 || math.Abs(x[1]-3) > 1e-12 {
+		t.Fatalf("Solve = %v, want [1 3]", x)
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := Solve(a, []float64{1, 2}); err == nil {
+		t.Fatal("singular system solved without error")
+	}
+}
+
+func TestLeastSquaresSquare(t *testing.T) {
+	a := FromRows([][]float64{{3, 0}, {0, 2}})
+	x, err := LeastSquares(a, []float64{6, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-2) > 1e-10 || math.Abs(x[1]-2) > 1e-10 {
+		t.Fatalf("LeastSquares = %v", x)
+	}
+}
+
+func TestLeastSquaresOverdetermined(t *testing.T) {
+	// Fit y = a + b·t to points on the exact line y = 1 + 2t plus a
+	// symmetric perturbation: LS recovers the line.
+	a := FromRows([][]float64{{1, 0}, {1, 1}, {1, 2}, {1, 3}})
+	b := []float64{1, 3, 5, 7}
+	x, err := LeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-1) > 1e-10 || math.Abs(x[1]-2) > 1e-10 {
+		t.Fatalf("line fit = %v, want [1 2]", x)
+	}
+}
+
+// Property: the least-squares residual is orthogonal to the column space
+// (normal equations hold).
+func TestLeastSquaresNormalEquations(t *testing.T) {
+	r := rng.New(3)
+	for trial := 0; trial < 100; trial++ {
+		m := 3 + r.IntN(20)
+		n := 1 + r.IntN(min(m, 8))
+		a := NewMatrix(m, n)
+		for i := range a.Data {
+			a.Data[i] = 2*r.Float64() - 1
+		}
+		b := make([]float64, m)
+		for i := range b {
+			b[i] = 2*r.Float64() - 1
+		}
+		x, err := LeastSquares(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := Residual(a, x, b)
+		g := a.TMulVec(res)
+		if Norm2(g) > 1e-8*(1+Norm2(b)) {
+			t.Fatalf("normal equations violated: ‖Aᵀr‖ = %v", Norm2(g))
+		}
+	}
+}
+
+func TestLeastSquaresRankDeficient(t *testing.T) {
+	// Duplicate columns: solution should still satisfy normal equations.
+	a := FromRows([][]float64{{1, 1}, {2, 2}, {3, 3}})
+	b := []float64{1, 2, 3}
+	x, err := LeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Residual(a, x, b)
+	if Norm2(res) > 1e-10 {
+		t.Fatalf("rank-deficient residual = %v", Norm2(res))
+	}
+}
+
+func TestMinNormUnderdetermined(t *testing.T) {
+	// x₁ + x₂ = 2 has minimum-norm solution (1, 1).
+	a := FromRows([][]float64{{1, 1}})
+	x, err := LeastSquares(a, []float64{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-1) > 1e-9 || math.Abs(x[1]-1) > 1e-9 {
+		t.Fatalf("min-norm solution = %v, want [1 1]", x)
+	}
+}
+
+func TestCholeskySolve(t *testing.T) {
+	g := FromRows([][]float64{{4, 2}, {2, 3}})
+	x, err := CholeskySolve(g, []float64{10, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Verify G·x = b.
+	y := g.MulVec(x)
+	if math.Abs(y[0]-10) > 1e-10 || math.Abs(y[1]-8) > 1e-10 {
+		t.Fatalf("Cholesky solution check failed: %v", y)
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	g := FromRows([][]float64{{1, 2}, {2, 1}})
+	if _, err := CholeskySolve(g, []float64{1, 1}); err == nil {
+		t.Fatal("indefinite matrix factored without error")
+	}
+}
+
+func TestDotNormAxpy(t *testing.T) {
+	x := []float64{3, 4}
+	if Dot(x, x) != 25 {
+		t.Fatal("Dot failed")
+	}
+	if Norm2(x) != 5 {
+		t.Fatal("Norm2 failed")
+	}
+	y := []float64{1, 1}
+	AXPY(2, x, y)
+	if y[0] != 7 || y[1] != 9 {
+		t.Fatalf("AXPY = %v", y)
+	}
+}
+
+// Property: random consistent systems are solved exactly.
+func TestSolveRandomConsistent(t *testing.T) {
+	r := rng.New(17)
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + r.IntN(10)
+		a := NewMatrix(n, n)
+		for i := range a.Data {
+			a.Data[i] = 2*r.Float64() - 1
+		}
+		// Strengthen the diagonal to avoid near-singular draws.
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+3)
+		}
+		want := make([]float64, n)
+		for i := range want {
+			want[i] = 2*r.Float64() - 1
+		}
+		b := a.MulVec(want)
+		x, err := Solve(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range x {
+			if math.Abs(x[i]-want[i]) > 1e-8 {
+				t.Fatalf("Solve error at %d: %v vs %v", i, x[i], want[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,233 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrSingular is returned when a factorization or solve encounters a
+// (numerically) rank-deficient matrix.
+var ErrSingular = errors.New("linalg: matrix is singular to working precision")
+
+// LeastSquares solves min ‖A·x − b‖₂ for overdetermined or square A using
+// Householder QR. For rank-deficient A the solution sets free variables to
+// zero (basic solution from the truncated R).
+func LeastSquares(a *Matrix, b []float64) ([]float64, error) {
+	if a.Rows != len(b) {
+		panic("linalg: LeastSquares shape mismatch")
+	}
+	m, n := a.Rows, a.Cols
+	if m < n {
+		// Underdetermined: solve via the normal equations of the
+		// transpose (minimum-norm solution) using Cholesky on A·Aᵀ.
+		return minNormSolve(a, b)
+	}
+	qr := a.Clone()
+	rhs := make([]float64, m)
+	copy(rhs, b)
+	// Householder triangularization with on-the-fly application to rhs.
+	for k := 0; k < n; k++ {
+		// Compute the norm of the k-th column below the diagonal.
+		alpha := 0.0
+		for i := k; i < m; i++ {
+			v := qr.At(i, k)
+			alpha += v * v
+		}
+		alpha = math.Sqrt(alpha)
+		if alpha == 0 {
+			continue // zero column: leave as is (rank deficiency)
+		}
+		if qr.At(k, k) > 0 {
+			alpha = -alpha
+		}
+		// Householder vector v = x − alpha·e₁ stored in place.
+		qr.Set(k, k, qr.At(k, k)-alpha)
+		vnormSq := 0.0
+		for i := k; i < m; i++ {
+			v := qr.At(i, k)
+			vnormSq += v * v
+		}
+		if vnormSq == 0 {
+			continue
+		}
+		// Apply H = I − 2vvᵀ/vᵀv to remaining columns and rhs.
+		for j := k + 1; j < n; j++ {
+			dot := 0.0
+			for i := k; i < m; i++ {
+				dot += qr.At(i, k) * qr.At(i, j)
+			}
+			f := 2 * dot / vnormSq
+			for i := k; i < m; i++ {
+				qr.Set(i, j, qr.At(i, j)-f*qr.At(i, k))
+			}
+		}
+		dot := 0.0
+		for i := k; i < m; i++ {
+			dot += qr.At(i, k) * rhs[i]
+		}
+		f := 2 * dot / vnormSq
+		for i := k; i < m; i++ {
+			rhs[i] -= f * qr.At(i, k)
+		}
+		// Store R's diagonal entry.
+		qr.Set(k, k, alpha)
+		for i := k + 1; i < m; i++ {
+			// Zero out below-diagonal (the Householder vectors are no
+			// longer needed for this column).
+			qr.Set(i, k, 0)
+		}
+	}
+	// Back substitution on R·x = rhs[:n]; treat tiny pivots as rank
+	// deficiency and set the corresponding variable to zero.
+	x := make([]float64, n)
+	// Scale-aware pivot threshold.
+	maxDiag := 0.0
+	for k := 0; k < n; k++ {
+		maxDiag = math.Max(maxDiag, math.Abs(qr.At(k, k)))
+	}
+	tol := 1e-12 * math.Max(maxDiag, 1)
+	for k := n - 1; k >= 0; k-- {
+		s := rhs[k]
+		for j := k + 1; j < n; j++ {
+			s -= qr.At(k, j) * x[j]
+		}
+		d := qr.At(k, k)
+		if math.Abs(d) <= tol {
+			x[k] = 0
+			continue
+		}
+		x[k] = s / d
+	}
+	return x, nil
+}
+
+// minNormSolve returns the minimum-norm solution of the underdetermined
+// system A·x ≈ b via x = Aᵀ(AAᵀ)⁻¹b with a ridge fallback if AAᵀ is
+// singular.
+func minNormSolve(a *Matrix, b []float64) ([]float64, error) {
+	m := a.Rows
+	g := NewMatrix(m, m)
+	for i := 0; i < m; i++ {
+		ri := a.Row(i)
+		for j := i; j < m; j++ {
+			v := Dot(ri, a.Row(j))
+			g.Set(i, j, v)
+			g.Set(j, i, v)
+		}
+	}
+	y, err := CholeskySolve(g, b)
+	if err != nil {
+		// Ridge-regularize.
+		for i := 0; i < m; i++ {
+			g.Set(i, i, g.At(i, i)+1e-10)
+		}
+		y, err = CholeskySolve(g, b)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return a.TMulVec(y), nil
+}
+
+// CholeskySolve solves the symmetric positive-definite system G·x = b.
+func CholeskySolve(g *Matrix, b []float64) ([]float64, error) {
+	n := g.Rows
+	if g.Cols != n || len(b) != n {
+		panic("linalg: CholeskySolve shape mismatch")
+	}
+	l := NewMatrix(n, n)
+	for j := 0; j < n; j++ {
+		d := g.At(j, j)
+		for k := 0; k < j; k++ {
+			v := l.At(j, k)
+			d -= v * v
+		}
+		if d <= 0 {
+			return nil, ErrSingular
+		}
+		ljj := math.Sqrt(d)
+		l.Set(j, j, ljj)
+		for i := j + 1; i < n; i++ {
+			s := g.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * l.At(j, k)
+			}
+			l.Set(i, j, s/ljj)
+		}
+	}
+	// Forward solve L·y = b.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= l.At(i, k) * y[k]
+		}
+		y[i] = s / l.At(i, i)
+	}
+	// Back solve Lᵀ·x = y.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= l.At(k, i) * x[k]
+		}
+		x[i] = s / l.At(i, i)
+	}
+	return x, nil
+}
+
+// Solve solves the square linear system A·x = b by Gaussian elimination
+// with partial pivoting.
+func Solve(a *Matrix, b []float64) ([]float64, error) {
+	n := a.Rows
+	if a.Cols != n || len(b) != n {
+		panic("linalg: Solve shape mismatch")
+	}
+	aug := a.Clone()
+	x := make([]float64, n)
+	copy(x, b)
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	for k := 0; k < n; k++ {
+		// Partial pivot.
+		p := k
+		best := math.Abs(aug.At(k, k))
+		for i := k + 1; i < n; i++ {
+			if v := math.Abs(aug.At(i, k)); v > best {
+				best, p = v, i
+			}
+		}
+		if best < 1e-14 {
+			return nil, ErrSingular
+		}
+		if p != k {
+			for j := 0; j < n; j++ {
+				t := aug.At(k, j)
+				aug.Set(k, j, aug.At(p, j))
+				aug.Set(p, j, t)
+			}
+			x[k], x[p] = x[p], x[k]
+		}
+		pivot := aug.At(k, k)
+		for i := k + 1; i < n; i++ {
+			f := aug.At(i, k) / pivot
+			if f == 0 {
+				continue
+			}
+			for j := k; j < n; j++ {
+				aug.Set(i, j, aug.At(i, j)-f*aug.At(k, j))
+			}
+			x[i] -= f * x[k]
+		}
+	}
+	for k := n - 1; k >= 0; k-- {
+		s := x[k]
+		for j := k + 1; j < n; j++ {
+			s -= aug.At(k, j) * x[j]
+		}
+		x[k] = s / aug.At(k, k)
+	}
+	return x, nil
+}

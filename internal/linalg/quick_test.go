@@ -1,0 +1,116 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func cleanVec(xs []float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		if i < len(xs) && !math.IsNaN(xs[i]) && !math.IsInf(xs[i], 0) {
+			// Keep magnitudes tame so property tolerances are meaningful.
+			out[i] = math.Mod(xs[i], 8)
+		}
+	}
+	return out
+}
+
+func cleanMat(xs []float64, rows, cols int) *Matrix {
+	m := NewMatrix(rows, cols)
+	for i := range m.Data {
+		if i < len(xs) && !math.IsNaN(xs[i]) && !math.IsInf(xs[i], 0) {
+			m.Data[i] = math.Mod(xs[i], 8)
+		}
+	}
+	return m
+}
+
+// Property: transpose is an involution and MulVec/TMulVec are consistent
+// through it.
+func TestTransposeInvolutionAndConsistency(t *testing.T) {
+	f := func(raw [24]float64, vraw [6]float64) bool {
+		a := cleanMat(raw[:], 4, 6)
+		att := a.T().T()
+		for i := range a.Data {
+			if a.Data[i] != att.Data[i] {
+				return false
+			}
+		}
+		x := cleanVec(vraw[:], 6)
+		y1 := a.MulVec(x)
+		y2 := a.T().TMulVec(x)
+		for i := range y1 {
+			if math.Abs(y1[i]-y2[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: matrix-vector multiplication is linear:
+// A(αx + y) = αAx + Ay.
+func TestMulVecLinearity(t *testing.T) {
+	f := func(raw [20]float64, xraw, yraw [5]float64, alphaRaw float64) bool {
+		a := cleanMat(raw[:], 4, 5)
+		x := cleanVec(xraw[:], 5)
+		y := cleanVec(yraw[:], 5)
+		alpha := math.Mod(alphaRaw, 4)
+		if math.IsNaN(alpha) {
+			alpha = 1
+		}
+		comb := make([]float64, 5)
+		for i := range comb {
+			comb[i] = alpha*x[i] + y[i]
+		}
+		left := a.MulVec(comb)
+		ax := a.MulVec(x)
+		ay := a.MulVec(y)
+		for i := range left {
+			if math.Abs(left[i]-(alpha*ax[i]+ay[i])) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Dot satisfies Cauchy–Schwarz: |xᵀy| ≤ ‖x‖‖y‖.
+func TestCauchySchwarz(t *testing.T) {
+	f := func(xraw, yraw [8]float64) bool {
+		x := cleanVec(xraw[:], 8)
+		y := cleanVec(yraw[:], 8)
+		return math.Abs(Dot(x, y)) <= Norm2(x)*Norm2(y)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: (AB)x = A(Bx).
+func TestMulAssociatesWithMulVec(t *testing.T) {
+	f := func(araw [12]float64, braw [20]float64, xraw [5]float64) bool {
+		a := cleanMat(araw[:], 3, 4)
+		b := cleanMat(braw[:], 4, 5)
+		x := cleanVec(xraw[:], 5)
+		left := a.Mul(b).MulVec(x)
+		right := a.MulVec(b.MulVec(x))
+		for i := range left {
+			if math.Abs(left[i]-right[i]) > 1e-7 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

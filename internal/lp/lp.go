@@ -1,0 +1,300 @@
+// Package lp implements a dense primal simplex linear-programming solver.
+//
+// It exists to support the L∞ training objective of Section 4.6 of the
+// paper: minimizing the maximum absolute selectivity error over the training
+// workload is the LP
+//
+//	min t   s.t.  A·w − t·1 ≤ s,  −A·w − t·1 ≤ −s,  Σw = 1,  w ≥ 0, t ≥ 0.
+//
+// The solver handles the general form min cᵀx subject to Aub·x ≤ bub,
+// Aeq·x = beq, x ≥ 0 using the Big-M method with a dense tableau, Dantzig
+// pricing and a Bland's-rule fallback to prevent cycling.
+package lp
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/linalg"
+)
+
+// Status describes the outcome of a solve.
+type Status int
+
+const (
+	// Optimal means an optimal basic feasible solution was found.
+	Optimal Status = iota
+	// Infeasible means the constraints admit no solution.
+	Infeasible
+	// Unbounded means the objective decreases without bound.
+	Unbounded
+	// IterLimit means the pivot budget was exhausted.
+	IterLimit
+)
+
+// ErrNoSolution is returned for infeasible or unbounded programs.
+var ErrNoSolution = errors.New("lp: no optimal solution")
+
+// Problem is a linear program in the general form described above. Aub/Bub
+// may be nil when there are no inequality constraints, likewise Aeq/Beq.
+type Problem struct {
+	C        []float64
+	Aub      *linalg.Matrix
+	Bub      []float64
+	Aeq      *linalg.Matrix
+	Beq      []float64
+	MaxIters int // 0 means a generous default
+}
+
+// Solution holds the optimizer and objective value.
+type Solution struct {
+	X      []float64
+	Value  float64
+	Status Status
+	Pivots int
+}
+
+// Solve runs the simplex method on the problem.
+func Solve(p Problem) (*Solution, error) {
+	n := len(p.C)
+	mUb, mEq := 0, 0
+	if p.Aub != nil {
+		mUb = p.Aub.Rows
+		if p.Aub.Cols != n || len(p.Bub) != mUb {
+			panic("lp: inequality shape mismatch")
+		}
+	}
+	if p.Aeq != nil {
+		mEq = p.Aeq.Rows
+		if p.Aeq.Cols != n || len(p.Beq) != mEq {
+			panic("lp: equality shape mismatch")
+		}
+	}
+	m := mUb + mEq
+
+	// Tableau columns: n structural + mUb slacks + m artificials + RHS.
+	// Artificials are added for every row (simplest Big-M bookkeeping);
+	// slack columns serve as initial basis where the RHS is nonnegative
+	// and no artificial is needed, but uniform artificials keep the code
+	// simple and the cost is one extra column per row.
+	nSlack := mUb
+	nArt := m
+	cols := n + nSlack + nArt + 1
+	t := linalg.NewMatrix(m+1, cols)
+	rhsCol := cols - 1
+
+	// Big-M value scaled to the data.
+	maxAbs := 1.0
+	for _, v := range p.C {
+		maxAbs = math.Max(maxAbs, math.Abs(v))
+	}
+	scan := func(a *linalg.Matrix, b []float64) {
+		if a == nil {
+			return
+		}
+		for _, v := range a.Data {
+			maxAbs = math.Max(maxAbs, math.Abs(v))
+		}
+		for _, v := range b {
+			maxAbs = math.Max(maxAbs, math.Abs(v))
+		}
+	}
+	scan(p.Aub, p.Bub)
+	scan(p.Aeq, p.Beq)
+	bigM := 1e7 * maxAbs
+
+	basis := make([]int, m)
+	// Fill inequality rows.
+	for i := 0; i < mUb; i++ {
+		row := t.Row(i)
+		copy(row[:n], p.Aub.Row(i))
+		rhs := p.Bub[i]
+		if rhs < 0 {
+			// Normalize to nonnegative RHS by flipping the row; the
+			// slack then has coefficient −1 and cannot be basic, so the
+			// artificial starts basic.
+			for j := 0; j < n; j++ {
+				row[j] = -row[j]
+			}
+			rhs = -rhs
+			row[n+i] = -1
+		} else {
+			row[n+i] = 1
+		}
+		row[n+nSlack+i] = 1
+		row[rhsCol] = rhs
+		basis[i] = n + nSlack + i
+	}
+	// Fill equality rows.
+	for k := 0; k < mEq; k++ {
+		i := mUb + k
+		row := t.Row(i)
+		copy(row[:n], p.Aeq.Row(k))
+		rhs := p.Beq[k]
+		if rhs < 0 {
+			for j := 0; j < n; j++ {
+				row[j] = -row[j]
+			}
+			rhs = -rhs
+		}
+		row[n+nSlack+i] = 1
+		row[rhsCol] = rhs
+		basis[i] = n + nSlack + i
+	}
+	// Objective row: c for structural vars, bigM for artificials.
+	obj := t.Row(m)
+	copy(obj[:n], p.C)
+	for i := 0; i < nArt; i++ {
+		obj[n+nSlack+i] = bigM
+	}
+	// Price out the basic artificials: obj ← obj − bigM·Σrows.
+	for i := 0; i < m; i++ {
+		row := t.Row(i)
+		for j := 0; j < cols; j++ {
+			obj[j] -= bigM * row[j]
+		}
+	}
+
+	maxIters := p.MaxIters
+	if maxIters == 0 {
+		maxIters = 50 * (m + n + 10)
+	}
+	const eps = 1e-9
+	pivots := 0
+	for ; pivots < maxIters; pivots++ {
+		// Entering column: Dantzig rule with Bland fallback when the
+		// iteration count gets high (anti-cycling).
+		enter := -1
+		if pivots < maxIters/2 {
+			best := -eps
+			for j := 0; j < cols-1; j++ {
+				if obj[j] < best {
+					best = obj[j]
+					enter = j
+				}
+			}
+		} else {
+			for j := 0; j < cols-1; j++ {
+				if obj[j] < -eps {
+					enter = j
+					break
+				}
+			}
+		}
+		if enter < 0 {
+			break // optimal
+		}
+		// Ratio test.
+		leave := -1
+		bestRatio := math.Inf(1)
+		for i := 0; i < m; i++ {
+			a := t.At(i, enter)
+			if a > eps {
+				ratio := t.At(i, rhsCol) / a
+				if ratio < bestRatio-eps || (math.Abs(ratio-bestRatio) <= eps && (leave < 0 || basis[i] < basis[leave])) {
+					bestRatio = ratio
+					leave = i
+				}
+			}
+		}
+		if leave < 0 {
+			return &Solution{Status: Unbounded, Pivots: pivots}, ErrNoSolution
+		}
+		pivot(t, leave, enter)
+		basis[leave] = enter
+	}
+	if pivots >= maxIters {
+		return &Solution{Status: IterLimit, Pivots: pivots}, ErrNoSolution
+	}
+	// Detect infeasibility: a basic artificial with positive value.
+	for i, bj := range basis {
+		if bj >= n+nSlack && t.At(i, rhsCol) > 1e-6*math.Max(1, maxAbs) {
+			return &Solution{Status: Infeasible, Pivots: pivots}, ErrNoSolution
+		}
+	}
+	x := make([]float64, n)
+	for i, bj := range basis {
+		if bj < n {
+			x[bj] = t.At(i, rhsCol)
+		}
+	}
+	val := 0.0
+	for j := 0; j < n; j++ {
+		val += p.C[j] * x[j]
+	}
+	return &Solution{X: x, Value: val, Status: Optimal, Pivots: pivots}, nil
+}
+
+// pivot performs a full tableau pivot on (r, c).
+func pivot(t *linalg.Matrix, r, c int) {
+	cols := t.Cols
+	prow := t.Row(r)
+	pval := prow[c]
+	inv := 1 / pval
+	for j := 0; j < cols; j++ {
+		prow[j] *= inv
+	}
+	for i := 0; i < t.Rows; i++ {
+		if i == r {
+			continue
+		}
+		row := t.Row(i)
+		f := row[c]
+		if f == 0 {
+			continue
+		}
+		for j := 0; j < cols; j++ {
+			row[j] -= f * prow[j]
+		}
+		row[c] = 0 // exact zero against drift
+	}
+}
+
+// MinimaxWeights solves the L∞ weight-estimation program of Section 4.6:
+// the weights on the probability simplex minimizing max_i |(A·w)_i − s_i|.
+func MinimaxWeights(a *linalg.Matrix, s []float64) ([]float64, error) {
+	m, n := a.Rows, a.Cols
+	if len(s) != m {
+		panic("lp: MinimaxWeights shape mismatch")
+	}
+	// Variables: w₀..w_{n−1}, t.
+	c := make([]float64, n+1)
+	c[n] = 1
+	aub := linalg.NewMatrix(2*m, n+1)
+	bub := make([]float64, 2*m)
+	for i := 0; i < m; i++ {
+		arow := a.Row(i)
+		up := aub.Row(i)
+		dn := aub.Row(m + i)
+		for j := 0; j < n; j++ {
+			up[j] = arow[j]
+			dn[j] = -arow[j]
+		}
+		up[n] = -1
+		dn[n] = -1
+		bub[i] = s[i]
+		bub[m+i] = -s[i]
+	}
+	aeq := linalg.NewMatrix(1, n+1)
+	for j := 0; j < n; j++ {
+		aeq.Set(0, j, 1)
+	}
+	beq := []float64{1}
+	sol, err := Solve(Problem{C: c, Aub: aub, Bub: bub, Aeq: aeq, Beq: beq})
+	if err != nil {
+		return nil, err
+	}
+	w := make([]float64, n)
+	copy(w, sol.X[:n])
+	// Exact renormalization against simplex-method round-off.
+	sum := 0.0
+	for _, v := range w {
+		sum += v
+	}
+	if sum > 1e-12 {
+		for j := range w {
+			w[j] /= sum
+		}
+	}
+	return w, nil
+}

@@ -1,0 +1,300 @@
+package lp
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/linalg"
+	"repro/internal/rng"
+)
+
+func TestSolveBasic2D(t *testing.T) {
+	// max x + y  s.t. x ≤ 2, y ≤ 3, x+y ≤ 4  (min −x−y).
+	sol, err := Solve(Problem{
+		C:   []float64{-1, -1},
+		Aub: linalg.FromRows([][]float64{{1, 0}, {0, 1}, {1, 1}}),
+		Bub: []float64{2, 3, 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol.Value-(-4)) > 1e-8 {
+		t.Fatalf("objective = %v, want −4", sol.Value)
+	}
+}
+
+func TestSolveWithEquality(t *testing.T) {
+	// min x + 2y s.t. x + y = 1, x,y ≥ 0 → x=1, y=0.
+	sol, err := Solve(Problem{
+		C:   []float64{1, 2},
+		Aeq: linalg.FromRows([][]float64{{1, 1}}),
+		Beq: []float64{1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol.X[0]-1) > 1e-8 || math.Abs(sol.X[1]) > 1e-8 {
+		t.Fatalf("solution = %v, want [1 0]", sol.X)
+	}
+}
+
+func TestSolveInfeasible(t *testing.T) {
+	// x ≤ −1 with x ≥ 0 is infeasible.
+	sol, err := Solve(Problem{
+		C:   []float64{1},
+		Aub: linalg.FromRows([][]float64{{1}}),
+		Bub: []float64{-1},
+	})
+	if err == nil {
+		t.Fatalf("infeasible LP solved: %+v", sol)
+	}
+	if sol.Status != Infeasible {
+		t.Fatalf("status = %v, want Infeasible", sol.Status)
+	}
+}
+
+func TestSolveUnbounded(t *testing.T) {
+	// min −x with only x ≥ 0: unbounded below.
+	sol, err := Solve(Problem{C: []float64{-1}})
+	if err == nil {
+		t.Fatalf("unbounded LP solved: %+v", sol)
+	}
+	if sol.Status != Unbounded {
+		t.Fatalf("status = %v, want Unbounded", sol.Status)
+	}
+}
+
+func TestSolveNegativeRHS(t *testing.T) {
+	// min x s.t. −x ≤ −2 (i.e. x ≥ 2) → x = 2.
+	sol, err := Solve(Problem{
+		C:   []float64{1},
+		Aub: linalg.FromRows([][]float64{{-1}}),
+		Bub: []float64{-2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol.X[0]-2) > 1e-8 {
+		t.Fatalf("x = %v, want 2", sol.X[0])
+	}
+}
+
+func TestSolveDegenerateTies(t *testing.T) {
+	// Multiple optimal vertices; any optimum with value 1 is fine.
+	sol, err := Solve(Problem{
+		C:   []float64{1, 1},
+		Aeq: linalg.FromRows([][]float64{{1, 1}}),
+		Beq: []float64{1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol.Value-1) > 1e-8 {
+		t.Fatalf("value = %v, want 1", sol.Value)
+	}
+}
+
+// Property: on random feasible bounded LPs, the simplex optimum is at least
+// as good as any random feasible point.
+func TestSolveBeatsRandomFeasible(t *testing.T) {
+	r := rng.New(61)
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + r.IntN(5)
+		m := 1 + r.IntN(5)
+		aub := linalg.NewMatrix(m, n)
+		for i := range aub.Data {
+			aub.Data[i] = r.Float64() // nonnegative rows keep it bounded
+		}
+		bub := make([]float64, m)
+		for i := range bub {
+			bub[i] = 0.5 + r.Float64()
+		}
+		c := make([]float64, n)
+		for i := range c {
+			c[i] = 2*r.Float64() - 1
+		}
+		// Add box constraint x ≤ 1 per coordinate to guarantee bounded.
+		box := linalg.NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			box.Set(i, i, 1)
+		}
+		full := linalg.NewMatrix(m+n, n)
+		copy(full.Data[:m*n], aub.Data)
+		copy(full.Data[m*n:], box.Data)
+		fullB := append(append([]float64{}, bub...), onesN(n)...)
+		sol, err := Solve(Problem{C: c, Aub: full, Bub: fullB})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for probe := 0; probe < 40; probe++ {
+			x := make([]float64, n)
+			for j := range x {
+				x[j] = r.Float64()
+			}
+			feasible := true
+			for i := 0; i < m; i++ {
+				if linalg.Dot(full.Row(i), x) > fullB[i] {
+					feasible = false
+					break
+				}
+			}
+			if !feasible {
+				continue
+			}
+			val := linalg.Dot(c, x)
+			if val < sol.Value-1e-7 {
+				t.Fatalf("random feasible point %v beats simplex %v", val, sol.Value)
+			}
+		}
+	}
+}
+
+func onesN(n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = 1
+	}
+	return v
+}
+
+func TestMinimaxWeightsExactFit(t *testing.T) {
+	// Identity design: weights should reproduce s when s is a distribution.
+	a := linalg.FromRows([][]float64{{1, 0, 0}, {0, 1, 0}, {0, 0, 1}})
+	s := []float64{0.2, 0.3, 0.5}
+	w, err := MinimaxWeights(a, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range s {
+		if math.Abs(w[i]-s[i]) > 1e-6 {
+			t.Fatalf("weights = %v, want %v", w, s)
+		}
+	}
+}
+
+func TestMinimaxWeightsMinimizesMaxError(t *testing.T) {
+	r := rng.New(71)
+	for trial := 0; trial < 30; trial++ {
+		m := 2 + r.IntN(8)
+		n := 2 + r.IntN(5)
+		a := linalg.NewMatrix(m, n)
+		for i := range a.Data {
+			a.Data[i] = r.Float64()
+		}
+		s := make([]float64, m)
+		for i := range s {
+			s[i] = r.Float64()
+		}
+		w, err := MinimaxWeights(a, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := maxAbsErr(a, w, s)
+		// Compare against random feasible candidates.
+		for probe := 0; probe < 60; probe++ {
+			u := make([]float64, n)
+			sum := 0.0
+			for j := range u {
+				u[j] = r.ExpFloat64()
+				sum += u[j]
+			}
+			for j := range u {
+				u[j] /= sum
+			}
+			if maxAbsErr(a, u, s) < got-1e-6 {
+				t.Fatalf("random simplex point beats minimax: %v < %v", maxAbsErr(a, u, s), got)
+			}
+		}
+	}
+}
+
+func maxAbsErr(a *linalg.Matrix, w, s []float64) float64 {
+	y := a.MulVec(w)
+	worst := 0.0
+	for i := range y {
+		worst = math.Max(worst, math.Abs(y[i]-s[i]))
+	}
+	return worst
+}
+
+// Degenerate LPs with many ties stress the anti-cycling fallback.
+func TestSolveHighlyDegenerate(t *testing.T) {
+	// All constraints identical: max ties in the ratio test.
+	n := 6
+	rows := make([][]float64, 12)
+	rhs := make([]float64, 12)
+	for i := range rows {
+		row := make([]float64, n)
+		for j := range row {
+			row[j] = 1
+		}
+		rows[i] = row
+		rhs[i] = 1
+	}
+	c := make([]float64, n)
+	for j := range c {
+		c[j] = -1 // maximize Σx subject to Σx ≤ 1 twelve times
+	}
+	sol, err := Solve(Problem{C: c, Aub: linalg.FromRows(rows), Bub: rhs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol.Value-(-1)) > 1e-8 {
+		t.Fatalf("degenerate LP value %v, want −1", sol.Value)
+	}
+}
+
+// A chain of equalities with redundancy remains solvable.
+func TestSolveRedundantEqualities(t *testing.T) {
+	aeq := linalg.FromRows([][]float64{
+		{1, 1, 0},
+		{0, 1, 1},
+		{1, 2, 1}, // sum of the first two: redundant
+	})
+	beq := []float64{1, 1, 2}
+	sol, err := Solve(Problem{C: []float64{1, 1, 1}, Aeq: aeq, Beq: beq})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Feasible points satisfy x1+x2=1, x2+x3=1; min Σx = 1 + min x2… at
+	// x2=1: x=(0,1,0), Σ=1.
+	if math.Abs(sol.Value-1) > 1e-7 {
+		t.Fatalf("redundant-equality LP value %v, want 1", sol.Value)
+	}
+}
+
+// MinimaxWeights on larger random instances stays feasible and beats the
+// uniform distribution's max error.
+func TestMinimaxWeightsScales(t *testing.T) {
+	r := rng.New(97)
+	m, n := 40, 25
+	a := linalg.NewMatrix(m, n)
+	for i := range a.Data {
+		a.Data[i] = r.Float64()
+	}
+	s := make([]float64, m)
+	for i := range s {
+		s[i] = r.Float64()
+	}
+	w, err := MinimaxWeights(a, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, v := range w {
+		if v < -1e-9 {
+			t.Fatalf("negative weight %v", v)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Fatalf("weights sum to %v", sum)
+	}
+	u := make([]float64, n)
+	for j := range u {
+		u[j] = 1 / float64(n)
+	}
+	if maxAbsErr(a, w, s) > maxAbsErr(a, u, s)+1e-9 {
+		t.Fatalf("minimax %v worse than uniform %v", maxAbsErr(a, w, s), maxAbsErr(a, u, s))
+	}
+}

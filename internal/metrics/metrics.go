@@ -1,0 +1,107 @@
+// Package metrics implements the error measures of Section 4 of the paper:
+// root-mean-square error, Q-error quantiles, and L∞ error, plus the
+// non-empty filtering used for the "Random (non-empty)" rows of Table 1.
+package metrics
+
+import (
+	"math"
+	"sort"
+)
+
+// RMS returns √(1/n · Σ (est−truth)²). Slices must have equal length; an
+// empty input yields 0.
+func RMS(est, truth []float64) float64 {
+	if len(est) != len(truth) {
+		panic("metrics: RMS length mismatch")
+	}
+	if len(est) == 0 {
+		return 0
+	}
+	s := 0.0
+	for i := range est {
+		d := est[i] - truth[i]
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(est)))
+}
+
+// LInf returns max |est−truth|.
+func LInf(est, truth []float64) float64 {
+	if len(est) != len(truth) {
+		panic("metrics: LInf length mismatch")
+	}
+	worst := 0.0
+	for i := range est {
+		worst = math.Max(worst, math.Abs(est[i]-truth[i]))
+	}
+	return worst
+}
+
+// QErrors returns the per-query Q-errors max(ŝ,s)/min(ŝ,s) with both values
+// floored at minSel — the usual convention for zero-selectivity queries
+// (a floor of 1/N treats "zero" as "below one tuple").
+func QErrors(est, truth []float64, minSel float64) []float64 {
+	if len(est) != len(truth) {
+		panic("metrics: QErrors length mismatch")
+	}
+	out := make([]float64, len(est))
+	for i := range est {
+		a := math.Max(est[i], minSel)
+		b := math.Max(truth[i], minSel)
+		if a < b {
+			a, b = b, a
+		}
+		out[i] = a / b
+	}
+	return out
+}
+
+// Quantile returns the p-th quantile (0 ≤ p ≤ 1) of the values using the
+// nearest-rank convention the paper's tables use. Empty input yields NaN.
+func Quantile(values []float64, p float64) float64 {
+	if len(values) == 0 {
+		return math.NaN()
+	}
+	sorted := make([]float64, len(values))
+	copy(sorted, values)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	idx := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return sorted[idx]
+}
+
+// QErrorSummary is the 50th/95th/99th/max row of the paper's tables.
+type QErrorSummary struct {
+	P50, P95, P99, Max float64
+}
+
+// SummarizeQErrors computes the Table 1 row for the given predictions.
+func SummarizeQErrors(est, truth []float64, minSel float64) QErrorSummary {
+	q := QErrors(est, truth, minSel)
+	return QErrorSummary{
+		P50: Quantile(q, 0.50),
+		P95: Quantile(q, 0.95),
+		P99: Quantile(q, 0.99),
+		Max: Quantile(q, 1.00),
+	}
+}
+
+// FilterNonEmpty returns the subsequences of est/truth where the true
+// selectivity is positive — the "Random (non-empty)" evaluation of Table 1.
+func FilterNonEmpty(est, truth []float64) (fe, ft []float64) {
+	for i := range truth {
+		if truth[i] > 0 {
+			fe = append(fe, est[i])
+			ft = append(ft, truth[i])
+		}
+	}
+	return fe, ft
+}

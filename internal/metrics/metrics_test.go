@@ -1,0 +1,129 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestRMS(t *testing.T) {
+	got := RMS([]float64{0.1, 0.5}, []float64{0.2, 0.2})
+	want := math.Sqrt((0.01 + 0.09) / 2)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("RMS = %v, want %v", got, want)
+	}
+	if RMS(nil, nil) != 0 {
+		t.Fatal("RMS of empty input nonzero")
+	}
+}
+
+func TestLInf(t *testing.T) {
+	got := LInf([]float64{0.1, 0.9}, []float64{0.2, 0.5})
+	if math.Abs(got-0.4) > 1e-12 {
+		t.Fatalf("LInf = %v, want 0.4", got)
+	}
+}
+
+func TestQErrors(t *testing.T) {
+	q := QErrors([]float64{0.2, 0.05, 0}, []float64{0.1, 0.1, 0}, 1e-6)
+	if math.Abs(q[0]-2) > 1e-12 {
+		t.Fatalf("q[0] = %v, want 2", q[0])
+	}
+	if math.Abs(q[1]-2) > 1e-12 {
+		t.Fatalf("q[1] = %v, want 2 (symmetric)", q[1])
+	}
+	if math.Abs(q[2]-1) > 1e-12 {
+		t.Fatalf("q[2] = %v, want 1 (both floored)", q[2])
+	}
+}
+
+func TestQErrorFloor(t *testing.T) {
+	// Estimate 0.5 on a truly empty query: Q-error is bounded by the floor.
+	q := QErrors([]float64{0.5}, []float64{0}, 1e-3)
+	if math.Abs(q[0]-500) > 1e-9 {
+		t.Fatalf("floored q = %v, want 500", q[0])
+	}
+}
+
+// Q-errors are always ≥ 1 and symmetric in their arguments.
+func TestQErrorProperties(t *testing.T) {
+	r := rng.New(1)
+	for trial := 0; trial < 1000; trial++ {
+		a, b := r.Float64(), r.Float64()
+		qa := QErrors([]float64{a}, []float64{b}, 1e-6)[0]
+		qb := QErrors([]float64{b}, []float64{a}, 1e-6)[0]
+		if qa < 1 {
+			t.Fatalf("q-error %v < 1", qa)
+		}
+		if math.Abs(qa-qb) > 1e-12 {
+			t.Fatalf("q-error asymmetric: %v vs %v", qa, qb)
+		}
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	v := []float64{5, 1, 3, 2, 4}
+	if got := Quantile(v, 0); got != 1 {
+		t.Fatalf("q0 = %v", got)
+	}
+	if got := Quantile(v, 1); got != 5 {
+		t.Fatalf("q1 = %v", got)
+	}
+	if got := Quantile(v, 0.5); got != 3 {
+		t.Fatalf("median = %v", got)
+	}
+	// Input must not be mutated.
+	if v[0] != 5 {
+		t.Fatal("Quantile mutated its input")
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Fatal("quantile of empty input not NaN")
+	}
+}
+
+func TestQuantileNearestRank(t *testing.T) {
+	v := make([]float64, 100)
+	for i := range v {
+		v[i] = float64(i + 1)
+	}
+	if got := Quantile(v, 0.95); got != 95 {
+		t.Fatalf("p95 of 1..100 = %v, want 95", got)
+	}
+	if got := Quantile(v, 0.99); got != 99 {
+		t.Fatalf("p99 of 1..100 = %v, want 99", got)
+	}
+}
+
+func TestSummarizeQErrors(t *testing.T) {
+	est := []float64{0.1, 0.2, 0.4, 0.8}
+	truth := []float64{0.1, 0.1, 0.1, 0.1}
+	s := SummarizeQErrors(est, truth, 1e-6)
+	if s.Max != 8 {
+		t.Fatalf("max q-error = %v, want 8", s.Max)
+	}
+	if s.P50 != 2 {
+		t.Fatalf("median q-error = %v, want 2", s.P50)
+	}
+	if s.P99 != 8 || s.P95 != 8 {
+		t.Fatalf("tail quantiles = %v/%v, want 8/8 on 4 values", s.P95, s.P99)
+	}
+}
+
+func TestFilterNonEmpty(t *testing.T) {
+	est := []float64{0.1, 0.2, 0.3}
+	truth := []float64{0, 0.5, 0}
+	fe, ft := FilterNonEmpty(est, truth)
+	if len(fe) != 1 || fe[0] != 0.2 || ft[0] != 0.5 {
+		t.Fatalf("filtered = %v %v", fe, ft)
+	}
+}
+
+func TestMismatchedLengthsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RMS with mismatched lengths did not panic")
+		}
+	}()
+	RMS([]float64{1}, []float64{1, 2})
+}

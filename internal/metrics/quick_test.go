@@ -1,0 +1,95 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func toUnit(raw []float64) []float64 {
+	out := make([]float64, len(raw))
+	for i, v := range raw {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			v = 0.5
+		}
+		out[i] = math.Abs(math.Mod(v, 1))
+	}
+	return out
+}
+
+// Property: RMS is zero iff vectors are equal, symmetric in its arguments,
+// and bounded by LInf.
+func TestRMSProperties(t *testing.T) {
+	f := func(araw, braw [12]float64) bool {
+		a := toUnit(araw[:])
+		b := toUnit(braw[:])
+		rab := RMS(a, b)
+		rba := RMS(b, a)
+		if math.Abs(rab-rba) > 1e-12 {
+			return false
+		}
+		if RMS(a, a) != 0 {
+			return false
+		}
+		return rab <= LInf(a, b)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: quantiles are monotone in p and bracketed by min/max.
+func TestQuantileMonotoneBracketed(t *testing.T) {
+	f := func(raw [15]float64, p1raw, p2raw float64) bool {
+		v := toUnit(raw[:])
+		p1 := math.Abs(math.Mod(p1raw, 1))
+		p2 := math.Abs(math.Mod(p2raw, 1))
+		if p1 > p2 {
+			p1, p2 = p2, p1
+		}
+		q1 := Quantile(v, p1)
+		q2 := Quantile(v, p2)
+		if q1 > q2 {
+			return false
+		}
+		lo := Quantile(v, 0)
+		hi := Quantile(v, 1)
+		return q1 >= lo && q2 <= hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the Q-error summary is internally ordered
+// (p50 ≤ p95 ≤ p99 ≤ max) and every entry is ≥ 1.
+func TestQErrorSummaryOrdered(t *testing.T) {
+	f := func(eraw, traw [20]float64) bool {
+		est := toUnit(eraw[:])
+		truth := toUnit(traw[:])
+		s := SummarizeQErrors(est, truth, 1e-6)
+		return s.P50 >= 1 && s.P50 <= s.P95 && s.P95 <= s.P99 && s.P99 <= s.Max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: raising the floor never increases any Q-error.
+func TestQErrorFloorMonotone(t *testing.T) {
+	f := func(eraw, traw [10]float64) bool {
+		est := toUnit(eraw[:])
+		truth := toUnit(traw[:])
+		lo := QErrors(est, truth, 1e-6)
+		hi := QErrors(est, truth, 1e-2)
+		for i := range lo {
+			if hi[i] > lo[i]+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

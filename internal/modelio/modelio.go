@@ -1,0 +1,136 @@
+// Package modelio persists trained selectivity models: a database system
+// trains in the optimizer's maintenance window and ships the model to
+// every node that plans queries, so models need a stable interchange
+// format. The format is a JSON envelope {version, type, payload}; all
+// model types of this repository round-trip losslessly (float64 values are
+// encoded in full precision).
+package modelio
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/gmm"
+	"repro/internal/hist"
+	"repro/internal/isomer"
+	"repro/internal/ptshist"
+	"repro/internal/quicksel"
+)
+
+// Version is the current envelope version.
+const Version = 1
+
+type envelope struct {
+	Version int             `json:"version"`
+	Type    string          `json:"type"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+// typeNameOf maps concrete model types to their envelope tags.
+func typeNameOf(m core.Model) (string, bool) {
+	switch m.(type) {
+	case *hist.Model:
+		return "quadhist", true
+	case *ptshist.Model:
+		return "ptshist", true
+	case *quicksel.Model:
+		return "quicksel", true
+	case *isomer.Model:
+		return "isomer", true
+	case *gmm.Model:
+		return "gaussmix", true
+	}
+	return "", false
+}
+
+// Save writes the model to w. Only the concrete model types of this
+// repository are supported.
+func Save(w io.Writer, m core.Model) error {
+	name, ok := typeNameOf(m)
+	if !ok {
+		return fmt.Errorf("modelio: unsupported model type %T", m)
+	}
+	payload, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("modelio: encode payload: %w", err)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(envelope{Version: Version, Type: name, Payload: payload})
+}
+
+// Load reads a model written by Save.
+func Load(r io.Reader) (core.Model, error) {
+	var env envelope
+	if err := json.NewDecoder(r).Decode(&env); err != nil {
+		return nil, fmt.Errorf("modelio: decode envelope: %w", err)
+	}
+	if env.Version != Version {
+		return nil, fmt.Errorf("modelio: unsupported version %d", env.Version)
+	}
+	var m core.Model
+	switch env.Type {
+	case "quadhist":
+		m = &hist.Model{}
+	case "ptshist":
+		m = &ptshist.Model{}
+	case "quicksel":
+		m = &quicksel.Model{}
+	case "isomer":
+		m = &isomer.Model{}
+	case "gaussmix":
+		m = &gmm.Model{}
+	default:
+		return nil, fmt.Errorf("modelio: unknown model type %q", env.Type)
+	}
+	if err := json.Unmarshal(env.Payload, m); err != nil {
+		return nil, fmt.Errorf("modelio: decode %s payload: %w", env.Type, err)
+	}
+	if err := validate(m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// validate performs structural sanity checks so a corrupted file fails at
+// load time rather than at estimation time.
+func validate(m core.Model) error {
+	checkWeights := func(n int, w []float64) error {
+		if len(w) != n {
+			return fmt.Errorf("modelio: %d buckets but %d weights", n, len(w))
+		}
+		sum := 0.0
+		for _, v := range w {
+			if v < -1e-9 {
+				return fmt.Errorf("modelio: negative weight %v", v)
+			}
+			sum += v
+		}
+		if n > 0 && (sum < 0.99 || sum > 1.01) {
+			return fmt.Errorf("modelio: weights sum to %v", sum)
+		}
+		return nil
+	}
+	switch t := m.(type) {
+	case *hist.Model:
+		return checkWeights(len(t.Buckets), t.Weights)
+	case *ptshist.Model:
+		return checkWeights(len(t.Points), t.Weights)
+	case *quicksel.Model:
+		return checkWeights(len(t.Buckets), t.Weights)
+	case *isomer.Model:
+		return checkWeights(len(t.Buckets), t.Weights)
+	case *gmm.Model:
+		if err := checkWeights(len(t.Components), t.Weights); err != nil {
+			return err
+		}
+		for _, c := range t.Components {
+			if c.Sigma <= 0 {
+				return fmt.Errorf("modelio: non-positive component sigma %v", c.Sigma)
+			}
+		}
+		return nil
+	}
+	return nil
+}

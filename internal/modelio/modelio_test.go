@@ -1,0 +1,117 @@
+package modelio
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/geom"
+	"repro/internal/gmm"
+	"repro/internal/hist"
+	"repro/internal/isomer"
+	"repro/internal/ptshist"
+	"repro/internal/quicksel"
+	"repro/internal/workload"
+)
+
+func fixture(t *testing.T) ([]core.LabeledQuery, []core.LabeledQuery) {
+	t.Helper()
+	ds := dataset.Power(4000, 1).Project([]int{0, 1})
+	g := workload.NewGenerator(ds, 42)
+	spec := workload.Spec{Class: workload.OrthogonalRange, Centers: workload.DataDriven}
+	return g.TrainTest(spec, 60, 80)
+}
+
+func roundTrip(t *testing.T, m core.Model) core.Model {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Save(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func TestRoundTripAllModelTypes(t *testing.T) {
+	train, test := fixture(t)
+	trainers := []core.Trainer{
+		hist.New(2, 200),
+		ptshist.New(2, 200, 3),
+		quicksel.New(2, 5),
+		isomer.New(2),
+		gmm.New(2, 30, 7),
+	}
+	for _, tr := range trainers {
+		m, err := tr.Train(train)
+		if err != nil {
+			t.Fatalf("%s: %v", tr.Name(), err)
+		}
+		got := roundTrip(t, m)
+		// Identical estimates on every test query.
+		for _, z := range test {
+			a, b := m.Estimate(z.R), got.Estimate(z.R)
+			if math.Abs(a-b) > 1e-12 {
+				t.Fatalf("%s: estimate drift after round trip: %v vs %v", tr.Name(), a, b)
+			}
+		}
+		if m.NumBuckets() != got.NumBuckets() {
+			t.Fatalf("%s: bucket count drift", tr.Name())
+		}
+	}
+}
+
+func TestRoundTripNonBoxQueries(t *testing.T) {
+	train, _ := fixture(t)
+	m, err := ptshist.New(2, 100, 3).Train(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := roundTrip(t, m)
+	queries := []geom.Range{
+		geom.NewBall(geom.Point{0.3, 0.3}, 0.2),
+		geom.NewHalfspace(geom.Point{1, -1}, 0),
+	}
+	for _, q := range queries {
+		if math.Abs(m.Estimate(q)-got.Estimate(q)) > 1e-12 {
+			t.Fatalf("estimate drift for %v", q)
+		}
+	}
+}
+
+func TestLoadRejectsCorruption(t *testing.T) {
+	cases := []struct {
+		name  string
+		input string
+	}{
+		{"garbage", "not json"},
+		{"bad version", `{"version":99,"type":"quadhist","payload":{}}`},
+		{"unknown type", `{"version":1,"type":"neuralnet","payload":{}}`},
+		{"weight mismatch", `{"version":1,"type":"ptshist","payload":{"Points":[[0.5,0.5]],"Weights":[0.5,0.5]}}`},
+		{"negative weight", `{"version":1,"type":"ptshist","payload":{"Points":[[0.5,0.5],[0.1,0.1]],"Weights":[1.5,-0.5]}}`},
+		{"weights not normalized", `{"version":1,"type":"ptshist","payload":{"Points":[[0.5,0.5]],"Weights":[0.2]}}`},
+		{"bad sigma", `{"version":1,"type":"gaussmix","payload":{"Components":[{"Mean":[0.5],"Sigma":0}],"Weights":[1]}}`},
+	}
+	for _, c := range cases {
+		if _, err := Load(strings.NewReader(c.input)); err == nil {
+			t.Fatalf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestSaveRejectsForeignModel(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Save(&buf, fakeModel{}); err == nil {
+		t.Fatal("foreign model type accepted")
+	}
+}
+
+type fakeModel struct{}
+
+func (fakeModel) Estimate(geom.Range) float64 { return 0 }
+func (fakeModel) NumBuckets() int             { return 0 }

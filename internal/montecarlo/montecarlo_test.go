@@ -1,0 +1,94 @@
+package montecarlo
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRadicalInverseBase2(t *testing.T) {
+	want := []float64{0.5, 0.25, 0.75, 0.125, 0.625, 0.375, 0.875}
+	for i, w := range want {
+		if got := radicalInverse(i+1, 2); math.Abs(got-w) > 1e-15 {
+			t.Fatalf("radicalInverse(%d,2) = %v, want %v", i+1, got, w)
+		}
+	}
+}
+
+func TestHaltonInUnitCube(t *testing.T) {
+	h := NewHalton(5)
+	p := make([]float64, 5)
+	for i := 0; i < 10000; i++ {
+		h.Next(p)
+		for j, v := range p {
+			if v < 0 || v >= 1 {
+				t.Fatalf("halton sample %d dim %d out of range: %v", i, j, v)
+			}
+		}
+	}
+}
+
+func TestHaltonEquidistribution(t *testing.T) {
+	// Fraction of points in [0,0.3]×[0,0.7] should approach 0.21.
+	h := NewHalton(2)
+	p := make([]float64, 2)
+	const n = 20000
+	hits := 0
+	for i := 0; i < n; i++ {
+		h.Next(p)
+		if p[0] <= 0.3 && p[1] <= 0.7 {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if math.Abs(frac-0.21) > 0.005 {
+		t.Fatalf("halton box fraction = %v, want ~0.21", frac)
+	}
+}
+
+func TestVolumeOfSimplex(t *testing.T) {
+	// x + y + z ≤ 1 over the unit cube has volume 1/6.
+	got := Volume([]float64{0, 0, 0}, []float64{1, 1, 1}, 50000, func(p []float64) bool {
+		return p[0]+p[1]+p[2] <= 1
+	})
+	if math.Abs(got-1.0/6.0) > 0.003 {
+		t.Fatalf("simplex volume = %v, want 1/6", got)
+	}
+}
+
+func TestVolumeScalesWithBox(t *testing.T) {
+	// Same predicate over a shifted/scaled box.
+	got := Volume([]float64{0.5, 0.5}, []float64{1.0, 1.5}, 20000, func(p []float64) bool {
+		return true
+	})
+	if math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("full box volume = %v, want 0.5", got)
+	}
+}
+
+func TestVolumeDegenerateBox(t *testing.T) {
+	got := Volume([]float64{0.5}, []float64{0.5}, 100, func(p []float64) bool { return true })
+	if got != 0 {
+		t.Fatalf("degenerate box volume = %v", got)
+	}
+}
+
+func TestNewHaltonPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewHalton(0) did not panic")
+		}
+	}()
+	NewHalton(0)
+}
+
+func TestVolumeDeterministic(t *testing.T) {
+	f := func(p []float64) bool { return p[0]*p[0]+p[1]*p[1] <= 1 }
+	a := Volume([]float64{0, 0}, []float64{1, 1}, 10000, f)
+	b := Volume([]float64{0, 0}, []float64{1, 1}, 10000, f)
+	if a != b {
+		t.Fatalf("QMC volume not deterministic: %v vs %v", a, b)
+	}
+	if math.Abs(a-math.Pi/4) > 0.002 {
+		t.Fatalf("quarter-circle area = %v, want %v", a, math.Pi/4)
+	}
+}

@@ -1,0 +1,237 @@
+// Package optsim is a small cost-based query-optimizer simulator — the
+// consumer the paper's introduction motivates: "cost-based query
+// optimizers … use selectivity estimates to gauge intermediate result
+// sizes and choose low-cost query execution plans."
+//
+// The simulator models a table scanned under a range predicate with three
+// access paths (sequential scan, secondary-index scan, bitmap scan) and a
+// two-table join planned by selectivity-ordered nesting. Plan costs follow
+// the classical textbook model (per-page sequential cost, per-tuple random
+// I/O amplification). Feeding the planner a selectivity estimator and
+// replaying a workload yields the estimator's *plan regret* — the extra
+// execution cost caused purely by estimation error — which is how the
+// experiments quantify end-to-end estimator value beyond RMS/Q-error.
+package optsim
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+)
+
+// AccessPath identifies a physical operator choice for a scan.
+type AccessPath int
+
+const (
+	// SeqScan reads every page once.
+	SeqScan AccessPath = iota
+	// IndexScan pays a random read per matching tuple.
+	IndexScan
+	// BitmapScan sorts matches by page first: cheaper than IndexScan at
+	// moderate selectivity, still dominated by SeqScan near 1.
+	BitmapScan
+)
+
+// String names the path for reports.
+func (p AccessPath) String() string {
+	switch p {
+	case SeqScan:
+		return "seqscan"
+	case IndexScan:
+		return "indexscan"
+	case BitmapScan:
+		return "bitmapscan"
+	}
+	return fmt.Sprintf("path(%d)", int(p))
+}
+
+// CostModel holds the constants of the textbook cost model.
+type CostModel struct {
+	TuplesPerPage float64 // tuples per page
+	SeqPageCost   float64 // cost of one sequential page read
+	RandPageCost  float64 // cost of one random page read
+	CPUTupleCost  float64 // per-tuple processing cost
+}
+
+// DefaultCostModel mirrors PostgreSQL's default cost constants in spirit.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		TuplesPerPage: 100,
+		SeqPageCost:   1.0,
+		RandPageCost:  4.0,
+		CPUTupleCost:  0.01,
+	}
+}
+
+// ScanCost returns the cost of scanning n tuples under the given path at
+// the given (true) selectivity.
+func (cm CostModel) ScanCost(path AccessPath, n int, sel float64) float64 {
+	pages := math.Ceil(float64(n) / cm.TuplesPerPage)
+	matches := sel * float64(n)
+	switch path {
+	case SeqScan:
+		return pages*cm.SeqPageCost + float64(n)*cm.CPUTupleCost
+	case IndexScan:
+		// One random page per match (worst-case clustering).
+		return matches*cm.RandPageCost + matches*cm.CPUTupleCost
+	case BitmapScan:
+		// Matches grouped by page: min(matches, pages) random page
+		// reads plus a sorting overhead.
+		touched := math.Min(matches, pages)
+		return touched*cm.RandPageCost + matches*2*cm.CPUTupleCost
+	}
+	panic("optsim: unknown access path")
+}
+
+// ChoosePath returns the cheapest access path for the estimated
+// selectivity.
+func (cm CostModel) ChoosePath(n int, estSel float64) AccessPath {
+	best := SeqScan
+	bestCost := cm.ScanCost(SeqScan, n, estSel)
+	for _, p := range []AccessPath{IndexScan, BitmapScan} {
+		if c := cm.ScanCost(p, n, estSel); c < bestCost {
+			best, bestCost = p, c
+		}
+	}
+	return best
+}
+
+// Estimator is anything that predicts a selectivity for a range — a
+// trained core.Model, the true selectivity oracle, or a naive baseline.
+type Estimator interface {
+	Estimate(r geom.Range) float64
+}
+
+// EstimatorFunc adapts a plain function to the Estimator interface.
+type EstimatorFunc func(r geom.Range) float64
+
+// Estimate implements Estimator.
+func (f EstimatorFunc) Estimate(r geom.Range) float64 { return f(r) }
+
+// Oracle is the perfect estimator: it replays the recorded true
+// selectivity of a labeled workload (available in simulation, not in
+// production). Lookup is by structural equality over the recorded queries.
+type Oracle struct {
+	Samples []core.LabeledQuery
+}
+
+// Estimate implements Estimator.
+func (o Oracle) Estimate(r geom.Range) float64 {
+	for _, z := range o.Samples {
+		if reflect.DeepEqual(z.R, r) {
+			return z.Sel
+		}
+	}
+	return 0
+}
+
+// UniformityAssumption is the no-statistics baseline every classical
+// optimizer falls back on: selectivity = predicate volume (attribute
+// independence + uniformity).
+type UniformityAssumption struct{ Dim int }
+
+// Estimate implements Estimator.
+func (u UniformityAssumption) Estimate(r geom.Range) float64 {
+	return core.Clamp01(r.IntersectBoxVolume(geom.UnitCube(u.Dim)))
+}
+
+// ScanDecision records one planned-vs-optimal scan.
+type ScanDecision struct {
+	Query    geom.Range
+	TrueSel  float64
+	EstSel   float64
+	Chosen   AccessPath
+	Optimal  AccessPath
+	Cost     float64 // executed cost of the chosen plan at the true selectivity
+	BestCost float64 // executed cost of the optimal plan
+}
+
+// Regret returns the extra cost caused by the estimation error.
+func (d ScanDecision) Regret() float64 { return d.Cost - d.BestCost }
+
+// Report aggregates a replayed workload.
+type Report struct {
+	Decisions   []ScanDecision
+	TotalCost   float64
+	OptimalCost float64
+	Agreements  int
+}
+
+// RegretFraction is (total − optimal)/optimal.
+func (r Report) RegretFraction() float64 {
+	if r.OptimalCost == 0 {
+		return 0
+	}
+	return (r.TotalCost - r.OptimalCost) / r.OptimalCost
+}
+
+// AgreementRate is the fraction of queries planned identically to the
+// oracle.
+func (r Report) AgreementRate() float64 {
+	if len(r.Decisions) == 0 {
+		return 1
+	}
+	return float64(r.Agreements) / float64(len(r.Decisions))
+}
+
+// ReplayScans plans every query with the estimator and executes it at the
+// true selectivity, returning the aggregate report.
+func ReplayScans(cm CostModel, n int, est Estimator, queries []core.LabeledQuery) Report {
+	rep := Report{}
+	for _, z := range queries {
+		e := est.Estimate(z.R)
+		chosen := cm.ChoosePath(n, e)
+		optimal := cm.ChoosePath(n, z.Sel)
+		cost := cm.ScanCost(chosen, n, z.Sel)
+		best := cm.ScanCost(optimal, n, z.Sel)
+		rep.Decisions = append(rep.Decisions, ScanDecision{
+			Query: z.R, TrueSel: z.Sel, EstSel: e,
+			Chosen: chosen, Optimal: optimal,
+			Cost: cost, BestCost: best,
+		})
+		rep.TotalCost += cost
+		rep.OptimalCost += best
+		if chosen == optimal {
+			rep.Agreements++
+		}
+	}
+	return rep
+}
+
+// JoinOrderCost models a two-table nested-loop join: the outer table is
+// scanned once and the inner table is rescanned per surviving outer tuple,
+// so cost = scan(outer) + outerMatches · scan(inner). The outer should be
+// the side with the smaller filtered cardinality; wrong selectivity
+// estimates flip the order.
+func (cm CostModel) JoinOrderCost(nA, nB int, selA, selB float64, aOuter bool) float64 {
+	scanA := cm.ScanCost(SeqScan, nA, selA)
+	scanB := cm.ScanCost(SeqScan, nB, selB)
+	if aOuter {
+		return scanA + selA*float64(nA)*scanB
+	}
+	return scanB + selB*float64(nB)*scanA
+}
+
+// JoinDecision records one join-order choice.
+type JoinDecision struct {
+	AOuter    bool
+	OptAOuter bool
+	Cost      float64
+	BestCost  float64
+}
+
+// PlanJoin chooses the join order from estimated selectivities and prices
+// it at the true ones.
+func PlanJoin(cm CostModel, nA, nB int, estA, estB, trueA, trueB float64) JoinDecision {
+	estOuterA := cm.JoinOrderCost(nA, nB, estA, estB, true) <= cm.JoinOrderCost(nA, nB, estA, estB, false)
+	optOuterA := cm.JoinOrderCost(nA, nB, trueA, trueB, true) <= cm.JoinOrderCost(nA, nB, trueA, trueB, false)
+	return JoinDecision{
+		AOuter:    estOuterA,
+		OptAOuter: optOuterA,
+		Cost:      cm.JoinOrderCost(nA, nB, trueA, trueB, estOuterA),
+		BestCost:  cm.JoinOrderCost(nA, nB, trueA, trueB, optOuterA),
+	}
+}

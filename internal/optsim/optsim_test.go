@@ -1,0 +1,147 @@
+package optsim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/geom"
+	"repro/internal/hist"
+	"repro/internal/workload"
+)
+
+func TestScanCostShapes(t *testing.T) {
+	cm := DefaultCostModel()
+	const n = 100000
+	// Sequential cost is selectivity-independent.
+	if cm.ScanCost(SeqScan, n, 0.01) != cm.ScanCost(SeqScan, n, 0.99) {
+		t.Fatal("seqscan cost depends on selectivity")
+	}
+	// Index scan grows linearly with selectivity.
+	lo := cm.ScanCost(IndexScan, n, 0.001)
+	hi := cm.ScanCost(IndexScan, n, 0.5)
+	if hi <= lo {
+		t.Fatal("indexscan cost not increasing")
+	}
+	// Bitmap scan sits between index and sequential at mid selectivity.
+	mid := 0.2
+	if cm.ScanCost(BitmapScan, n, mid) >= cm.ScanCost(IndexScan, n, mid) {
+		t.Fatal("bitmapscan not cheaper than indexscan at mid selectivity")
+	}
+}
+
+func TestChoosePathCrossovers(t *testing.T) {
+	cm := DefaultCostModel()
+	const n = 100000
+	// Highly selective → index; unselective → seq.
+	if cm.ChoosePath(n, 0.0001) != IndexScan {
+		t.Fatalf("path at sel 0.0001 = %v, want indexscan", cm.ChoosePath(n, 0.0001))
+	}
+	if cm.ChoosePath(n, 0.9) != SeqScan {
+		t.Fatalf("path at sel 0.9 = %v, want seqscan", cm.ChoosePath(n, 0.9))
+	}
+	// The chosen path is always the argmin.
+	for _, sel := range []float64{0, 0.001, 0.01, 0.05, 0.2, 0.5, 1} {
+		chosen := cm.ChoosePath(n, sel)
+		for _, p := range []AccessPath{SeqScan, IndexScan, BitmapScan} {
+			if cm.ScanCost(p, n, sel) < cm.ScanCost(chosen, n, sel)-1e-9 {
+				t.Fatalf("sel %v: %v cheaper than chosen %v", sel, p, chosen)
+			}
+		}
+	}
+}
+
+func TestOracleHasZeroRegret(t *testing.T) {
+	cm := DefaultCostModel()
+	ds := dataset.Power(5000, 1).Project([]int{0, 1})
+	g := workload.NewGenerator(ds, 42)
+	queries := g.Generate(workload.Spec{Class: workload.OrthogonalRange, Centers: workload.DataDriven}, 100)
+	rep := ReplayScans(cm, ds.Len(), Oracle{Samples: queries}, queries)
+	if rep.RegretFraction() != 0 {
+		t.Fatalf("oracle regret = %v", rep.RegretFraction())
+	}
+	if rep.AgreementRate() != 1 {
+		t.Fatalf("oracle agreement = %v", rep.AgreementRate())
+	}
+}
+
+func TestLearnedEstimatorBeatsUniformity(t *testing.T) {
+	cm := DefaultCostModel()
+	ds := dataset.Power(8000, 1).Project([]int{0, 1})
+	g := workload.NewGenerator(ds, 7)
+	spec := workload.Spec{Class: workload.OrthogonalRange, Centers: workload.DataDriven, MaxSide: 0.4}
+	train, test := g.TrainTest(spec, 300, 300)
+	m, err := hist.New(2, 1200).TrainHist(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	learned := ReplayScans(cm, ds.Len(), m, test)
+	naive := ReplayScans(cm, ds.Len(), UniformityAssumption{Dim: 2}, test)
+	if learned.RegretFraction() > naive.RegretFraction() {
+		t.Fatalf("learned regret %v worse than uniformity %v",
+			learned.RegretFraction(), naive.RegretFraction())
+	}
+	if learned.RegretFraction() > 0.05 {
+		t.Fatalf("learned regret %v too high", learned.RegretFraction())
+	}
+	if learned.AgreementRate() < naive.AgreementRate() {
+		t.Fatalf("learned agreement %v below uniformity %v",
+			learned.AgreementRate(), naive.AgreementRate())
+	}
+}
+
+func TestRegretNonNegative(t *testing.T) {
+	cm := DefaultCostModel()
+	ds := dataset.Forest(4000, 2).Project([]int{0, 1})
+	g := workload.NewGenerator(ds, 9)
+	queries := g.Generate(workload.Spec{Class: workload.OrthogonalRange, Centers: workload.Random}, 200)
+	rep := ReplayScans(cm, ds.Len(), UniformityAssumption{Dim: 2}, queries)
+	for _, d := range rep.Decisions {
+		if d.Regret() < -1e-9 {
+			t.Fatalf("negative regret %v", d.Regret())
+		}
+	}
+	if rep.TotalCost < rep.OptimalCost-1e-9 {
+		t.Fatal("total cost below optimal cost")
+	}
+}
+
+func TestUniformityEstimator(t *testing.T) {
+	u := UniformityAssumption{Dim: 2}
+	b := geom.NewBox(geom.Point{0, 0}, geom.Point{0.5, 0.5})
+	if got := u.Estimate(b); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("uniformity estimate = %v, want 0.25", got)
+	}
+}
+
+func TestJoinOrderPlanning(t *testing.T) {
+	cm := DefaultCostModel()
+	// A filtered to 10 rows, B filtered to 10000: A must be outer.
+	d := PlanJoin(cm, 100000, 100000, 0.0001, 0.1, 0.0001, 0.1)
+	if !d.AOuter || !d.OptAOuter {
+		t.Fatalf("small-side not chosen as outer: %+v", d)
+	}
+	if d.Cost != d.BestCost {
+		t.Fatalf("correct order but regret: %+v", d)
+	}
+	// A badly overestimated flips the order and costs more.
+	bad := PlanJoin(cm, 100000, 100000, 0.5, 0.1, 0.0001, 0.1)
+	if bad.AOuter {
+		t.Fatalf("overestimate did not flip the order: %+v", bad)
+	}
+	if bad.Cost <= bad.BestCost {
+		t.Fatalf("flipped order should cost more: %+v", bad)
+	}
+}
+
+func TestModelAsEstimatorInterface(t *testing.T) {
+	// core.Model satisfies Estimator directly.
+	var _ Estimator = (core.Model)(nil)
+}
+
+func TestPathStrings(t *testing.T) {
+	if SeqScan.String() != "seqscan" || IndexScan.String() != "indexscan" || BitmapScan.String() != "bitmapscan" {
+		t.Fatal("path names wrong")
+	}
+}

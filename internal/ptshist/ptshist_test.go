@@ -1,0 +1,196 @@
+package ptshist
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/geom"
+	"repro/internal/workload"
+)
+
+func gen2D(seed uint64) *workload.Generator {
+	return workload.NewGenerator(dataset.Power(8000, 1).Project([]int{0, 1}), seed)
+}
+
+func TestTrainBasic2D(t *testing.T) {
+	g := gen2D(42)
+	spec := workload.Spec{Class: workload.OrthogonalRange, Centers: workload.DataDriven}
+	train, test := g.TrainTest(spec, 150, 150)
+	m, err := New(2, 600, 7).TrainHist(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumBuckets() != 600 {
+		t.Fatalf("bucket count %d, want 600", m.NumBuckets())
+	}
+	sum := 0.0
+	for _, w := range m.Weights {
+		if w < -1e-12 {
+			t.Fatalf("negative weight %v", w)
+		}
+		sum += w
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Fatalf("weights sum to %v", sum)
+	}
+	if rms := core.RMS(m, test); rms > 0.15 {
+		t.Fatalf("test RMS = %v", rms)
+	}
+}
+
+func TestPointsInUnitCube(t *testing.T) {
+	g := gen2D(1)
+	train := g.Generate(workload.Spec{Class: workload.Ball, Centers: workload.DataDriven}, 60)
+	tr := New(2, 400, 3)
+	pts := tr.SamplePoints(train)
+	if len(pts) != 400 {
+		t.Fatalf("sampled %d points", len(pts))
+	}
+	for _, p := range pts {
+		if !p.InUnitCube() {
+			t.Fatalf("bucket point %v outside unit cube", p)
+		}
+	}
+}
+
+func TestInteriorShareProportionalToSelectivity(t *testing.T) {
+	// Two disjoint queries with selectivities 0.4 and 0.1: the first
+	// should receive ≈4× the interior points of the second.
+	left := geom.NewBox(geom.Point{0, 0}, geom.Point{0.4, 1})
+	right := geom.NewBox(geom.Point{0.6, 0}, geom.Point{1, 1})
+	train := []core.LabeledQuery{
+		{R: left, Sel: 0.4},
+		{R: right, Sel: 0.1},
+	}
+	tr := New(2, 1000, 5)
+	pts := tr.SamplePoints(train)
+	inLeft, inRight := 0, 0
+	for _, p := range pts {
+		if left.Contains(p) {
+			inLeft++
+		} else if right.Contains(p) {
+			inRight++
+		}
+	}
+	ratio := float64(inLeft) / float64(inRight)
+	if ratio < 2.5 || ratio > 6 {
+		t.Fatalf("interior share ratio = %v (left %d, right %d), want ≈4", ratio, inLeft, inRight)
+	}
+	// The uniform 10% share (100 points) falls anywhere in the cube; the
+	// two query boxes cover 80% of it, so ≈20 points land outside both.
+	outside := len(pts) - inLeft - inRight
+	if outside < 5 || outside > 60 {
+		t.Fatalf("uniform-share points outside queries = %d of %d, want ≈20", outside, len(pts))
+	}
+}
+
+func TestDeterministicSampling(t *testing.T) {
+	g := gen2D(5)
+	train := g.Generate(workload.Spec{Class: workload.OrthogonalRange, Centers: workload.DataDriven}, 40)
+	a := New(2, 200, 9).SamplePoints(train)
+	b := New(2, 200, 9).SamplePoints(train)
+	for i := range a {
+		if a[i].Dist(b[i]) != 0 {
+			t.Fatalf("sampling not deterministic at point %d", i)
+		}
+	}
+}
+
+func TestHighDimensionalTraining(t *testing.T) {
+	ds := dataset.Forest(6000, 2).NumericProjection(6)
+	g := workload.NewGenerator(ds, 17)
+	spec := workload.Spec{Class: workload.OrthogonalRange, Centers: workload.DataDriven}
+	train, test := g.TrainTest(spec, 150, 150)
+	m, err := New(6, 600, 3).TrainHist(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rms := core.RMS(m, test); rms > 0.25 {
+		t.Fatalf("6D test RMS = %v", rms)
+	}
+}
+
+func TestBallQueriesHighDim(t *testing.T) {
+	ds := dataset.Forest(5000, 4).NumericProjection(5)
+	g := workload.NewGenerator(ds, 19)
+	spec := workload.Spec{Class: workload.Ball, Centers: workload.DataDriven}
+	train, test := g.TrainTest(spec, 120, 120)
+	m, err := New(5, 480, 11).TrainHist(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rms := core.RMS(m, test); rms > 0.25 {
+		t.Fatalf("5D ball test RMS = %v", rms)
+	}
+}
+
+func TestEstimateBounds(t *testing.T) {
+	g := gen2D(23)
+	spec := workload.Spec{Class: workload.Halfspace, Centers: workload.Random}
+	train, test := g.TrainTest(spec, 80, 200)
+	m, err := New(2, 320, 29).TrainHist(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, z := range test {
+		e := m.Estimate(z.R)
+		if e < 0 || e > 1 {
+			t.Fatalf("estimate %v outside [0,1]", e)
+		}
+	}
+	if e := m.Estimate(geom.UnitCube(2)); math.Abs(e-1) > 1e-9 {
+		t.Fatalf("unit-cube estimate = %v", e)
+	}
+}
+
+func TestInteriorFractionOption(t *testing.T) {
+	// With InteriorFraction ≈ 0 every bucket comes from the uniform
+	// share; with ≈ 1 (almost) every bucket is inside some query.
+	q := geom.NewBox(geom.Point{0.4, 0.4}, geom.Point{0.6, 0.6})
+	train := []core.LabeledQuery{{R: q, Sel: 0.5}}
+	allU := (&Trainer{Dim: 2, Opts: Options{K: 300, Seed: 1, InteriorFraction: 0.001}}).SamplePoints(train)
+	inQ := 0
+	for _, p := range allU {
+		if q.Contains(p) {
+			inQ++
+		}
+	}
+	if inQ > 50 {
+		t.Fatalf("uniform-only sampling put %d/300 in the query box", inQ)
+	}
+	allI := (&Trainer{Dim: 2, Opts: Options{K: 300, Seed: 1, InteriorFraction: 0.95}}).SamplePoints(train)
+	inQ = 0
+	for _, p := range allI {
+		if q.Contains(p) {
+			inQ++
+		}
+	}
+	if inQ < 250 {
+		t.Fatalf("interior sampling put only %d/300 in the query box", inQ)
+	}
+}
+
+func TestZeroSelectivityWorkloadFallsBackToUniform(t *testing.T) {
+	train := []core.LabeledQuery{
+		{R: geom.NewBox(geom.Point{0, 0}, geom.Point{0.1, 0.1}), Sel: 0},
+		{R: geom.NewBox(geom.Point{0.9, 0.9}, geom.Point{1, 1}), Sel: 0},
+	}
+	m, err := New(2, 100, 3).TrainHist(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumBuckets() != 100 {
+		t.Fatalf("bucket count %d", m.NumBuckets())
+	}
+}
+
+func TestInvalidConfig(t *testing.T) {
+	if _, err := New(2, 0, 1).TrainHist([]core.LabeledQuery{{R: geom.UnitCube(2), Sel: 1}}); err == nil {
+		t.Fatal("K=0 accepted")
+	}
+	if _, err := New(2, 10, 1).TrainHist(nil); err == nil {
+		t.Fatal("empty training set accepted")
+	}
+}

@@ -1,0 +1,5 @@
+package quicksel
+
+import "repro/internal/rng"
+
+func newTestRNG() *rng.RNG { return rng.New(1234) }

@@ -1,0 +1,177 @@
+package solver
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/linalg"
+)
+
+// ProjectSimplex projects v onto the probability simplex
+// {w : w ≥ 0, Σw = 1} in Euclidean norm using the sort-based algorithm of
+// Duchi et al. (2008). The input is not modified.
+func ProjectSimplex(v []float64) []float64 {
+	n := len(v)
+	if n == 0 {
+		return nil
+	}
+	u := make([]float64, n)
+	copy(u, v)
+	sort.Sort(sort.Reverse(sort.Float64Slice(u)))
+	cum := 0.0
+	rho := -1
+	var theta float64
+	for i := 0; i < n; i++ {
+		cum += u[i]
+		t := (cum - 1) / float64(i+1)
+		if u[i]-t > 0 {
+			rho = i
+			theta = t
+		}
+	}
+	if rho < 0 {
+		// All mass at the largest coordinate (degenerate input).
+		theta = u[0] - 1
+	}
+	w := make([]float64, n)
+	for i, vi := range v {
+		w[i] = math.Max(0, vi-theta)
+	}
+	// Counteract floating-point drift.
+	normalize(w)
+	return w
+}
+
+// SimplexPGD solves min ‖A·w − s‖² over the probability simplex with
+// Nesterov-accelerated projected gradient (FISTA). It is the large-scale
+// alternative to the Lawson–Hanson path: O(m·n) per iteration regardless of
+// the active-set size.
+func SimplexPGD(a *linalg.Matrix, s []float64, iters int) []float64 {
+	n := a.Cols
+	if n == 0 {
+		return nil
+	}
+	// Lipschitz constant of the gradient: 2·λmax(AᵀA), estimated by a
+	// few power iterations.
+	l := 2 * powerIterSq(a, 30)
+	if l <= 0 {
+		l = 1
+	}
+	step := 1 / l
+
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1 / float64(n)
+	}
+	y := make([]float64, n)
+	copy(y, w)
+	tPrev := 1.0
+	objPrev := math.Inf(1)
+	for it := 0; it < iters; it++ {
+		// Gradient at y: 2Aᵀ(Ay − s).
+		r := a.MulVec(y)
+		for i := range r {
+			r[i] -= s[i]
+		}
+		g := a.TMulVec(r)
+		cand := make([]float64, n)
+		for i := range cand {
+			cand[i] = y[i] - 2*step*g[i]
+		}
+		wNext := ProjectSimplex(cand)
+		tNext := (1 + math.Sqrt(1+4*tPrev*tPrev)) / 2
+		beta := (tPrev - 1) / tNext
+		for i := range y {
+			y[i] = wNext[i] + beta*(wNext[i]-w[i])
+		}
+		w = wNext
+		tPrev = tNext
+		// Cheap convergence check every 25 iterations.
+		if it%25 == 24 {
+			obj := objective(a, w, s)
+			if objPrev-obj < 1e-12*(1+obj) {
+				break
+			}
+			objPrev = obj
+		}
+	}
+	return w
+}
+
+// objective evaluates ‖A·w − s‖².
+func objective(a *linalg.Matrix, w, s []float64) float64 {
+	r := a.MulVec(w)
+	o := 0.0
+	for i := range r {
+		d := r[i] - s[i]
+		o += d * d
+	}
+	return o
+}
+
+// powerIterSq estimates λmax(AᵀA) = ‖A‖₂² by power iteration.
+func powerIterSq(a *linalg.Matrix, iters int) float64 {
+	n := a.Cols
+	v := make([]float64, n)
+	for i := range v {
+		// Deterministic non-degenerate start vector.
+		v[i] = 1 + float64(i%7)/7
+	}
+	lambda := 0.0
+	for it := 0; it < iters; it++ {
+		u := a.MulVec(v)
+		w := a.TMulVec(u)
+		norm := linalg.Norm2(w)
+		if norm == 0 {
+			return 0
+		}
+		lambda = linalg.Dot(v, w) / linalg.Dot(v, v)
+		for i := range w {
+			v[i] = w[i] / norm
+		}
+	}
+	return lambda
+}
+
+// nnlsSizeLimit is the bucket-count threshold above which SimplexWeights
+// switches from Lawson–Hanson NNLS (exact active set, cubic in the passive
+// set) to accelerated projected gradient (linear per iteration).
+const nnlsSizeLimit = 350
+
+// pgdIterations is the iteration budget for the large-scale path.
+const pgdIterations = 600
+
+// Weights solves the weight-estimation program of Eq. 8 choosing the
+// algorithm by problem size. Method selection can be forced with
+// WeightsWith.
+func Weights(a *linalg.Matrix, s []float64) ([]float64, error) {
+	if a.Cols <= nnlsSizeLimit {
+		return SimplexWeights(a, s)
+	}
+	return SimplexPGD(a, s, pgdIterations), nil
+}
+
+// Method selects a weight-estimation algorithm.
+type Method int
+
+const (
+	// MethodAuto picks NNLS for small bucket counts, PGD otherwise.
+	MethodAuto Method = iota
+	// MethodNNLS forces Lawson–Hanson with sum-to-one augmentation.
+	MethodNNLS
+	// MethodPGD forces accelerated projected gradient on the simplex.
+	MethodPGD
+)
+
+// WeightsWith is Weights with an explicit method choice, used by the
+// solver-ablation benchmarks.
+func WeightsWith(method Method, a *linalg.Matrix, s []float64) ([]float64, error) {
+	switch method {
+	case MethodNNLS:
+		return SimplexWeights(a, s)
+	case MethodPGD:
+		return SimplexPGD(a, s, pgdIterations), nil
+	default:
+		return Weights(a, s)
+	}
+}

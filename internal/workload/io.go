@@ -1,0 +1,172 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+)
+
+// This file implements the CSV interchange format used by cmd/selgen and
+// cmd/seltrain: one labeled query per row, the query parameters followed by
+// the exact selectivity. The column layout depends on the query class:
+//
+//	range:     lo0..lo{d-1}, hi0..hi{d-1}, selectivity
+//	halfspace: a0..a{d-1}, b, selectivity
+//	ball:      c0..c{d-1}, radius, selectivity
+
+// WriteCSV writes the workload in the interchange format. All queries must
+// belong to the named class.
+func WriteCSV(w io.Writer, class Class, samples []core.LabeledQuery) error {
+	bw := bufio.NewWriter(w)
+	if len(samples) == 0 {
+		return fmt.Errorf("workload: empty workload")
+	}
+	d := samples[0].R.Dim()
+	switch class {
+	case OrthogonalRange:
+		fmt.Fprintf(bw, "%s,%s,selectivity\n", header("lo", d), header("hi", d))
+	case Halfspace:
+		fmt.Fprintf(bw, "%s,b,selectivity\n", header("a", d))
+	case Ball:
+		fmt.Fprintf(bw, "%s,radius,selectivity\n", header("c", d))
+	default:
+		return fmt.Errorf("workload: unsupported class %v", class)
+	}
+	for i, z := range samples {
+		switch class {
+		case OrthogonalRange:
+			b, ok := z.R.(geom.Box)
+			if !ok {
+				return fmt.Errorf("workload: query %d is not a box", i)
+			}
+			fmt.Fprintf(bw, "%s,%s,%s\n", joinF(b.Lo), joinF(b.Hi), fmtG(z.Sel))
+		case Halfspace:
+			h, ok := z.R.(geom.Halfspace)
+			if !ok {
+				return fmt.Errorf("workload: query %d is not a halfspace", i)
+			}
+			fmt.Fprintf(bw, "%s,%s,%s\n", joinF(h.A), fmtG(h.B), fmtG(z.Sel))
+		case Ball:
+			bl, ok := z.R.(geom.Ball)
+			if !ok {
+				return fmt.Errorf("workload: query %d is not a ball", i)
+			}
+			fmt.Fprintf(bw, "%s,%s,%s\n", joinF(bl.Center), fmtG(bl.Radius), fmtG(z.Sel))
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses a workload in the interchange format, returning the
+// samples and the dimensionality.
+func ReadCSV(r io.Reader, class Class) ([]core.LabeledQuery, int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if !sc.Scan() {
+		return nil, 0, fmt.Errorf("workload: empty input")
+	}
+	headerCols := len(strings.Split(sc.Text(), ","))
+	var dim int
+	switch class {
+	case OrthogonalRange:
+		dim = (headerCols - 1) / 2
+		if headerCols != 2*dim+1 {
+			return nil, 0, fmt.Errorf("workload: %d columns is not a range layout", headerCols)
+		}
+	case Halfspace, Ball:
+		dim = headerCols - 2
+	default:
+		return nil, 0, fmt.Errorf("workload: unsupported class %v", class)
+	}
+	if dim < 1 {
+		return nil, 0, fmt.Errorf("workload: malformed header with %d columns", headerCols)
+	}
+	var out []core.LabeledQuery
+	lineNo := 1
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		fields := strings.Split(line, ",")
+		if len(fields) != headerCols {
+			return nil, 0, fmt.Errorf("workload: line %d has %d fields, want %d", lineNo, len(fields), headerCols)
+		}
+		vals := make([]float64, len(fields))
+		for i, f := range fields {
+			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil {
+				return nil, 0, fmt.Errorf("workload: line %d field %d: %v", lineNo, i+1, err)
+			}
+			vals[i] = v
+		}
+		sel := vals[len(vals)-1]
+		if sel < 0 || sel > 1 {
+			return nil, 0, fmt.Errorf("workload: line %d: selectivity %v outside [0,1]", lineNo, sel)
+		}
+		var q geom.Range
+		switch class {
+		case OrthogonalRange:
+			q = geom.NewBox(geom.Point(vals[:dim]), geom.Point(vals[dim:2*dim]))
+		case Halfspace:
+			q = geom.NewHalfspace(geom.Point(vals[:dim]), vals[dim])
+		case Ball:
+			if vals[dim] < 0 {
+				return nil, 0, fmt.Errorf("workload: line %d: negative radius", lineNo)
+			}
+			q = geom.NewBall(geom.Point(vals[:dim]), vals[dim])
+		}
+		out = append(out, core.LabeledQuery{R: q, Sel: sel})
+	}
+	return out, dim, sc.Err()
+}
+
+// ParseClass resolves a class name used by the CLI tools.
+func ParseClass(name string) (Class, error) {
+	switch name {
+	case "range":
+		return OrthogonalRange, nil
+	case "halfspace":
+		return Halfspace, nil
+	case "ball":
+		return Ball, nil
+	}
+	return 0, fmt.Errorf("workload: unknown class %q", name)
+}
+
+// ParseCenters resolves a center-distribution name used by the CLI tools.
+func ParseCenters(name string) (Centers, error) {
+	switch name {
+	case "data-driven":
+		return DataDriven, nil
+	case "random":
+		return Random, nil
+	case "gaussian":
+		return Gaussian, nil
+	}
+	return 0, fmt.Errorf("workload: unknown center distribution %q", name)
+}
+
+func joinF(p []float64) string {
+	parts := make([]string, len(p))
+	for i, v := range p {
+		parts[i] = fmtG(v)
+	}
+	return strings.Join(parts, ",")
+}
+
+func fmtG(v float64) string { return strconv.FormatFloat(v, 'g', 8, 64) }
+
+func header(prefix string, d int) string {
+	parts := make([]string, d)
+	for i := range parts {
+		parts[i] = fmt.Sprintf("%s%d", prefix, i)
+	}
+	return strings.Join(parts, ",")
+}

@@ -1,0 +1,165 @@
+package workload
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/geom"
+)
+
+func roundTrip(t *testing.T, class Class, samples []core.LabeledQuery) []core.LabeledQuery {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, class, samples); err != nil {
+		t.Fatal(err)
+	}
+	got, dim, err := ReadCSV(&buf, class)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dim != samples[0].R.Dim() {
+		t.Fatalf("round trip dim %d, want %d", dim, samples[0].R.Dim())
+	}
+	if len(got) != len(samples) {
+		t.Fatalf("round trip %d queries, want %d", len(got), len(samples))
+	}
+	return got
+}
+
+func TestCSVRoundTripRange(t *testing.T) {
+	ds := dataset.Power(2000, 1).Project([]int{0, 1})
+	g := NewGenerator(ds, 3)
+	samples := g.Generate(Spec{Class: OrthogonalRange, Centers: DataDriven}, 50)
+	got := roundTrip(t, OrthogonalRange, samples)
+	for i := range samples {
+		a := samples[i].R.(geom.Box)
+		b := got[i].R.(geom.Box)
+		for j := 0; j < 2; j++ {
+			if math.Abs(a.Lo[j]-b.Lo[j]) > 1e-6 || math.Abs(a.Hi[j]-b.Hi[j]) > 1e-6 {
+				t.Fatalf("query %d corrupted: %v vs %v", i, a, b)
+			}
+		}
+		if math.Abs(samples[i].Sel-got[i].Sel) > 1e-6 {
+			t.Fatalf("label %d corrupted", i)
+		}
+	}
+}
+
+func TestCSVRoundTripHalfspace(t *testing.T) {
+	ds := dataset.Power(2000, 2).Project([]int{0, 1, 2})
+	g := NewGenerator(ds, 5)
+	samples := g.Generate(Spec{Class: Halfspace, Centers: Random}, 30)
+	got := roundTrip(t, Halfspace, samples)
+	for i := range samples {
+		a := samples[i].R.(geom.Halfspace)
+		b := got[i].R.(geom.Halfspace)
+		if math.Abs(a.B-b.B) > 1e-6 {
+			t.Fatalf("halfspace %d offset corrupted", i)
+		}
+	}
+}
+
+func TestCSVRoundTripBall(t *testing.T) {
+	ds := dataset.Forest(2000, 3).NumericProjection(4)
+	g := NewGenerator(ds, 7)
+	samples := g.Generate(Spec{Class: Ball, Centers: Gaussian}, 30)
+	got := roundTrip(t, Ball, samples)
+	for i := range samples {
+		a := samples[i].R.(geom.Ball)
+		b := got[i].R.(geom.Ball)
+		if math.Abs(a.Radius-b.Radius) > 1e-6 {
+			t.Fatalf("ball %d radius corrupted", i)
+		}
+	}
+}
+
+func TestReadCSVRejectsGarbage(t *testing.T) {
+	cases := []struct {
+		name  string
+		input string
+	}{
+		{"empty", ""},
+		{"bad field count", "lo0,lo1,hi0,hi1,selectivity\n0.1,0.2,0.3\n"},
+		{"non numeric", "lo0,lo1,hi0,hi1,selectivity\n0.1,0.2,0.3,x,0.5\n"},
+		{"selectivity above 1", "lo0,lo1,hi0,hi1,selectivity\n0.1,0.2,0.3,0.4,1.5\n"},
+		{"negative selectivity", "lo0,lo1,hi0,hi1,selectivity\n0.1,0.2,0.3,0.4,-0.1\n"},
+	}
+	for _, c := range cases {
+		if _, _, err := ReadCSV(strings.NewReader(c.input), OrthogonalRange); err == nil {
+			t.Fatalf("%s: accepted", c.name)
+		}
+	}
+	// Negative radius for balls.
+	if _, _, err := ReadCSV(strings.NewReader("c0,c1,radius,selectivity\n0.5,0.5,-0.2,0.3\n"), Ball); err == nil {
+		t.Fatal("negative radius accepted")
+	}
+}
+
+func TestReadCSVSkipsBlankLines(t *testing.T) {
+	input := "lo0,hi0,selectivity\n0.1,0.5,0.3\n\n0.2,0.6,0.4\n"
+	got, dim, err := ReadCSV(strings.NewReader(input), OrthogonalRange)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dim != 1 || len(got) != 2 {
+		t.Fatalf("dim=%d queries=%d", dim, len(got))
+	}
+}
+
+func TestWriteCSVClassMismatch(t *testing.T) {
+	samples := []core.LabeledQuery{{R: geom.NewBall(geom.Point{0.5, 0.5}, 0.1), Sel: 0.2}}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, OrthogonalRange, samples); err == nil {
+		t.Fatal("ball written as range accepted")
+	}
+}
+
+func TestParseHelpers(t *testing.T) {
+	for name, want := range map[string]Class{"range": OrthogonalRange, "halfspace": Halfspace, "ball": Ball} {
+		got, err := ParseClass(name)
+		if err != nil || got != want {
+			t.Fatalf("ParseClass(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := ParseClass("triangle"); err == nil {
+		t.Fatal("unknown class accepted")
+	}
+	for name, want := range map[string]Centers{"data-driven": DataDriven, "random": Random, "gaussian": Gaussian} {
+		got, err := ParseCenters(name)
+		if err != nil || got != want {
+			t.Fatalf("ParseCenters(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := ParseCenters("zipf"); err == nil {
+		t.Fatal("unknown centers accepted")
+	}
+}
+
+func TestMaxSideCapsSides(t *testing.T) {
+	ds := dataset.Power(2000, 4).Project([]int{0, 1})
+	g := NewGenerator(ds, 9)
+	qs := g.Generate(Spec{Class: OrthogonalRange, Centers: Random, MaxSide: 0.1}, 100)
+	for _, z := range qs {
+		b := z.R.(geom.Box)
+		for j := 0; j < 2; j++ {
+			if b.Hi[j]-b.Lo[j] > 0.1+1e-12 {
+				t.Fatalf("side %v exceeds MaxSide", b.Hi[j]-b.Lo[j])
+			}
+		}
+	}
+}
+
+func TestMaxRadiusCapsRadius(t *testing.T) {
+	ds := dataset.Power(2000, 5).Project([]int{0, 1})
+	g := NewGenerator(ds, 10)
+	qs := g.Generate(Spec{Class: Ball, Centers: Random, MaxRadius: 0.2}, 100)
+	for _, z := range qs {
+		if z.R.(geom.Ball).Radius > 0.2 {
+			t.Fatalf("radius %v exceeds MaxRadius", z.R.(geom.Ball).Radius)
+		}
+	}
+}

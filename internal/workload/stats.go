@@ -1,0 +1,52 @@
+package workload
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// Stats summarizes the selectivity distribution of a workload — the
+// numbers behind statements like the paper's "we have observed up to 97%
+// Random queries with selectivity near 0".
+type Stats struct {
+	N            int
+	Mean         float64
+	Median       float64
+	Min, Max     float64
+	NearZeroFrac float64 // fraction with selectivity < NearZeroThreshold
+}
+
+// NearZeroThreshold classifies a query as (near-)empty.
+const NearZeroThreshold = 1e-3
+
+// Summarize computes workload statistics.
+func Summarize(samples []core.LabeledQuery) Stats {
+	s := Stats{N: len(samples), Min: math.Inf(1), Max: math.Inf(-1)}
+	if len(samples) == 0 {
+		s.Min, s.Max = 0, 0
+		return s
+	}
+	vals := make([]float64, len(samples))
+	total := 0.0
+	nearZero := 0
+	for i, z := range samples {
+		vals[i] = z.Sel
+		total += z.Sel
+		if z.Sel < s.Min {
+			s.Min = z.Sel
+		}
+		if z.Sel > s.Max {
+			s.Max = z.Sel
+		}
+		if z.Sel < NearZeroThreshold {
+			nearZero++
+		}
+	}
+	sort.Float64s(vals)
+	s.Mean = total / float64(len(samples))
+	s.Median = vals[len(vals)/2]
+	s.NearZeroFrac = float64(nearZero) / float64(len(samples))
+	return s
+}

@@ -1,0 +1,255 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/geom"
+	"repro/internal/kdtree"
+)
+
+func newGen(t *testing.T) *Generator {
+	t.Helper()
+	return NewGenerator(dataset.Power(5000, 1).Project([]int{0, 1}), 99)
+}
+
+func TestGenerateRangeQueries(t *testing.T) {
+	g := newGen(t)
+	qs := g.Generate(Spec{Class: OrthogonalRange, Centers: DataDriven}, 200)
+	if len(qs) != 200 {
+		t.Fatalf("generated %d queries", len(qs))
+	}
+	for i, z := range qs {
+		box, ok := z.R.(geom.Box)
+		if !ok {
+			t.Fatalf("query %d is not a box", i)
+		}
+		if box.Dim() != 2 {
+			t.Fatalf("query %d has dim %d", i, box.Dim())
+		}
+		if z.Sel < 0 || z.Sel > 1 {
+			t.Fatalf("query %d selectivity %v", i, z.Sel)
+		}
+	}
+}
+
+func TestLabelsAreExact(t *testing.T) {
+	g := newGen(t)
+	qs := g.Generate(Spec{Class: Ball, Centers: Random}, 50)
+	pts := g.Dataset().Points
+	for i, z := range qs {
+		want := float64(kdtree.BruteCount(pts, z.R)) / float64(len(pts))
+		if math.Abs(z.Sel-want) > 1e-12 {
+			t.Fatalf("query %d label %v, brute-force %v", i, z.Sel, want)
+		}
+	}
+}
+
+func TestDataDrivenHigherSelectivityThanRandom(t *testing.T) {
+	// Data-driven centers sit on the data, so on skewed data the average
+	// selectivity is substantially higher than for uniform centers.
+	g := newGen(t)
+	dd := g.Generate(Spec{Class: OrthogonalRange, Centers: DataDriven}, 400)
+	rnd := g.Generate(Spec{Class: OrthogonalRange, Centers: Random}, 400)
+	sum := func(zs []float64) float64 {
+		s := 0.0
+		for _, v := range zs {
+			s += v
+		}
+		return s
+	}
+	mDD := sum(Truths(dd)) / 400
+	mRnd := sum(Truths(rnd)) / 400
+	if mDD <= mRnd {
+		t.Fatalf("data-driven mean selectivity %v not above random %v", mDD, mRnd)
+	}
+}
+
+func TestRandomWorkloadHasEmptyQueries(t *testing.T) {
+	// The paper observes up to 97% near-zero-selectivity queries in the
+	// Random workload over skewed data; ours must reproduce a large
+	// empty fraction.
+	g := newGen(t)
+	qs := g.Generate(Spec{Class: OrthogonalRange, Centers: Random}, 500)
+	zero := 0
+	for _, z := range qs {
+		if z.Sel < 0.001 {
+			zero++
+		}
+	}
+	if frac := float64(zero) / 500; frac < 0.2 {
+		t.Fatalf("random workload near-empty fraction = %v, want ≥ 0.2", frac)
+	}
+}
+
+func TestGaussianCentersConcentrate(t *testing.T) {
+	g := newGen(t)
+	qs := g.Generate(Spec{Class: OrthogonalRange, Centers: Gaussian}, 500)
+	// Box centers should cluster around 0.5 per dimension.
+	var sum0 float64
+	for _, z := range qs {
+		b := z.R.(geom.Box)
+		sum0 += (b.Lo[0] + b.Hi[0]) / 2
+	}
+	if m := sum0 / 500; math.Abs(m-0.5) > 0.06 {
+		t.Fatalf("gaussian center mean = %v, want ≈0.5", m)
+	}
+}
+
+func TestShiftedGaussian(t *testing.T) {
+	g := newGen(t)
+	spec := Spec{
+		Class:     OrthogonalRange,
+		Centers:   Gaussian,
+		GaussMean: geom.Point{0.2, 0.2},
+		GaussStd:  0.1,
+	}
+	qs := g.Generate(spec, 500)
+	var sum float64
+	for _, z := range qs {
+		b := z.R.(geom.Box)
+		sum += (b.Lo[0] + b.Hi[0]) / 2
+	}
+	if m := sum / 500; math.Abs(m-0.2) > 0.08 {
+		t.Fatalf("shifted gaussian mean = %v, want ≈0.2", m)
+	}
+}
+
+func TestHalfspaceQueries(t *testing.T) {
+	g := newGen(t)
+	qs := g.Generate(Spec{Class: Halfspace, Centers: DataDriven}, 100)
+	for i, z := range qs {
+		h, ok := z.R.(geom.Halfspace)
+		if !ok {
+			t.Fatalf("query %d is not a halfspace", i)
+		}
+		// Unit normal.
+		if math.Abs(h.A.Norm()-1) > 1e-9 {
+			t.Fatalf("query %d normal not unit: %v", i, h.A.Norm())
+		}
+	}
+	// Halfspaces through data points have a wide selectivity spread with
+	// mean near 1/2 on symmetric orientations.
+	var mean float64
+	for _, z := range qs {
+		mean += z.Sel
+	}
+	mean /= float64(len(qs))
+	if mean < 0.2 || mean > 0.8 {
+		t.Fatalf("halfspace mean selectivity = %v, implausible", mean)
+	}
+}
+
+func TestCategoricalEqualityPredicates(t *testing.T) {
+	ds := dataset.Census(3000, 5).Project([]int{1, 0}) // workclass (cat, card 8) + age
+	g := NewGenerator(ds, 11)
+	qs := g.Generate(Spec{Class: OrthogonalRange, Centers: DataDriven}, 100)
+	for i, z := range qs {
+		b := z.R.(geom.Box)
+		width := b.Hi[0] - b.Lo[0]
+		if math.Abs(width-1.0/8) > 1e-9 {
+			t.Fatalf("query %d categorical side width = %v, want 1/8 (equality band)", i, width)
+		}
+		// The band must be aligned to a category boundary.
+		k := b.Lo[0] * 8
+		if math.Abs(k-math.Round(k)) > 1e-9 {
+			t.Fatalf("query %d band not aligned: lo = %v", i, b.Lo[0])
+		}
+	}
+}
+
+func TestDeterministicWorkload(t *testing.T) {
+	ds := dataset.Power(2000, 1).Project([]int{0, 1})
+	a := NewGenerator(ds, 7).Generate(Spec{Class: OrthogonalRange, Centers: DataDriven}, 50)
+	b := NewGenerator(ds, 7).Generate(Spec{Class: OrthogonalRange, Centers: DataDriven}, 50)
+	for i := range a {
+		if a[i].Sel != b[i].Sel {
+			t.Fatalf("workload not deterministic at query %d", i)
+		}
+	}
+}
+
+func TestTrainTestIndependence(t *testing.T) {
+	g := newGen(t)
+	train, test := g.TrainTest(Spec{Class: OrthogonalRange, Centers: DataDriven}, 100, 100)
+	if len(train) != 100 || len(test) != 100 {
+		t.Fatalf("split sizes %d/%d", len(train), len(test))
+	}
+	// Train and test should not be identical sequences.
+	same := 0
+	for i := range train {
+		if train[i].Sel == test[i].Sel {
+			same++
+		}
+	}
+	if same == 100 {
+		t.Fatal("train and test sets identical")
+	}
+}
+
+func TestAnnulusWorkload(t *testing.T) {
+	g := newGen(t)
+	qs := g.Generate(Spec{Class: AnnulusQuery, Centers: DataDriven}, 60)
+	nonzero := 0
+	for i, z := range qs {
+		if _, ok := z.R.(geom.SemiAlgebraic); !ok {
+			t.Fatalf("query %d is not semi-algebraic", i)
+		}
+		if z.Sel < 0 || z.Sel > 1 {
+			t.Fatalf("query %d selectivity %v", i, z.Sel)
+		}
+		if z.Sel > 0 {
+			nonzero++
+		}
+	}
+	if nonzero < 10 {
+		t.Fatalf("only %d/60 annulus queries select anything", nonzero)
+	}
+}
+
+func TestDiscWorkload(t *testing.T) {
+	ds := dataset.Discs(3000, 9)
+	g := NewGenerator(ds, 4)
+	qs := g.Generate(Spec{Class: DiscIntersect, Centers: DataDriven}, 60)
+	for i, z := range qs {
+		if _, ok := z.R.(geom.DiscIntersection); !ok {
+			t.Fatalf("query %d is not a disc-intersection range", i)
+		}
+		if z.Sel < 0 || z.Sel > 1 {
+			t.Fatalf("query %d selectivity %v", i, z.Sel)
+		}
+	}
+}
+
+func TestDiscWorkloadRejectsWrongDimension(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("disc workload on 2D data did not panic")
+		}
+	}()
+	newGen(t).Generate(Spec{Class: DiscIntersect, Centers: DataDriven}, 1)
+}
+
+func TestSummarize(t *testing.T) {
+	g := newGen(t)
+	rnd := g.Generate(Spec{Class: OrthogonalRange, Centers: Random}, 400)
+	dd := g.Generate(Spec{Class: OrthogonalRange, Centers: DataDriven}, 400)
+	sRnd := Summarize(rnd)
+	sDD := Summarize(dd)
+	if sRnd.N != 400 || sDD.N != 400 {
+		t.Fatal("counts wrong")
+	}
+	// The Random workload over skewed data has far more near-empty
+	// queries than the Data-driven one (the paper's 97% observation).
+	if sRnd.NearZeroFrac <= sDD.NearZeroFrac {
+		t.Fatalf("near-zero fractions: random %v <= data-driven %v", sRnd.NearZeroFrac, sDD.NearZeroFrac)
+	}
+	if sRnd.Min < 0 || sRnd.Max > 1 || sRnd.Median < sRnd.Min || sRnd.Median > sRnd.Max {
+		t.Fatalf("bad stats %+v", sRnd)
+	}
+	empty := Summarize(nil)
+	if empty.N != 0 || empty.Mean != 0 {
+		t.Fatalf("empty stats %+v", empty)
+	}
+}

@@ -1,0 +1,139 @@
+package selest
+
+import (
+	"math"
+	"testing"
+)
+
+// TestEndToEnd exercises the public API exactly as the README quick start
+// does: dataset → workload → train → estimate → metrics.
+func TestEndToEnd(t *testing.T) {
+	ds := NewDataset(Power, 6000, 1).Project([]int{0, 1})
+	gen := NewWorkload(ds, 42)
+	spec := Spec{Class: OrthogonalRange, Centers: DataDriven}
+	train, test := gen.TrainTest(spec, 200, 150)
+
+	model, err := NewQuadHist(2, 800).Train(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rms := RMS(model, test); rms > 0.12 {
+		t.Fatalf("quickstart RMS = %v", rms)
+	}
+	q := QErrors(model, test, 1.0/float64(ds.Len()))
+	if q.P50 < 1 || math.IsNaN(q.P50) {
+		t.Fatalf("median q-error = %v", q.P50)
+	}
+	if LInf(model, test) > 0.5 {
+		t.Fatalf("LInf = %v", LInf(model, test))
+	}
+}
+
+func TestAllTrainersViaFacade(t *testing.T) {
+	ds := NewDataset(Forest, 4000, 2).Project([]int{0, 1})
+	gen := NewWorkload(ds, 7)
+	spec := Spec{Class: OrthogonalRange, Centers: DataDriven}
+	train, test := gen.TrainTest(spec, 60, 80)
+
+	trainers := []Trainer{
+		NewQuadHist(2, 240),
+		NewPtsHist(2, 240, 3),
+		NewQuickSel(2, 5),
+		NewIsomer(2, 0),
+		NewArrangement(2, false),
+		NewArrangement(2, true),
+	}
+	for _, tr := range trainers {
+		m, err := tr.Train(train)
+		if err != nil {
+			t.Fatalf("%s: %v", tr.Name(), err)
+		}
+		rms := RMS(m, test)
+		if rms > 0.25 {
+			t.Fatalf("%s: RMS %v", tr.Name(), rms)
+		}
+		if m.NumBuckets() == 0 {
+			t.Fatalf("%s: zero buckets", tr.Name())
+		}
+	}
+}
+
+func TestQueryTypesViaFacade(t *testing.T) {
+	ds := NewDataset(Power, 4000, 3).Project([]int{0, 1})
+	gen := NewWorkload(ds, 9)
+	for _, class := range []struct {
+		name string
+		spec Spec
+	}{
+		{"halfspace", Spec{Class: HalfspaceQueries, Centers: DataDriven}},
+		{"ball", Spec{Class: BallQueries, Centers: DataDriven}},
+	} {
+		train, test := gen.TrainTest(class.spec, 80, 80)
+		m, err := NewPtsHist(2, 320, 11).Train(train)
+		if err != nil {
+			t.Fatalf("%s: %v", class.name, err)
+		}
+		if rms := RMS(m, test); rms > 0.2 {
+			t.Fatalf("%s: RMS %v", class.name, rms)
+		}
+	}
+}
+
+func TestManualRanges(t *testing.T) {
+	b := NewBox(Point{0.1, 0.1}, Point{0.5, 0.5})
+	if !b.Contains(Point{0.2, 0.2}) {
+		t.Fatal("box membership")
+	}
+	ball := NewBall(Point{0.5, 0.5}, 0.2)
+	if !ball.Contains(Point{0.5, 0.6}) {
+		t.Fatal("ball membership")
+	}
+	h := NewHalfspace(Point{1, 0}, 0.5)
+	if !h.Contains(Point{0.7, 0}) || h.Contains(Point{0.3, 0}) {
+		t.Fatal("halfspace membership")
+	}
+}
+
+func TestTheoryFacade(t *testing.T) {
+	// The Theorem 2.1 ordering: orthogonal (λ=2d) needs the most samples
+	// in moderate dimension, halfspaces (λ=d+1) the fewest.
+	d := 4
+	or := SampleComplexityOrthogonal(0.1, 0.05, d)
+	hs := SampleComplexityHalfspace(0.1, 0.05, d)
+	bl := SampleComplexityBall(0.1, 0.05, d)
+	if !(or > bl && bl > hs) {
+		t.Fatalf("sample complexity ordering violated: box %v, ball %v, halfspace %v", or, bl, hs)
+	}
+	if FatShattering(0.1, 4) <= 0 {
+		t.Fatal("fat-shattering bound non-positive")
+	}
+}
+
+func TestNewGeometryFacade(t *testing.T) {
+	lp := NewLpBall(Point{0.5, 0.5}, 0.3, 1)
+	if !lp.Contains(Point{0.6, 0.6}) || lp.Contains(Point{0.9, 0.9}) {
+		t.Fatal("LpBall membership via facade")
+	}
+	ann := NewAnnulus(0.5, 0.5, 0.1, 0.3, 2)
+	if !ann.Contains(Point{0.7, 0.5}) || ann.Contains(Point{0.5, 0.5}) {
+		t.Fatal("annulus membership via facade")
+	}
+	// Models can train on ℓp-ball feedback out of the box: only the
+	// membership test is needed by PtsHist.
+	ds := NewDataset(Power, 3000, 9).Project([]int{0, 1})
+	gen := NewWorkload(ds, 27)
+	tree := gen.Tree()
+	train := make([]LabeledQuery, 0, 60)
+	for i := 0; i < 60; i++ {
+		c := Point(ds.Points[i*37%ds.Len()]).Clone()
+		q := NewLpBall(c, 0.1+0.3*float64(i%7)/7, 1)
+		train = append(train, LabeledQuery{R: q, Sel: tree.Selectivity(q)})
+	}
+	m, err := NewPtsHist(2, 240, 5).Train(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rms := RMS(m, train); rms > 0.1 {
+		t.Fatalf("ℓ1-ball training RMS = %v", rms)
+	}
+}
