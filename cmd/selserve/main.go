@@ -1,0 +1,108 @@
+// Command selserve runs the selectivity-estimation server: it preloads
+// trained models (as written by seltrain -out), serves estimate requests
+// over HTTP, buffers observed-selectivity feedback, and periodically
+// retrains and hot-swaps the serving models. SIGINT/SIGTERM trigger a
+// graceful drain.
+//
+// Usage:
+//
+//	selgen -dataset power -workload data-driven -queries 1000 > wl.csv
+//	seltrain -model quadhist -class range -out m.json < wl.csv
+//	selserve -addr :8080 -model m.json
+//
+//	curl -s localhost:8080/v1/estimate -d '{"query":{"lo":[0,0],"hi":[0.3,0.3]}}'
+//	curl -s localhost:8080/v1/feedback -d '{"observations":[{"lo":[0,0],"hi":[0.3,0.3],"sel":0.11}]}'
+//	curl -s localhost:8080/statz
+//
+// A -model flag may be repeated and may carry a name prefix: either
+// "m.json" (registered as "default") or "power=m.json".
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/modelio"
+	"repro/internal/serve"
+)
+
+// modelFlags collects repeated -model arguments.
+type modelFlags []string
+
+func (m *modelFlags) String() string { return strings.Join(*m, ",") }
+
+func (m *modelFlags) Set(v string) error {
+	if v == "" {
+		return fmt.Errorf("empty -model value")
+	}
+	*m = append(*m, v)
+	return nil
+}
+
+func main() {
+	var models modelFlags
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		feedbackCap = flag.Int("feedback-cap", 4096, "feedback ring capacity per model")
+		minRetrain  = flag.Int("min-retrain", 32, "buffered observations required before a retrain")
+		interval    = flag.Duration("retrain-interval", 15*time.Second, "background retrain period")
+		tolerance   = flag.Float64("retrain-tolerance", 0, "max held-out RMS regression a retrained model may introduce and still be swapped in")
+		drain       = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain deadline")
+	)
+	flag.Var(&models, "model", "model file to preload, optionally name=path (repeatable)")
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "selserve: unexpected arguments: %v\n", flag.Args())
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	srv := serve.NewServer(serve.Options{
+		FeedbackCapacity:  *feedbackCap,
+		MinRetrainSamples: *minRetrain,
+		RetrainInterval:   *interval,
+		RetrainTolerance:  *tolerance,
+		DrainTimeout:      *drain,
+	})
+	for _, spec := range models {
+		name, path := serve.DefaultModelName, spec
+		if i := strings.IndexByte(spec, '='); i >= 0 {
+			name, path = spec[:i], spec[i+1:]
+			if name == "" || path == "" {
+				fatal(fmt.Errorf("malformed -model %q, want name=path", spec))
+			}
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			fatal(err)
+		}
+		m, err := modelio.Load(f)
+		f.Close()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", path, err))
+		}
+		entry := srv.Registry().Set(name, "file", m)
+		log.Printf("loaded model %q from %s (%d buckets, generation %d)",
+			name, path, m.NumBuckets(), entry.Generation)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	log.Printf("selserve listening on %s (%d models)", *addr, len(models))
+	if err := srv.Run(ctx, *addr); err != nil {
+		fatal(err)
+	}
+	log.Printf("selserve drained cleanly")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "selserve:", err)
+	os.Exit(1)
+}

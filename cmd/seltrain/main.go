@@ -4,10 +4,13 @@
 // Usage:
 //
 //	selgen -dataset power -workload data-driven -queries 1000 > wl.csv
-//	seltrain -model quadhist -class range -train 0.7 < wl.csv
+//	seltrain -model quadhist -class range -train 0.7 -out m.json < wl.csv
 //
 // The file is split into a training prefix and a test suffix according to
-// -train; metrics are computed on the held-out suffix.
+// -train; metrics are computed on the held-out suffix. With -out the
+// trained model is written as a modelio envelope, ready for selserve:
+//
+//	selserve -model m.json
 package main
 
 import (
@@ -33,14 +36,39 @@ func main() {
 		buckets   = flag.Int("buckets", 0, "model complexity (0 = 4x training size)")
 		seed      = flag.Uint64("seed", 1, "model seed")
 		minSel    = flag.Float64("minsel", 1e-5, "Q-error floor")
-		savePath  = flag.String("save", "", "write the trained model to this file")
+		outPath   = flag.String("out", "", "write the trained model to this file (modelio envelope)")
+		savePath  = flag.String("save", "", "deprecated alias for -out")
 		loadPath  = flag.String("load", "", "skip training: load a model and evaluate it on every CSV row")
 	)
 	flag.Parse()
 
+	// Flag validation: a bad invocation gets a usage message and a
+	// non-zero exit before any input is read.
+	if flag.NArg() > 0 {
+		usage(fmt.Errorf("unexpected arguments: %v (input is read from stdin)", flag.Args()))
+	}
+	if *trainFrac <= 0 || *trainFrac >= 1 {
+		usage(fmt.Errorf("-train must be in (0,1), got %v", *trainFrac))
+	}
+	if *buckets < 0 {
+		usage(fmt.Errorf("-buckets must be non-negative, got %d", *buckets))
+	}
+	if *minSel <= 0 {
+		usage(fmt.Errorf("-minsel must be positive, got %v", *minSel))
+	}
+	if *outPath != "" && *savePath != "" && *outPath != *savePath {
+		usage(fmt.Errorf("-out and -save (deprecated alias) disagree: %q vs %q", *outPath, *savePath))
+	}
+	if *outPath == "" {
+		*outPath = *savePath
+	}
+	if *loadPath != "" && *outPath != "" {
+		usage(fmt.Errorf("-load and -out are mutually exclusive"))
+	}
+
 	qclass, err := workload.ParseClass(*class)
 	if err != nil {
-		fatal(err)
+		usage(err)
 	}
 	samples, dim, err := workload.ReadCSV(os.Stdin, qclass)
 	if err != nil {
@@ -86,15 +114,15 @@ func main() {
 	case "isomer":
 		tr = isomer.New(dim)
 	default:
-		fatal(fmt.Errorf("unknown model %q", *model))
+		usage(fmt.Errorf("unknown model %q", *model))
 	}
 
 	m, err := tr.Train(train)
 	if err != nil {
 		fatal(err)
 	}
-	if *savePath != "" {
-		f, err := os.Create(*savePath)
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
 		if err != nil {
 			fatal(err)
 		}
@@ -126,4 +154,12 @@ func report(name string, dim, nTrain, nTest int, m core.Model, test []core.Label
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "seltrain:", err)
 	os.Exit(1)
+}
+
+// usage reports a bad invocation with the flag summary and exits 2, the
+// conventional usage-error status.
+func usage(err error) {
+	fmt.Fprintln(os.Stderr, "seltrain:", err)
+	flag.Usage()
+	os.Exit(2)
 }

@@ -1,0 +1,101 @@
+package core_test
+
+// Enforces the concurrency contract documented on core.Model: after
+// training, Estimate and NumBuckets must be safe for concurrent readers
+// with no external locking, including while the model reference itself is
+// being hot-swapped. Run with -race to catch violations (lazy caches,
+// shared scratch buffers, generator reseeding).
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/hist"
+	"repro/internal/ptshist"
+	"repro/internal/quicksel"
+	"repro/internal/workload"
+)
+
+func TestEstimateConcurrentReaders(t *testing.T) {
+	ds := dataset.Power(3000, 1).Project([]int{0, 1})
+	g := workload.NewGenerator(ds, 7)
+	spec := workload.Spec{Class: workload.OrthogonalRange, Centers: workload.DataDriven}
+	train, test := g.TrainTest(spec, 60, 40)
+
+	trainers := []core.Trainer{
+		hist.New(2, 120),
+		ptshist.New(2, 120, 3),
+		quicksel.New(2, 5),
+	}
+	for _, tr := range trainers {
+		tr := tr
+		t.Run(tr.Name(), func(t *testing.T) {
+			t.Parallel()
+			m1, err := tr.Train(train)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m2, err := tr.Train(train[:len(train)/2])
+			if err != nil {
+				t.Fatal(err)
+			}
+			want1 := core.Estimates(m1, test)
+			want2 := core.Estimates(m2, test)
+
+			// 8 reader goroutines hammer whichever model is current
+			// while the main goroutine hot-swaps between the two —
+			// the access pattern of a serving registry.
+			var cur atomic.Pointer[core.Model]
+			cur.Store(&m1)
+			var wg sync.WaitGroup
+			stop := make(chan struct{})
+			errc := make(chan error, 8)
+			for g := 0; g < 8; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						m := *cur.Load()
+						for i, z := range test {
+							got := m.Estimate(z.R)
+							if math.IsNaN(got) || got < 0 || got > 1 {
+								errc <- fmt.Errorf("estimate %v outside [0,1]", got)
+								return
+							}
+							// The estimate must match one of the two
+							// coherent models — a torn read would not.
+							if got != want1[i] && got != want2[i] {
+								errc <- fmt.Errorf("estimate %v matches neither model (%v, %v): torn read", got, want1[i], want2[i])
+								return
+							}
+							_ = m.NumBuckets()
+						}
+					}
+				}()
+			}
+			for swap := 0; swap < 200; swap++ {
+				if swap%2 == 0 {
+					cur.Store(&m2)
+				} else {
+					cur.Store(&m1)
+				}
+			}
+			close(stop)
+			wg.Wait()
+			close(errc)
+			for err := range errc {
+				t.Fatal(err)
+			}
+		})
+	}
+}

@@ -23,6 +23,16 @@ type LabeledQuery struct {
 
 // Model is a learned selectivity function s_D induced by some data
 // distribution D (histogram or discrete).
+//
+// Concurrency contract: once training returns, a Model is immutable and
+// both methods must be safe for any number of concurrent readers without
+// external locking — a serving layer calls Estimate from many goroutines
+// against a model that may be atomically swapped out underneath it.
+// Implementations must not lazily initialize caches, reseed generators, or
+// otherwise mutate receiver state inside Estimate/NumBuckets. All model
+// types in this repository satisfy the contract (their estimators are pure
+// reads over slices fixed at training time); internal/core's race test
+// hammers them under the race detector.
 type Model interface {
 	// Estimate returns the predicted selectivity of the query range,
 	// always in [0,1].

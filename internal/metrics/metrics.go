@@ -57,13 +57,20 @@ func QErrors(est, truth []float64, minSel float64) []float64 {
 }
 
 // Quantile returns the p-th quantile (0 ≤ p ≤ 1) of the values using the
-// nearest-rank convention the paper's tables use. Empty input yields NaN.
+// nearest-rank convention the paper's tables use. NaN values are ignored —
+// a latency window or Q-error list with a few undefined entries still has
+// well-defined quantiles. An input with no finite-or-infinite values (empty,
+// or all NaN) yields NaN.
 func Quantile(values []float64, p float64) float64 {
-	if len(values) == 0 {
+	sorted := make([]float64, 0, len(values))
+	for _, v := range values {
+		if !math.IsNaN(v) {
+			sorted = append(sorted, v)
+		}
+	}
+	if len(sorted) == 0 {
 		return math.NaN()
 	}
-	sorted := make([]float64, len(values))
-	copy(sorted, values)
 	sort.Float64s(sorted)
 	if p <= 0 {
 		return sorted[0]

@@ -127,3 +127,58 @@ func TestMismatchedLengthsPanic(t *testing.T) {
 	}()
 	RMS([]float64{1}, []float64{1, 2})
 }
+
+func TestQuantileEdgeCases(t *testing.T) {
+	nan := math.NaN()
+
+	// Empty and all-NaN inputs have no quantiles.
+	for _, p := range []float64{0, 0.5, 1} {
+		if !math.IsNaN(Quantile(nil, p)) {
+			t.Fatalf("Quantile(nil, %v) not NaN", p)
+		}
+		if !math.IsNaN(Quantile([]float64{}, p)) {
+			t.Fatalf("Quantile(empty, %v) not NaN", p)
+		}
+		if !math.IsNaN(Quantile([]float64{nan, nan}, p)) {
+			t.Fatalf("Quantile(all-NaN, %v) not NaN", p)
+		}
+	}
+
+	// A single element is every quantile, even for out-of-range p.
+	for _, p := range []float64{-1, 0, 0.25, 0.5, 1, 2} {
+		if got := Quantile([]float64{7}, p); got != 7 {
+			t.Fatalf("Quantile([7], %v) = %v", p, got)
+		}
+	}
+
+	// p at and beyond the boundaries clamps to min and max.
+	v := []float64{3, 1, 2}
+	if got := Quantile(v, -0.5); got != 1 {
+		t.Fatalf("Quantile(v, -0.5) = %v, want min", got)
+	}
+	if got := Quantile(v, 1.5); got != 3 {
+		t.Fatalf("Quantile(v, 1.5) = %v, want max", got)
+	}
+
+	// NaN entries are ignored, not sorted to an end where they would
+	// poison p=0 or shift every rank.
+	withNaN := []float64{nan, 4, nan, 2, 6, nan}
+	if got := Quantile(withNaN, 0); got != 2 {
+		t.Fatalf("min with NaNs = %v, want 2", got)
+	}
+	if got := Quantile(withNaN, 0.5); got != 4 {
+		t.Fatalf("median with NaNs = %v, want 4", got)
+	}
+	if got := Quantile(withNaN, 1); got != 6 {
+		t.Fatalf("max with NaNs = %v, want 6", got)
+	}
+	// The input is not mutated by the NaN filtering.
+	if !math.IsNaN(withNaN[0]) || withNaN[1] != 4 {
+		t.Fatal("Quantile mutated its input")
+	}
+
+	// Infinities are legitimate values (e.g. unbounded Q-errors).
+	if got := Quantile([]float64{1, math.Inf(1)}, 1); !math.IsInf(got, 1) {
+		t.Fatalf("max with +Inf = %v", got)
+	}
+}

@@ -8,6 +8,7 @@ package modelio
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 
@@ -21,6 +22,22 @@ import (
 
 // Version is the current envelope version.
 const Version = 1
+
+// Typed load failures. A serving layer maps these to client errors (the
+// uploaded bytes are bad) as opposed to transport or I/O faults:
+//
+//	ErrMalformed      — the bytes are not a JSON envelope
+//	ErrUnknownVersion — envelope version this build does not speak
+//	ErrUnknownType    — model type tag this build does not know
+//	ErrInvalidModel   — well-formed envelope, structurally invalid model
+//
+// Match with errors.Is.
+var (
+	ErrMalformed      = errors.New("modelio: malformed envelope")
+	ErrUnknownVersion = errors.New("modelio: unknown envelope version")
+	ErrUnknownType    = errors.New("modelio: unknown model type")
+	ErrInvalidModel   = errors.New("modelio: invalid model")
+)
 
 type envelope struct {
 	Version int             `json:"version"`
@@ -64,10 +81,10 @@ func Save(w io.Writer, m core.Model) error {
 func Load(r io.Reader) (core.Model, error) {
 	var env envelope
 	if err := json.NewDecoder(r).Decode(&env); err != nil {
-		return nil, fmt.Errorf("modelio: decode envelope: %w", err)
+		return nil, fmt.Errorf("%w: decode: %v", ErrMalformed, err)
 	}
 	if env.Version != Version {
-		return nil, fmt.Errorf("modelio: unsupported version %d", env.Version)
+		return nil, fmt.Errorf("%w: got %d, want %d", ErrUnknownVersion, env.Version, Version)
 	}
 	var m core.Model
 	switch env.Type {
@@ -82,10 +99,10 @@ func Load(r io.Reader) (core.Model, error) {
 	case "gaussmix":
 		m = &gmm.Model{}
 	default:
-		return nil, fmt.Errorf("modelio: unknown model type %q", env.Type)
+		return nil, fmt.Errorf("%w: %q", ErrUnknownType, env.Type)
 	}
 	if err := json.Unmarshal(env.Payload, m); err != nil {
-		return nil, fmt.Errorf("modelio: decode %s payload: %w", env.Type, err)
+		return nil, fmt.Errorf("%w: decode %s payload: %v", ErrMalformed, env.Type, err)
 	}
 	if err := validate(m); err != nil {
 		return nil, err
@@ -98,17 +115,17 @@ func Load(r io.Reader) (core.Model, error) {
 func validate(m core.Model) error {
 	checkWeights := func(n int, w []float64) error {
 		if len(w) != n {
-			return fmt.Errorf("modelio: %d buckets but %d weights", n, len(w))
+			return fmt.Errorf("%w: %d buckets but %d weights", ErrInvalidModel, n, len(w))
 		}
 		sum := 0.0
 		for _, v := range w {
 			if v < -1e-9 {
-				return fmt.Errorf("modelio: negative weight %v", v)
+				return fmt.Errorf("%w: negative weight %v", ErrInvalidModel, v)
 			}
 			sum += v
 		}
 		if n > 0 && (sum < 0.99 || sum > 1.01) {
-			return fmt.Errorf("modelio: weights sum to %v", sum)
+			return fmt.Errorf("%w: weights sum to %v", ErrInvalidModel, sum)
 		}
 		return nil
 	}
@@ -127,7 +144,7 @@ func validate(m core.Model) error {
 		}
 		for _, c := range t.Components {
 			if c.Sigma <= 0 {
-				return fmt.Errorf("modelio: non-positive component sigma %v", c.Sigma)
+				return fmt.Errorf("%w: non-positive component sigma %v", ErrInvalidModel, c.Sigma)
 			}
 		}
 		return nil

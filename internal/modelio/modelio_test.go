@@ -2,6 +2,7 @@ package modelio
 
 import (
 	"bytes"
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -115,3 +116,42 @@ type fakeModel struct{}
 
 func (fakeModel) Estimate(geom.Range) float64 { return 0 }
 func (fakeModel) NumBuckets() int             { return 0 }
+
+func TestLoadTypedErrors(t *testing.T) {
+	// A valid envelope, then truncated at various points: every prefix
+	// must fail as malformed, never panic, never succeed.
+	var buf bytes.Buffer
+	train, _ := fixture(t)
+	m, err := ptshist.New(2, 50, 3).Train(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Save(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.String()
+	for _, cut := range []int{0, 1, len(full) / 2, len(full) - 2} {
+		_, err := Load(strings.NewReader(full[:cut]))
+		if !errors.Is(err, ErrMalformed) {
+			t.Fatalf("truncated at %d: got %v, want ErrMalformed", cut, err)
+		}
+	}
+
+	cases := []struct {
+		name  string
+		input string
+		want  error
+	}{
+		{"future version", `{"version":2,"type":"quadhist","payload":{}}`, ErrUnknownVersion},
+		{"zero version", `{"version":0,"type":"quadhist","payload":{}}`, ErrUnknownVersion},
+		{"unknown type", `{"version":1,"type":"neuralnet","payload":{}}`, ErrUnknownType},
+		{"bad payload json", `{"version":1,"type":"quadhist","payload":"nope"}`, ErrMalformed},
+		{"invalid weights", `{"version":1,"type":"ptshist","payload":{"Points":[[0.5,0.5]],"Weights":[0.2]}}`, ErrInvalidModel},
+	}
+	for _, c := range cases {
+		_, err := Load(strings.NewReader(c.input))
+		if !errors.Is(err, c.want) {
+			t.Fatalf("%s: got %v, want %v", c.name, err, c.want)
+		}
+	}
+}

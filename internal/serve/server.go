@@ -1,0 +1,448 @@
+// Package serve is the online half of the paper's workflow: the offline
+// pipeline (selgen → seltrain) learns a selectivity model from query
+// feedback, and this package serves it to a query optimizer over HTTP while
+// continuing to learn. A registry of named models answers estimate calls
+// lock-free via atomically swapped snapshots; observed true selectivities
+// stream into a bounded feedback buffer; and a background retrainer
+// periodically refits the model on fresh feedback and hot-swaps it in when
+// it does not regress — the serve/observe/refit loop that query-driven
+// estimators like QuickSel assume around them. Stdlib only.
+//
+// Endpoints:
+//
+//	POST /v1/estimate      — selectivity of one query or a batch
+//	POST /v1/feedback      — observed (query, selectivity) pairs
+//	POST /v1/retrain       — force a retraining pass (operators, tests)
+//	PUT  /v1/models/{name} — upload/replace a modelio envelope
+//	GET  /v1/models/{name} — download the serving model as an envelope
+//	GET  /healthz          — liveness
+//	GET  /statz            — counters, latency quantiles, model inventory
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/modelio"
+)
+
+// Options tunes the server; zero values take the defaults noted per field.
+type Options struct {
+	// FeedbackCapacity bounds each model's feedback ring (default 4096).
+	FeedbackCapacity int
+	// MinRetrainSamples is how much buffered feedback a model needs
+	// before the retrainer will refit it (default 32).
+	MinRetrainSamples int
+	// RetrainInterval is the background refit period (default 15s).
+	RetrainInterval time.Duration
+	// RetrainTolerance is how much worse (absolute RMS on held-out
+	// feedback) a candidate may be and still replace the serving model
+	// (default 0: never swap in a regression).
+	RetrainTolerance float64
+	// MaxBodyBytes caps request bodies (default 64 MiB — model envelopes
+	// can be large).
+	MaxBodyBytes int64
+	// DrainTimeout bounds graceful shutdown (default 10s).
+	DrainTimeout time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.FeedbackCapacity <= 0 {
+		o.FeedbackCapacity = 4096
+	}
+	if o.MinRetrainSamples <= 0 {
+		o.MinRetrainSamples = 32
+	}
+	if o.RetrainInterval <= 0 {
+		o.RetrainInterval = 15 * time.Second
+	}
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 64 << 20
+	}
+	if o.DrainTimeout <= 0 {
+		o.DrainTimeout = 10 * time.Second
+	}
+	return o
+}
+
+// Server is a concurrent selectivity-estimation service.
+type Server struct {
+	opts     Options
+	registry *Registry
+	feedback *feedbackStore
+	stats    *statsSet
+	started  time.Time
+
+	retrainMu    sync.Mutex
+	retrainSeen  map[string]int64 // feedback total at last retrain, per model
+	retrainRuns  int64
+	retrainSwaps int64
+	retrainErr   string
+	lastRetrain  RetrainResult
+}
+
+// NewServer builds a server with an empty registry.
+func NewServer(opts Options) *Server {
+	return &Server{
+		opts:        opts.withDefaults(),
+		registry:    NewRegistry(),
+		feedback:    newFeedbackStore(opts.withDefaults().FeedbackCapacity),
+		stats:       newStatsSet(),
+		started:     time.Now(),
+		retrainSeen: make(map[string]int64),
+	}
+}
+
+// Registry exposes the model registry, e.g. for preloading models from
+// disk before serving.
+func (s *Server) Registry() *Registry { return s.registry }
+
+// Handler returns the HTTP handler with every route instrumented.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	route := func(pattern string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, s.instrument(pattern, h))
+	}
+	route("POST /v1/estimate", s.handleEstimate)
+	route("POST /v1/feedback", s.handleFeedback)
+	route("POST /v1/retrain", s.handleRetrain)
+	route("PUT /v1/models/{name}", s.handlePutModel)
+	route("GET /v1/models/{name}", s.handleGetModel)
+	route("GET /healthz", s.handleHealthz)
+	route("GET /statz", s.handleStatz)
+	return mux
+}
+
+// Run serves on addr until ctx is cancelled, then drains in-flight
+// requests for at most DrainTimeout. The retrainer runs for the same
+// lifetime. Run returns nil on a clean drain.
+func (s *Server) Run(ctx context.Context, addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ctx, ln)
+}
+
+// Serve is Run on an existing listener (tests use an ephemeral port).
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	hs := &http.Server{Handler: s.Handler()}
+	retrainCtx, stopRetrain := context.WithCancel(ctx)
+	defer stopRetrain()
+	go s.retrainLoop(retrainCtx)
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	drainCtx, cancel := context.WithTimeout(context.Background(), s.opts.DrainTimeout)
+	defer cancel()
+	if err := hs.Shutdown(drainCtx); err != nil {
+		hs.Close()
+		return fmt.Errorf("serve: drain: %w", err)
+	}
+	return nil
+}
+
+// DefaultModelName is used when a request omits the model name.
+const DefaultModelName = "default"
+
+// ---- wire format ----
+
+// wireQuery is one geometric query in any of the three classes of the
+// repository's workloads. Exactly one of the class-specific field groups
+// must be present: lo+hi (box), a+b (halfspace), center+radius (ball).
+type wireQuery struct {
+	Lo     []float64 `json:"lo,omitempty"`
+	Hi     []float64 `json:"hi,omitempty"`
+	A      []float64 `json:"a,omitempty"`
+	B      *float64  `json:"b,omitempty"`
+	Center []float64 `json:"center,omitempty"`
+	Radius *float64  `json:"radius,omitempty"`
+}
+
+func (q wireQuery) toRange() (geom.Range, error) {
+	switch {
+	case q.Lo != nil || q.Hi != nil:
+		if len(q.Lo) == 0 || len(q.Lo) != len(q.Hi) {
+			return nil, fmt.Errorf("box query needs lo and hi of equal positive dimension")
+		}
+		return geom.NewBox(geom.Point(q.Lo), geom.Point(q.Hi)), nil
+	case q.A != nil || q.B != nil:
+		if len(q.A) == 0 || q.B == nil {
+			return nil, fmt.Errorf("halfspace query needs a and b")
+		}
+		return geom.NewHalfspace(geom.Point(q.A), *q.B), nil
+	case q.Center != nil || q.Radius != nil:
+		if len(q.Center) == 0 || q.Radius == nil {
+			return nil, fmt.Errorf("ball query needs center and radius")
+		}
+		if *q.Radius < 0 {
+			return nil, fmt.Errorf("ball query needs a non-negative radius")
+		}
+		return geom.NewBall(geom.Point(q.Center), *q.Radius), nil
+	}
+	return nil, fmt.Errorf("query must specify lo/hi, a/b, or center/radius")
+}
+
+type estimateRequest struct {
+	Model   string      `json:"model,omitempty"`
+	Query   *wireQuery  `json:"query,omitempty"`
+	Queries []wireQuery `json:"queries,omitempty"`
+}
+
+type estimateResponse struct {
+	Model      string    `json:"model"`
+	Generation int64     `json:"generation"`
+	Estimate   *float64  `json:"estimate,omitempty"`
+	Estimates  []float64 `json:"estimates,omitempty"`
+}
+
+type observation struct {
+	wireQuery
+	Sel *float64 `json:"sel"`
+}
+
+type feedbackRequest struct {
+	Model        string        `json:"model,omitempty"`
+	Observations []observation `json:"observations"`
+}
+
+type feedbackResponse struct {
+	Model    string `json:"model"`
+	Accepted int    `json:"accepted"`
+	Dropped  int    `json:"dropped"`
+}
+
+type modelStatus struct {
+	Name       string    `json:"name"`
+	Type       string    `json:"type"`
+	Buckets    int       `json:"buckets"`
+	Generation int64     `json:"generation"`
+	Source     string    `json:"source"`
+	LoadedAt   time.Time `json:"loaded_at"`
+}
+
+type statzResponse struct {
+	UptimeSeconds float64                   `json:"uptime_seconds"`
+	Endpoints     map[string]endpointStatus `json:"endpoints"`
+	Models        []modelStatus             `json:"models"`
+	Feedback      map[string]feedbackStatus `json:"feedback"`
+	Retrainer     retrainerStatus           `json:"retrainer"`
+}
+
+type retrainerStatus struct {
+	Runs      int64          `json:"runs"`
+	Swaps     int64          `json:"swaps"`
+	LastError string         `json:"last_error,omitempty"`
+	Last      *RetrainResult `json:"last,omitempty"`
+}
+
+// ---- handlers ----
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// decodeBody parses a size-limited JSON request body, rejecting unknown
+// fields so client typos fail loudly instead of silently estimating the
+// wrong thing.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid request body: %v", err)
+		return false
+	}
+	return true
+}
+
+func modelName(name string) string {
+	if name == "" {
+		return DefaultModelName
+	}
+	return name
+}
+
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	var req estimateRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	single := req.Query != nil
+	queries := req.Queries
+	if single {
+		if len(queries) > 0 {
+			writeError(w, http.StatusBadRequest, "specify either query or queries, not both")
+			return
+		}
+		queries = []wireQuery{*req.Query}
+	}
+	if len(queries) == 0 {
+		writeError(w, http.StatusBadRequest, "no queries given")
+		return
+	}
+	name := modelName(req.Model)
+	entry, ok := s.registry.Get(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, "model %q not registered", name)
+		return
+	}
+	dim, _ := modelDim(entry.Model)
+	ests := make([]float64, len(queries))
+	for i, wq := range queries {
+		q, err := wq.toRange()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "query %d: %v", i, err)
+			return
+		}
+		if dim > 0 && q.Dim() != dim {
+			writeError(w, http.StatusBadRequest, "query %d: dimension %d, model %q has dimension %d", i, q.Dim(), name, dim)
+			return
+		}
+		ests[i] = entry.Model.Estimate(q)
+	}
+	resp := estimateResponse{Model: name, Generation: entry.Generation}
+	if single {
+		resp.Estimate = &ests[0]
+	} else {
+		resp.Estimates = ests
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
+	var req feedbackRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Observations) == 0 {
+		writeError(w, http.StatusBadRequest, "no observations given")
+		return
+	}
+	name := modelName(req.Model)
+	if _, ok := s.registry.Get(name); !ok {
+		writeError(w, http.StatusNotFound, "model %q not registered", name)
+		return
+	}
+	obs := make([]core.LabeledQuery, len(req.Observations))
+	for i, o := range req.Observations {
+		q, err := o.toRange()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "observation %d: %v", i, err)
+			return
+		}
+		if o.Sel == nil || *o.Sel < 0 || *o.Sel > 1 {
+			writeError(w, http.StatusBadRequest, "observation %d: sel must be in [0,1]", i)
+			return
+		}
+		obs[i] = core.LabeledQuery{R: q, Sel: *o.Sel}
+	}
+	dropped := s.feedback.Add(name, obs)
+	writeJSON(w, http.StatusOK, feedbackResponse{Model: name, Accepted: len(obs), Dropped: dropped})
+}
+
+func (s *Server) handleRetrain(w http.ResponseWriter, r *http.Request) {
+	results := s.RetrainNow()
+	if results == nil {
+		results = []RetrainResult{}
+	}
+	writeJSON(w, http.StatusOK, results)
+}
+
+func (s *Server) handlePutModel(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	m, err := modelio.Load(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))
+	if err != nil {
+		// Bad bytes are the client's fault; anything else is ours.
+		status := http.StatusInternalServerError
+		if errors.Is(err, modelio.ErrMalformed) ||
+			errors.Is(err, modelio.ErrUnknownVersion) ||
+			errors.Is(err, modelio.ErrUnknownType) ||
+			errors.Is(err, modelio.ErrInvalidModel) {
+			status = http.StatusBadRequest
+		}
+		writeError(w, status, "load model: %v", err)
+		return
+	}
+	entry := s.registry.Set(name, "upload", m)
+	writeJSON(w, http.StatusOK, modelStatus{
+		Name:       name,
+		Type:       modelTypeName(m),
+		Buckets:    m.NumBuckets(),
+		Generation: entry.Generation,
+		Source:     entry.Source,
+		LoadedAt:   entry.LoadedAt,
+	})
+}
+
+func (s *Server) handleGetModel(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	entry, ok := s.registry.Get(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, "model %q not registered", name)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := modelio.Save(w, entry.Model); err != nil {
+		// Headers are gone; all we can do is log via the status recorder.
+		writeError(w, http.StatusInternalServerError, "save model: %v", err)
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
+	models := make([]modelStatus, 0)
+	for _, name := range s.registry.Names() {
+		entry, ok := s.registry.Get(name)
+		if !ok {
+			continue
+		}
+		models = append(models, modelStatus{
+			Name:       name,
+			Type:       modelTypeName(entry.Model),
+			Buckets:    entry.Model.NumBuckets(),
+			Generation: entry.Generation,
+			Source:     entry.Source,
+			LoadedAt:   entry.LoadedAt,
+		})
+	}
+	s.retrainMu.Lock()
+	rt := retrainerStatus{Runs: s.retrainRuns, Swaps: s.retrainSwaps, LastError: s.retrainErr}
+	if s.retrainRuns > 0 {
+		last := s.lastRetrain
+		rt.Last = &last
+	}
+	s.retrainMu.Unlock()
+	writeJSON(w, http.StatusOK, statzResponse{
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Endpoints:     s.stats.status(),
+		Models:        models,
+		Feedback:      s.feedback.status(),
+		Retrainer:     rt,
+	})
+}

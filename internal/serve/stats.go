@@ -1,0 +1,146 @@
+package serve
+
+import (
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// latencyWindow is how many recent request latencies each endpoint keeps
+// for the /statz quantiles — a sliding window, not a full history, so
+// memory stays bounded under sustained traffic.
+const latencyWindow = 1024
+
+// endpointStats accumulates counters and a latency window for one route.
+// Counters are atomics so the hot path never contends; only the latency
+// ring takes a (short) lock.
+type endpointStats struct {
+	requests  atomic.Int64
+	errors4xx atomic.Int64
+	errors5xx atomic.Int64
+
+	mu   sync.Mutex
+	lat  [latencyWindow]float64 // milliseconds
+	n    int                    // filled entries
+	next int                    // ring cursor
+}
+
+func (e *endpointStats) record(d time.Duration, status int) {
+	e.requests.Add(1)
+	switch {
+	case status >= 500:
+		e.errors5xx.Add(1)
+	case status >= 400:
+		e.errors4xx.Add(1)
+	}
+	ms := float64(d) / float64(time.Millisecond)
+	e.mu.Lock()
+	e.lat[e.next] = ms
+	e.next = (e.next + 1) % latencyWindow
+	if e.n < latencyWindow {
+		e.n++
+	}
+	e.mu.Unlock()
+}
+
+// latencySummary is the quantile block of one /statz endpoint row.
+type latencySummary struct {
+	P50 float64 `json:"p50_ms"`
+	P95 float64 `json:"p95_ms"`
+	P99 float64 `json:"p99_ms"`
+	Max float64 `json:"max_ms"`
+}
+
+// endpointStatus is one /statz endpoint row.
+type endpointStatus struct {
+	Requests  int64           `json:"requests"`
+	Errors4xx int64           `json:"errors_4xx"`
+	Errors5xx int64           `json:"errors_5xx"`
+	Latency   *latencySummary `json:"latency,omitempty"`
+}
+
+func (e *endpointStats) status() endpointStatus {
+	st := endpointStatus{
+		Requests:  e.requests.Load(),
+		Errors4xx: e.errors4xx.Load(),
+		Errors5xx: e.errors5xx.Load(),
+	}
+	e.mu.Lock()
+	window := make([]float64, e.n)
+	if e.n == latencyWindow {
+		copy(window, e.lat[:])
+	} else {
+		copy(window, e.lat[:e.n])
+	}
+	e.mu.Unlock()
+	if len(window) > 0 {
+		st.Latency = &latencySummary{
+			P50: metrics.Quantile(window, 0.50),
+			P95: metrics.Quantile(window, 0.95),
+			P99: metrics.Quantile(window, 0.99),
+			Max: metrics.Quantile(window, 1.00),
+		}
+	}
+	return st
+}
+
+// statsSet holds the per-route stats, keyed by the route pattern.
+type statsSet struct {
+	mu     sync.Mutex
+	routes map[string]*endpointStats
+}
+
+func newStatsSet() *statsSet {
+	return &statsSet{routes: make(map[string]*endpointStats)}
+}
+
+func (s *statsSet) route(pattern string) *endpointStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.routes[pattern]
+	if !ok {
+		e = &endpointStats{}
+		s.routes[pattern] = e
+	}
+	return e
+}
+
+func (s *statsSet) status() map[string]endpointStatus {
+	s.mu.Lock()
+	routes := make(map[string]*endpointStats, len(s.routes))
+	for k, v := range s.routes {
+		routes[k] = v
+	}
+	s.mu.Unlock()
+	out := make(map[string]endpointStatus, len(routes))
+	for k, v := range routes {
+		out[k] = v.status()
+	}
+	return out
+}
+
+// statusRecorder captures the response code for the stats middleware.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusRecorder) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with request counting and latency capture for
+// its route pattern.
+func (s *Server) instrument(pattern string, h http.HandlerFunc) http.HandlerFunc {
+	es := s.stats.route(pattern)
+	return func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		h(rec, r)
+		es.record(time.Since(start), rec.status)
+	}
+}
