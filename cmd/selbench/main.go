@@ -19,16 +19,18 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/parallel"
 )
 
 func main() {
 	var (
-		exp    = flag.String("exp", "", "experiment id (see -list)")
-		preset = flag.String("preset", "default", "preset: quick, default, full")
-		all    = flag.Bool("all", false, "run every registered experiment")
-		list   = flag.Bool("list", false, "list experiment ids and exit")
-		seed   = flag.Uint64("seed", 0, "override the preset's base seed")
-		out    = flag.String("o", "", "write output to this file instead of stdout")
+		exp     = flag.String("exp", "", "experiment id (see -list)")
+		preset  = flag.String("preset", "default", "preset: quick, default, full")
+		all     = flag.Bool("all", false, "run every registered experiment")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		seed    = flag.Uint64("seed", 0, "override the preset's base seed")
+		out     = flag.String("o", "", "write output to this file instead of stdout")
+		workers = flag.Int("workers", 0, "concurrent sweep points and kernel workers (0 = all CPUs); results are identical for any value")
 	)
 	flag.Parse()
 
@@ -44,6 +46,10 @@ func main() {
 	}
 	if *seed != 0 {
 		cfg.Seed = *seed
+	}
+	if *workers != 0 {
+		cfg.Workers = *workers
+		parallel.SetDefault(*workers)
 	}
 
 	ids := []string{*exp}

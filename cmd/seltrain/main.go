@@ -23,6 +23,7 @@ import (
 	"repro/internal/isomer"
 	"repro/internal/metrics"
 	"repro/internal/modelio"
+	"repro/internal/parallel"
 	"repro/internal/ptshist"
 	"repro/internal/quicksel"
 	"repro/internal/workload"
@@ -39,8 +40,15 @@ func main() {
 		outPath   = flag.String("out", "", "write the trained model to this file (modelio envelope)")
 		savePath  = flag.String("save", "", "deprecated alias for -out")
 		loadPath  = flag.String("load", "", "skip training: load a model and evaluate it on every CSV row")
+		workers   = flag.Int("workers", 0, "worker-pool size for the training kernels (0 = all CPUs); results are identical for any value")
 	)
 	flag.Parse()
+	if *workers < 0 {
+		usage(fmt.Errorf("-workers must be non-negative, got %d", *workers))
+	}
+	if *workers != 0 {
+		parallel.SetDefault(*workers)
+	}
 
 	// Flag validation: a bad invocation gets a usage message and a
 	// non-zero exit before any input is read.

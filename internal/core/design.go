@@ -1,32 +1,34 @@
 package core
 
 import (
-	"runtime"
-	"sync"
-
 	"repro/internal/geom"
 	"repro/internal/linalg"
+	"repro/internal/parallel"
 )
 
 // parallelThreshold is the m·n size above which design-matrix assembly
-// fans out across CPUs. Rows are independent, so parallel assembly is
-// bit-for-bit identical to sequential assembly.
+// fans out across the shared worker pool. Rows are independent, so
+// parallel assembly is bit-for-bit identical to sequential assembly.
 const parallelThreshold = 1 << 16
+
+// designWorkers picks the assembly parallelism for an m×n matrix.
+func designWorkers(m, n int) int {
+	if m*n < parallelThreshold {
+		return 1
+	}
+	return parallel.Workers(0)
+}
 
 // DesignMatrixBoxes assembles the weight-estimation design matrix of
 // Equation 6: A[i][j] = vol(Bⱼ ∩ Rᵢ)/vol(Bⱼ) for box buckets Bⱼ and query
 // ranges Rᵢ. Zero-volume buckets contribute zero columns. Large matrices
 // are assembled in parallel (deterministically).
 func DesignMatrixBoxes(samples []LabeledQuery, buckets []geom.Box) *linalg.Matrix {
-	workers := 1
-	if len(samples)*len(buckets) >= parallelThreshold {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	return DesignMatrixBoxesWith(samples, buckets, workers)
+	return DesignMatrixBoxesWith(samples, buckets, designWorkers(len(samples), len(buckets)))
 }
 
 // DesignMatrixBoxesWith is DesignMatrixBoxes with an explicit worker count
-// (used by the parallelism ablation benchmark).
+// (used by the parallelism ablation benchmark; 0 = pool default).
 func DesignMatrixBoxesWith(samples []LabeledQuery, buckets []geom.Box, workers int) *linalg.Matrix {
 	m, n := len(samples), len(buckets)
 	vols := make([]float64, n)
@@ -34,7 +36,7 @@ func DesignMatrixBoxesWith(samples []LabeledQuery, buckets []geom.Box, workers i
 		vols[j] = b.Volume()
 	}
 	a := linalg.NewMatrix(m, n)
-	fillRow := func(i int) {
+	parallel.ForEachChunk(m, workers, 0, func(i int) {
 		z := samples[i]
 		row := a.Row(i)
 		for j, b := range buckets {
@@ -47,8 +49,7 @@ func DesignMatrixBoxesWith(samples []LabeledQuery, buckets []geom.Box, workers i
 			}
 			row[j] = z.R.IntersectBoxVolume(b) / vols[j]
 		}
-	}
-	forEachRow(m, workers, fillRow)
+	})
 	return a
 }
 
@@ -56,13 +57,15 @@ func DesignMatrixBoxesWith(samples []LabeledQuery, buckets []geom.Box, workers i
 // Equation 7: A[i][j] = 1(Bⱼ ∈ Rᵢ) for point buckets Bⱼ. Large matrices
 // are assembled in parallel (deterministically).
 func DesignMatrixPoints(samples []LabeledQuery, points []geom.Point) *linalg.Matrix {
+	return DesignMatrixPointsWith(samples, points, designWorkers(len(samples), len(points)))
+}
+
+// DesignMatrixPointsWith is DesignMatrixPoints with an explicit worker
+// count (0 = pool default).
+func DesignMatrixPointsWith(samples []LabeledQuery, points []geom.Point, workers int) *linalg.Matrix {
 	m, n := len(samples), len(points)
-	workers := 1
-	if m*n >= parallelThreshold {
-		workers = runtime.GOMAXPROCS(0)
-	}
 	a := linalg.NewMatrix(m, n)
-	forEachRow(m, workers, func(i int) {
+	parallel.ForEachChunk(m, workers, 0, func(i int) {
 		z := samples[i]
 		row := a.Row(i)
 		for j, p := range points {
@@ -72,38 +75,6 @@ func DesignMatrixPoints(samples []LabeledQuery, points []geom.Point) *linalg.Mat
 		}
 	})
 	return a
-}
-
-// forEachRow runs fn(i) for i in [0,m) across the given number of workers.
-// Work is dealt in contiguous blocks so each worker touches disjoint cache
-// lines of the output.
-func forEachRow(m, workers int, fn func(i int)) {
-	if workers <= 1 || m < 2 {
-		for i := 0; i < m; i++ {
-			fn(i)
-		}
-		return
-	}
-	if workers > m {
-		workers = m
-	}
-	var wg sync.WaitGroup
-	chunk := (m + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := min(lo+chunk, m)
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				fn(i)
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
 }
 
 // Selectivities extracts the label vector s of a training sample.

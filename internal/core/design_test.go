@@ -92,15 +92,23 @@ func TestDesignMatrixParallelDeterminism(t *testing.T) {
 	}
 }
 
-func TestForEachRowCoversAllRows(t *testing.T) {
-	for _, m := range []int{0, 1, 2, 7, 100} {
-		for _, workers := range []int{1, 3, 16} {
-			hit := make([]bool, m)
-			forEachRow(m, workers, func(i int) { hit[i] = true })
-			for i, h := range hit {
-				if !h {
-					t.Fatalf("m=%d workers=%d: row %d not visited", m, workers, i)
-				}
+func TestDesignMatrixPointsParallelDeterminism(t *testing.T) {
+	r := rng.New(31)
+	samples := randomSamples(r, 150, 3)
+	pts := make([]geom.Point, 80)
+	for i := range pts {
+		p := make(geom.Point, 3)
+		for j := range p {
+			p[j] = r.Float64()
+		}
+		pts[i] = p
+	}
+	seq := DesignMatrixPointsWith(samples, pts, 1)
+	for _, workers := range []int{2, 5, 64} {
+		par := DesignMatrixPointsWith(samples, pts, workers)
+		for i := range seq.Data {
+			if seq.Data[i] != par.Data[i] {
+				t.Fatalf("workers=%d: cell %d differs", workers, i)
 			}
 		}
 	}

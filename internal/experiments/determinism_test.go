@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestFig9WorkerCountInvariance is the determinism regression test for the
+// parallel sweep engine: under the Quick preset, running fig9 with one
+// worker and with eight must produce identical result rows. (Training-time
+// columns would differ run to run, but fig9 reports only sizes and RMS
+// values, which the engine guarantees bit-identical for any worker count.)
+func TestFig9WorkerCountInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Quick-preset run is too heavy for -short")
+	}
+	serial := Quick()
+	serial.Workers = 1
+	par := Quick()
+	par.Workers = 8
+
+	rs, err := Run("fig9", serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := Run("fig9", par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != len(rp) {
+		t.Fatalf("result count differs: %d vs %d", len(rs), len(rp))
+	}
+	for ri := range rs {
+		a, b := rs[ri], rp[ri]
+		if len(a.Rows) != len(b.Rows) {
+			t.Fatalf("%s: row count %d (workers=1) vs %d (workers=8)", a.ID, len(a.Rows), len(b.Rows))
+		}
+		for i := range a.Rows {
+			for j := range a.Rows[i] {
+				if a.Rows[i][j] != b.Rows[i][j] {
+					t.Fatalf("%s row %d col %d: %q (workers=1) vs %q (workers=8)",
+						a.ID, i, j, a.Rows[i][j], b.Rows[i][j])
+				}
+			}
+		}
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"repro/internal/hist"
 	"repro/internal/isomer"
 	"repro/internal/metrics"
+	"repro/internal/parallel"
 	"repro/internal/ptshist"
 	"repro/internal/quicksel"
 	"repro/internal/workload"
@@ -32,6 +33,10 @@ import (
 type Config struct {
 	// Seed drives every random choice in the run.
 	Seed uint64
+	// Workers bounds the number of sweep points trained concurrently
+	// (0 = the shared pool default, i.e. GOMAXPROCS). Every value
+	// produces identical result rows; only wall-clock changes.
+	Workers int
 	// TrainSizes is the training-set sweep (paper: 50..2000).
 	TrainSizes []int
 	// TestQueries is the held-out test-set size.
@@ -236,6 +241,28 @@ func trainEval(tr core.Trainer, train, test []core.LabeledQuery, minSel float64)
 		OK:      true,
 		Est:     est,
 	}
+}
+
+// sweepPoint is one (training set, trainer) job of a sweep.
+type sweepPoint struct {
+	train   []core.LabeledQuery
+	test    []core.LabeledQuery
+	minSel  float64
+	trainer core.Trainer
+}
+
+// runSweep trains and evaluates every sweep point concurrently on the
+// shared worker pool (bounded by cfg.Workers; 0 = pool default) and
+// returns the outcomes in point order. The points are built sequentially
+// by the caller — so every workload-generator stream is consumed in the
+// same order as a serial run — and each job is pure (its trainer owns any
+// random state), so row assembly from the ordered slice is identical for
+// every worker count.
+func runSweep(cfg Config, points []sweepPoint) []methodRun {
+	return parallel.Map(len(points), cfg.Workers, func(i int) methodRun {
+		p := points[i]
+		return trainEval(p.trainer, p.train, p.test, p.minSel)
+	})
 }
 
 // standardTrainers returns the paper's compared methods for dimension dim

@@ -6,7 +6,6 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/hist"
-	"repro/internal/metrics"
 	"repro/internal/ptshist"
 	"repro/internal/quicksel"
 	"repro/internal/workload"
@@ -32,22 +31,32 @@ func fig17(cfg Config) []*Result {
 		Title:  "PtsHist RMS error vs training size across dimensions (Forest Data-driven)",
 		Header: []string{"dim", "train_n", "buckets", "rms"},
 	}
+	points := []sweepPoint{}
 	for _, d := range cfg.Dims {
 		g := newGenerator(cfg, "forest", d, workload.OrthogonalRange)
 		spec := workload.Spec{Class: workload.OrthogonalRange, Centers: workload.DataDriven}
 		test := g.Generate(spec, cfg.TestQueries)
-		truth := workload.Truths(test)
+		minSel := 1.0 / float64(g.Dataset().Len())
 		for _, n := range cfg.TrainSizes {
 			train := g.Generate(spec, n)
-			tr := ptshist.New(d, cfg.BucketMultiplier*n, cfg.Seed+13)
-			m, err := tr.TrainHist(train)
-			if err != nil {
+			points = append(points, sweepPoint{
+				train: train, test: test, minSel: minSel,
+				trainer: ptshist.New(d, cfg.BucketMultiplier*n, cfg.Seed+13),
+			})
+		}
+	}
+	runs := runSweep(cfg, points)
+	k := 0
+	for _, d := range cfg.Dims {
+		for _, n := range cfg.TrainSizes {
+			run := runs[k]
+			k++
+			if !run.OK {
 				res.Rows = append(res.Rows, []string{strconv.Itoa(d), strconv.Itoa(n), dash, dash})
 				continue
 			}
-			rms := metrics.RMS(core.Estimates(m, test), truth)
 			res.Rows = append(res.Rows, []string{
-				strconv.Itoa(d), strconv.Itoa(n), strconv.Itoa(m.NumBuckets()), fmtF(rms),
+				strconv.Itoa(d), strconv.Itoa(n), strconv.Itoa(run.Buckets), fmtF(run.RMS),
 			})
 		}
 	}
@@ -71,27 +80,31 @@ func fig18to19(cfg Config) []*Result {
 		Title:  fmt.Sprintf("training time vs dimensions (Forest Data-driven, n=%d)", n),
 		Header: []string{"dim", "method", "seconds"},
 	}
+	points := []sweepPoint{}
 	for _, d := range cfg.Dims {
 		g := newGenerator(cfg, "forest", d, workload.OrthogonalRange)
 		spec := workload.Spec{Class: workload.OrthogonalRange, Centers: workload.DataDriven}
 		train, test := g.TrainTest(spec, n, cfg.TestQueries)
 		minSel := 1.0 / float64(g.Dataset().Len())
 		k := cfg.BucketMultiplier * n
-		trainers := []core.Trainer{
+		for _, tr := range []core.Trainer{
 			quicksel.New(d, cfg.Seed+7),
 			hist.New(d, k),
 			ptshist.New(d, k, cfg.Seed+13),
+		} {
+			points = append(points, sweepPoint{train: train, test: test, minSel: minSel, trainer: tr})
 		}
-		for _, tr := range trainers {
-			run := trainEval(tr, train, test, minSel)
-			if !run.OK {
-				resR.Rows = append(resR.Rows, []string{strconv.Itoa(d), run.Name, dash})
-				resT.Rows = append(resT.Rows, []string{strconv.Itoa(d), run.Name, dash})
-				continue
-			}
-			resR.Rows = append(resR.Rows, []string{strconv.Itoa(d), run.Name, fmtF(run.RMS)})
-			resT.Rows = append(resT.Rows, []string{strconv.Itoa(d), run.Name, fmtSecs(run.TrainS)})
+	}
+	runs := runSweep(cfg, points)
+	for k, run := range runs {
+		d := cfg.Dims[k/3]
+		if !run.OK {
+			resR.Rows = append(resR.Rows, []string{strconv.Itoa(d), run.Name, dash})
+			resT.Rows = append(resT.Rows, []string{strconv.Itoa(d), run.Name, dash})
+			continue
 		}
+		resR.Rows = append(resR.Rows, []string{strconv.Itoa(d), run.Name, fmtF(run.RMS)})
+		resT.Rows = append(resT.Rows, []string{strconv.Itoa(d), run.Name, fmtSecs(run.TrainS)})
 	}
 	resR.Notes = append(resR.Notes,
 		"expected shape: all methods degrade with d; accuracies comparable")
@@ -114,6 +127,9 @@ func queryTypeSweep(cfg Config, class workload.Class, idRMS, idTime string) []*R
 		Title:  fmt.Sprintf("training time vs training size, %s queries (Forest Data-driven)", class),
 		Header: []string{"dim", "method", "train_n", "seconds"},
 	}
+	type rowKey struct{ d, n int }
+	points := []sweepPoint{}
+	keys := []rowKey{}
 	for _, d := range cfg.Dims {
 		g := newGenerator(cfg, "forest", d, class)
 		spec := workload.Spec{Class: class, Centers: workload.DataDriven}
@@ -127,16 +143,21 @@ func queryTypeSweep(cfg Config, class workload.Class, idRMS, idTime string) []*R
 				trainers = append(trainers, hist.New(d, k))
 			}
 			for _, tr := range trainers {
-				run := trainEval(tr, train, test, minSel)
-				if !run.OK {
-					resR.Rows = append(resR.Rows, []string{strconv.Itoa(d), run.Name, strconv.Itoa(n), dash})
-					resT.Rows = append(resT.Rows, []string{strconv.Itoa(d), run.Name, strconv.Itoa(n), dash})
-					continue
-				}
-				resR.Rows = append(resR.Rows, []string{strconv.Itoa(d), run.Name, strconv.Itoa(n), fmtF(run.RMS)})
-				resT.Rows = append(resT.Rows, []string{strconv.Itoa(d), run.Name, strconv.Itoa(n), fmtSecs(run.TrainS)})
+				points = append(points, sweepPoint{train: train, test: test, minSel: minSel, trainer: tr})
+				keys = append(keys, rowKey{d, n})
 			}
 		}
+	}
+	runs := runSweep(cfg, points)
+	for k, run := range runs {
+		d, n := keys[k].d, keys[k].n
+		if !run.OK {
+			resR.Rows = append(resR.Rows, []string{strconv.Itoa(d), run.Name, strconv.Itoa(n), dash})
+			resT.Rows = append(resT.Rows, []string{strconv.Itoa(d), run.Name, strconv.Itoa(n), dash})
+			continue
+		}
+		resR.Rows = append(resR.Rows, []string{strconv.Itoa(d), run.Name, strconv.Itoa(n), fmtF(run.RMS)})
+		resT.Rows = append(resT.Rows, []string{strconv.Itoa(d), run.Name, strconv.Itoa(n), fmtSecs(run.TrainS)})
 	}
 	resR.Notes = append(resR.Notes,
 		"expected shape: error decreases with training size; higher d needs more queries; QuadHist (d=2 only) more accurate than PtsHist in 2D")

@@ -30,9 +30,16 @@ func extSemiAlg(cfg Config) []*Result {
 		Title:  "extension: semi-algebraic annulus queries (T_{2,3,2}, Figure 3), PtsHist (Power 2D)",
 		Header: []string{"train_n", "buckets", "rms", "q50", "q99"},
 	}
+	points := []sweepPoint{}
 	for _, n := range cfg.TrainSizes {
 		train := g.Generate(spec, n)
-		run := trainEval(ptshist.New(2, cfg.BucketMultiplier*n, cfg.Seed+13), train, test, minSel)
+		points = append(points, sweepPoint{
+			train: train, test: test, minSel: minSel,
+			trainer: ptshist.New(2, cfg.BucketMultiplier*n, cfg.Seed+13),
+		})
+	}
+	for k, run := range runSweep(cfg, points) {
+		n := cfg.TrainSizes[k]
 		if !run.OK {
 			res.Rows = append(res.Rows, []string{strconv.Itoa(n), dash, dash, dash, dash})
 			continue
@@ -64,9 +71,16 @@ func extDisc(cfg Config) []*Result {
 		Title:  "extension: disc-intersection (semi-algebraic) queries, PtsHist on the (cx,cy,r) encoding",
 		Header: []string{"train_n", "buckets", "rms", "q50", "q99"},
 	}
+	points := []sweepPoint{}
 	for _, n := range cfg.TrainSizes {
 		train := g.Generate(spec, n)
-		run := trainEval(ptshist.New(3, cfg.BucketMultiplier*n, cfg.Seed+13), train, test, minSel)
+		points = append(points, sweepPoint{
+			train: train, test: test, minSel: minSel,
+			trainer: ptshist.New(3, cfg.BucketMultiplier*n, cfg.Seed+13),
+		})
+	}
+	for k, run := range runSweep(cfg, points) {
+		n := cfg.TrainSizes[k]
 		if !run.OK {
 			res.Rows = append(res.Rows, []string{strconv.Itoa(n), dash, dash, dash, dash})
 			continue
@@ -96,24 +110,27 @@ func extGMM(cfg Config) []*Result {
 		Title:  "extension: Gaussian-mixture model (future work of Section 6) vs PtsHist (Power 2D Data-driven)",
 		Header: []string{"train_n", "method", "components", "rms", "q99"},
 	}
+	points := []sweepPoint{}
 	for _, n := range cfg.TrainSizes {
 		train := g.Generate(spec, n)
 		k := maxInt(n/4, 8) // mixtures need far fewer components than point buckets
-		trainers := []core.Trainer{
+		for _, tr := range []core.Trainer{
 			gmm.New(2, k, cfg.Seed+13),
 			ptshist.New(2, cfg.BucketMultiplier*n, cfg.Seed+13),
+		} {
+			points = append(points, sweepPoint{train: train, test: test, minSel: minSel, trainer: tr})
 		}
-		for _, tr := range trainers {
-			run := trainEval(tr, train, test, minSel)
-			if !run.OK {
-				res.Rows = append(res.Rows, []string{strconv.Itoa(n), run.Name, dash, dash, dash})
-				continue
-			}
-			res.Rows = append(res.Rows, []string{
-				strconv.Itoa(n), run.Name, strconv.Itoa(run.Buckets),
-				fmtF(run.RMS), fmtF(run.QErr.P99),
-			})
+	}
+	for k, run := range runSweep(cfg, points) {
+		n := cfg.TrainSizes[k/2]
+		if !run.OK {
+			res.Rows = append(res.Rows, []string{strconv.Itoa(n), run.Name, dash, dash, dash})
+			continue
 		}
+		res.Rows = append(res.Rows, []string{
+			strconv.Itoa(n), run.Name, strconv.Itoa(run.Buckets),
+			fmtF(run.RMS), fmtF(run.QErr.P99),
+		})
 	}
 	res.Notes = append(res.Notes,
 		"expected shape: the mixture reaches comparable RMS with an order of magnitude fewer buckets, at the cost of a heuristic (non-optimal) component placement")

@@ -61,25 +61,32 @@ func fig9(cfg Config) []*Result {
 	g := newGenerator(cfg, "power", 2, workload.OrthogonalRange)
 	spec := workload.Spec{Class: workload.OrthogonalRange, Centers: workload.DataDriven}
 	test := g.Generate(spec, cfg.TestQueries)
-	truth := workload.Truths(test)
+	minSel := 1.0 / float64(g.Dataset().Len())
 
 	res := &Result{
 		ID:     "fig9",
 		Title:  "RMS error vs model complexity (QuadHist, Power 2D Data-driven)",
 		Header: []string{"train_n", "buckets", "rms"},
 	}
+	points := []sweepPoint{}
 	for _, n := range cfg.TrainSizes {
 		train := g.Generate(spec, n)
 		for _, b := range cfg.Fig9Buckets {
-			tr := hist.New(2, b)
-			m, err := tr.TrainHist(train)
-			if err != nil {
+			points = append(points, sweepPoint{train: train, test: test, minSel: minSel, trainer: hist.New(2, b)})
+		}
+	}
+	runs := runSweep(cfg, points)
+	k := 0
+	for _, n := range cfg.TrainSizes {
+		for _, b := range cfg.Fig9Buckets {
+			run := runs[k]
+			k++
+			if !run.OK {
 				res.Rows = append(res.Rows, []string{strconv.Itoa(n), strconv.Itoa(b), dash})
 				continue
 			}
-			rms := metrics.RMS(estimateAll(m, test), truth)
 			res.Rows = append(res.Rows, []string{
-				strconv.Itoa(n), strconv.Itoa(m.NumBuckets()), fmtF(rms),
+				strconv.Itoa(n), strconv.Itoa(run.Buckets), fmtF(run.RMS),
 			})
 		}
 	}
@@ -114,10 +121,22 @@ func methodSweep(cfg Config, dsName string, centers workload.Centers, idBuckets,
 	resT := &Result{ID: idTime, Title: "training time vs training size (" + title + ")",
 		Header: []string{"train_n", "method", "seconds"}}
 
-	for _, n := range cfg.TrainSizes {
+	points := []sweepPoint{}
+	counts := make([]int, len(cfg.TrainSizes))
+	for ni, n := range cfg.TrainSizes {
 		train := g.Generate(spec, n)
-		for _, tr := range standardTrainers(cfg, 2, n, true) {
-			run := trainEval(tr, train, test, minSel)
+		trainers := standardTrainers(cfg, 2, n, true)
+		counts[ni] = len(trainers)
+		for _, tr := range trainers {
+			points = append(points, sweepPoint{train: train, test: test, minSel: minSel, trainer: tr})
+		}
+	}
+	runs := runSweep(cfg, points)
+	k := 0
+	for ni, n := range cfg.TrainSizes {
+		for t := 0; t < counts[ni]; t++ {
+			run := runs[k]
+			k++
 			if !run.OK {
 				resB.Rows = append(resB.Rows, []string{strconv.Itoa(n), run.Name, dash})
 				resR.Rows = append(resR.Rows, []string{strconv.Itoa(n), run.Name, dash})

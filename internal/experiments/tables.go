@@ -53,17 +53,36 @@ func qErrorTable(cfg Config, id, dsName string, centerKinds []workload.Centers, 
 			fmtF(q.P50), fmtF(q.P95), fmtF(q.P99), fmtF(q.Max),
 		})
 	}
-	for _, centers := range centerKinds {
+	// Build every (workload, training size, method) point sequentially —
+	// keeping the generator streams in serial order — then train them all
+	// concurrently and assemble rows from the ordered outcomes.
+	points := []sweepPoint{}
+	truths := make([][]float64, len(centerKinds))
+	counts := make([][]int, len(centerKinds))
+	for ci, centers := range centerKinds {
 		spec := workload.Spec{Class: workload.OrthogonalRange, Centers: centers}
 		test := g.Generate(spec, cfg.TestQueries)
-		truth := workload.Truths(test)
-		for _, n := range cfg.TrainSizes {
+		truths[ci] = workload.Truths(test)
+		counts[ci] = make([]int, len(cfg.TrainSizes))
+		for ni, n := range cfg.TrainSizes {
 			train := g.Generate(spec, n)
-			for _, tr := range standardTrainers(cfg, 2, n, true) {
-				run := trainEval(tr, train, test, minSel)
+			trainers := standardTrainers(cfg, 2, n, true)
+			counts[ci][ni] = len(trainers)
+			for _, tr := range trainers {
+				points = append(points, sweepPoint{train: train, test: test, minSel: minSel, trainer: tr})
+			}
+		}
+	}
+	runs := runSweep(cfg, points)
+	k := 0
+	for ci, centers := range centerKinds {
+		for ni, n := range cfg.TrainSizes {
+			for t := 0; t < counts[ci][ni]; t++ {
+				run := runs[k]
+				k++
 				emit(centers.String(), n, run.Name, run.OK, run.QErr)
 				if withNonEmpty && centers == workload.Random && run.OK {
-					fe, ft := metrics.FilterNonEmpty(run.Est, truth)
+					fe, ft := metrics.FilterNonEmpty(run.Est, truths[ci])
 					emit("random-nonempty", n, run.Name,
 						len(ft) > 0, metrics.SummarizeQErrors(fe, ft, minSel))
 				}

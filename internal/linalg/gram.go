@@ -1,0 +1,119 @@
+package linalg
+
+import (
+	"math"
+
+	"repro/internal/parallel"
+)
+
+// gramParallelThreshold is the m·n² operation count above which Gram
+// fans out across the worker pool.
+const gramParallelThreshold = 1 << 18
+
+// Gram returns the Gram matrix AᵀA, the kernel of the normal equations
+// used by the NNLS weight-estimation path. workers ≤ 0 means auto.
+//
+// The computation is blocked by output row: worker w owns a contiguous
+// range of rows k of G and computes G[k][j] = Σᵢ A[i][k]·A[i][j] for
+// j ≥ k with i ascending, exploiting column sparsity (a zero A[i][k]
+// skips the whole row-i contribution). Because every output entry is
+// produced by exactly one worker with a fixed summation order, the
+// result is byte-identical for every worker count — the determinism
+// contract of internal/parallel.
+func Gram(a *Matrix, workers int) *Matrix {
+	m, n := a.Rows, a.Cols
+	g := NewMatrix(n, n)
+	if n == 0 {
+		return g
+	}
+	w := 1
+	if m*n*n >= gramParallelThreshold {
+		w = parallel.Workers(workers)
+	}
+	parallel.ForEachChunk(n, w, 0, func(k int) {
+		gk := g.Row(k)
+		for i := 0; i < m; i++ {
+			row := a.Data[i*n : (i+1)*n]
+			v := row[k]
+			if v == 0 {
+				continue
+			}
+			for j := k; j < n; j++ {
+				gk[j] += v * row[j]
+			}
+		}
+	})
+	// Mirror the strict upper triangle.
+	for k := 0; k < n; k++ {
+		for j := k + 1; j < n; j++ {
+			g.Data[j*n+k] = g.Data[k*n+j]
+		}
+	}
+	return g
+}
+
+// Cholesky is a reusable LLᵀ factorization of a symmetric positive-
+// definite matrix, letting callers amortize the O(n³) factorization over
+// several solves (e.g. an iterative-refinement step on the NNLS normal
+// equations).
+type Cholesky struct {
+	l *Matrix
+}
+
+// NewCholesky factors g = L·Lᵀ. It returns ErrSingular if g is not
+// (numerically) positive definite.
+func NewCholesky(g *Matrix) (*Cholesky, error) {
+	n := g.Rows
+	if g.Cols != n {
+		panic("linalg: NewCholesky needs a square matrix")
+	}
+	l := NewMatrix(n, n)
+	for j := 0; j < n; j++ {
+		d := g.At(j, j)
+		for k := 0; k < j; k++ {
+			v := l.At(j, k)
+			d -= v * v
+		}
+		if d <= 0 {
+			return nil, ErrSingular
+		}
+		ljj := math.Sqrt(d)
+		l.Set(j, j, ljj)
+		for i := j + 1; i < n; i++ {
+			s := g.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * l.At(j, k)
+			}
+			l.Set(i, j, s/ljj)
+		}
+	}
+	return &Cholesky{l: l}, nil
+}
+
+// Solve returns the x with L·Lᵀ·x = b.
+func (c *Cholesky) Solve(b []float64) []float64 {
+	l := c.l
+	n := l.Rows
+	if len(b) != n {
+		panic("linalg: Cholesky.Solve shape mismatch")
+	}
+	// Forward solve L·y = b.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= l.At(i, k) * y[k]
+		}
+		y[i] = s / l.At(i, i)
+	}
+	// Back solve Lᵀ·x = y (reusing y's storage for x would alias reads).
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= l.At(k, i) * x[k]
+		}
+		x[i] = s / l.At(i, i)
+	}
+	return x
+}

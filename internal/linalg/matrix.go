@@ -9,7 +9,14 @@ package linalg
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/parallel"
 )
+
+// matvecParallelThreshold is the element count above which the dense
+// matrix–vector kernels fan out across the worker pool. Below it the
+// goroutine handoff costs more than the arithmetic.
+const matvecParallelThreshold = 1 << 16
 
 // Matrix is a dense row-major matrix.
 type Matrix struct {
@@ -67,49 +74,103 @@ func (m *Matrix) T() *Matrix {
 	return t
 }
 
-// MulVec returns A·x.
+// MulVec returns A·x. Large products fan out across the worker pool
+// (each y[i] is one row's dot product, so the parallel result is
+// byte-identical to the serial one).
 func (m *Matrix) MulVec(x []float64) []float64 {
+	return m.MulVecWith(x, autoWorkers(m.Rows*m.Cols))
+}
+
+// MulVecWith is MulVec with an explicit worker count (0 = auto).
+func (m *Matrix) MulVecWith(x []float64, workers int) []float64 {
 	if len(x) != m.Cols {
 		panic(fmt.Sprintf("linalg: MulVec shape mismatch %dx%d · %d", m.Rows, m.Cols, len(x)))
 	}
 	y := make([]float64, m.Rows)
-	for i := 0; i < m.Rows; i++ {
+	parallel.ForEach(m.Rows, workers, func(i int) {
 		row := m.Row(i)
 		s := 0.0
 		for j, v := range row {
 			s += v * x[j]
 		}
 		y[i] = s
-	}
+	})
 	return y
 }
 
-// TMulVec returns Aᵀ·x without forming the transpose.
+// TMulVec returns Aᵀ·x without forming the transpose. Large products
+// fan out by contiguous column stripes: each worker owns an output range
+// y[lo:hi] and scans every row's [lo:hi) segment with i ascending, so
+// every worker count produces identical bytes.
 func (m *Matrix) TMulVec(x []float64) []float64 {
+	return m.TMulVecWith(x, autoWorkers(m.Rows*m.Cols))
+}
+
+// TMulVecWith is TMulVec with an explicit worker count (0 = auto).
+func (m *Matrix) TMulVecWith(x []float64, workers int) []float64 {
 	if len(x) != m.Rows {
 		panic("linalg: TMulVec shape mismatch")
 	}
-	y := make([]float64, m.Cols)
+	n := m.Cols
+	y := make([]float64, n)
+	workers = parallel.Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		m.tMulVecStripe(y, x, 0, n)
+		return y
+	}
+	stripe := (n + workers - 1) / workers
+	parallel.ForEachChunk(workers, workers, 1, func(w int) {
+		lo := w * stripe
+		hi := lo + stripe
+		if hi > n {
+			hi = n
+		}
+		if lo < hi {
+			m.tMulVecStripe(y, x, lo, hi)
+		}
+	})
+	return y
+}
+
+// tMulVecStripe accumulates y[lo:hi] += Σᵢ x[i]·A[i][lo:hi].
+func (m *Matrix) tMulVecStripe(y, x []float64, lo, hi int) {
 	for i := 0; i < m.Rows; i++ {
-		row := m.Row(i)
 		xi := x[i]
 		if xi == 0 {
 			continue
 		}
+		row := m.Data[i*m.Cols+lo : i*m.Cols+hi]
+		ys := y[lo:hi]
 		for j, v := range row {
-			y[j] += v * xi
+			ys[j] += v * xi
 		}
 	}
-	return y
 }
 
-// Mul returns A·B.
+// autoWorkers picks the auto-parallelism degree for a kernel touching
+// `elems` matrix elements: serial below the threshold, the shared pool
+// above it.
+func autoWorkers(elems int) int {
+	if elems < matvecParallelThreshold {
+		return 1
+	}
+	return parallel.Workers(0)
+}
+
+// Mul returns A·B. The serial core is the cache-friendly i-k-j order
+// (C's row i accumulates scaled rows of B, so all three matrices stream
+// row-major); large products additionally fan out across rows of C,
+// which preserves bytes because each output row has a single writer.
 func (m *Matrix) Mul(b *Matrix) *Matrix {
 	if m.Cols != b.Rows {
 		panic("linalg: Mul shape mismatch")
 	}
 	c := NewMatrix(m.Rows, b.Cols)
-	for i := 0; i < m.Rows; i++ {
+	workers := autoWorkers(m.Rows * b.Cols)
+	parallel.ForEach(m.Rows, workers, func(i int) {
 		arow := m.Row(i)
 		crow := c.Row(i)
 		for k, aik := range arow {
@@ -121,7 +182,7 @@ func (m *Matrix) Mul(b *Matrix) *Matrix {
 				crow[j] += aik * bkj
 			}
 		}
-	}
+	})
 	return c
 }
 

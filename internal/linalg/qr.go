@@ -130,50 +130,17 @@ func minNormSolve(a *Matrix, b []float64) ([]float64, error) {
 }
 
 // CholeskySolve solves the symmetric positive-definite system G·x = b.
+// Callers that need several solves against the same G should factor once
+// with NewCholesky instead.
 func CholeskySolve(g *Matrix, b []float64) ([]float64, error) {
-	n := g.Rows
-	if g.Cols != n || len(b) != n {
+	if g.Cols != g.Rows || len(b) != g.Rows {
 		panic("linalg: CholeskySolve shape mismatch")
 	}
-	l := NewMatrix(n, n)
-	for j := 0; j < n; j++ {
-		d := g.At(j, j)
-		for k := 0; k < j; k++ {
-			v := l.At(j, k)
-			d -= v * v
-		}
-		if d <= 0 {
-			return nil, ErrSingular
-		}
-		ljj := math.Sqrt(d)
-		l.Set(j, j, ljj)
-		for i := j + 1; i < n; i++ {
-			s := g.At(i, j)
-			for k := 0; k < j; k++ {
-				s -= l.At(i, k) * l.At(j, k)
-			}
-			l.Set(i, j, s/ljj)
-		}
+	c, err := NewCholesky(g)
+	if err != nil {
+		return nil, err
 	}
-	// Forward solve L·y = b.
-	y := make([]float64, n)
-	for i := 0; i < n; i++ {
-		s := b[i]
-		for k := 0; k < i; k++ {
-			s -= l.At(i, k) * y[k]
-		}
-		y[i] = s / l.At(i, i)
-	}
-	// Back solve Lᵀ·x = y.
-	x := make([]float64, n)
-	for i := n - 1; i >= 0; i-- {
-		s := y[i]
-		for k := i + 1; k < n; k++ {
-			s -= l.At(k, i) * x[k]
-		}
-		x[i] = s / l.At(i, i)
-	}
-	return x, nil
+	return c.Solve(b), nil
 }
 
 // Solve solves the square linear system A·x = b by Gaussian elimination

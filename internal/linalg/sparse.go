@@ -1,0 +1,147 @@
+package linalg
+
+// Sparse is a read-only compressed view of a Matrix, stored in both
+// CSR (row-major) and CSC (column-major) form. Design matrices are the
+// motivating use: a range query intersects only the buckets near it, so
+// the Equation 6/7 matrices are typically well under half dense, and the
+// iterative solvers (FISTA, Lawson–Hanson gradient refresh) spend almost
+// all their time in A·x / Aᵀ·x products over them.
+//
+// The dual storage lets each product pick the traversal that exploits
+// vector sparsity too:
+//
+//   - MulVec (A·x) walks CSC columns, skipping every column whose x[j]
+//     is zero — simplex-projected iterates are mostly zeros, so this
+//     routinely skips the bulk of the matrix;
+//   - TMulVec (Aᵀ·x) walks CSR rows, skipping rows with x[i] == 0, in
+//     exactly the dense kernel's summation order.
+type Sparse struct {
+	Rows, Cols int
+	// CSR: row i's entries are (ci[k], cv[k]) for k in [rp[i], rp[i+1]).
+	rp []int32
+	ci []int32
+	cv []float64
+	// CSC: column j's entries are (ri[k], rv[k]) for k in [cp[j], cp[j+1]).
+	cp []int32
+	ri []int32
+	rv []float64
+}
+
+// NewSparse compresses a into CSR+CSC form. The input is not retained.
+func NewSparse(a *Matrix) *Sparse {
+	m, n := a.Rows, a.Cols
+	nnz := 0
+	for _, v := range a.Data {
+		if v != 0 {
+			nnz++
+		}
+	}
+	s := &Sparse{
+		Rows: m, Cols: n,
+		rp: make([]int32, m+1), ci: make([]int32, 0, nnz), cv: make([]float64, 0, nnz),
+		cp: make([]int32, n+1), ri: make([]int32, nnz), rv: make([]float64, nnz),
+	}
+	// CSR pass (and per-column counts for the CSC pass).
+	colCount := make([]int32, n)
+	for i := 0; i < m; i++ {
+		row := a.Data[i*n : (i+1)*n]
+		for j, v := range row {
+			if v == 0 {
+				continue
+			}
+			s.ci = append(s.ci, int32(j))
+			s.cv = append(s.cv, v)
+			colCount[j]++
+		}
+		s.rp[i+1] = int32(len(s.ci))
+	}
+	// CSC pass: prefix-sum the counts, then scatter rows in ascending-i
+	// order so each column's entries are sorted by row.
+	for j := 0; j < n; j++ {
+		s.cp[j+1] = s.cp[j] + colCount[j]
+	}
+	fill := make([]int32, n)
+	copy(fill, s.cp[:n])
+	for i := 0; i < m; i++ {
+		for k := s.rp[i]; k < s.rp[i+1]; k++ {
+			j := s.ci[k]
+			at := fill[j]
+			s.ri[at] = int32(i)
+			s.rv[at] = s.cv[k]
+			fill[j] = at + 1
+		}
+	}
+	return s
+}
+
+// NNZ returns the number of stored (non-zero) entries.
+func (s *Sparse) NNZ() int { return len(s.cv) }
+
+// Density returns NNZ / (Rows·Cols).
+func (s *Sparse) Density() float64 {
+	if s.Rows == 0 || s.Cols == 0 {
+		return 0
+	}
+	return float64(s.NNZ()) / (float64(s.Rows) * float64(s.Cols))
+}
+
+// MulVecInto computes y = A·x, zeroing y first. Columns with x[j] == 0
+// are skipped entirely. Accumulation is column-major, so individual sums
+// may differ from the dense kernel by rounding (never by magnitude); the
+// order is fixed, so results are deterministic.
+func (s *Sparse) MulVecInto(y, x []float64) {
+	if len(x) != s.Cols || len(y) != s.Rows {
+		panic("linalg: Sparse.MulVecInto shape mismatch")
+	}
+	for i := range y {
+		y[i] = 0
+	}
+	for j := 0; j < s.Cols; j++ {
+		xj := x[j]
+		if xj == 0 {
+			continue
+		}
+		ri := s.ri[s.cp[j]:s.cp[j+1]]
+		rv := s.rv[s.cp[j]:s.cp[j+1]:s.cp[j+1]]
+		for k, i := range ri {
+			y[i] += rv[k] * xj
+		}
+	}
+}
+
+// MulVec returns A·x as a new vector.
+func (s *Sparse) MulVec(x []float64) []float64 {
+	y := make([]float64, s.Rows)
+	s.MulVecInto(y, x)
+	return y
+}
+
+// TMulVecInto computes y = Aᵀ·x, zeroing y first, in the dense kernel's
+// row-major summation order (rows with x[i] == 0 are skipped, exactly as
+// Matrix.TMulVec does).
+func (s *Sparse) TMulVecInto(y, x []float64) {
+	if len(x) != s.Rows || len(y) != s.Cols {
+		panic("linalg: Sparse.TMulVecInto shape mismatch")
+	}
+	for j := range y {
+		y[j] = 0
+	}
+	for i := 0; i < s.Rows; i++ {
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		ci := s.ci[s.rp[i]:s.rp[i+1]]
+		cv := s.cv[s.rp[i]:s.rp[i+1]:s.rp[i+1]]
+		for k, j := range ci {
+			y[j] += cv[k] * xi
+		}
+	}
+}
+
+// TMulVec returns Aᵀ·x as a new vector.
+func (s *Sparse) TMulVec(x []float64) []float64 {
+	y := make([]float64, s.Cols)
+	s.TMulVecInto(y, x)
+	return y
+}

@@ -8,6 +8,8 @@
 // use.
 package montecarlo
 
+import "sync"
+
 // Primes used as Halton bases, enough for 16 dimensions.
 var primes = []int{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53}
 
@@ -16,9 +18,18 @@ const MaxDim = 16
 
 // Halton generates the d-dimensional Halton sequence. The zero index is
 // skipped (it is the origin, which biases hit-or-miss estimates).
+//
+// Instead of re-deriving every base-b digit of the index with a div/mod
+// chain per sample (what radicalInverse does), the generator keeps one
+// digit-counter array per dimension and advances it by a carry increment —
+// amortized O(1) integer work per sample. The float value is then rebuilt
+// from the digits in exactly radicalInverse's LSB-first operation order, so
+// every emitted coordinate is bit-identical to the direct computation
+// (an incrementally-updated float would accumulate rounding drift).
 type Halton struct {
-	dim  int
-	next int
+	dim    int
+	digits [][]int32 // per-dimension base-primes[j] digits of the current index, LSB first
+	nd     []int     // significant digit count per dimension (position of MSB + 1)
 }
 
 // NewHalton returns a generator for dimension d (1 ≤ d ≤ MaxDim).
@@ -26,10 +37,28 @@ func NewHalton(d int) *Halton {
 	if d < 1 || d > MaxDim {
 		panic("montecarlo: dimension out of range")
 	}
-	return &Halton{dim: d, next: 1}
+	h := &Halton{dim: d, digits: make([][]int32, d), nd: make([]int, d)}
+	for j := range h.digits {
+		h.digits[j] = make([]int32, 0, 16)
+	}
+	return h
 }
 
-// radicalInverse returns the base-b radical inverse of i.
+// Reset rewinds the generator to its initial state (next call to Next
+// yields index 1 again), retaining the digit buffers.
+func (h *Halton) Reset() {
+	for j := range h.digits {
+		dg := h.digits[j]
+		for k := range dg {
+			dg[k] = 0
+		}
+		h.nd[j] = 0
+	}
+}
+
+// radicalInverse returns the base-b radical inverse of i. It is the direct
+// (per-index) computation the incremental generator must match bit for bit;
+// the tests cross-check the two.
 func radicalInverse(i, b int) float64 {
 	f := 1.0
 	r := 0.0
@@ -42,15 +71,79 @@ func radicalInverse(i, b int) float64 {
 }
 
 // Next fills p (length dim) with the next sequence element in [0,1)^d.
+// It does not allocate once the digit counters have grown to their
+// steady-state length (⌈log₂ index⌉ for dimension 0).
 func (h *Halton) Next(p []float64) {
 	if len(p) != h.dim {
 		panic("montecarlo: Next buffer of wrong dimension")
 	}
 	for j := 0; j < h.dim; j++ {
-		p[j] = radicalInverse(h.next, primes[j])
+		b := int32(primes[j])
+		dg := h.digits[j]
+		// Carry increment of the base-b counter.
+		k := 0
+		for {
+			if k == len(dg) {
+				dg = append(dg, 0)
+				h.digits[j] = dg
+			}
+			dg[k]++
+			if dg[k] < b {
+				break
+			}
+			dg[k] = 0
+			k++
+		}
+		if k+1 > h.nd[j] {
+			h.nd[j] = k + 1
+		}
+		// Rebuild the radical inverse over the significant digits in the
+		// same LSB-first order (and therefore the same roundings) as
+		// radicalInverse.
+		f := 1.0
+		r := 0.0
+		fb := float64(b)
+		for t := 0; t < h.nd[j]; t++ {
+			f /= fb
+			r += f * float64(dg[t])
+		}
+		p[j] = r
 	}
-	h.next++
 }
+
+// NextBlock fills dst with count consecutive sequence elements laid out
+// point-major: point k occupies dst[k*dim : (k+1)*dim]. It is equivalent
+// to count calls of Next and exists so bulk consumers (Volume) can reuse
+// one flat buffer for a whole block of samples.
+func (h *Halton) NextBlock(dst []float64, count int) {
+	if len(dst) != count*h.dim {
+		panic("montecarlo: NextBlock buffer of wrong size")
+	}
+	for k := 0; k < count; k++ {
+		h.Next(dst[k*h.dim : (k+1)*h.dim])
+	}
+}
+
+// volumeBlock is the number of samples Volume draws per NextBlock call.
+const volumeBlock = 128
+
+// volumeScratch is the reusable per-call state of Volume: a sample-block
+// buffer, a point buffer, and one generator per dimension (reset between
+// uses). Pooling it makes Volume allocation-free after warm-up, which
+// matters because the geometry code calls it once per (query, bucket)
+// design-matrix entry.
+type volumeScratch struct {
+	blk  []float64
+	p    []float64
+	gens [MaxDim + 1]*Halton
+}
+
+var volumePool = sync.Pool{New: func() any {
+	return &volumeScratch{
+		blk: make([]float64, volumeBlock*MaxDim),
+		p:   make([]float64, MaxDim),
+	}
+}}
 
 // Volume estimates the d-dimensional volume of {x ∈ box : inside(x)} where
 // box is given by lo/hi corner slices, using n Halton samples. It returns 0
@@ -65,17 +158,32 @@ func Volume(lo, hi []float64, n int, inside func(p []float64) bool) float64 {
 		}
 		boxVol *= side
 	}
-	h := NewHalton(d)
-	u := make([]float64, d)
-	p := make([]float64, d)
+	sc := volumePool.Get().(*volumeScratch)
+	defer volumePool.Put(sc)
+	h := sc.gens[d]
+	if h == nil {
+		h = NewHalton(d)
+		sc.gens[d] = h
+	} else {
+		h.Reset()
+	}
+	p := sc.p[:d]
 	hits := 0
-	for k := 0; k < n; k++ {
-		h.Next(u)
-		for i := 0; i < d; i++ {
-			p[i] = lo[i] + u[i]*(hi[i]-lo[i])
+	for k := 0; k < n; k += volumeBlock {
+		c := volumeBlock
+		if rem := n - k; rem < c {
+			c = rem
 		}
-		if inside(p) {
-			hits++
+		blk := sc.blk[:c*d]
+		h.NextBlock(blk, c)
+		for t := 0; t < c; t++ {
+			u := blk[t*d : (t+1)*d]
+			for i := 0; i < d; i++ {
+				p[i] = lo[i] + u[i]*(hi[i]-lo[i])
+			}
+			if inside(p) {
+				hits++
+			}
 		}
 	}
 	return boxVol * float64(hits) / float64(n)

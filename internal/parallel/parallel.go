@@ -1,0 +1,181 @@
+// Package parallel is the deterministic work-scheduling engine shared by
+// the training/evaluation hot paths (design-matrix assembly, the linalg
+// kernels, and the experiment sweep runners).
+//
+// Design contract: parallel execution must be byte-identical to serial
+// execution. Three rules enforce it:
+//
+//  1. Ordered reduction. Work items are addressed by index and every
+//     result is written to its own slot (Map) or its own disjoint output
+//     region (ForEach). No result ever depends on which worker ran it or
+//     in what order items completed.
+//  2. Per-task seeding. Randomized tasks never share an RNG stream;
+//     each derives its own seed from the run's base seed and a stable
+//     task index via DeriveSeed, so the schedule cannot leak into the
+//     random choices.
+//  3. Bounded pool. The process-wide fan-out is limited by a token
+//     bucket sized by runtime.GOMAXPROCS(0) (which defaults to
+//     runtime.NumCPU). Nested parallel regions (an experiment sweep that
+//     calls a parallel matrix kernel) degrade gracefully: inner regions
+//     that find the bucket empty simply run on the goroutines they
+//     already have — never deadlocking and never oversubscribing the
+//     machine quadratically.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// defaultWorkers is the process-wide worker count used when a caller
+// passes 0 ("auto"). 0 itself means GOMAXPROCS. Set from the -workers
+// flag of cmd/selbench and cmd/seltrain.
+var defaultWorkers atomic.Int32
+
+// SetDefault sets the process-wide default worker count used by
+// Workers(0). n <= 0 restores the automatic GOMAXPROCS sizing.
+func SetDefault(n int) {
+	if n < 0 {
+		n = 0
+	}
+	defaultWorkers.Store(int32(n))
+}
+
+// Workers resolves a requested worker count: n > 0 is used as given;
+// n <= 0 resolves to the process default (SetDefault), which in turn
+// defaults to runtime.GOMAXPROCS(0). The result is always ≥ 1.
+func Workers(n int) int {
+	if n <= 0 {
+		n = int(defaultWorkers.Load())
+	}
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// tokens bounds the number of extra worker goroutines alive at any moment
+// across every parallel region in the process. The caller's goroutine
+// always participates for free, so total concurrency is ≤ 2·GOMAXPROCS
+// in the worst nesting case and ≈ GOMAXPROCS in steady state.
+var tokens = make(chan struct{}, maxInt(1, runtime.GOMAXPROCS(0)-1))
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// ForEach runs fn(i) exactly once for every i in [0, n), using up to
+// `workers` goroutines (0 = auto, see Workers). Work is claimed in
+// contiguous chunks from an atomic counter, so load imbalance between
+// items is absorbed dynamically while preserving cache locality; outputs
+// written to disjoint, index-addressed locations are deterministic
+// regardless of the worker count.
+func ForEach(n, workers int, fn func(i int)) {
+	forEachChunked(n, workers, 0, fn)
+}
+
+// ForEachChunk is ForEach with an explicit claim-chunk size (0 = auto).
+// Kernels that stream over matrix rows pass a larger chunk to keep each
+// worker on contiguous cache lines; heterogeneous task lists (experiment
+// sweeps) pass 1 so a slow item cannot strand cheap ones behind it.
+func ForEachChunk(n, workers, chunk int, fn func(i int)) {
+	forEachChunked(n, workers, chunk, fn)
+}
+
+func forEachChunked(n, workers, chunk int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	if chunk <= 0 {
+		// ~8 claims per worker balances dealing overhead vs imbalance.
+		chunk = maxInt(1, n/(8*workers))
+	}
+	var next atomic.Int64
+	run := func() {
+		for {
+			lo := int(next.Add(int64(chunk))) - chunk
+			if lo >= n {
+				return
+			}
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			for i := lo; i < hi; i++ {
+				fn(i)
+			}
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 1; w < workers; w++ {
+		// Non-blocking acquire: if the process is already saturated
+		// (e.g. we are a kernel nested inside a sweep worker), run the
+		// remaining work on the goroutines that exist instead of piling
+		// on more. This cannot deadlock because no one ever blocks on
+		// the bucket.
+		select {
+		case tokens <- struct{}{}:
+		default:
+			w = workers // bucket empty: stop spawning
+			continue
+		}
+		wg.Add(1)
+		go func() {
+			defer func() {
+				<-tokens
+				wg.Done()
+			}()
+			run()
+		}()
+	}
+	run() // the caller is always worker 0
+	wg.Wait()
+}
+
+// Map runs fn(i) for every i in [0, n) across the pool and returns the
+// results in index order. Each item is claimed individually (chunk 1), so
+// heterogeneous sweep points schedule well; determinism follows from the
+// index-addressed result slots.
+func Map[T any](n, workers int, fn func(i int) T) []T {
+	out := make([]T, n)
+	ForEachChunk(n, workers, 1, func(i int) {
+		out[i] = fn(i)
+	})
+	return out
+}
+
+// DeriveSeed derives an independent, well-mixed seed for task `index`
+// of a run seeded with `base`. It is a splitmix64 step: sequential task
+// indices land in statistically independent streams, and the mapping is
+// pure — the same (base, index) pair always yields the same seed, which
+// is what makes parallel randomized sweeps byte-identical to serial
+// ones. The result is never 0 (some downstream RNGs treat 0 as "unset").
+func DeriveSeed(base, index uint64) uint64 {
+	z := base + (index+1)*0x9e3779b97f4a7c15
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	if z == 0 {
+		return 0x9e3779b97f4a7c15
+	}
+	return z
+}

@@ -1,0 +1,113 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersResolution(t *testing.T) {
+	if got := Workers(3); got != 3 {
+		t.Fatalf("Workers(3) = %d", got)
+	}
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	SetDefault(2)
+	if got := Workers(0); got != 2 {
+		t.Fatalf("Workers(0) with default 2 = %d", got)
+	}
+	SetDefault(0)
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) after reset = %d", got)
+	}
+	if got := Workers(-5); got < 1 {
+		t.Fatalf("Workers(-5) = %d, want ≥ 1", got)
+	}
+}
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		for _, n := range []int{0, 1, 2, 17, 1000} {
+			counts := make([]int32, n)
+			ForEach(n, workers, func(i int) {
+				atomic.AddInt32(&counts[i], 1)
+			})
+			for i, c := range counts {
+				if c != 1 {
+					t.Fatalf("workers=%d n=%d: index %d ran %d times", workers, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestForEachChunkCoversEveryIndexOnce(t *testing.T) {
+	for _, chunk := range []int{1, 3, 1000} {
+		counts := make([]int32, 257)
+		ForEachChunk(len(counts), 8, chunk, func(i int) {
+			atomic.AddInt32(&counts[i], 1)
+		})
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("chunk=%d: index %d ran %d times", chunk, i, c)
+			}
+		}
+	}
+}
+
+// TestMapDeterministicAcrossWorkerCounts is the engine's core contract:
+// the result of a parallel map depends only on the item index, never on
+// the schedule.
+func TestMapDeterministicAcrossWorkerCounts(t *testing.T) {
+	f := func(i int) uint64 { return DeriveSeed(42, uint64(i)) }
+	want := Map(500, 1, f)
+	for _, workers := range []int{2, 4, 16} {
+		got := Map(500, workers, f)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: slot %d = %d, want %d", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestNestedRegionsComplete exercises the token bucket: parallel regions
+// nested inside parallel regions must complete all work without deadlock
+// even when the bucket is exhausted.
+func TestNestedRegionsComplete(t *testing.T) {
+	var total atomic.Int64
+	ForEach(20, 8, func(i int) {
+		ForEach(30, 8, func(j int) {
+			total.Add(1)
+		})
+	})
+	if total.Load() != 20*30 {
+		t.Fatalf("nested total = %d, want %d", total.Load(), 20*30)
+	}
+}
+
+func TestDeriveSeed(t *testing.T) {
+	seen := map[uint64]bool{}
+	for base := uint64(0); base < 4; base++ {
+		for idx := uint64(0); idx < 1000; idx++ {
+			s := DeriveSeed(base, idx)
+			if s == 0 {
+				t.Fatalf("DeriveSeed(%d,%d) = 0", base, idx)
+			}
+			if seen[s] {
+				t.Fatalf("DeriveSeed collision at base=%d idx=%d", base, idx)
+			}
+			seen[s] = true
+			if s != DeriveSeed(base, idx) {
+				t.Fatal("DeriveSeed not pure")
+			}
+		}
+	}
+}
+
+func BenchmarkForEachOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ForEach(64, 0, func(int) {})
+	}
+}

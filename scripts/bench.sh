@@ -1,0 +1,119 @@
+#!/bin/sh
+# scripts/bench.sh — run the repository-root benchmark suite and record
+# ns/op per experiment id in BENCH_<n>.json (first free index, or -o FILE).
+#
+# Usage:
+#   scripts/bench.sh                                   # default pattern, 1 iteration
+#   scripts/bench.sh -p 'Fig10to12|AblationSolverNNLS' -c 3x
+#   scripts/bench.sh -baseline BENCH_1.json            # adds speedup_vs_baseline
+#
+# The JSON maps experiment ids (fig9, fig10_12, table1, …) — or, for the
+# micro/ablation benchmarks, the benchmark name itself — to ns/op. With
+# -baseline pointing at a previous BENCH_<n>.json, each entry also reports
+# its speedup relative to that file, so a before/after pair measured on the
+# same machine documents a perf change.
+set -eu
+
+PATTERN='BenchmarkFig|BenchmarkTable|BenchmarkAblationSolver'
+COUNT=1x
+BASELINE=
+OUT=
+while [ $# -gt 0 ]; do
+    case "$1" in
+    -p) PATTERN=$2; shift 2 ;;
+    -c) COUNT=$2; shift 2 ;;
+    -baseline) BASELINE=$2; shift 2 ;;
+    -o) OUT=$2; shift 2 ;;
+    *) echo "bench.sh: unknown argument $1" >&2; exit 2 ;;
+    esac
+done
+
+cd "$(dirname "$0")/.."
+if [ -z "$OUT" ]; then
+    n=1
+    while [ -e "BENCH_${n}.json" ]; do n=$((n + 1)); done
+    OUT="BENCH_${n}.json"
+fi
+
+RAW=$(mktemp)
+trap 'rm -f "$RAW"' EXIT
+
+go test -run '^$' -bench "$PATTERN" -benchtime "$COUNT" -timeout 3600s . | tee "$RAW"
+
+awk -v baseline="$BASELINE" -v pattern="$PATTERN" -v benchtime="$COUNT" '
+BEGIN {
+    # benchExperiment benchmarks keyed by the experiment id they run;
+    # everything else keeps its benchmark name.
+    id["BenchmarkFig09"] = "fig9"
+    id["BenchmarkFig10to12"] = "fig10_12"
+    id["BenchmarkFig13"] = "fig13"
+    id["BenchmarkFig14"] = "fig14"
+    id["BenchmarkFig15"] = "fig15"
+    id["BenchmarkFig16"] = "fig16"
+    id["BenchmarkFig17"] = "fig17"
+    id["BenchmarkFig18to19"] = "fig18_19"
+    id["BenchmarkFig20to21"] = "fig20_21"
+    id["BenchmarkFig22to23"] = "fig22_23"
+    id["BenchmarkFig24to29"] = "fig24_29"
+    id["BenchmarkTable1"] = "table1"
+    id["BenchmarkTable3"] = "table3"
+    id["BenchmarkTable4"] = "table4"
+    id["BenchmarkTable5"] = "table5"
+    id["BenchmarkFigAppendixForest"] = "figB_forest_dd"
+    id["BenchmarkFigAppendixDMV"] = "figB_dmv"
+    id["BenchmarkFigAppendixCensus"] = "figB_census"
+    id["BenchmarkExtDisc"] = "ext_disc"
+    id["BenchmarkExtGMM"] = "ext_gmm"
+    id["BenchmarkExtSemiAlg"] = "ext_semialg"
+    id["BenchmarkExtOptimizer"] = "ext_optimizer"
+    id["BenchmarkExtNoise"] = "ext_noise"
+    id["BenchmarkExtPredTime"] = "ext_predtime"
+    id["BenchmarkExtCrossing"] = "ext_crossing"
+    id["BenchmarkExtTheory"] = "ext_theory"
+    nbase = 0
+    if (baseline != "") {
+        while ((getline line < baseline) > 0) {
+            if (match(line, /"[A-Za-z0-9_]+": \{"bench"/)) {
+                key = substr(line, RSTART + 1)
+                sub(/".*/, "", key)
+                if (match(line, /"ns_per_op": [0-9]+/)) {
+                    v = substr(line, RSTART, RLENGTH)
+                    sub(/.*: /, "", v)
+                    base[key] = v + 0
+                }
+            }
+        }
+        close(baseline)
+    }
+}
+/^Benchmark/ {
+    isbench = 0
+    for (i = 3; i <= NF; i++) if ($i == "ns/op") { isbench = 1; nsfield = i - 1 }
+    if (!isbench) next
+    name = $1
+    sub(/-[0-9]+$/, "", name) # strip the GOMAXPROCS suffix
+    key = (name in id) ? id[name] : name
+    bench[key] = name
+    ns[key] = $nsfield + 0
+    order[n++] = key
+}
+END {
+    printf "{\n"
+    printf "  \"generated_by\": \"scripts/bench.sh\",\n"
+    printf "  \"pattern\": \"%s\",\n", pattern
+    printf "  \"benchtime\": \"%s\",\n", benchtime
+    if (baseline != "")
+        printf "  \"baseline\": \"%s\",\n", baseline
+    printf "  \"benchmarks\": {\n"
+    for (i = 0; i < n; i++) {
+        key = order[i]
+        printf "    \"%s\": {\"bench\": \"%s\", \"ns_per_op\": %.0f", key, bench[key], ns[key]
+        if (key in base && ns[key] > 0)
+            printf ", \"baseline_ns_per_op\": %.0f, \"speedup_vs_baseline\": %.2f", base[key], base[key] / ns[key]
+        printf "}%s\n", (i < n - 1) ? "," : ""
+    }
+    printf "  }\n}\n"
+}
+' "$RAW" > "$OUT"
+
+echo "wrote $OUT"

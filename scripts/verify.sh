@@ -9,3 +9,10 @@ go build ./...
 go vet ./...
 go test ./...
 go test -race ./internal/serve/... ./internal/core/...
+# The parallel engine and the sweep fan-out are the other concurrent
+# subsystems; race-check them too.
+go test -race ./internal/parallel/... ./internal/experiments/...
+# Benchmark smoke: one iteration of the fig9 sweep under the Quick preset,
+# so a perf regression that breaks the harness is caught here rather than
+# in scripts/bench.sh.
+go test -run '^$' -bench 'BenchmarkFig09$' -benchtime 1x .
