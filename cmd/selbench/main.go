@@ -62,12 +62,13 @@ func main() {
 	}
 
 	w := io.Writer(os.Stdout)
+	var outFile *os.File
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
 			fatal(err)
 		}
-		defer f.Close()
+		outFile = f
 		w = f
 	}
 	for _, id := range ids {
@@ -77,9 +78,18 @@ func main() {
 			fatal(err)
 		}
 		for _, r := range results {
-			r.Render(w)
+			if err := r.Render(w); err != nil {
+				fatal(err)
+			}
 		}
-		fmt.Fprintf(w, "(%s completed in %.1fs, preset %s)\n\n", id, time.Since(start).Seconds(), *preset)
+		if _, err := fmt.Fprintf(w, "(%s completed in %.1fs, preset %s)\n\n", id, time.Since(start).Seconds(), *preset); err != nil {
+			fatal(err)
+		}
+	}
+	if outFile != nil {
+		if err := outFile.Close(); err != nil {
+			fatal(err)
+		}
 	}
 }
 

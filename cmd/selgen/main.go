@@ -46,7 +46,6 @@ func main() {
 
 	if *wl == "" {
 		w := bufio.NewWriter(os.Stdout)
-		defer w.Flush()
 		names := make([]string, proj.Dim())
 		for i, c := range proj.Cols {
 			names[i] = c.Name
@@ -58,6 +57,10 @@ func main() {
 				parts[i] = strconv.FormatFloat(v, 'g', 8, 64)
 			}
 			fmt.Fprintln(w, strings.Join(parts, ","))
+		}
+		// bufio latches the first write error; Flush surfaces it.
+		if err := w.Flush(); err != nil {
+			fatal(err)
 		}
 		return
 	}

@@ -84,7 +84,9 @@ func main() {
 			fatal(err)
 		}
 		m, err := modelio.Load(f)
-		f.Close()
+		if cerr := f.Close(); err == nil && cerr != nil {
+			err = cerr
+		}
 		if err != nil {
 			fatal(fmt.Errorf("%s: %w", path, err))
 		}

@@ -88,7 +88,9 @@ func main() {
 			fatal(err)
 		}
 		m, err := modelio.Load(f)
-		f.Close()
+		if cerr := f.Close(); err == nil && cerr != nil {
+			err = cerr
+		}
 		if err != nil {
 			fatal(err)
 		}
@@ -135,7 +137,8 @@ func main() {
 			fatal(err)
 		}
 		if err := modelio.Save(f, m); err != nil {
-			f.Close()
+			// Best-effort close; the save failure is the one to report.
+			_ = f.Close()
 			fatal(err)
 		}
 		if err := f.Close(); err != nil {

@@ -1,0 +1,162 @@
+// Command selvet is the project's static-analysis gate: it loads every
+// package of the module with the stdlib go/ast + go/types toolchain (no
+// external dependencies) and runs the analyzers of internal/analysis,
+// which enforce the determinism, concurrency, and numeric contracts the
+// reproduction's results depend on.
+//
+// Usage:
+//
+//	selvet ./...                     # whole module (the CI gate)
+//	selvet ./internal/solver ./internal/lp
+//	selvet -json ./...               # machine-readable findings
+//	selvet -run detrand,floateq ./...
+//
+// Findings print as file:line:col: [analyzer] message and make selvet
+// exit 1; a clean tree exits 0; usage or load errors exit 2. Individual
+// lines are suppressed with `//selvet:ignore <analyzer> <reason>` on the
+// offending or preceding line — the reason is mandatory.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	var (
+		jsonOut = flag.Bool("json", false, "emit findings as a JSON array")
+		run     = flag.String("run", "", "comma-separated analyzer subset (default: all)")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: selvet [-json] [-run analyzers] [patterns...]\n")
+		fmt.Fprintf(os.Stderr, "patterns: ./... (default), package dirs, or dir/... subtrees\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers, err := analysis.ByName(*run)
+	if err != nil {
+		fatal(err)
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	mod, err := analysis.LoadModule(".")
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, err := resolve(mod, patterns)
+	if err != nil {
+		fatal(err)
+	}
+
+	var diags []analysis.Diagnostic
+	for _, pkg := range pkgs {
+		diags = append(diags, analysis.RunPackage(pkg, analyzers)...)
+	}
+	analysis.SortDiagnostics(diags)
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []analysis.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+		if n := len(diags); n > 0 {
+			fmt.Printf("selvet: %d finding(s)\n", n)
+		}
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}
+
+// resolve expands the command-line patterns against the loaded module.
+// "./..." selects every module package; "dir/..." a subtree; a plain path
+// selects one package, loading it on demand if the module walk skipped it
+// (e.g. fixture directories under testdata).
+func resolve(mod *analysis.Module, patterns []string) ([]*analysis.Package, error) {
+	seen := map[string]bool{}
+	var out []*analysis.Package
+	add := func(p *analysis.Package) {
+		if !seen[p.Path] {
+			seen[p.Path] = true
+			out = append(out, p)
+		}
+	}
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "...":
+			for _, p := range mod.Pkgs {
+				add(p)
+			}
+		case strings.HasSuffix(pat, "/..."):
+			rel, err := relPattern(mod, strings.TrimSuffix(pat, "/..."))
+			if err != nil {
+				return nil, err
+			}
+			matched := false
+			for _, p := range mod.Pkgs {
+				if p.RelPath == rel || strings.HasPrefix(p.RelPath, rel+"/") || rel == "" {
+					add(p)
+					matched = true
+				}
+			}
+			if !matched {
+				return nil, fmt.Errorf("selvet: pattern %s matches no packages", pat)
+			}
+		default:
+			rel, err := relPattern(mod, pat)
+			if err != nil {
+				return nil, err
+			}
+			if p, ok := mod.Lookup(rel); ok {
+				add(p)
+				continue
+			}
+			p, err := mod.LoadDir(pat)
+			if err != nil {
+				return nil, fmt.Errorf("selvet: cannot load %s: %w", pat, err)
+			}
+			add(p)
+		}
+	}
+	return out, nil
+}
+
+// relPattern normalizes a pattern to a module-relative slash path.
+func relPattern(mod *analysis.Module, pat string) (string, error) {
+	abs, err := filepath.Abs(pat)
+	if err != nil {
+		return "", err
+	}
+	rel, err := filepath.Rel(mod.Root, abs)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("selvet: %s is outside the module", pat)
+	}
+	rel = filepath.ToSlash(rel)
+	if rel == "." {
+		rel = ""
+	}
+	return rel, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "selvet:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,273 @@
+// Package analysis is the project's static-analysis engine: a small,
+// stdlib-only (go/parser + go/ast + go/types, no x/tools) driver that
+// loads every package in the module and runs project-specific analyzers
+// enforcing the determinism, concurrency, and numeric contracts that the
+// reproduction's results depend on (see DESIGN.md §9).
+//
+// The analyzers are:
+//
+//   - detrand:     no global math/rand or wall-clock reads in
+//     deterministic packages
+//   - maprange:    no map iteration feeding ordered output or float
+//     accumulation in deterministic packages
+//   - floateq:     no ==/!= on floating-point operands outside approved
+//     comparison helpers
+//   - lockheld:    no blocking I/O or channel operations while a
+//     sync.Mutex/RWMutex is held in the serving packages
+//   - errdiscard:  no silently dropped error returns
+//   - poolcapture: closures handed to the internal/parallel pool must
+//     only write captured state through their own index slot
+//
+// Findings can be suppressed per line with
+//
+//	//selvet:ignore <analyzer> <reason>
+//
+// placed on the offending line or the line directly above it. The reason
+// is mandatory: a directive without one is itself reported, so every
+// suppression in the tree documents why the contract does not apply.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, positioned in the analyzed source.
+type Diagnostic struct {
+	Analyzer string         `json:"analyzer"`
+	Position token.Position `json:"position"`
+	Message  string         `json:"message"`
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Position, d.Analyzer, d.Message)
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	// RelPath is the package path relative to the module root ("" for
+	// the root package). Scope decisions use it, never the filesystem.
+	RelPath string
+	Info    *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Position: p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzer is one named check.
+type Analyzer struct {
+	Name string
+	Doc  string
+	// Applies filters packages by module-relative path; nil means the
+	// analyzer runs on every package.
+	Applies func(relPath string) bool
+	Run     func(*Pass)
+}
+
+// All returns the full analyzer set in a stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		AnalyzerDetrand,
+		AnalyzerMaprange,
+		AnalyzerFloateq,
+		AnalyzerLockheld,
+		AnalyzerErrdiscard,
+		AnalyzerPoolcapture,
+	}
+}
+
+// ByName resolves a comma-separated analyzer list; empty selects All.
+func ByName(names string) ([]*Analyzer, error) {
+	if strings.TrimSpace(names) == "" {
+		return All(), nil
+	}
+	byName := map[string]*Analyzer{}
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		a, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("analysis: unknown analyzer %q", n)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// --- package scopes --------------------------------------------------------
+
+// hasSegment reports whether the module-relative package path contains the
+// given path segment.
+func hasSegment(rel, seg string) bool {
+	for _, s := range strings.Split(rel, "/") {
+		if s == seg {
+			return true
+		}
+	}
+	return false
+}
+
+// DeterministicScope reports whether a package must obey the determinism
+// contract: everything except the serving layer (internal/serve), the
+// command-line entry points (cmd/...), and the runnable examples. Those
+// three are allowed to touch wall clocks and other ambient state; every
+// other package must thread internal/rng seeds and produce byte-identical
+// results for a fixed seed.
+func DeterministicScope(rel string) bool {
+	return !hasSegment(rel, "cmd") && !hasSegment(rel, "examples") && !hasSegment(rel, "serve")
+}
+
+// ServeScope reports whether a package is part of the concurrent serving
+// layer, where the lock-hygiene contract (no blocking I/O under a mutex)
+// applies.
+func ServeScope(rel string) bool {
+	return hasSegment(rel, "serve")
+}
+
+// --- suppression directives ------------------------------------------------
+
+// IgnoreDirective is one parsed //selvet:ignore comment.
+type IgnoreDirective struct {
+	Analyzer string
+	Reason   string
+	Position token.Position
+	used     bool
+}
+
+const ignorePrefix = "//selvet:ignore"
+
+// parseIgnores extracts a file's ignore directives in source order.
+func parseIgnores(fset *token.FileSet, file *ast.File) []*IgnoreDirective {
+	var out []*IgnoreDirective
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, ignorePrefix) {
+				continue
+			}
+			rest := strings.TrimSpace(strings.TrimPrefix(c.Text, ignorePrefix))
+			name, reason, _ := strings.Cut(rest, " ")
+			out = append(out, &IgnoreDirective{
+				Analyzer: name,
+				Reason:   strings.TrimSpace(reason),
+				Position: fset.Position(c.Pos()),
+			})
+		}
+	}
+	return out
+}
+
+// RunPackage runs the given analyzers over one loaded package and returns
+// the surviving diagnostics: findings suppressed by a well-formed
+// //selvet:ignore directive on the same or preceding line are dropped,
+// while malformed directives (unknown analyzer, missing reason) are
+// reported as findings of the pseudo-analyzer "selvet".
+func RunPackage(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	var raw []Diagnostic
+	for _, a := range analyzers {
+		if a.Applies != nil && !a.Applies(pkg.RelPath) {
+			continue
+		}
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			RelPath:  pkg.RelPath,
+			Info:     pkg.Info,
+			diags:    &raw,
+		}
+		a.Run(pass)
+	}
+
+	known := map[string]bool{}
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	ignores := map[string][]*IgnoreDirective{}
+	var directives []*IgnoreDirective
+	for _, f := range pkg.Files {
+		for _, dir := range parseIgnores(pkg.Fset, f) {
+			key := fmt.Sprintf("%s:%d", dir.Position.Filename, dir.Position.Line)
+			ignores[key] = append(ignores[key], dir)
+			directives = append(directives, dir)
+		}
+	}
+
+	var out []Diagnostic
+	for _, d := range raw {
+		if suppressed(d, ignores) {
+			continue
+		}
+		out = append(out, d)
+	}
+	for _, dir := range directives {
+		switch {
+		case !known[dir.Analyzer]:
+			out = append(out, Diagnostic{
+				Analyzer: "selvet",
+				Position: dir.Position,
+				Message:  fmt.Sprintf("ignore directive names unknown analyzer %q", dir.Analyzer),
+			})
+		case dir.Reason == "":
+			out = append(out, Diagnostic{
+				Analyzer: "selvet",
+				Position: dir.Position,
+				Message:  fmt.Sprintf("ignore directive for %q needs a reason", dir.Analyzer),
+			})
+		}
+	}
+	SortDiagnostics(out)
+	return out
+}
+
+// suppressed reports whether a well-formed directive on the diagnostic's
+// line or the line above covers it.
+func suppressed(d Diagnostic, ignores map[string][]*IgnoreDirective) bool {
+	for _, line := range []int{d.Position.Line, d.Position.Line - 1} {
+		key := fmt.Sprintf("%s:%d", d.Position.Filename, line)
+		for _, dir := range ignores[key] {
+			if dir.Analyzer == d.Analyzer && dir.Reason != "" {
+				dir.used = true
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// SortDiagnostics orders findings by file, line, column, then analyzer.
+func SortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Position.Filename != b.Position.Filename {
+			return a.Position.Filename < b.Position.Filename
+		}
+		if a.Position.Line != b.Position.Line {
+			return a.Position.Line < b.Position.Line
+		}
+		if a.Position.Column != b.Position.Column {
+			return a.Position.Column < b.Position.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}

@@ -1,0 +1,228 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// The module is loaded once and shared: it is read-only for every test.
+var (
+	modOnce sync.Once
+	mod     *Module
+	modErr  error
+)
+
+func loadTestModule(t *testing.T) *Module {
+	t.Helper()
+	modOnce.Do(func() { mod, modErr = LoadModule(".") })
+	if modErr != nil {
+		t.Fatalf("LoadModule: %v", modErr)
+	}
+	return mod
+}
+
+// want is one expected diagnostic, parsed from a fixture comment of the
+// form  // want "substring"  on the offending line.
+type want struct {
+	file string
+	line int
+	sub  string
+}
+
+var wantRe = regexp.MustCompile(`// want "([^"]+)"`)
+
+func parseWants(t *testing.T, dir string) []want {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []want
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			for _, m := range wantRe.FindAllStringSubmatch(line, -1) {
+				out = append(out, want{file: e.Name(), line: i + 1, sub: m[1]})
+			}
+		}
+	}
+	return out
+}
+
+// runFixture loads one fixture package and checks the analyzer's
+// diagnostics against its // want comments: every want must be matched
+// by a finding on its line, and every finding must be expected. This is
+// the shared table row for all analyzer tests — positive, negative, and
+// suppressed cases live side by side in each fixture file.
+func runFixture(t *testing.T, fixture string, analyzers []*Analyzer) {
+	t.Helper()
+	m := loadTestModule(t)
+	dir := filepath.Join("testdata", "src", fixture)
+	pkg, err := m.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("LoadDir(%s): %v", dir, err)
+	}
+	diags := RunPackage(pkg, analyzers)
+	wants := parseWants(t, dir)
+
+	matchedDiag := make([]bool, len(diags))
+	for _, w := range wants {
+		found := false
+		for di, d := range diags {
+			if filepath.Base(d.Position.Filename) == w.file &&
+				d.Position.Line == w.line && strings.Contains(d.Message, w.sub) {
+				matchedDiag[di] = true
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s:%d: expected finding containing %q, got none", w.file, w.line, w.sub)
+		}
+	}
+	for di, d := range diags {
+		if !matchedDiag[di] {
+			t.Errorf("unexpected finding: %s", d)
+		}
+	}
+}
+
+func TestDetrandFixture(t *testing.T)  { runFixture(t, "detrand", []*Analyzer{AnalyzerDetrand}) }
+func TestMaprangeFixture(t *testing.T) { runFixture(t, "maprange", []*Analyzer{AnalyzerMaprange}) }
+func TestFloateqFixture(t *testing.T)  { runFixture(t, "floateq", []*Analyzer{AnalyzerFloateq}) }
+func TestLockheldFixture(t *testing.T) { runFixture(t, "serve", []*Analyzer{AnalyzerLockheld}) }
+func TestErrdiscardFixture(t *testing.T) {
+	runFixture(t, "errdiscard", []*Analyzer{AnalyzerErrdiscard})
+}
+func TestPoolcaptureFixture(t *testing.T) {
+	runFixture(t, "poolcapture", []*Analyzer{AnalyzerPoolcapture})
+}
+
+// TestFixturesAreSeededViolations double-checks the property verify.sh
+// relies on: running the full analyzer set over any violation fixture
+// yields at least one finding (nonzero selvet exit).
+func TestFixturesAreSeededViolations(t *testing.T) {
+	m := loadTestModule(t)
+	for _, fixture := range []string{"detrand", "maprange", "floateq", "serve", "errdiscard", "poolcapture"} {
+		pkg, err := m.LoadDir(filepath.Join("testdata", "src", fixture))
+		if err != nil {
+			t.Fatalf("LoadDir(%s): %v", fixture, err)
+		}
+		if diags := RunPackage(pkg, All()); len(diags) == 0 {
+			t.Errorf("fixture %s: expected the full analyzer set to flag it, got no findings", fixture)
+		}
+	}
+}
+
+func TestDirectiveValidation(t *testing.T) {
+	m := loadTestModule(t)
+	pkg, err := m.LoadDir(filepath.Join("testdata", "src", "directives"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := RunPackage(pkg, All())
+	var unknown, noReason bool
+	for _, d := range diags {
+		if d.Analyzer != "selvet" {
+			t.Errorf("unexpected non-driver finding: %s", d)
+			continue
+		}
+		if strings.Contains(d.Message, `unknown analyzer "nosuch"`) {
+			unknown = true
+		}
+		if strings.Contains(d.Message, "needs a reason") {
+			noReason = true
+		}
+	}
+	if !unknown {
+		t.Error("directive naming an unknown analyzer was not reported")
+	}
+	if !noReason {
+		t.Error("directive without a reason was not reported")
+	}
+}
+
+// TestRepoIsClean is the self-gate: the full analyzer set over every
+// package of this module must produce zero findings — the exact
+// condition under which `go run ./cmd/selvet ./...` exits 0.
+func TestRepoIsClean(t *testing.T) {
+	m := loadTestModule(t)
+	var dirty []string
+	for _, pkg := range m.Pkgs {
+		for _, d := range RunPackage(pkg, All()) {
+			dirty = append(dirty, d.String())
+		}
+	}
+	if len(dirty) > 0 {
+		t.Fatalf("selvet findings in the tree (fix or suppress with a reason):\n%s",
+			strings.Join(dirty, "\n"))
+	}
+}
+
+func TestScopes(t *testing.T) {
+	cases := []struct {
+		rel           string
+		deterministic bool
+		serve         bool
+	}{
+		{"", true, false},
+		{"internal/solver", true, false},
+		{"internal/experiments", true, false},
+		{"internal/serve", false, true},
+		{"cmd/selbench", false, false},
+		{"examples/quickstart", false, false},
+		{"internal/analysis/testdata/src/serve", false, true},
+		{"internal/analysis/testdata/src/detrand", true, false},
+	}
+	for _, c := range cases {
+		if got := DeterministicScope(c.rel); got != c.deterministic {
+			t.Errorf("DeterministicScope(%q) = %v, want %v", c.rel, got, c.deterministic)
+		}
+		if got := ServeScope(c.rel); got != c.serve {
+			t.Errorf("ServeScope(%q) = %v, want %v", c.rel, got, c.serve)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	all, err := ByName("")
+	if err != nil || len(all) != len(All()) {
+		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want %d", len(all), err, len(All()))
+	}
+	two, err := ByName("detrand, floateq")
+	if err != nil || len(two) != 2 || two[0].Name != "detrand" || two[1].Name != "floateq" {
+		t.Fatalf("ByName subset failed: %v, err %v", two, err)
+	}
+	if _, err := ByName("bogus"); err == nil {
+		t.Fatal("ByName(bogus) should fail")
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	m := loadTestModule(t)
+	pkg, err := m.LoadDir(filepath.Join("testdata", "src", "floateq"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := RunPackage(pkg, []*Analyzer{AnalyzerFloateq})
+	if len(diags) == 0 {
+		t.Fatal("expected findings")
+	}
+	s := diags[0].String()
+	if !strings.Contains(s, "floateq.go:") || !strings.Contains(s, "[floateq]") {
+		t.Errorf("diagnostic string %q lacks position or analyzer tag", s)
+	}
+	if fmt.Sprint(diags[0].Position.Line) == "0" {
+		t.Error("diagnostic has no line number")
+	}
+}

@@ -1,0 +1,66 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// AnalyzerDetrand enforces the seeded-randomness half of the determinism
+// contract: deterministic packages (everything outside internal/serve,
+// cmd/, and examples/) must not import the globally-seeded math/rand
+// packages — randomness is threaded through internal/rng seeds — and must
+// not read the wall clock, whose values leak into control flow and output
+// and make runs unrepeatable.
+var AnalyzerDetrand = &Analyzer{
+	Name:    "detrand",
+	Doc:     "forbid math/rand and wall-clock reads in deterministic packages",
+	Applies: DeterministicScope,
+	Run:     runDetrand,
+}
+
+// nondetTimeFuncs are the time-package functions that observe the wall
+// clock or the scheduler. Pure constructors (time.Duration arithmetic,
+// time.Unix on an explicit instant) stay allowed.
+var nondetTimeFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"AfterFunc": true,
+}
+
+func runDetrand(p *Pass) {
+	for _, f := range p.Files {
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if path == "math/rand" || path == "math/rand/v2" {
+				p.Reportf(imp.Pos(),
+					"deterministic package imports %s; use internal/rng with a threaded seed", path)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || funcPkgPath(fn) != "time" || !nondetTimeFuncs[fn.Name()] {
+				return true
+			}
+			// Methods (time.Time.After, .Sub, …) are pure functions of
+			// their receiver; only the package-level clock readers are
+			// nondeterministic.
+			if sig, isSig := fn.Type().(*types.Signature); isSig && sig.Recv() != nil {
+				return true
+			}
+			p.Reportf(sel.Pos(),
+				"deterministic package reads the wall clock via time.%s; results become unrepeatable", fn.Name())
+			return true
+		})
+	}
+}

@@ -1,0 +1,117 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// AnalyzerErrdiscard forbids silently dropped error returns: a call used
+// as a bare expression statement whose results include an error is a
+// finding. Explicit discards (`_ = f()`), deferred cleanup
+// (`defer f.Close()`), and a short allowlist of can't-fail or
+// by-convention sinks (bytes.Buffer / strings.Builder methods, fmt
+// printing to stdout/stderr) stay permitted; everything else must be
+// checked or visibly discarded.
+var AnalyzerErrdiscard = &Analyzer{
+	Name: "errdiscard",
+	Doc:  "forbid silently dropped error returns",
+	Run:  runErrdiscard,
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func runErrdiscard(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			es, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := ast.Unparen(es.X).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !returnsError(p.Info, call) || discardAllowed(p.Info, call) {
+				return true
+			}
+			p.Reportf(es.Pos(), "%s returns an error that is silently dropped; check it or discard explicitly with _ =", calleeName(call))
+			return true
+		})
+	}
+}
+
+// returnsError reports whether any result of the call is of type error.
+func returnsError(info *types.Info, call *ast.CallExpr) bool {
+	sig, ok := info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return false // builtin or conversion
+	}
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if types.Identical(res.At(i).Type(), errorType) {
+			return true
+		}
+	}
+	return false
+}
+
+// discardAllowed reports whether the call sits on the can't-fail /
+// by-convention allowlist.
+func discardAllowed(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return false
+	}
+	// Methods on in-memory buffers never fail (their Write* return
+	// errors only to satisfy io interfaces).
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		rt := sig.Recv().Type()
+		if namedFrom(rt, "bytes", "Buffer") || namedFrom(rt, "strings", "Builder") {
+			return true
+		}
+	}
+	if funcPkgPath(fn) != "fmt" {
+		return false
+	}
+	name := fn.Name()
+	// fmt.Print* write to stdout; a failed stdout write has nowhere
+	// better to report itself in a CLI.
+	if strings.HasPrefix(name, "Print") {
+		return true
+	}
+	// fmt.Fprint* to stdout/stderr or an in-memory sink is equally
+	// benign. A *bufio.Writer is also allowed: bufio latches the first
+	// write error and reports it from every later call, so the
+	// mandatory Flush at the end surfaces anything dropped here. To any
+	// other writer the error matters.
+	if strings.HasPrefix(name, "Fprint") && len(call.Args) > 0 {
+		dst := ast.Unparen(call.Args[0])
+		if sel, ok := dst.(*ast.SelectorExpr); ok {
+			if id, ok := sel.X.(*ast.Ident); ok && id.Name == "os" &&
+				(sel.Sel.Name == "Stdout" || sel.Sel.Name == "Stderr") {
+				return true
+			}
+		}
+		t := info.TypeOf(dst)
+		if t != nil && (namedFrom(t, "bytes", "Buffer") ||
+			namedFrom(t, "strings", "Builder") || namedFrom(t, "bufio", "Writer")) {
+			return true
+		}
+	}
+	return false
+}
+
+// calleeName renders the called function for the message.
+func calleeName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		if id, ok := fun.X.(*ast.Ident); ok {
+			return id.Name + "." + fun.Sel.Name
+		}
+		return fun.Sel.Name
+	}
+	return "call"
+}

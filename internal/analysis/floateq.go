@@ -1,0 +1,62 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// AnalyzerFloateq enforces the numeric contract on comparisons: == and !=
+// on floating-point operands are almost always a rounding-sensitivity bug
+// and belong inside named tolerance helpers. Three well-defined idioms
+// are exempt: comparison against the constant zero (exact by IEEE-754),
+// the x != x NaN test (the operands are syntactically identical), and
+// comparisons inside functions whose name declares them a comparison
+// helper (Equal/Approx/Near/Close/Cmp/Less).
+var AnalyzerFloateq = &Analyzer{
+	Name: "floateq",
+	Doc:  "forbid ==/!= on floating-point operands outside approved comparison helpers",
+	Run:  runFloateq,
+}
+
+func runFloateq(p *Pass) {
+	for _, f := range p.Files {
+		funcBodies(f, func(name string, body *ast.BlockStmt) {
+			if nameSuggestsComparison(name) {
+				return
+			}
+			ast.Inspect(body, func(n ast.Node) bool {
+				if _, ok := n.(*ast.FuncLit); ok {
+					// Literal bodies are visited on their own.
+					return false
+				}
+				be, ok := n.(*ast.BinaryExpr)
+				if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+					return true
+				}
+				if !isFloat(p.Info.TypeOf(be.X)) && !isFloat(p.Info.TypeOf(be.Y)) {
+					return true
+				}
+				if isConstZero(p.Info, be.X) || isConstZero(p.Info, be.Y) {
+					return true
+				}
+				if types.ExprString(be.X) == types.ExprString(be.Y) {
+					return true // x != x — the NaN test
+				}
+				p.Reportf(be.Pos(),
+					"%s on float operands is rounding-sensitive; use a tolerance helper or compare against exact zero", be.Op)
+				return true
+			})
+		})
+	}
+}
+
+// isConstZero reports whether e is a compile-time constant equal to zero.
+func isConstZero(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	return constant.Sign(tv.Value) == 0
+}

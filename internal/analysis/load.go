@@ -1,0 +1,300 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and type-checked package of the module (or an
+// extra directory loaded on demand, e.g. a test fixture).
+type Package struct {
+	// Path is the full import path; RelPath is Path without the module
+	// prefix ("" for the module root package).
+	Path    string
+	RelPath string
+	Dir     string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+
+	imports []string // module-internal imports, full paths
+}
+
+// Module is a loaded, fully type-checked module.
+type Module struct {
+	Path string // module path from go.mod
+	Root string // directory containing go.mod
+	Fset *token.FileSet
+	// Pkgs holds the module's packages in dependency (topological)
+	// order, ties broken by path.
+	Pkgs []*Package
+
+	byPath map[string]*Package
+	gcImp  types.Importer
+	srcImp types.Importer
+}
+
+// LoadModule locates the enclosing module of dir, parses every package in
+// it (skipping testdata, vendor, hidden, and underscore directories, and
+// all _test.go files — the contracts the analyzers enforce exempt tests),
+// and type-checks them in dependency order. Standard-library imports are
+// resolved through the compiler's export data when available, falling
+// back to type-checking the GOROOT source, so the loader needs nothing
+// outside the standard toolchain.
+func LoadModule(dir string) (*Module, error) {
+	root, modPath, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	m := &Module{
+		Path:   modPath,
+		Root:   root,
+		Fset:   token.NewFileSet(),
+		byPath: map[string]*Package{},
+	}
+	m.gcImp = importer.Default()
+	m.srcImp = importer.ForCompiler(m.Fset, "source", nil)
+
+	if err := m.parseTree(); err != nil {
+		return nil, err
+	}
+	if err := m.checkAll(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// findModule walks up from dir to the first go.mod and returns its
+// directory and module path.
+func findModule(dir string) (root, modPath string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; d = filepath.Dir(d) {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module"); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("analysis: %s/go.mod has no module directive", d)
+		}
+		if filepath.Dir(d) == d {
+			return "", "", fmt.Errorf("analysis: no go.mod found above %s", abs)
+		}
+	}
+}
+
+// skipDir reports whether the walker should ignore a directory.
+func skipDir(name string) bool {
+	return name == "testdata" || name == "vendor" ||
+		strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")
+}
+
+// parseTree walks the module and parses every package directory.
+func (m *Module) parseTree() error {
+	return filepath.WalkDir(m.Root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		if path != m.Root && skipDir(d.Name()) {
+			return filepath.SkipDir
+		}
+		pkg, err := m.parseDir(path)
+		if err != nil {
+			return err
+		}
+		if pkg != nil {
+			m.byPath[pkg.Path] = pkg
+		}
+		return nil
+	})
+}
+
+// parseDir parses the non-test Go files of one directory into a Package
+// (nil if the directory holds no Go files).
+func (m *Module) parseDir(dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := filepath.Rel(m.Root, dir)
+	if err != nil {
+		return nil, err
+	}
+	rel = filepath.ToSlash(rel)
+	if rel == "." {
+		rel = ""
+	}
+	path := m.Path
+	if rel != "" {
+		path = m.Path + "/" + rel
+	}
+	pkg := &Package{Path: path, RelPath: rel, Dir: dir, Fset: m.Fset}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(m.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Files = append(pkg.Files, f)
+	}
+	if len(pkg.Files) == 0 {
+		return nil, nil
+	}
+	for _, f := range pkg.Files {
+		for _, imp := range f.Imports {
+			p := strings.Trim(imp.Path.Value, `"`)
+			if p == m.Path || strings.HasPrefix(p, m.Path+"/") {
+				pkg.imports = append(pkg.imports, p)
+			}
+		}
+	}
+	return pkg, nil
+}
+
+// checkAll type-checks every parsed package in topological order.
+func (m *Module) checkAll() error {
+	paths := make([]string, 0, len(m.byPath))
+	for p := range m.byPath {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+
+	const (
+		unvisited = 0
+		visiting  = 1
+		done      = 2
+	)
+	state := map[string]int{}
+	var order []string
+	var visit func(p string) error
+	visit = func(p string) error {
+		switch state[p] {
+		case done:
+			return nil
+		case visiting:
+			return fmt.Errorf("analysis: import cycle through %s", p)
+		}
+		state[p] = visiting
+		deps := append([]string(nil), m.byPath[p].imports...)
+		sort.Strings(deps)
+		for _, d := range deps {
+			if _, ok := m.byPath[d]; !ok {
+				return fmt.Errorf("analysis: %s imports %s, which is not in the module", p, d)
+			}
+			if err := visit(d); err != nil {
+				return err
+			}
+		}
+		state[p] = done
+		order = append(order, p)
+		return nil
+	}
+	for _, p := range paths {
+		if err := visit(p); err != nil {
+			return err
+		}
+	}
+	for _, p := range order {
+		pkg := m.byPath[p]
+		if err := m.check(pkg); err != nil {
+			return err
+		}
+		m.Pkgs = append(m.Pkgs, pkg)
+	}
+	return nil
+}
+
+// check type-checks one parsed package whose module-internal dependencies
+// are already checked.
+func (m *Module) check(pkg *Package) error {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: m}
+	tpkg, err := conf.Check(pkg.Path, m.Fset, pkg.Files, info)
+	if err != nil {
+		return fmt.Errorf("analysis: type-checking %s: %w", pkg.Path, err)
+	}
+	pkg.Types = tpkg
+	pkg.Info = info
+	return nil
+}
+
+// Import implements types.Importer: module-internal paths resolve to the
+// already-checked packages; everything else (the standard library) goes
+// through export data with a from-source fallback.
+func (m *Module) Import(path string) (*types.Package, error) {
+	if path == m.Path || strings.HasPrefix(path, m.Path+"/") {
+		p, ok := m.byPath[path]
+		if !ok || p.Types == nil {
+			return nil, fmt.Errorf("analysis: internal import %s not loaded", path)
+		}
+		return p.Types, nil
+	}
+	if pkg, err := m.gcImp.Import(path); err == nil {
+		return pkg, nil
+	}
+	return m.srcImp.Import(path)
+}
+
+// LoadDir parses and type-checks one extra directory (outside the normal
+// module walk, e.g. an analyzer fixture under testdata) against the
+// already-loaded module. The package's RelPath is its path relative to
+// the module root, so the same scope rules apply as for real packages.
+func (m *Module) LoadDir(dir string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	pkg, err := m.parseDir(abs)
+	if err != nil {
+		return nil, err
+	}
+	if pkg == nil {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	if err := m.check(pkg); err != nil {
+		return nil, err
+	}
+	return pkg, nil
+}
+
+// Lookup resolves a module-relative package path ("" or "." for the root
+// package) to a loaded package.
+func (m *Module) Lookup(rel string) (*Package, bool) {
+	rel = strings.Trim(strings.TrimPrefix(rel, "./"), "/")
+	if rel == "." {
+		rel = ""
+	}
+	path := m.Path
+	if rel != "" {
+		path = m.Path + "/" + rel
+	}
+	p, ok := m.byPath[path]
+	return p, ok
+}

@@ -1,0 +1,244 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AnalyzerLockheld enforces the serving layer's lock hygiene: while a
+// sync.Mutex or sync.RWMutex is held, a handler must not perform blocking
+// work — channel sends/receives, HTTP response writes, JSON
+// encoding/decoding to a network writer, fmt/log output, file I/O, or
+// sleeps. A slow client or full channel would otherwise stall every
+// request contending on the lock. The standard pattern is: lock, copy,
+// unlock, then do I/O on the copy.
+//
+// The walker is intentionally conservative and syntactic: it tracks
+// Lock/Unlock pairs (including `defer mu.Unlock()`, which holds the lock
+// to function end) along straight-line statement order, treating branch
+// and loop bodies as running under the lock state at their entry. It does
+// not follow calls into other functions of the package.
+var AnalyzerLockheld = &Analyzer{
+	Name:    "lockheld",
+	Doc:     "forbid blocking I/O and channel operations while a mutex is held in serving packages",
+	Applies: ServeScope,
+	Run:     runLockheld,
+}
+
+func runLockheld(p *Pass) {
+	for _, f := range p.Files {
+		funcBodies(f, func(_ string, body *ast.BlockStmt) {
+			w := &lockWalker{pass: p}
+			w.stmts(body.List)
+		})
+	}
+}
+
+type lockWalker struct {
+	pass  *Pass
+	depth int // mutexes currently held
+}
+
+func (w *lockWalker) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		w.stmt(s)
+	}
+}
+
+func (w *lockWalker) stmt(s ast.Stmt) {
+	switch x := s.(type) {
+	case *ast.ExprStmt:
+		if kind := lockCallKind(w.pass.Info, x.X); kind != 0 {
+			w.depth += kind
+			if w.depth < 0 {
+				w.depth = 0
+			}
+			return
+		}
+		w.checkExpr(x.X)
+	case *ast.DeferStmt:
+		// `defer mu.Unlock()` holds the lock to function end: leave the
+		// depth up. Other deferred calls run at return, after this
+		// statement's surroundings — skip them.
+	case *ast.GoStmt:
+		// Spawning is non-blocking; the goroutine body starts unlocked.
+	case *ast.SendStmt:
+		if w.depth > 0 {
+			w.pass.Reportf(x.Pos(), "channel send while holding a mutex can block every contender")
+		}
+		w.checkExpr(x.Value)
+	case *ast.AssignStmt:
+		for _, r := range x.Rhs {
+			w.checkExpr(r)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := x.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.checkExpr(v)
+					}
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, r := range x.Results {
+			w.checkExpr(r)
+		}
+	case *ast.IfStmt:
+		if x.Init != nil {
+			w.stmt(x.Init)
+		}
+		w.checkExpr(x.Cond)
+		w.branch(x.Body.List)
+		if x.Else != nil {
+			w.branch([]ast.Stmt{x.Else})
+		}
+	case *ast.ForStmt:
+		if x.Init != nil {
+			w.stmt(x.Init)
+		}
+		if x.Cond != nil {
+			w.checkExpr(x.Cond)
+		}
+		w.branch(x.Body.List)
+	case *ast.RangeStmt:
+		w.checkExpr(x.X)
+		w.branch(x.Body.List)
+	case *ast.SwitchStmt:
+		if x.Init != nil {
+			w.stmt(x.Init)
+		}
+		if x.Tag != nil {
+			w.checkExpr(x.Tag)
+		}
+		for _, c := range x.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.branch(cc.Body)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range x.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.branch(cc.Body)
+			}
+		}
+	case *ast.SelectStmt:
+		if w.depth > 0 {
+			w.pass.Reportf(x.Pos(), "select (channel operations) while holding a mutex can block every contender")
+		}
+		for _, c := range x.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				w.branch(cc.Body)
+			}
+		}
+	case *ast.BlockStmt:
+		w.branch(x.List)
+	case *ast.LabeledStmt:
+		w.stmt(x.Stmt)
+	}
+}
+
+// branch walks nested statements under the current lock state and
+// restores it afterwards, so a branch-local Lock/Unlock cannot leak into
+// the fallthrough path.
+func (w *lockWalker) branch(list []ast.Stmt) {
+	saved := w.depth
+	w.stmts(list)
+	w.depth = saved
+}
+
+// checkExpr flags blocking operations inside an expression evaluated
+// while locked. Function literals are skipped: they run when called, not
+// here, and funcBodies analyzes their bodies separately.
+func (w *lockWalker) checkExpr(e ast.Expr) {
+	if w.depth == 0 || e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				w.pass.Reportf(x.Pos(), "channel receive while holding a mutex can block every contender")
+			}
+		case *ast.CallExpr:
+			if why := blockingCall(w.pass.Info, x); why != "" {
+				w.pass.Reportf(x.Pos(), "%s while holding a mutex can block every contender; copy under the lock and do I/O after unlocking", why)
+			}
+		}
+		return true
+	})
+}
+
+// lockCallKind classifies an expression statement: +1 for mu.Lock/RLock,
+// -1 for mu.Unlock/RUnlock on a sync mutex, 0 otherwise.
+func lockCallKind(info *types.Info, e ast.Expr) int {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return 0
+	}
+	fn := calleeFunc(info, call)
+	if fn == nil || funcPkgPath(fn) != "sync" {
+		return 0
+	}
+	switch fn.Name() {
+	case "Lock", "RLock":
+		return +1
+	case "Unlock", "RUnlock":
+		return -1
+	}
+	return 0
+}
+
+// blockingCall classifies calls that may block on I/O, the network, or
+// the scheduler; it returns a human-readable description or "".
+func blockingCall(info *types.Info, call *ast.CallExpr) string {
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return ""
+	}
+	pkg, name := funcPkgPath(fn), fn.Name()
+	switch pkg {
+	case "net/http":
+		return "net/http call " + name
+	case "log":
+		return "log output " + name
+	case "net":
+		return "network call net." + name
+	case "fmt":
+		if strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint") ||
+			strings.HasPrefix(name, "Scan") || strings.HasPrefix(name, "Fscan") {
+			return "fmt output " + name
+		}
+	case "encoding/json":
+		if name == "Encode" || name == "Decode" {
+			return "streaming JSON " + name
+		}
+	case "bufio":
+		if strings.HasPrefix(name, "Write") || strings.HasPrefix(name, "Read") || name == "Flush" {
+			return "buffered I/O bufio." + name
+		}
+	case "io", "io/ioutil":
+		return "io call " + name
+	case "os":
+		switch name {
+		case "Create", "Open", "OpenFile", "ReadFile", "WriteFile", "Remove", "RemoveAll", "Rename", "Mkdir", "MkdirAll":
+			return "file I/O os." + name
+		}
+	case "time":
+		if name == "Sleep" {
+			return "time.Sleep"
+		}
+	}
+	// Writes through *os.File receivers (stdout, log files).
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if namedFrom(sig.Recv().Type(), "os", "File") {
+			return "os.File method " + name
+		}
+	}
+	return ""
+}

@@ -1,0 +1,160 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AnalyzerMaprange enforces the ordering half of the determinism
+// contract: in deterministic packages, iterating a map must not feed
+// order-sensitive sinks. Go randomizes map iteration order per run, so a
+// range-over-map that appends to an outer slice (unless that slice is
+// sorted afterwards in the same function), accumulates into an outer
+// float (float addition is not associative), or writes output directly
+// produces run-dependent bytes.
+var AnalyzerMaprange = &Analyzer{
+	Name:    "maprange",
+	Doc:     "forbid map iteration feeding ordered output or float accumulation in deterministic packages",
+	Applies: DeterministicScope,
+	Run:     runMaprange,
+}
+
+func runMaprange(p *Pass) {
+	for _, f := range p.Files {
+		funcBodies(f, func(_ string, body *ast.BlockStmt) {
+			ast.Inspect(body, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				t := p.Info.TypeOf(rs.X)
+				if t == nil {
+					return true
+				}
+				if _, isMap := t.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				checkMapRangeBody(p, body, rs)
+				return true
+			})
+		})
+	}
+}
+
+// checkMapRangeBody flags the order-sensitive sinks inside one
+// range-over-map loop.
+func checkMapRangeBody(p *Pass, fnBody *ast.BlockStmt, rs *ast.RangeStmt) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.AssignStmt:
+			checkMapRangeAssign(p, fnBody, rs, x)
+		case *ast.CallExpr:
+			if name, ok := outputCallName(x); ok {
+				p.Reportf(x.Pos(),
+					"%s inside range over map emits output in random iteration order", name)
+			}
+		}
+		return true
+	})
+}
+
+func checkMapRangeAssign(p *Pass, fnBody *ast.BlockStmt, rs *ast.RangeStmt, as *ast.AssignStmt) {
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		for _, lhs := range as.Lhs {
+			if !isFloat(p.Info.TypeOf(lhs)) {
+				continue
+			}
+			if obj := lhsObject(p.Info, lhs); obj != nil && !declaredWithin(obj, rs) {
+				p.Reportf(as.Pos(),
+					"float accumulation into %s inside range over map depends on iteration order (float addition is not associative)", obj.Name())
+			}
+		}
+	case token.ASSIGN:
+		// x = append(x, ...) growing a slice declared outside the loop.
+		for i, rhs := range as.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); !ok || id.Name != "append" {
+				continue
+			}
+			if i >= len(as.Lhs) {
+				continue
+			}
+			obj := lhsObject(p.Info, as.Lhs[i])
+			if obj == nil || declaredWithin(obj, rs) {
+				continue
+			}
+			if sortedLater(p.Info, fnBody, rs, obj) {
+				continue
+			}
+			p.Reportf(as.Pos(),
+				"append to %s inside range over map collects elements in random iteration order; sort the result or iterate sorted keys", obj.Name())
+		}
+	}
+}
+
+// lhsObject resolves the root object an assignment target writes through.
+func lhsObject(info *types.Info, lhs ast.Expr) types.Object {
+	id := rootIdent(lhs)
+	if id == nil {
+		return nil
+	}
+	return info.ObjectOf(id)
+}
+
+// outputCallName reports whether a call writes output (Print/Fprint/Write
+// family) and returns a printable callee name.
+func outputCallName(call *ast.CallExpr) (string, bool) {
+	var name string
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		name = fun.Name
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+	default:
+		return "", false
+	}
+	for _, prefix := range []string{"Print", "Fprint", "Write"} {
+		if len(name) >= len(prefix) && name[:len(prefix)] == prefix {
+			return name, true
+		}
+	}
+	return "", false
+}
+
+// sortedLater reports whether obj is passed to a sort/slices call after
+// the range loop in the same function — the canonical collect-then-sort
+// pattern, which is deterministic.
+func sortedLater(info *types.Info, fnBody *ast.BlockStmt, rs *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		fn := calleeFunc(info, call)
+		if fn == nil {
+			return true
+		}
+		if pp := funcPkgPath(fn); pp != "sort" && pp != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if mentionsObject(info, arg, obj) {
+				found = true
+				break
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,141 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// AnalyzerPoolcapture enforces the parallel engine's ordered-reduction
+// rule: a closure handed to internal/parallel's Map / ForEach /
+// ForEachChunk runs concurrently on many workers, so it may only write
+// captured state through a location derived from its own work index
+// (`out[i] = ...`). A write to a captured scalar, struct field, or a
+// fixed element (`out[0]`, `sum += x`) is a data race and breaks the
+// byte-identical-for-any-worker-count guarantee.
+var AnalyzerPoolcapture = &Analyzer{
+	Name: "poolcapture",
+	Doc:  "closures on the parallel pool may write captured state only through their own index slot",
+	Run:  runPoolcapture,
+}
+
+// poolFuncs are the fan-out entry points of internal/parallel.
+var poolFuncs = map[string]bool{
+	"Map":          true,
+	"ForEach":      true,
+	"ForEachChunk": true,
+}
+
+func runPoolcapture(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(p.Info, call)
+			if fn == nil || !poolFuncs[fn.Name()] {
+				return true
+			}
+			if pp := funcPkgPath(fn); !strings.HasSuffix(pp, "internal/parallel") {
+				return true
+			}
+			if len(call.Args) == 0 {
+				return true
+			}
+			lit, ok := ast.Unparen(call.Args[len(call.Args)-1]).(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			checkPoolClosure(p, lit)
+			return true
+		})
+	}
+}
+
+// checkPoolClosure flags writes through captured variables that are not
+// addressed by the closure's own index.
+func checkPoolClosure(p *Pass, lit *ast.FuncLit) {
+	params := map[types.Object]bool{}
+	for _, field := range lit.Type.Params.List {
+		for _, name := range field.Names {
+			if obj := p.Info.ObjectOf(name); obj != nil {
+				params[obj] = true
+			}
+		}
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				checkPoolWrite(p, lit, params, lhs)
+			}
+		case *ast.IncDecStmt:
+			checkPoolWrite(p, lit, params, x.X)
+		}
+		return true
+	})
+}
+
+// checkPoolWrite analyzes one assignment target inside a pool closure.
+// The target is safe when its root variable is declared inside the
+// closure (per-invocation state), or when some index on the access path
+// mentions the closure's index parameter or closure-local state (a slot
+// derived from the work index). A write whose whole path is captured,
+// index-free, or indexed only by captured values is shared between
+// workers and gets flagged.
+func checkPoolWrite(p *Pass, lit *ast.FuncLit, params map[types.Object]bool, lhs ast.Expr) {
+	root := rootIdent(lhs)
+	if root == nil || root.Name == "_" {
+		return
+	}
+	obj := p.Info.ObjectOf(root)
+	if obj == nil || declaredWithin(obj, lit) {
+		return
+	}
+	if _, isVar := obj.(*types.Var); !isVar {
+		return
+	}
+	if indexedByLocal(p.Info, lit, params, lhs) {
+		return
+	}
+	p.Reportf(lhs.Pos(),
+		"parallel closure writes captured %s outside its own index slot; every worker races on it", obj.Name())
+}
+
+// indexedByLocal reports whether any index expression on the access path
+// references the closure's parameters or closure-local variables.
+func indexedByLocal(info *types.Info, lit *ast.FuncLit, params map[types.Object]bool, e ast.Expr) bool {
+	for {
+		switch x := e.(type) {
+		case *ast.IndexExpr:
+			ok := false
+			ast.Inspect(x.Index, func(n ast.Node) bool {
+				id, isIdent := n.(*ast.Ident)
+				if !isIdent {
+					return true
+				}
+				obj := info.ObjectOf(id)
+				if obj == nil {
+					return true
+				}
+				if params[obj] || declaredWithin(obj, lit) {
+					ok = true
+				}
+				return !ok
+			})
+			if ok {
+				return true
+			}
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return false
+		}
+	}
+}

@@ -1,0 +1,27 @@
+// Package detfix is a selvet fixture: violations of the detrand
+// contract, the allowed idioms, and a suppressed case.
+package detfix
+
+import (
+	"math/rand" // want "imports math/rand"
+	"time"
+)
+
+func clocky() time.Duration {
+	start := time.Now() // want "time.Now"
+	_ = rand.Int()
+	d := time.Since(start) // want "time.Since"
+	time.Sleep(d)          // want "time.Sleep"
+	return d
+}
+
+// pure uses only methods on an explicit instant — deterministic, no
+// findings.
+func pure(t0 time.Time) bool {
+	deadline := t0.Add(time.Second)
+	return t0.After(deadline)
+}
+
+func suppressed() time.Time {
+	return time.Now() //selvet:ignore detrand fixture demonstrates a sanctioned wall-clock read
+}

@@ -1,0 +1,10 @@
+// Package dirfix is a selvet fixture for the driver's directive
+// validation: directives naming unknown analyzers or lacking a reason
+// are themselves findings.
+package dirfix
+
+func unused() int {
+	x := 1 //selvet:ignore nosuch this analyzer does not exist
+	y := 2 //selvet:ignore detrand
+	return x + y
+}

@@ -1,0 +1,51 @@
+// Package errfix is a selvet fixture for errdiscard: silently dropped
+// errors, the permitted discard idioms, and a suppressed case.
+package errfix
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+func explode() error { return nil }
+
+func bad() {
+	explode() // want "explode returns an error that is silently dropped"
+}
+
+func badWriter(w io.Writer) {
+	fmt.Fprintln(w, "hi") // want "fmt.Fprintln returns an error"
+}
+
+// okExplicit discards visibly.
+func okExplicit() {
+	_ = explode()
+}
+
+// okDefer: deferred cleanup is conventional and exempt.
+func okDefer(f *os.File) {
+	defer f.Close()
+}
+
+// okBuffer: in-memory sinks cannot fail.
+func okBuffer() string {
+	var b bytes.Buffer
+	b.WriteString("x")
+	var sb strings.Builder
+	sb.WriteString("y")
+	fmt.Fprintf(&b, "z")
+	return b.String() + sb.String()
+}
+
+// okStdout: fmt printing to stdout/stderr has nowhere better to report.
+func okStdout() {
+	fmt.Println("ok")
+	fmt.Fprintln(os.Stderr, "ok")
+}
+
+func suppressed(w io.Writer) {
+	fmt.Fprintln(w, "hi") //selvet:ignore errdiscard fixture demonstrates a sanctioned best-effort write
+}

@@ -1,0 +1,35 @@
+// Package floateqfix is a selvet fixture: float equality violations, the
+// exempt idioms (exact zero, NaN test, named comparison helpers), and a
+// suppressed case.
+package floateqfix
+
+func bad(a, b float64) bool {
+	return a == b // want "== on float operands"
+}
+
+func badNeq(xs []float64, y float64) bool {
+	return xs[0] != y // want "!= on float operands"
+}
+
+// zeroOK compares against exact zero — well-defined in IEEE-754.
+func zeroOK(a float64) bool { return a == 0 }
+
+// nanOK is the canonical NaN test: identical operands.
+func nanOK(a float64) bool { return a != a }
+
+// almostEqual is a comparison helper by name; exact comparison inside is
+// its job.
+func almostEqual(a, b float64) bool {
+	return a == b || diff(a, b) < 1e-12
+}
+
+func diff(a, b float64) float64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+func suppressed(a, b float64) bool {
+	return a == b //selvet:ignore floateq fixture demonstrates a sanctioned exact comparison
+}

@@ -1,0 +1,58 @@
+// Package maprangefix is a selvet fixture: map iteration feeding
+// order-sensitive sinks, the sanctioned collect-then-sort pattern, and a
+// suppressed case.
+package maprangefix
+
+import (
+	"fmt"
+	"sort"
+)
+
+func emit(m map[string]int) {
+	for k := range m {
+		fmt.Println(k) // want "Println inside range over map"
+	}
+}
+
+func accumulate(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v // want "float accumulation into total"
+	}
+	return total
+}
+
+func collectUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "append to keys"
+	}
+	return keys
+}
+
+// collectSorted is the canonical deterministic pattern: gather, then
+// sort. No findings.
+func collectSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// intAccumulate is order-insensitive (integer addition is associative).
+// No findings.
+func intAccumulate(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+func suppressed(m map[string]int) {
+	for k := range m {
+		fmt.Println(k) //selvet:ignore maprange fixture demonstrates an intentionally unordered dump
+	}
+}

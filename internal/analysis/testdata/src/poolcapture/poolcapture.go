@@ -1,0 +1,59 @@
+// Package poolfix is a selvet fixture for poolcapture: racy writes from
+// closures on the parallel pool, the sanctioned index-slot patterns, and
+// a suppressed case.
+package poolfix
+
+import "repro/internal/parallel"
+
+// good writes each result to its own index slot.
+func good(n int) []float64 {
+	out := make([]float64, n)
+	parallel.ForEach(n, 0, func(i int) {
+		out[i] = float64(i) * 2
+	})
+	return out
+}
+
+// goodDerived addresses a disjoint region derived from the work index.
+func goodDerived(n int) []float64 {
+	out := make([]float64, 2*n)
+	parallel.ForEachChunk(n, 0, 4, func(i int) {
+		base := 2 * i
+		for j := 0; j < 2; j++ {
+			out[base+j] = float64(i + j)
+		}
+	})
+	return out
+}
+
+func badScalar(n int) float64 {
+	sum := 0.0
+	parallel.ForEach(n, 0, func(i int) {
+		sum += float64(i) // want "writes captured sum"
+	})
+	return sum
+}
+
+func badSlot(n int) []int {
+	out := make([]int, 1)
+	parallel.ForEach(n, 0, func(i int) {
+		out[0]++ // want "writes captured out"
+	})
+	return out
+}
+
+type acc struct{ hits int }
+
+func badField(n int, a *acc) {
+	parallel.ForEach(n, 0, func(i int) {
+		a.hits = a.hits + 1 // want "writes captured a"
+	})
+}
+
+func suppressed(n int) {
+	done := false
+	parallel.ForEach(n, 0, func(i int) {
+		done = true //selvet:ignore poolcapture fixture demonstrates an idempotent flag write
+	})
+	_ = done
+}

@@ -1,0 +1,61 @@
+// Package servefix is a selvet fixture for lockheld: blocking work under
+// a held mutex, the copy-then-write pattern, and a suppressed case. The
+// directory is named "serve" so the serving-scope rule applies to it.
+package servefix
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+)
+
+type store struct {
+	mu   sync.Mutex
+	vals map[string]int
+	ch   chan int
+}
+
+func (s *store) bad(w http.ResponseWriter) {
+	s.mu.Lock()
+	_ = json.NewEncoder(w).Encode(s.vals) // want "streaming JSON Encode"
+	s.ch <- 1                             // want "channel send"
+	fmt.Fprintln(w, "done")               // want "fmt output Fprintln"
+	s.mu.Unlock()
+}
+
+// deferred holds the lock to function end, so the write is under it.
+func (s *store) deferred(w io.Writer) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, err := fmt.Fprintln(w, len(s.vals)) // want "fmt output Fprintln"
+	return err
+}
+
+// good is the sanctioned pattern: copy under the lock, write after.
+func (s *store) good(w io.Writer) error {
+	s.mu.Lock()
+	n := len(s.vals)
+	s.mu.Unlock()
+	_, err := fmt.Fprintln(w, n)
+	return err
+}
+
+// branch unlocks on the early path; the fallthrough is still locked.
+func (s *store) branch() {
+	s.mu.Lock()
+	if len(s.vals) == 0 {
+		s.mu.Unlock()
+		return
+	}
+	v := <-s.ch // want "channel receive"
+	s.vals["x"] = v
+	s.mu.Unlock()
+}
+
+func (s *store) suppressed() {
+	s.mu.Lock()
+	s.ch <- 1 //selvet:ignore lockheld fixture demonstrates a sanctioned send under lock
+	s.mu.Unlock()
+}

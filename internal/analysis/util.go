@@ -1,0 +1,122 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// calleeFunc resolves the *types.Func a call expression invokes, looking
+// through parentheses. It returns nil for builtins, conversions, and
+// calls of function-typed values.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// funcPkgPath returns the import path of a function's defining package
+// ("" for builtins and universe-scope functions like error.Error).
+func funcPkgPath(f *types.Func) string {
+	if f == nil || f.Pkg() == nil {
+		return ""
+	}
+	return f.Pkg().Path()
+}
+
+// isFloat reports whether t's core type is a floating-point type.
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// namedFrom reports whether t (or the pointee, if t is a pointer) is the
+// named type pkgPath.name.
+func namedFrom(t types.Type, pkgPath, name string) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// declaredWithin reports whether obj's declaration lies inside node.
+func declaredWithin(obj types.Object, node ast.Node) bool {
+	return obj != nil && obj.Pos() != 0 &&
+		node.Pos() <= obj.Pos() && obj.Pos() < node.End()
+}
+
+// rootIdent descends assignable expressions (selectors, indexes, derefs,
+// parens) to the identifier at their base, or nil (e.g. for calls).
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// mentionsObject reports whether expr references obj anywhere.
+func mentionsObject(info *types.Info, expr ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.ObjectOf(id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// funcBodies visits every function body in the file — declarations and
+// literals — exactly once, with the body's enclosing *ast.FuncDecl name
+// ("" for literals).
+func funcBodies(file *ast.File, visit func(name string, body *ast.BlockStmt)) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if fn.Body != nil {
+				visit(fn.Name.Name, fn.Body)
+			}
+		case *ast.FuncLit:
+			visit("", fn.Body)
+		}
+		return true
+	})
+}
+
+// nameSuggestsComparison reports whether a function name marks an
+// approved float-comparison helper (Equal, Approx, Near, Close, Cmp,
+// Less — exact comparison is these helpers' whole job).
+func nameSuggestsComparison(name string) bool {
+	l := strings.ToLower(name)
+	for _, frag := range []string{"equal", "approx", "near", "close", "cmp", "less"} {
+		if strings.Contains(l, frag) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// TestRenderedBytesIdentical is the regression test for the maprange
+// half of the determinism contract: rendering the same experiments twice
+// in one process must produce identical bytes. Any map-iteration order
+// leaking into row assembly or table emission (or any wall-clock value
+// leaking into a non-timing table) breaks this immediately, because Go
+// randomizes map iteration per map instance.
+func TestRenderedBytesIdentical(t *testing.T) {
+	cfg := Config{
+		Seed:             1,
+		TrainSizes:       []int{30},
+		TestQueries:      40,
+		DataSize:         1500,
+		BucketMultiplier: 4,
+		IsomerMaxTrain:   30,
+		IsomerBudget:     time.Second,
+		Dims:             []int{2},
+		Fig9Buckets:      []int{10, 20},
+	}
+	render := func() []byte {
+		var buf bytes.Buffer
+		// fig9 exercises the sweep engine, table1 the multi-workload
+		// row assembly; neither table includes wall-clock columns.
+		for _, id := range []string{"fig9", "table1"} {
+			rs, err := Run(id, cfg)
+			if err != nil {
+				t.Fatalf("%s: %v", id, err)
+			}
+			for _, r := range rs {
+				if err := r.Render(&buf); err != nil {
+					t.Fatalf("%s: render: %v", id, err)
+				}
+			}
+		}
+		return buf.Bytes()
+	}
+	first := render()
+	second := render()
+	if !bytes.Equal(first, second) {
+		a := bytes.Split(first, []byte("\n"))
+		b := bytes.Split(second, []byte("\n"))
+		for i := range a {
+			if i >= len(b) || !bytes.Equal(a[i], b[i]) {
+				t.Fatalf("rendered bytes differ at line %d:\n  run1: %s\n  run2: %s", i+1, a[i], b[i])
+			}
+		}
+		t.Fatalf("rendered outputs differ in length: %d vs %d bytes", len(first), len(second))
+	}
+}

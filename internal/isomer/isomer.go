@@ -29,14 +29,30 @@ import (
 // analogue of the paper's 30-minute cutoff.
 var ErrBudget = errors.New("isomer: training budget exceeded")
 
+// opsPerSecond converts a time-denominated budget into deterministic
+// work units (one unit ≈ one bucket visit or one scaling-row update).
+// The constant is a fixed calibration — roughly what one 2020s core
+// sustains on this workload — NOT a clock: the same workload exhausts
+// the same budget at exactly the same point on every machine and every
+// run, which keeps the paper's cutoff rows ("-") reproducible.
+const opsPerSecond = 50e6
+
 // Options configures ISOMER training.
 type Options struct {
 	// MaxBuckets caps the partition size (default 20000). The original
 	// chooses its own bucket count; the paper reports 48–160× the query
 	// count.
 	MaxBuckets int
-	// Budget bounds wall-clock training time (default 30s).
+	// Budget bounds training cost, expressed as a duration for
+	// continuity with the paper's 30-minute cutoff (default 30s). It is
+	// enforced deterministically: the duration is converted to work
+	// units via the fixed opsPerSecond calibration, so whether a run
+	// hits the cutoff depends only on the workload, never on the
+	// machine or scheduler.
 	Budget time.Duration
+	// WorkBudget, when nonzero, sets the work-unit budget directly and
+	// takes precedence over Budget.
+	WorkBudget int64
 	// ScalingIters bounds iterative-scaling sweeps (default 200).
 	ScalingIters int
 	// Nested selects the faithful STHoles nested-bucket construction
@@ -44,6 +60,26 @@ type Options struct {
 	// refinement. Both yield a disjoint box partition; they differ in
 	// which boundaries survive the bucket cap.
 	Nested bool
+}
+
+// workBudget meters deterministic training cost. spend reports whether
+// the budget still covers n more units.
+type workBudget struct{ left int64 }
+
+func newWorkBudget(opts Options) *workBudget {
+	if opts.WorkBudget > 0 {
+		return &workBudget{left: opts.WorkBudget}
+	}
+	d := opts.Budget
+	if d == 0 {
+		d = 30 * time.Second
+	}
+	return &workBudget{left: int64(d.Seconds() * opsPerSecond)}
+}
+
+func (b *workBudget) spend(n int64) bool {
+	b.left -= n
+	return b.left >= 0
 }
 
 // Trainer builds ISOMER models.
@@ -72,15 +108,11 @@ func (t *Trainer) Train(samples []core.LabeledQuery) (core.Model, error) {
 	if maxBuckets == 0 {
 		maxBuckets = 20000
 	}
-	budget := t.Opts.Budget
-	if budget == 0 {
-		budget = 30 * time.Second
-	}
 	iters := t.Opts.ScalingIters
 	if iters == 0 {
 		iters = 200
 	}
-	deadline := time.Now().Add(budget)
+	budget := newWorkBudget(t.Opts)
 
 	boxes := make([]geom.Box, len(samples))
 	for i, z := range samples {
@@ -96,13 +128,13 @@ func (t *Trainer) Train(samples []core.LabeledQuery) (core.Model, error) {
 	var buckets []geom.Box
 	if t.Opts.Nested {
 		buckets = NestedBuckets(t.Dim, boxes, maxBuckets)
-		if time.Now().After(deadline) {
+		if !budget.spend(int64(len(boxes)) * int64(len(buckets))) {
 			return nil, ErrBudget
 		}
 	} else {
 		buckets = []geom.Box{geom.UnitCube(t.Dim)}
 		for _, q := range boxes {
-			if time.Now().After(deadline) {
+			if !budget.spend(int64(len(buckets))) {
 				return nil, ErrBudget
 			}
 			if len(buckets) >= maxBuckets {
@@ -121,7 +153,7 @@ func (t *Trainer) Train(samples []core.LabeledQuery) (core.Model, error) {
 	}
 
 	// Phase 2: maximum-entropy weights by iterative proportional scaling.
-	w, err := maxEntropyWeights(buckets, samples, iters, deadline)
+	w, err := maxEntropyWeights(buckets, samples, iters, budget)
 	if err != nil {
 		return nil, err
 	}
@@ -162,13 +194,16 @@ func splitAround(b, q geom.Box) []geom.Box {
 // sweep rescales the mass inside every query region so its selectivity
 // matches the feedback, then renormalizes. For feasible constraint sets
 // this converges to the maximum-entropy consistent distribution.
-func maxEntropyWeights(buckets []geom.Box, samples []core.LabeledQuery, iters int, deadline time.Time) ([]float64, error) {
+func maxEntropyWeights(buckets []geom.Box, samples []core.LabeledQuery, iters int, budget *workBudget) ([]float64, error) {
 	n := len(buckets)
 	m := len(samples)
 	// Fraction of bucket j inside query i, stored sparsely per query.
+	// full marks buckets entirely inside the query, whose mass scales as
+	// a unit (no fractional split).
 	type entry struct {
 		j    int
 		frac float64
+		full bool
 	}
 	rows := make([][]entry, m)
 	for i, z := range samples {
@@ -177,8 +212,10 @@ func maxEntropyWeights(buckets []geom.Box, samples []core.LabeledQuery, iters in
 				continue
 			}
 			var f float64
+			full := false
 			if z.R.ContainsBox(b) {
 				f = 1
+				full = true
 			} else {
 				v := b.Volume()
 				if v == 0 {
@@ -187,10 +224,10 @@ func maxEntropyWeights(buckets []geom.Box, samples []core.LabeledQuery, iters in
 				f = z.R.IntersectBoxVolume(b) / v
 			}
 			if f > 0 {
-				rows[i] = append(rows[i], entry{j: j, frac: f})
+				rows[i] = append(rows[i], entry{j: j, frac: f, full: full})
 			}
 		}
-		if time.Now().After(deadline) {
+		if !budget.spend(int64(n)) {
 			return nil, ErrBudget
 		}
 	}
@@ -203,7 +240,11 @@ func maxEntropyWeights(buckets []geom.Box, samples []core.LabeledQuery, iters in
 
 	const floor = 1e-6
 	for sweep := 0; sweep < iters; sweep++ {
-		if time.Now().After(deadline) {
+		sweepCost := int64(0)
+		for _, r := range rows {
+			sweepCost += int64(len(r)) + 1
+		}
+		if !budget.spend(sweepCost) {
 			return nil, ErrBudget
 		}
 		worst := 0.0
@@ -222,7 +263,7 @@ func maxEntropyWeights(buckets []geom.Box, samples []core.LabeledQuery, iters in
 				continue
 			}
 			for _, e := range rows[i] {
-				if e.frac == 1 {
+				if e.full {
 					w[e.j] *= r
 				} else {
 					// Fractional overlap: split the bucket's mass

@@ -89,11 +89,15 @@ func build(points []geom.Point, depth, d int) *node {
 	sort.Slice(points, func(i, j int) bool { return points[i][axis] < points[j][axis] })
 	mid := len(points) / 2
 	// Move mid off runs of equal coordinates so both sides are non-empty.
-	for mid < len(points)-1 && points[mid][axis] == points[mid-1][axis] {
+	// The exact float comparisons are deliberate: after sorting, a "run"
+	// means bit-identical coordinates (duplicated input points), and the
+	// split must not separate them — a tolerance would merge distinct
+	// neighbors instead.
+	for mid < len(points)-1 && points[mid][axis] == points[mid-1][axis] { //selvet:ignore floateq exact comparison detects runs of duplicated coordinates after sorting
 		mid++
 	}
-	if mid == len(points)-1 && points[mid][axis] == points[mid-1][axis] {
-		for mid > 1 && points[mid][axis] == points[mid-1][axis] {
+	if mid == len(points)-1 && points[mid][axis] == points[mid-1][axis] { //selvet:ignore floateq exact comparison detects runs of duplicated coordinates after sorting
+		for mid > 1 && points[mid][axis] == points[mid-1][axis] { //selvet:ignore floateq exact comparison detects runs of duplicated coordinates after sorting
 			mid--
 		}
 	}

@@ -149,7 +149,9 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	drainCtx, cancel := context.WithTimeout(context.Background(), s.opts.DrainTimeout)
 	defer cancel()
 	if err := hs.Shutdown(drainCtx); err != nil {
-		hs.Close()
+		// Best-effort hard stop after a failed graceful drain; the drain
+		// error is the one worth reporting.
+		_ = hs.Close()
 		return fmt.Errorf("serve: drain: %w", err)
 	}
 	return nil
@@ -258,7 +260,9 @@ type apiError struct {
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(v)
+	// An encode failure here means the client hung up mid-response;
+	// there is no channel left to report it on.
+	_ = json.NewEncoder(w).Encode(v)
 }
 
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {

@@ -1,0 +1,18 @@
+#!/bin/sh
+# CI entry point: formatting gate + the full tier-1 verification
+# (build, vet, selvet static analysis with a seeded-violation self-check,
+# tests, race suite, benchmark smoke). Usable locally and from the
+# GitHub Actions workflow; requires only the Go toolchain.
+set -eux
+
+cd "$(dirname "$0")/.."
+
+# gofmt gate: a nonempty file list is a failure, printed for the log.
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "ci.sh: gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+sh scripts/verify.sh

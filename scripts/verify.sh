@@ -1,17 +1,30 @@
 #!/bin/sh
-# Tier-1 verification: build + vet everything, run the full test suite,
-# then re-run the concurrent subsystems under the race detector (the serve
-# package's whole contract is race-freedom, and internal/core carries the
-# Model concurrency-contract test).
+# Tier-1 verification: build + vet everything, gate the tree on the
+# project's own static analyzers (selvet), run the full test suite, then
+# re-run every internal package under the race detector (the serve
+# package's whole contract is race-freedom, the parallel engine and the
+# sweep fan-out are the other concurrent subsystems, and keeping the rest
+# race-clean is cheap insurance).
 set -eux
 
 go build ./...
 go vet ./...
+
+# Static-analysis gate: the determinism, concurrency, and numeric
+# contracts (detrand, maprange, floateq, lockheld, errdiscard,
+# poolcapture) must hold on every package — findings fail the build.
+go run ./cmd/selvet ./...
+
+# Prove the gate can fail: the seeded-violation fixture must be flagged.
+# If selvet ever exits 0 here, the analyzers have gone blind and the
+# clean run above means nothing.
+if go run ./cmd/selvet ./internal/analysis/testdata/src/detrand >/dev/null 2>&1; then
+    echo "verify.sh: selvet failed to flag the seeded violation fixture" >&2
+    exit 1
+fi
+
 go test ./...
-go test -race ./internal/serve/... ./internal/core/...
-# The parallel engine and the sweep fan-out are the other concurrent
-# subsystems; race-check them too.
-go test -race ./internal/parallel/... ./internal/experiments/...
+go test -race ./internal/...
 # Benchmark smoke: one iteration of the fig9 sweep under the Quick preset,
 # so a perf regression that breaks the harness is caught here rather than
 # in scripts/bench.sh.
