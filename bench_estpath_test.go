@@ -1,0 +1,138 @@
+package selest
+
+// Estimate hot-path benchmarks (DESIGN.md §10): the three serving kernels
+// — flat O(m) scan, BVH index, BVH behind the serving cache — at growing
+// bucket counts, plus end-to-end batched /v1/estimate throughput by
+// worker count. scripts/bench.sh folds these into BENCH_<n>.json with
+// intra-run speedups (flat kernel and single-worker serving as baselines).
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/bvh"
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/hist"
+	"repro/internal/rng"
+	"repro/internal/serve"
+)
+
+// estPathModel builds a k×k grid histogram (m = k² buckets) with
+// deterministic simplex weights. Training a 16k-bucket model would
+// dominate the benchmark run without changing what Estimate measures, so
+// the serving model is constructed directly.
+func estPathModel(m int) *hist.Model {
+	k := int(math.Round(math.Sqrt(float64(m))))
+	if k*k != m {
+		panic("estPathModel: m must be a perfect square")
+	}
+	buckets := make([]geom.Box, 0, m)
+	weights := make([]float64, 0, m)
+	total := 0.0
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			buckets = append(buckets, geom.NewBox(
+				geom.Point{float64(i) / float64(k), float64(j) / float64(k)},
+				geom.Point{float64(i+1) / float64(k), float64(j+1) / float64(k)},
+			))
+			w := float64((i*31+j*17)%97 + 1)
+			weights = append(weights, w)
+			total += w
+		}
+	}
+	for i := range weights {
+		weights[i] /= total
+	}
+	return &hist.Model{Buckets: buckets, Weights: weights}
+}
+
+// estPathQueries returns n deterministic random boxes over [0,1]².
+func estPathQueries(n int) []geom.Box {
+	r := rng.New(7)
+	qs := make([]geom.Box, n)
+	for i := range qs {
+		c := geom.Point{r.Float64(), r.Float64()}
+		qs[i] = geom.BoxFromCenter(c, []float64{0.02 + 0.3*r.Float64(), 0.02 + 0.3*r.Float64()})
+	}
+	return qs
+}
+
+// BenchmarkEstimatePath is the per-query latency of the three estimate
+// kernels at each bucket count the acceptance criteria name.
+func BenchmarkEstimatePath(b *testing.B) {
+	queries := estPathQueries(256)
+	for _, m := range []int{256, 1024, 4096, 16384} {
+		model := estPathModel(m)
+		b.Run(fmt.Sprintf("flat/m=%d", m), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				bvh.EstimateFlat(model.Buckets, model.Weights, queries[i%len(queries)])
+			}
+		})
+		b.Run(fmt.Sprintf("bvh/m=%d", m), func(b *testing.B) {
+			core.Accelerate(model) // build outside the timed region
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				model.Estimate(queries[i%len(queries)])
+			}
+		})
+		b.Run(fmt.Sprintf("cached/m=%d", m), func(b *testing.B) {
+			core.Accelerate(model)
+			cache := serve.NewEstimateCache(4 * len(queries))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				q := queries[i%len(queries)]
+				key, ok := serve.QueryKey(q)
+				if !ok {
+					b.Fatal("unkeyable query")
+				}
+				if _, hit := cache.Get("bench", 1, key); hit {
+					continue
+				}
+				cache.Put("bench", 1, key, model.Estimate(q))
+			}
+		})
+	}
+}
+
+// BenchmarkServeEstimateBatch is end-to-end batched /v1/estimate
+// throughput by worker count, cache disabled so every iteration measures
+// real evaluation (repeated identical batches would otherwise be pure
+// cache hits). Reports queries/s alongside ns/op.
+func BenchmarkServeEstimateBatch(b *testing.B) {
+	model := estPathModel(4096)
+	core.Accelerate(model)
+	queries := estPathQueries(256)
+	var sb strings.Builder
+	sb.WriteString(`{"queries":[`)
+	for i, q := range queries {
+		if i > 0 {
+			sb.WriteString(",")
+		}
+		fmt.Fprintf(&sb, `{"lo":[%g,%g],"hi":[%g,%g]}`, q.Lo[0], q.Lo[1], q.Hi[0], q.Hi[1])
+	}
+	sb.WriteString(`]}`)
+	body := sb.String()
+
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			s := serve.NewServer(serve.Options{EstimateWorkers: workers, EstimateCacheSize: -1})
+			s.Registry().Set(serve.DefaultModelName, "bench", model)
+			h := s.Handler()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				req := httptest.NewRequest("POST", "/v1/estimate", strings.NewReader(body))
+				w := httptest.NewRecorder()
+				h.ServeHTTP(w, req)
+				if w.Code != http.StatusOK {
+					b.Fatalf("HTTP %d: %s", w.Code, w.Body.String())
+				}
+			}
+			b.ReportMetric(float64(b.N)*float64(len(queries))/b.Elapsed().Seconds(), "queries/s")
+		})
+	}
+}

@@ -55,6 +55,8 @@ func main() {
 		interval    = flag.Duration("retrain-interval", 15*time.Second, "background retrain period")
 		tolerance   = flag.Float64("retrain-tolerance", 0, "max held-out RMS regression a retrained model may introduce and still be swapped in")
 		drain       = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain deadline")
+		cacheSize   = flag.Int("estimate-cache", 0, "generation-keyed estimate cache entries (0 = default 4096, negative disables)")
+		workers     = flag.Int("estimate-workers", 0, "workers for batched estimate requests (0 = all CPUs); responses are identical for any value")
 	)
 	flag.Var(&models, "model", "model file to preload, optionally name=path (repeatable)")
 	flag.Parse()
@@ -70,6 +72,8 @@ func main() {
 		RetrainInterval:   *interval,
 		RetrainTolerance:  *tolerance,
 		DrainTimeout:      *drain,
+		EstimateCacheSize: *cacheSize,
+		EstimateWorkers:   *workers,
 	})
 	for _, spec := range models {
 		name, path := serve.DefaultModelName, spec

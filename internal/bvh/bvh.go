@@ -18,6 +18,7 @@ package bvh
 
 import (
 	"sort"
+	"sync"
 
 	"repro/internal/geom"
 )
@@ -120,10 +121,13 @@ func (t *Tree) Estimate(r geom.Range) float64 {
 }
 
 func (t *Tree) estimate(nd *node, r geom.Range) float64 {
-	if nd.wsum == 0 || !r.IntersectsBox(nd.bbox) {
+	if nd.wsum == 0 {
 		return 0
 	}
-	if r.ContainsBox(nd.bbox) {
+	switch geom.ClassifyBox(r, nd.bbox) {
+	case geom.BoxDisjoint:
+		return 0
+	case geom.BoxContained:
 		return nd.wsum
 	}
 	if nd.idx != nil {
@@ -133,23 +137,80 @@ func (t *Tree) estimate(nd *node, r geom.Range) float64 {
 			if w == 0 {
 				continue
 			}
-			b := t.buckets[j]
-			if !r.IntersectsBox(b) {
-				continue
-			}
-			if r.ContainsBox(b) {
+			switch geom.ClassifyBox(r, t.buckets[j]) {
+			case geom.BoxDisjoint:
+			case geom.BoxContained:
 				// Zero-volume buckets behave like point masses: they
 				// contribute fully when contained (matching the flat
 				// model semantics) and nothing on partial overlap.
 				s += w
-				continue
+			default:
+				if t.invVols[j] != 0 {
+					s += r.IntersectBoxVolume(t.buckets[j]) * t.invVols[j] * w
+				}
 			}
-			if t.invVols[j] == 0 {
-				continue
-			}
-			s += r.IntersectBoxVolume(b) * t.invVols[j] * w
 		}
 		return s
 	}
 	return t.estimate(nd.lo, r) + t.estimate(nd.hi, r)
+}
+
+// EstimateFlat is the O(m) reference kernel the tree accelerates:
+// Σⱼ vol(Bⱼ∩R)/vol(Bⱼ)·wⱼ clamped to [0,1]. It is the single flat
+// implementation shared by every box-bucketed model below the indexing
+// threshold, and the ground truth the BVH property tests compare against.
+func EstimateFlat(buckets []geom.Box, weights []float64, r geom.Range) float64 {
+	s := 0.0
+	for j, b := range buckets {
+		w := weights[j]
+		if w == 0 {
+			continue
+		}
+		switch geom.ClassifyBox(r, b) {
+		case geom.BoxDisjoint:
+		case geom.BoxContained:
+			s += w
+		default:
+			if v := b.Volume(); v > 0 {
+				s += r.IntersectBoxVolume(b) / v * w
+			}
+		}
+	}
+	if s < 0 {
+		return 0
+	}
+	if s > 1 {
+		return 1
+	}
+	return s
+}
+
+// IndexThreshold is the bucket count at which box-bucketed models switch
+// from the flat kernel to a BVH walk. Below it the flat scan's tight loop
+// beats the tree's pointer chasing; above it the walk touches only the
+// O(√m) boundary buckets. The crossover was measured with the estpath
+// benchmark (cmd/selbench -estpath).
+const IndexThreshold = 64
+
+// Lazy is a lazily-built, immutably-shared BVH over a fixed bucket set.
+// The zero value is ready for use; the first Ensure call builds the tree
+// exactly once (sync.Once), after which the same *Tree is shared by every
+// concurrent reader. Models embed a Lazy so Estimate stays safe for any
+// number of goroutines while never rebuilding the index.
+type Lazy struct {
+	once sync.Once
+	tree *Tree
+}
+
+// Ensure returns the shared tree for the given buckets/weights, building
+// it on first call if the bucket count is at least IndexThreshold, and nil
+// otherwise (callers fall back to EstimateFlat). The slices are captured
+// by the built tree; callers must not mutate them afterwards — the same
+// immutability the core.Model concurrency contract already demands.
+func (l *Lazy) Ensure(buckets []geom.Box, weights []float64) *Tree {
+	if len(buckets) < IndexThreshold {
+		return nil
+	}
+	l.once.Do(func() { l.tree = Build(buckets, weights) })
+	return l.tree
 }

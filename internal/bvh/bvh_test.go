@@ -1,9 +1,10 @@
-package bvh
+package bvh_test
 
 import (
 	"math"
 	"testing"
 
+	"repro/internal/bvh"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/geom"
@@ -55,7 +56,7 @@ func randomBuckets(r *rng.RNG, n, d int) ([]geom.Box, []float64) {
 }
 
 func TestEmptyTree(t *testing.T) {
-	tr := Build(nil, nil)
+	tr := bvh.Build(nil, nil)
 	if tr.Len() != 0 {
 		t.Fatal("empty tree has buckets")
 	}
@@ -70,7 +71,7 @@ func TestMatchesFlatEvaluation(t *testing.T) {
 	r := rng.New(2024)
 	for _, d := range []int{1, 2, 3, 5} {
 		buckets, weights := randomBuckets(r, 300, d)
-		tr := Build(buckets, weights)
+		tr := bvh.Build(buckets, weights)
 		for trial := 0; trial < 40; trial++ {
 			var q geom.Range
 			switch trial % 3 {
@@ -110,11 +111,116 @@ func TestZeroVolumeBucketsConsistent(t *testing.T) {
 		geom.NewBox(geom.Point{0.7, 0}, geom.Point{0.7, 1}), // zero volume
 	}
 	weights := []float64{0.6, 0.4}
-	tr := Build(buckets, weights)
+	tr := bvh.Build(buckets, weights)
 	q := geom.UnitCube(2)
 	want := flatEstimate(buckets, weights, q)
 	if got := tr.Estimate(q); math.Abs(got-want) > 1e-12 {
 		t.Fatalf("zero-volume handling differs: bvh %v, flat %v", got, want)
+	}
+}
+
+// randomQuery draws one random range of the given class index (0 box,
+// 1 ball, 2 halfspace, 3 disc-intersection; the latter only in d=3).
+func randomQuery(r *rng.RNG, d, class int) geom.Range {
+	switch class {
+	case 0:
+		c := make(geom.Point, d)
+		s := make([]float64, d)
+		for j := 0; j < d; j++ {
+			c[j] = r.Float64()
+			s[j] = r.Float64()
+		}
+		return geom.BoxFromCenter(c, s)
+	case 1:
+		c := make(geom.Point, d)
+		for j := range c {
+			c[j] = r.Float64()
+		}
+		return geom.NewBall(c, 0.05+0.6*r.Float64())
+	case 2:
+		a := make(geom.Point, d)
+		for j := range a {
+			a[j] = 2*r.Float64() - 1
+		}
+		return geom.NewHalfspace(a, r.Float64()-0.25)
+	default:
+		return geom.NewDiscIntersection(r.Float64(), r.Float64(), 0.05+0.3*r.Float64())
+	}
+}
+
+// Property (estimate hot path): for every range type — box, ball,
+// halfspace, disc-intersection — and random bucket sets (overlapping,
+// QuickSel-style; some zero-volume), the BVH walk agrees with the flat
+// O(m) sum within 1e-9 relative error.
+func TestPropertyBVHMatchesFlatAllRangeTypes(t *testing.T) {
+	r := rng.New(2026)
+	for _, d := range []int{1, 2, 3, 5} {
+		for _, m := range []int{bvh.IndexThreshold, 300, 1000} {
+			buckets, weights := randomBuckets(r, m, d)
+			// Degrade a few buckets to zero volume (point masses).
+			for i := 0; i < m/50+1; i++ {
+				j, k := r.IntN(m), r.IntN(d)
+				buckets[j].Hi[k] = buckets[j].Lo[k]
+			}
+			tr := bvh.Build(buckets, weights)
+			for trial := 0; trial < 24; trial++ {
+				class := trial % 4
+				if class == 3 && d != 3 {
+					class = trial % 3
+				}
+				q := randomQuery(r, d, class)
+				want := bvh.EstimateFlat(buckets, weights, q)
+				got := tr.Estimate(q)
+				if math.Abs(got-want) > 1e-9*max(1, math.Abs(want)) {
+					t.Fatalf("d=%d m=%d %v: bvh %v != flat %v (rel err %g)",
+						d, m, q, got, want, math.Abs(got-want)/max(1e-300, math.Abs(want)))
+				}
+			}
+		}
+	}
+}
+
+// bvh.EstimateFlat is the exported twin of this file's reference kernel.
+func TestEstimateFlatMatchesReference(t *testing.T) {
+	r := rng.New(33)
+	buckets, weights := randomBuckets(r, 200, 2)
+	for trial := 0; trial < 30; trial++ {
+		q := randomQuery(r, 2, trial%3)
+		if got, want := bvh.EstimateFlat(buckets, weights, q), flatEstimate(buckets, weights, q); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("bvh.EstimateFlat %v != reference %v", got, want)
+		}
+	}
+}
+
+// Lazy builds once, shares the same tree across concurrent callers, and
+// declines to index tiny bucket sets.
+func TestLazyEnsure(t *testing.T) {
+	r := rng.New(44)
+	small, sw := randomBuckets(r, bvh.IndexThreshold-1, 2)
+	var ls bvh.Lazy
+	if tr := ls.Ensure(small, sw); tr != nil {
+		t.Fatalf("Lazy indexed %d buckets, below threshold %d", len(small), bvh.IndexThreshold)
+	}
+	big, bw := randomBuckets(r, 4*bvh.IndexThreshold, 2)
+	var lb bvh.Lazy
+	trees := make([]*bvh.Tree, 16)
+	done := make(chan int)
+	for i := range trees {
+		go func(i int) {
+			trees[i] = lb.Ensure(big, bw)
+			done <- i
+		}(i)
+	}
+	for range trees {
+		<-done
+	}
+	for i, tr := range trees {
+		if tr == nil || tr != trees[0] {
+			t.Fatalf("goroutine %d got tree %p, want shared %p", i, tr, trees[0])
+		}
+	}
+	if got, want := trees[0].Estimate(geom.UnitCube(2)), bvh.EstimateFlat(big, bw, geom.UnitCube(2)); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("lazy tree estimate %v != flat %v", got, want)
 	}
 }
 
@@ -127,7 +233,7 @@ func TestQuadHistModelThroughBVH(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tr := Build(m.Buckets, m.Weights)
+	tr := bvh.Build(m.Buckets, m.Weights)
 	for _, z := range test {
 		a, b := m.Estimate(z.R), tr.Estimate(z.R)
 		if math.Abs(a-b) > 1e-9 {
@@ -139,7 +245,7 @@ func TestQuadHistModelThroughBVH(t *testing.T) {
 func TestWholeSpaceEqualsWeightSum(t *testing.T) {
 	r := rng.New(7)
 	buckets, weights := randomBuckets(r, 100, 2)
-	tr := Build(buckets, weights)
+	tr := bvh.Build(buckets, weights)
 	got := tr.Estimate(geom.UnitCube(2))
 	// All buckets are inside the cube: estimate = Σw = 1.
 	if math.Abs(got-1) > 1e-9 {
@@ -153,7 +259,7 @@ func TestMismatchedLengthsPanic(t *testing.T) {
 			t.Fatal("mismatched inputs did not panic")
 		}
 	}()
-	Build(make([]geom.Box, 2), make([]float64, 3))
+	bvh.Build(make([]geom.Box, 2), make([]float64, 3))
 }
 
 func BenchmarkFlatEstimate(b *testing.B) {
@@ -169,7 +275,7 @@ func BenchmarkFlatEstimate(b *testing.B) {
 func BenchmarkBVHEstimate(b *testing.B) {
 	r := rng.New(1)
 	buckets, weights := randomBuckets(r, 4000, 2)
-	tr := Build(buckets, weights)
+	tr := bvh.Build(buckets, weights)
 	q := geom.NewBox(geom.Point{0.2, 0.2}, geom.Point{0.6, 0.6})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// volModel is a minimal deterministic Model for batch-evaluation tests.
+type volModel struct{ dim int }
+
+func (v volModel) Estimate(r geom.Range) float64 {
+	return Clamp01(r.IntersectBoxVolume(geom.UnitCube(v.dim)))
+}
+func (v volModel) NumBuckets() int { return 1 }
+
+// accelModel counts Accelerate calls.
+type accelModel struct {
+	volModel
+	accelerated int
+}
+
+func (a *accelModel) Accelerate() { a.accelerated++ }
+
+func TestAccelerateCapability(t *testing.T) {
+	if Accelerate(volModel{dim: 2}) {
+		t.Fatal("plain model reported as Accelerable")
+	}
+	a := &accelModel{volModel: volModel{dim: 2}}
+	if !Accelerate(a) || a.accelerated != 1 {
+		t.Fatalf("Accelerate helper: ok=%v calls=%d", a.accelerated == 1, a.accelerated)
+	}
+}
+
+// Estimates must return byte-identical results for any worker count and
+// for batches on both sides of the parallel threshold.
+func TestEstimatesWorkerCountInvariant(t *testing.T) {
+	for _, n := range []int{1, estimatesParallelThreshold - 1, 4 * estimatesParallelThreshold} {
+		samples := make([]LabeledQuery, n)
+		for i := range samples {
+			f := float64(i+1) / float64(n+1)
+			samples[i] = LabeledQuery{R: geom.NewBox(geom.Point{0, 0}, geom.Point{f, 1 - f/2})}
+		}
+		m := volModel{dim: 2}
+		want := make([]float64, n)
+		for i, z := range samples {
+			want[i] = m.Estimate(z.R)
+		}
+		for _, workers := range []int{0, 1, 2, 8} {
+			got := EstimatesWith(m, samples, workers)
+			if len(got) != n {
+				t.Fatalf("workers=%d: %d results, want %d", workers, len(got), n)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("workers=%d n=%d: result[%d] = %v, want %v (not byte-identical)", workers, n, i, got[i], want[i])
+				}
+			}
+		}
+		if got := Estimates(m, samples); len(got) != n {
+			t.Fatalf("Estimates returned %d results, want %d", len(got), n)
+		}
+	}
+}

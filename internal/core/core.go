@@ -10,6 +10,7 @@ import (
 	"math"
 
 	"repro/internal/geom"
+	"repro/internal/parallel"
 )
 
 // LabeledQuery is one training or test example z = (R, s) ∈ R × [0,1]:
@@ -28,11 +29,13 @@ type LabeledQuery struct {
 // both methods must be safe for any number of concurrent readers without
 // external locking — a serving layer calls Estimate from many goroutines
 // against a model that may be atomically swapped out underneath it.
-// Implementations must not lazily initialize caches, reseed generators, or
-// otherwise mutate receiver state inside Estimate/NumBuckets. All model
-// types in this repository satisfy the contract (their estimators are pure
-// reads over slices fixed at training time); internal/core's race test
-// hammers them under the race detector.
+// Implementations must not reseed generators or otherwise mutate
+// observable receiver state inside Estimate/NumBuckets. The one sanctioned
+// exception is an internally synchronized, build-exactly-once acceleration
+// index (sync.Once) whose presence never changes results beyond float
+// summation order — the BVH of the box-bucketed models. All model types in
+// this repository satisfy the contract; internal/core's race test hammers
+// them under the race detector.
 type Model interface {
 	// Estimate returns the predicted selectivity of the query range,
 	// always in [0,1].
@@ -40,6 +43,31 @@ type Model interface {
 	// NumBuckets returns the model complexity (number of histogram
 	// buckets or support points).
 	NumBuckets() int
+}
+
+// Accelerable is the capability interface of models that carry a
+// prebuildable acceleration index (the BVH of the box-bucketed
+// histograms). The serving layer and the experiment runners call
+// Accelerate through this interface — never via model type switches — so
+// any new model type opts into the fast path just by implementing it.
+type Accelerable interface {
+	Model
+	// Accelerate builds the model's acceleration index if it would pay
+	// off (idempotent, safe under concurrency). Estimate uses the index
+	// automatically whether or not Accelerate was called; calling it
+	// eagerly just moves the one-time build cost off the first query.
+	Accelerate()
+}
+
+// Accelerate eagerly builds m's acceleration index when the model offers
+// one, reporting whether it did. Publishing paths (model upload, retrain
+// hot-swap) call this so the first estimate after a swap is already fast.
+func Accelerate(m Model) bool {
+	a, ok := m.(Accelerable)
+	if ok {
+		a.Accelerate()
+	}
+	return ok
 }
 
 // Trainer is a learning procedure A: finite sample sequences → models.
@@ -79,13 +107,48 @@ func LInf(m Model, samples []LabeledQuery) float64 {
 	return worst
 }
 
-// Estimates evaluates the model on every sample, returning predictions.
+// estimatesParallelThreshold is the batch size at which Estimates fans
+// out across the shared worker pool; below it the per-region overhead
+// outweighs the estimate work.
+const estimatesParallelThreshold = 64
+
+// Estimates evaluates the model on every sample, returning predictions in
+// sample order. Large batches are evaluated on the shared deterministic
+// worker pool — each prediction lands in its own index slot, so the
+// result is byte-identical for any worker count. This is the same batched
+// kernel the serving layer's /v1/estimate uses.
 func Estimates(m Model, samples []LabeledQuery) []float64 {
-	out := make([]float64, len(samples))
-	for i, z := range samples {
-		out[i] = m.Estimate(z.R)
+	return EstimatesWith(m, samples, 0)
+}
+
+// EstimatesWith is Estimates with an explicit worker count (0 = pool
+// default, 1 = serial).
+func EstimatesWith(m Model, samples []LabeledQuery, workers int) []float64 {
+	ranges := make([]geom.Range, len(samples))
+	for i := range samples {
+		ranges[i] = samples[i].R
 	}
+	out := make([]float64, len(samples))
+	EstimateRangesInto(m, ranges, workers, out)
 	return out
+}
+
+// EstimateRangesInto evaluates the model on every range, writing
+// predictions into out (which must have len(ranges) slots) in range
+// order. It is the one batched-prediction kernel shared by Estimates and
+// the serving layer: each prediction lands in its own index slot, so the
+// output is byte-identical for any worker count. workers 0 means the
+// pool default; batches below the parallel threshold run serially.
+func EstimateRangesInto(m Model, ranges []geom.Range, workers int, out []float64) {
+	if len(out) != len(ranges) {
+		panic("core: EstimateRangesInto output length mismatch")
+	}
+	if workers <= 0 && len(ranges) < estimatesParallelThreshold {
+		workers = 1
+	}
+	parallel.ForEachChunk(len(ranges), workers, 0, func(i int) {
+		out[i] = m.Estimate(ranges[i])
+	})
 }
 
 // Clamp01 clips a prediction to the valid selectivity interval.

@@ -77,6 +77,24 @@ func (bl Ball) ContainsBox(b Box) bool {
 	return farSq <= bl.Radius*bl.Radius
 }
 
+// ClassifyBox classifies b against the ball from a single center-to-box
+// distance pass — half the work of separate IntersectsBox + ContainsBox
+// calls, which is what the BVH walk would otherwise pay per node.
+func (bl Ball) ClassifyBox(b Box) BoxRelation {
+	if b.Empty() {
+		return BoxDisjoint
+	}
+	nearSq, farSq := bl.distToBoxSq(b)
+	r2 := bl.Radius * bl.Radius
+	switch {
+	case nearSq > r2:
+		return BoxDisjoint
+	case farSq <= r2:
+		return BoxContained
+	}
+	return BoxStraddles
+}
+
 // BoundingBox returns the smallest box containing ball ∩ [0,1]^d.
 func (bl Ball) BoundingBox() Box {
 	d := bl.Dim()
@@ -214,3 +232,4 @@ func (bl Ball) String() string {
 
 var _ Range = Ball{}
 var _ Sampler = Ball{}
+var _ BoxClassifier = Ball{}

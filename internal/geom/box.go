@@ -147,6 +147,20 @@ func (b Box) ContainsBox(o Box) bool {
 	return true
 }
 
+// ClassifyBox classifies o against b in one disjointness pass, agreeing
+// exactly with the IntersectsBox/ContainsBox derivation.
+func (b Box) ClassifyBox(o Box) BoxRelation {
+	for i := range b.Lo {
+		if b.Lo[i] > o.Hi[i] || o.Lo[i] > b.Hi[i] {
+			return BoxDisjoint
+		}
+	}
+	if b.ContainsBox(o) {
+		return BoxContained
+	}
+	return BoxStraddles
+}
+
 // IntersectBoxVolume returns vol(b ∩ o) exactly.
 func (b Box) IntersectBoxVolume(o Box) float64 {
 	v := 1.0
@@ -251,3 +265,4 @@ func (b Box) String() string {
 
 var _ Range = Box{}
 var _ Sampler = Box{}
+var _ BoxClassifier = Box{}

@@ -86,6 +86,43 @@ func TestRangeContractPredicatesVsVolumes(t *testing.T) {
 	}
 }
 
+// Contract: single-pass ClassifyBox agrees exactly with the two-call
+// IntersectsBox/ContainsBox derivation for every range class, including
+// empty and degenerate boxes (the BVH prune path depends on this).
+func TestRangeContractClassifyBox(t *testing.T) {
+	r := rng.New(2029)
+	for _, d := range []int{1, 2, 3, 5} {
+		for _, rg := range randomRanges(r, d, 60) {
+			cl, ok := rg.(BoxClassifier)
+			if !ok {
+				t.Fatalf("d=%d %v: range does not implement BoxClassifier", d, rg)
+			}
+			for trial := 0; trial < 25; trial++ {
+				b := randomSubBox(r, d)
+				switch trial % 5 {
+				case 1: // degenerate: zero-volume slab
+					b.Hi[r.IntN(d)] = b.Lo[r.IntN(d)]
+				case 2: // empty in one dimension
+					i := r.IntN(d)
+					b.Lo[i], b.Hi[i] = b.Hi[i]+0.1, b.Lo[i]
+				}
+				want := BoxStraddles
+				if !rg.IntersectsBox(b) {
+					want = BoxDisjoint
+				} else if rg.ContainsBox(b) {
+					want = BoxContained
+				}
+				if got := cl.ClassifyBox(b); got != want {
+					t.Fatalf("d=%d %v box %v: ClassifyBox=%v, two-call derivation=%v", d, rg, b, got, want)
+				}
+				if got := ClassifyBox(rg, b); got != want {
+					t.Fatalf("d=%d %v box %v: ClassifyBox helper=%v, want %v", d, rg, b, got, want)
+				}
+			}
+		}
+	}
+}
+
 // Contract: Contains agrees with the box predicates on degenerate boxes.
 func TestRangeContractPointBoxAgreement(t *testing.T) {
 	r := rng.New(5)

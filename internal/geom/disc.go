@@ -84,6 +84,31 @@ func (dr DiscIntersection) ContainsBox(b Box) bool {
 	return true
 }
 
+// ClassifyBox classifies b against the range, sharing the convexity
+// arguments of IntersectsBox (minimum of g at the nearest (x,y) and
+// z = Hi[2]) and ContainsBox (maximum at an (x,y) corner and z = Lo[2]).
+func (dr DiscIntersection) ClassifyBox(b Box) BoxRelation {
+	if b.Empty() || b.Hi[2] < 0 {
+		return BoxDisjoint
+	}
+	x := clampTo(dr.Cx, b.Lo[0], b.Hi[0])
+	y := clampTo(dr.Cy, b.Lo[1], b.Hi[1])
+	if dr.g(x, y, b.Hi[2]) > 0 {
+		return BoxDisjoint
+	}
+	if b.Lo[2] < 0 {
+		return BoxStraddles
+	}
+	for _, mx := range []float64{b.Lo[0], b.Hi[0]} {
+		for _, my := range []float64{b.Lo[1], b.Hi[1]} {
+			if dr.g(mx, my, b.Lo[2]) > 0 {
+				return BoxStraddles
+			}
+		}
+	}
+	return BoxContained
+}
+
 func clampTo(v, lo, hi float64) float64 {
 	if v < lo {
 		return lo
@@ -143,3 +168,4 @@ func (dr DiscIntersection) String() string {
 
 var _ Range = DiscIntersection{}
 var _ Sampler = DiscIntersection{}
+var _ BoxClassifier = DiscIntersection{}

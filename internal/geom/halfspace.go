@@ -67,6 +67,22 @@ func (h Halfspace) ContainsBox(b Box) bool {
 	return lo >= h.B
 }
 
+// ClassifyBox classifies b against the halfspace from one min/max pass of
+// A·x over the box (IntersectsBox and ContainsBox each pay the same pass).
+func (h Halfspace) ClassifyBox(b Box) BoxRelation {
+	if b.Empty() {
+		return BoxDisjoint
+	}
+	lo, hi := h.minMaxOverBox(b)
+	switch {
+	case hi < h.B:
+		return BoxDisjoint
+	case lo >= h.B:
+		return BoxContained
+	}
+	return BoxStraddles
+}
+
 // IntersectBoxVolume returns vol({A·x ≥ B} ∩ b) exactly using the corner
 // inclusion–exclusion formula for the volume cut off a box by a hyperplane:
 //
@@ -246,3 +262,4 @@ func (h Halfspace) String() string {
 
 var _ Range = Halfspace{}
 var _ Sampler = Halfspace{}
+var _ BoxClassifier = Halfspace{}

@@ -33,6 +33,47 @@ type Range interface {
 	ContainsBox(b Box) bool
 }
 
+// BoxRelation classifies a box against a range in one shot: the box is
+// disjoint from the range, fully contained in it, or straddles its
+// boundary. It is the pruning primitive of the BVH-accelerated estimate
+// path — a contained subtree contributes its cached weight sum, a disjoint
+// subtree contributes nothing, and only straddling boxes pay for an
+// intersection volume.
+type BoxRelation int
+
+const (
+	// BoxDisjoint: range ∩ box = ∅.
+	BoxDisjoint BoxRelation = iota
+	// BoxStraddles: the box meets the range but is not contained in it.
+	BoxStraddles
+	// BoxContained: box ⊆ range.
+	BoxContained
+)
+
+// BoxClassifier is an optional capability of Range implementations that can
+// classify a box faster than separate IntersectsBox + ContainsBox calls
+// (e.g. Ball derives both answers from one center-to-box distance pass).
+// Implementations must agree exactly with the two-call derivation:
+// disjoint ⇔ !IntersectsBox, contained ⇔ IntersectsBox ∧ ContainsBox.
+type BoxClassifier interface {
+	ClassifyBox(b Box) BoxRelation
+}
+
+// ClassifyBox classifies b against r, using the range's single-pass
+// BoxClassifier when available and the two-call derivation otherwise.
+func ClassifyBox(r Range, b Box) BoxRelation {
+	if c, ok := r.(BoxClassifier); ok {
+		return c.ClassifyBox(b)
+	}
+	if !r.IntersectsBox(b) {
+		return BoxDisjoint
+	}
+	if r.ContainsBox(b) {
+		return BoxContained
+	}
+	return BoxStraddles
+}
+
 // Sampler is implemented by ranges that can draw uniform points from their
 // intersection with the unit cube. All ranges in this package implement it
 // via rejection sampling from the bounding box (Appendix A.2 of the paper).

@@ -1,0 +1,77 @@
+package hist
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bvh"
+	"repro/internal/geom"
+	"repro/internal/rng"
+)
+
+// gridModel builds a k×k grid partition of [0,1]² with random simplex
+// weights — a synthetic QUADHIST stand-in that skips training.
+func gridModel(r *rng.RNG, k int) *Model {
+	buckets := make([]geom.Box, 0, k*k)
+	weights := make([]float64, 0, k*k)
+	total := 0.0
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			buckets = append(buckets, geom.NewBox(
+				geom.Point{float64(i) / float64(k), float64(j) / float64(k)},
+				geom.Point{float64(i+1) / float64(k), float64(j+1) / float64(k)},
+			))
+			w := r.Float64()
+			weights = append(weights, w)
+			total += w
+		}
+	}
+	for i := range weights {
+		weights[i] /= total
+	}
+	return &Model{Buckets: buckets, Weights: weights}
+}
+
+// Above the indexing threshold, Estimate must route through the shared
+// BVH and agree with the flat kernel; Accelerate is idempotent and does
+// not change results.
+func TestEstimateAcceleratedMatchesFlat(t *testing.T) {
+	r := rng.New(101)
+	m := gridModel(r, 32) // 1024 buckets, well above bvh.IndexThreshold
+	queries := make([]geom.Range, 0, 30)
+	for i := 0; i < 10; i++ {
+		c := geom.Point{r.Float64(), r.Float64()}
+		queries = append(queries,
+			geom.BoxFromCenter(c, []float64{r.Float64(), r.Float64()}),
+			geom.NewBall(c, 0.05+0.4*r.Float64()),
+			geom.NewHalfspace(geom.Point{2*r.Float64() - 1, 2*r.Float64() - 1}, r.Float64()-0.25),
+		)
+	}
+	for _, q := range queries {
+		want := bvh.EstimateFlat(m.Buckets, m.Weights, q)
+		if got := m.Estimate(q); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("accelerated estimate %v != flat %v for %v", got, want, q)
+		}
+	}
+	m.Accelerate()
+	m.Accelerate() // idempotent
+	for _, q := range queries {
+		want := bvh.EstimateFlat(m.Buckets, m.Weights, q)
+		if got := m.Estimate(q); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("post-Accelerate estimate %v != flat %v for %v", got, want, q)
+		}
+	}
+}
+
+// Below the threshold the model stays on the flat kernel (no index),
+// and estimates are bit-identical to the reference sum.
+func TestEstimateSmallModelStaysFlat(t *testing.T) {
+	r := rng.New(102)
+	m := gridModel(r, 7) // 49 buckets < bvh.IndexThreshold
+	for i := 0; i < 20; i++ {
+		q := geom.BoxFromCenter(geom.Point{r.Float64(), r.Float64()}, []float64{r.Float64(), r.Float64()})
+		if got, want := m.Estimate(q), bvh.EstimateFlat(m.Buckets, m.Weights, q); got != want {
+			t.Fatalf("small-model estimate %v != flat %v", got, want)
+		}
+	}
+}

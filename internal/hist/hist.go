@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/bvh"
 	"repro/internal/core"
 	"repro/internal/geom"
 	"repro/internal/lp"
@@ -64,9 +65,17 @@ func (t *Trainer) Name() string { return "QuadHist" }
 
 // Model is a trained QUADHIST histogram: disjoint box buckets partitioning
 // [0,1]^d with simplex weights.
+//
+// Estimate is BVH-accelerated: at bvh.IndexThreshold buckets and above, a
+// lazily-built, immutably-shared tree prunes disjoint subtrees and adds
+// cached weight sums for contained ones, so large models answer in
+// roughly O(√m) instead of O(m). Buckets and Weights must not be mutated
+// after the first Estimate/Accelerate call.
 type Model struct {
 	Buckets []geom.Box
 	Weights []float64
+
+	accel bvh.Lazy
 }
 
 // Train implements core.Trainer.
@@ -151,26 +160,20 @@ func searchTau(dim int, samples []quadtree.Sample, maxBuckets int) float64 {
 // NumBuckets implements core.Model.
 func (m *Model) NumBuckets() int { return len(m.Buckets) }
 
-// Estimate implements core.Model: Equation 6, Σⱼ vol(Bⱼ∩R)/vol(Bⱼ)·wⱼ.
+// Estimate implements core.Model: Equation 6, Σⱼ vol(Bⱼ∩R)/vol(Bⱼ)·wⱼ,
+// through the shared BVH for large models and the flat kernel below the
+// indexing threshold.
 func (m *Model) Estimate(r geom.Range) float64 {
-	s := 0.0
-	for j, b := range m.Buckets {
-		w := m.Weights[j]
-		if w == 0 || !r.IntersectsBox(b) {
-			continue
-		}
-		if r.ContainsBox(b) {
-			s += w
-			continue
-		}
-		v := b.Volume()
-		if v == 0 {
-			continue
-		}
-		s += r.IntersectBoxVolume(b) / v * w
+	if t := m.accel.Ensure(m.Buckets, m.Weights); t != nil {
+		return t.Estimate(r)
 	}
-	return core.Clamp01(s)
+	return bvh.EstimateFlat(m.Buckets, m.Weights, r)
 }
+
+// Accelerate implements core.Accelerable: it forces the one-time BVH
+// build so the first estimate after a model swap is already sub-linear.
+func (m *Model) Accelerate() { m.accel.Ensure(m.Buckets, m.Weights) }
 
 var _ core.Trainer = (*Trainer)(nil)
 var _ core.Model = (*Model)(nil)
+var _ core.Accelerable = (*Model)(nil)

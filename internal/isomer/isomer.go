@@ -21,6 +21,7 @@ import (
 	"math"
 	"time"
 
+	"repro/internal/bvh"
 	"repro/internal/core"
 	"repro/internal/geom"
 )
@@ -95,10 +96,15 @@ func New(dim int) *Trainer { return &Trainer{Dim: dim} }
 func (t *Trainer) Name() string { return "Isomer" }
 
 // Model is a trained ISOMER histogram: a disjoint box partition with
-// maximum-entropy weights.
+// maximum-entropy weights. Estimate is BVH-accelerated above
+// bvh.IndexThreshold buckets (ISOMER's partitions run to 48–160× the
+// query count, so nearly every trained model is indexed); Buckets and
+// Weights must not be mutated after the first Estimate/Accelerate call.
 type Model struct {
 	Buckets []geom.Box
 	Weights []float64
+
+	accel bvh.Lazy
 }
 
 // Train implements core.Trainer. Queries must be boxes (ISOMER is an
@@ -302,26 +308,18 @@ func normalizeTo1(w []float64) {
 // NumBuckets implements core.Model.
 func (m *Model) NumBuckets() int { return len(m.Buckets) }
 
-// Estimate implements core.Model.
+// Estimate implements core.Model, via the shared BVH for large models and
+// the flat kernel below the indexing threshold.
 func (m *Model) Estimate(r geom.Range) float64 {
-	s := 0.0
-	for j, b := range m.Buckets {
-		w := m.Weights[j]
-		if w == 0 || !r.IntersectsBox(b) {
-			continue
-		}
-		if r.ContainsBox(b) {
-			s += w
-			continue
-		}
-		v := b.Volume()
-		if v == 0 {
-			continue
-		}
-		s += r.IntersectBoxVolume(b) / v * w
+	if t := m.accel.Ensure(m.Buckets, m.Weights); t != nil {
+		return t.Estimate(r)
 	}
-	return core.Clamp01(s)
+	return bvh.EstimateFlat(m.Buckets, m.Weights, r)
 }
+
+// Accelerate implements core.Accelerable (force the one-time BVH build).
+func (m *Model) Accelerate() { m.accel.Ensure(m.Buckets, m.Weights) }
 
 var _ core.Trainer = (*Trainer)(nil)
 var _ core.Model = (*Model)(nil)
+var _ core.Accelerable = (*Model)(nil)

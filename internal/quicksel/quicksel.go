@@ -18,6 +18,7 @@ import (
 	"errors"
 	"math"
 
+	"repro/internal/bvh"
 	"repro/internal/core"
 	"repro/internal/geom"
 	"repro/internal/linalg"
@@ -64,9 +65,14 @@ func New(dim int, seed uint64) *Trainer {
 func (t *Trainer) Name() string { return "QuickSel" }
 
 // Model is a trained mixture of uniforms over overlapping boxes.
+// Estimate is BVH-accelerated above bvh.IndexThreshold buckets (the sum
+// runs over buckets, not space, so overlap is fine); Buckets and Weights
+// must not be mutated after the first Estimate/Accelerate call.
 type Model struct {
 	Buckets []geom.Box
 	Weights []float64
+
+	accel bvh.Lazy
 }
 
 // Train implements core.Trainer. Query ranges must expose a bounding box;
@@ -215,26 +221,18 @@ func jitteredSubBox(b geom.Box, r *rng.RNG) geom.Box {
 func (m *Model) NumBuckets() int { return len(m.Buckets) }
 
 // Estimate implements core.Model: mixture of uniforms, Equation 6 with
-// overlapping buckets.
+// overlapping buckets, via the shared BVH for large models and the flat
+// kernel below the indexing threshold.
 func (m *Model) Estimate(r geom.Range) float64 {
-	s := 0.0
-	for j, b := range m.Buckets {
-		w := m.Weights[j]
-		if w == 0 || !r.IntersectsBox(b) {
-			continue
-		}
-		if r.ContainsBox(b) {
-			s += w
-			continue
-		}
-		v := b.Volume()
-		if v == 0 {
-			continue
-		}
-		s += r.IntersectBoxVolume(b) / v * w
+	if t := m.accel.Ensure(m.Buckets, m.Weights); t != nil {
+		return t.Estimate(r)
 	}
-	return core.Clamp01(s)
+	return bvh.EstimateFlat(m.Buckets, m.Weights, r)
 }
+
+// Accelerate implements core.Accelerable (force the one-time BVH build).
+func (m *Model) Accelerate() { m.accel.Ensure(m.Buckets, m.Weights) }
 
 var _ core.Trainer = (*Trainer)(nil)
 var _ core.Model = (*Model)(nil)
+var _ core.Accelerable = (*Model)(nil)

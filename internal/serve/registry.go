@@ -87,6 +87,9 @@ func (r *Registry) getOrCreateSlot(name string) *slot {
 // returns the new entry. Concurrent Estimate calls keep using the entry
 // they already loaded; subsequent calls see the new one.
 func (r *Registry) Set(name, source string, m core.Model) *Entry {
+	// Build the acceleration index before publishing (and outside the
+	// slot lock) so the first estimate after the swap is already fast.
+	core.Accelerate(m)
 	sl := r.getOrCreateSlot(name)
 	sl.mu.Lock()
 	defer sl.mu.Unlock()
@@ -107,6 +110,7 @@ func (r *Registry) CompareAndSwap(name, source string, old *Entry, m core.Model)
 	if !ok {
 		return nil
 	}
+	core.Accelerate(m) // pre-publish, outside the slot lock (see Set)
 	sl.mu.Lock()
 	defer sl.mu.Unlock()
 	if sl.ptr.Load() != old {

@@ -20,12 +20,14 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
 	"net/http"
+	"strings"
 	"sync"
 	"time"
 
@@ -52,6 +54,13 @@ type Options struct {
 	MaxBodyBytes int64
 	// DrainTimeout bounds graceful shutdown (default 10s).
 	DrainTimeout time.Duration
+	// EstimateCacheSize bounds the generation-keyed estimate cache
+	// (default 4096 entries; negative disables caching).
+	EstimateCacheSize int
+	// EstimateWorkers is the worker count for batched estimate requests
+	// (default 0: the shared pool's default, i.e. GOMAXPROCS unless
+	// overridden via parallel.SetDefault).
+	EstimateWorkers int
 }
 
 func (o Options) withDefaults() Options {
@@ -70,6 +79,9 @@ func (o Options) withDefaults() Options {
 	if o.DrainTimeout <= 0 {
 		o.DrainTimeout = 10 * time.Second
 	}
+	if o.EstimateCacheSize == 0 {
+		o.EstimateCacheSize = 4096
+	}
 	return o
 }
 
@@ -79,6 +91,7 @@ type Server struct {
 	registry *Registry
 	feedback *feedbackStore
 	stats    *statsSet
+	estCache *EstimateCache // nil when caching is disabled
 	started  time.Time
 
 	retrainMu    sync.Mutex
@@ -91,14 +104,19 @@ type Server struct {
 
 // NewServer builds a server with an empty registry.
 func NewServer(opts Options) *Server {
-	return &Server{
-		opts:        opts.withDefaults(),
+	opts = opts.withDefaults()
+	s := &Server{
+		opts:        opts,
 		registry:    NewRegistry(),
-		feedback:    newFeedbackStore(opts.withDefaults().FeedbackCapacity),
+		feedback:    newFeedbackStore(opts.FeedbackCapacity),
 		stats:       newStatsSet(),
 		started:     time.Now(),
 		retrainSeen: make(map[string]int64),
 	}
+	if opts.EstimateCacheSize > 0 {
+		s.estCache = NewEstimateCache(opts.EstimateCacheSize)
+	}
+	return s
 }
 
 // Registry exposes the model registry, e.g. for preloading models from
@@ -242,6 +260,7 @@ type statzResponse struct {
 	Models        []modelStatus             `json:"models"`
 	Feedback      map[string]feedbackStatus `json:"feedback"`
 	Retrainer     retrainerStatus           `json:"retrainer"`
+	EstimateCache *estimateCacheStatus      `json:"estimate_cache,omitempty"`
 }
 
 type retrainerStatus struct {
@@ -269,6 +288,22 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
 }
 
+// writeJSONBuf is writeJSON through a caller-owned reusable buffer: the
+// response is encoded once into buf and written with a single Write,
+// keeping the estimate hot path free of per-response allocations.
+func writeJSONBuf(w http.ResponseWriter, status int, v any, buf *bytes.Buffer) {
+	buf.Reset()
+	if err := json.NewEncoder(buf).Encode(v); err != nil {
+		writeError(w, http.StatusInternalServerError, "encode response: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// A short write means the client hung up mid-response; there is no
+	// channel left to report it on.
+	_, _ = w.Write(buf.Bytes())
+}
+
 // decodeBody parses a size-limited JSON request body, rejecting unknown
 // fields so client typos fail loudly instead of silently estimating the
 // wrong thing.
@@ -287,6 +322,35 @@ func modelName(name string) string {
 		return DefaultModelName
 	}
 	return name
+}
+
+// estimateScratch is the per-request working set of the estimate hot
+// path. Requests check one out of scratchPool, so steady-state serving
+// reuses the same slices and encode buffer instead of allocating per
+// request; every slot is (re)assigned before use, so nothing leaks
+// between requests.
+type estimateScratch struct {
+	ranges []geom.Range
+	keys   []string
+	miss   []int
+	missRg []geom.Range
+	missV  []float64
+	ests   []float64
+	bad    []string
+	buf    bytes.Buffer
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(estimateScratch) }}
+
+// grow reslices *s to n elements, reallocating only when the pooled
+// capacity is too small. Stale values from a previous request may remain
+// until overwritten — callers assign every slot they read.
+func grow[T any](s *[]T, n int) []T {
+	if cap(*s) < n {
+		*s = make([]T, n)
+	}
+	*s = (*s)[:n]
+	return *s
 }
 
 func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
@@ -314,26 +378,80 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	dim, _ := modelDim(entry.Model)
-	ests := make([]float64, len(queries))
+
+	sc := scratchPool.Get().(*estimateScratch)
+	defer scratchPool.Put(sc)
+	ranges := grow(&sc.ranges, len(queries))
+	bad := sc.bad[:0]
 	for i, wq := range queries {
 		q, err := wq.toRange()
+		if err == nil && dim > 0 && q.Dim() != dim {
+			err = fmt.Errorf("dimension %d, model %q has dimension %d", q.Dim(), name, dim)
+		}
 		if err != nil {
-			writeError(w, http.StatusBadRequest, "query %d: %v", i, err)
-			return
+			bad = append(bad, fmt.Sprintf("query %d: %v", i, err))
+			continue
 		}
-		if dim > 0 && q.Dim() != dim {
-			writeError(w, http.StatusBadRequest, "query %d: dimension %d, model %q has dimension %d", i, q.Dim(), name, dim)
-			return
-		}
-		ests[i] = entry.Model.Estimate(q)
+		ranges[i] = q
 	}
+	sc.bad = bad
+	if len(bad) > 0 {
+		// Report every malformed query at once so a client can fix the
+		// whole batch in one round trip.
+		writeError(w, http.StatusBadRequest, "%d of %d queries invalid: %s",
+			len(bad), len(queries), strings.Join(bad, "; "))
+		return
+	}
+
+	ests := grow(&sc.ests, len(ranges))
+	s.estimateBatch(name, entry, ranges, ests, sc)
+
 	resp := estimateResponse{Model: name, Generation: entry.Generation}
 	if single {
 		resp.Estimate = &ests[0]
 	} else {
 		resp.Estimates = ests
 	}
-	writeJSON(w, http.StatusOK, resp)
+	writeJSONBuf(w, http.StatusOK, resp, &sc.buf)
+}
+
+// estimateBatch fills ests[i] for every range, serving what it can from
+// the generation-keyed cache and evaluating the misses as one batch on
+// the shared deterministic kernel (core.EstimateRangesInto). Results are
+// index-addressed throughout, so the output is byte-identical for any
+// worker count.
+func (s *Server) estimateBatch(name string, entry *Entry, ranges []geom.Range, ests []float64, sc *estimateScratch) {
+	if s.estCache == nil {
+		core.EstimateRangesInto(entry.Model, ranges, s.opts.EstimateWorkers, ests)
+		return
+	}
+	keys := grow(&sc.keys, len(ranges))
+	miss := sc.miss[:0]
+	missRg := sc.missRg[:0]
+	for i, q := range ranges {
+		keys[i] = ""
+		if k, ok := QueryKey(q); ok {
+			keys[i] = k
+			if v, hit := s.estCache.Get(name, entry.Generation, k); hit {
+				ests[i] = v
+				continue
+			}
+		}
+		miss = append(miss, i)
+		missRg = append(missRg, q)
+	}
+	sc.miss, sc.missRg = miss, missRg
+	if len(miss) == 0 {
+		return
+	}
+	missV := grow(&sc.missV, len(miss))
+	core.EstimateRangesInto(entry.Model, missRg, s.opts.EstimateWorkers, missV)
+	for k, i := range miss {
+		ests[i] = missV[k]
+		if keys[i] != "" {
+			s.estCache.Put(name, entry.Generation, keys[i], missV[k])
+		}
+	}
 }
 
 func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
@@ -442,11 +560,16 @@ func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
 		rt.Last = &last
 	}
 	s.retrainMu.Unlock()
-	writeJSON(w, http.StatusOK, statzResponse{
+	resp := statzResponse{
 		UptimeSeconds: time.Since(s.started).Seconds(),
 		Endpoints:     s.stats.status(),
 		Models:        models,
 		Feedback:      s.feedback.status(),
 		Retrainer:     rt,
-	})
+	}
+	if s.estCache != nil {
+		ec := s.estCache.status()
+		resp.EstimateCache = &ec
+	}
+	writeJSON(w, http.StatusOK, resp)
 }

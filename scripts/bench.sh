@@ -92,7 +92,18 @@ BEGIN {
     if (!isbench) next
     name = $1
     sub(/-[0-9]+$/, "", name) # strip the GOMAXPROCS suffix
-    key = (name in id) ? id[name] : name
+    if (name ~ /^BenchmarkEstimatePath\//) {
+        # BenchmarkEstimatePath/flat/m=4096 -> estpath_flat_m4096
+        key = name
+        sub(/^BenchmarkEstimatePath\//, "estpath_", key)
+        sub(/\/m=/, "_m", key)
+    } else if (name ~ /^BenchmarkServeEstimateBatch\//) {
+        # BenchmarkServeEstimateBatch/workers=4 -> serve_batch_w4
+        key = name
+        sub(/^BenchmarkServeEstimateBatch\/workers=/, "serve_batch_w", key)
+    } else {
+        key = (name in id) ? id[name] : name
+    }
     bench[key] = name
     ns[key] = $nsfield + 0
     order[n++] = key
@@ -108,8 +119,23 @@ END {
     for (i = 0; i < n; i++) {
         key = order[i]
         printf "    \"%s\": {\"bench\": \"%s\", \"ns_per_op\": %.0f", key, bench[key], ns[key]
-        if (key in base && ns[key] > 0)
+        if (key in base && ns[key] > 0) {
             printf ", \"baseline_ns_per_op\": %.0f, \"speedup_vs_baseline\": %.2f", base[key], base[key] / ns[key]
+        } else {
+            # Intra-run baselines for benchmarks that carry their own
+            # reference arm: the flat kernel at the same bucket count for
+            # the estimate-path arms, the single-worker run for batched
+            # serving throughput.
+            ref = ""
+            if (key ~ /^estpath_(bvh|cached)_m/) {
+                ref = key
+                sub(/^estpath_[a-z]+_/, "estpath_flat_", ref)
+            } else if (key ~ /^serve_batch_w/ && key != "serve_batch_w1") {
+                ref = "serve_batch_w1"
+            }
+            if (ref != "" && ref in ns && ns[key] > 0)
+                printf ", \"baseline\": \"%s\", \"baseline_ns_per_op\": %.0f, \"speedup_vs_baseline\": %.2f", ref, ns[ref], ns[ref] / ns[key]
+        }
         printf "}%s\n", (i < n - 1) ? "," : ""
     }
     printf "  }\n}\n"

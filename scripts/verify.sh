@@ -15,6 +15,13 @@ go vet ./...
 # poolcapture) must hold on every package — findings fail the build.
 go run ./cmd/selvet ./...
 
+# The serving hot path is the contract that matters most in production:
+# re-sweep it explicitly so a selvet scope regression (e.g. a package
+# accidentally dropped from the walk) cannot silently skip the estimate
+# cache (lockheld: no I/O or estimation under the cache mutex) or the
+# batched fan-out (poolcapture: index-owned writes only).
+go run ./cmd/selvet ./internal/serve ./internal/parallel ./internal/core ./internal/bvh
+
 # Prove the gate can fail: the seeded-violation fixture must be flagged.
 # If selvet ever exits 0 here, the analyzers have gone blind and the
 # clean run above means nothing.
@@ -25,7 +32,9 @@ fi
 
 go test ./...
 go test -race ./internal/...
-# Benchmark smoke: one iteration of the fig9 sweep under the Quick preset,
-# so a perf regression that breaks the harness is caught here rather than
-# in scripts/bench.sh.
+# Benchmark smoke: one iteration of the fig9 sweep under the Quick preset
+# plus one pass over the estimate-path kernels and the batched serving
+# endpoint, so a perf regression that breaks either harness is caught here
+# rather than in scripts/bench.sh.
 go test -run '^$' -bench 'BenchmarkFig09$' -benchtime 1x .
+go test -run '^$' -bench 'BenchmarkEstimatePath/|BenchmarkServeEstimateBatch/' -benchtime 1x .
