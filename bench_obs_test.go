@@ -1,0 +1,72 @@
+package selest
+
+// Disabled-observability benchmarks (DESIGN.md §11): the instrumentation
+// compiled into the estimate hot path and the trainers must be free when
+// nobody is watching. With sampling off, span start/stop is a single
+// atomic load returning the zero Span — BenchmarkObsDisabled asserts the
+// whole instrumented sequence is 0 allocs/op and single-digit
+// nanoseconds, so the tracer can stay wired in permanently instead of
+// living behind build tags. scripts/bench.sh folds these into
+// BENCH_<n>.json.
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// sinkSpan keeps the compiler from eliding the span plumbing.
+var sinkSpan obs.Span
+
+func BenchmarkObsDisabled(b *testing.B) {
+	b.Run("span", func(b *testing.B) {
+		tr := obs.NewTracer(obs.DefaultTraceCapacity) // sampling off by default
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			root := tr.StartRoot("request")
+			child := root.Child("stage")
+			child.End()
+			root.End()
+			sinkSpan = root
+		}
+	})
+	b.Run("context", func(b *testing.B) {
+		tr := obs.NewTracer(obs.DefaultTraceCapacity)
+		ctx := context.Background()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			root := tr.StartRoot("request")
+			ctx2 := obs.ContextWithSpan(ctx, root)
+			sp := obs.SpanFromContext(ctx2)
+			sp.Child("stage").End()
+			root.End()
+		}
+	})
+	b.Run("counter", func(b *testing.B) {
+		reg := obs.NewRegistry()
+		c := reg.Counter("bench_total", "bench counter")
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Inc()
+		}
+	})
+}
+
+// TestObsDisabledAllocs is the hard acceptance gate behind the benchmark:
+// `go test` fails — not just reports — if the disabled path allocates.
+func TestObsDisabledAllocs(t *testing.T) {
+	tr := obs.NewTracer(obs.DefaultTraceCapacity)
+	ctx := context.Background()
+	if allocs := testing.AllocsPerRun(1000, func() {
+		root := tr.StartRoot("request")
+		ctx2 := obs.ContextWithSpan(ctx, root)
+		obs.SpanFromContext(ctx2).Child("stage").End()
+		root.End()
+	}); allocs != 0 {
+		t.Fatalf("disabled span path allocates %.1f per op, want 0", allocs)
+	}
+}

@@ -31,8 +31,10 @@ func main() {
 		seed     = flag.Uint64("seed", 0, "override the preset's base seed")
 		out      = flag.String("o", "", "write output to this file instead of stdout")
 		workers  = flag.Int("workers", 0, "concurrent sweep points and kernel workers (0 = all CPUs); results are identical for any value")
-		estpath  = flag.Bool("estpath", false, "benchmark the estimate hot path (flat vs BVH vs BVH+cache) and exit")
-		estIters = flag.Int("estpath-iters", 20000, "query evaluations per estimate-path cell")
+		estpath   = flag.Bool("estpath", false, "benchmark the estimate hot path (flat vs BVH vs BVH+cache) and exit")
+		estIters  = flag.Int("estpath-iters", 20000, "query evaluations per estimate-path cell")
+		trainprof = flag.Bool("trainprof", false, "print per-family training stage timings on a synthetic workload and exit")
+		trainN    = flag.Int("trainprof-queries", 200, "training queries for -trainprof")
 	)
 	flag.Parse()
 
@@ -44,6 +46,12 @@ func main() {
 	}
 	if *estpath {
 		if err := runEstPath(os.Stdout, *estIters); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *trainprof {
+		if err := runTrainProf(os.Stdout, *trainN); err != nil {
 			fatal(err)
 		}
 		return

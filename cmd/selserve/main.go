@@ -13,6 +13,8 @@
 //	curl -s localhost:8080/v1/estimate -d '{"query":{"lo":[0,0],"hi":[0.3,0.3]}}'
 //	curl -s localhost:8080/v1/feedback -d '{"observations":[{"lo":[0,0],"hi":[0.3,0.3],"sel":0.11}]}'
 //	curl -s localhost:8080/statz
+//	curl -s localhost:8080/metrics
+//	curl -s "localhost:8080/debug/trace" > trace.json   # chrome://tracing
 //
 // A -model flag may be repeated and may carry a name prefix: either
 // "m.json" (registered as "default") or "power=m.json".
@@ -22,7 +24,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 	"os/signal"
 	"strings"
@@ -57,6 +59,10 @@ func main() {
 		drain       = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain deadline")
 		cacheSize   = flag.Int("estimate-cache", 0, "generation-keyed estimate cache entries (0 = default 4096, negative disables)")
 		workers     = flag.Int("estimate-workers", 0, "workers for batched estimate requests (0 = all CPUs); responses are identical for any value")
+		logLevel    = flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
+		logJSON     = flag.Bool("log-json", false, "emit logs as JSON instead of text")
+		traceSample = flag.Int("trace-sample", 0, "trace one request in N for GET /debug/trace (0 disables, 1 traces all)")
+		pprofOn     = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	)
 	flag.Var(&models, "model", "model file to preload, optionally name=path (repeatable)")
 	flag.Parse()
@@ -66,6 +72,18 @@ func main() {
 		os.Exit(2)
 	}
 
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintf(os.Stderr, "selserve: bad -log-level %q: %v\n", *logLevel, err)
+		os.Exit(2)
+	}
+	hopts := &slog.HandlerOptions{Level: level}
+	var handler slog.Handler = slog.NewTextHandler(os.Stderr, hopts)
+	if *logJSON {
+		handler = slog.NewJSONHandler(os.Stderr, hopts)
+	}
+	logger := slog.New(handler)
+
 	srv := serve.NewServer(serve.Options{
 		FeedbackCapacity:  *feedbackCap,
 		MinRetrainSamples: *minRetrain,
@@ -74,41 +92,53 @@ func main() {
 		DrainTimeout:      *drain,
 		EstimateCacheSize: *cacheSize,
 		EstimateWorkers:   *workers,
+		TraceSample:       *traceSample,
+		EnablePprof:       *pprofOn,
+		Logger:            logger,
 	})
 	for _, spec := range models {
 		name, path := serve.DefaultModelName, spec
 		if i := strings.IndexByte(spec, '='); i >= 0 {
 			name, path = spec[:i], spec[i+1:]
 			if name == "" || path == "" {
-				fatal(fmt.Errorf("malformed -model %q, want name=path", spec))
+				fatal(logger, fmt.Errorf("malformed -model %q, want name=path", spec))
 			}
 		}
 		f, err := os.Open(path)
 		if err != nil {
-			fatal(err)
+			fatal(logger, err)
 		}
 		m, err := modelio.Load(f)
 		if cerr := f.Close(); err == nil && cerr != nil {
 			err = cerr
 		}
 		if err != nil {
-			fatal(fmt.Errorf("%s: %w", path, err))
+			fatal(logger, fmt.Errorf("%s: %w", path, err))
 		}
 		entry := srv.Registry().Set(name, "file", m)
-		log.Printf("loaded model %q from %s (%d buckets, generation %d)",
-			name, path, m.NumBuckets(), entry.Generation)
+		logger.Info("model loaded",
+			slog.String("model", name),
+			slog.String("path", path),
+			slog.Int("buckets", m.NumBuckets()),
+			slog.Int64("generation", entry.Generation),
+		)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
-	log.Printf("selserve listening on %s (%d models)", *addr, len(models))
+	logger.Info("selserve listening",
+		slog.String("addr", *addr),
+		slog.Int("models", len(models)),
+		slog.Int("trace_sample", *traceSample),
+		slog.Bool("pprof", *pprofOn),
+	)
 	if err := srv.Run(ctx, *addr); err != nil {
-		fatal(err)
+		fatal(logger, err)
 	}
-	log.Printf("selserve drained cleanly")
+	logger.Info("selserve drained cleanly")
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "selserve:", err)
+func fatal(logger *slog.Logger, err error) {
+	logger.Error("fatal", slog.String("error", err.Error()))
 	os.Exit(1)
 }

@@ -23,6 +23,7 @@ import (
 	"repro/internal/isomer"
 	"repro/internal/metrics"
 	"repro/internal/modelio"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/ptshist"
 	"repro/internal/quicksel"
@@ -41,6 +42,7 @@ func main() {
 		savePath  = flag.String("save", "", "deprecated alias for -out")
 		loadPath  = flag.String("load", "", "skip training: load a model and evaluate it on every CSV row")
 		workers   = flag.Int("workers", 0, "worker-pool size for the training kernels (0 = all CPUs); results are identical for any value")
+		tracePath = flag.String("trace", "", "write a Chrome trace-event JSON profile of the run to this file (chrome://tracing)")
 	)
 	flag.Parse()
 	if *workers < 0 {
@@ -78,10 +80,44 @@ func main() {
 	if err != nil {
 		usage(err)
 	}
+
+	// With -trace, the whole run (workload read, every training stage,
+	// evaluation) is recorded as one span tree and written as Chrome
+	// trace-event JSON on exit. Without it, root is the zero Span and
+	// every span call below is inert.
+	var tracer *obs.Tracer
+	var root obs.Span
+	if *tracePath != "" {
+		tracer = obs.NewTracer(obs.DefaultTraceCapacity)
+		tracer.SetSampling(1)
+		root = tracer.StartRoot("seltrain")
+	}
+	finishTrace := func() {
+		if tracer == nil {
+			return
+		}
+		root.End()
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := tracer.WriteChromeTrace(f); err != nil {
+			_ = f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+
+	readSpan := root.Child("read_workload")
 	samples, dim, err := workload.ReadCSV(os.Stdin, qclass)
 	if err != nil {
 		fatal(err)
 	}
+	readSpan.Items = int64(len(samples))
+	readSpan.End()
+
 	if *loadPath != "" {
 		f, err := os.Open(*loadPath)
 		if err != nil {
@@ -94,7 +130,8 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		report("(loaded "+*loadPath+")", dim, 0, len(samples), m, samples, *minSel)
+		report("(loaded "+*loadPath+")", dim, 0, len(samples), m, samples, *minSel, nil, root)
+		finishTrace()
 		return
 	}
 	if len(samples) < 4 {
@@ -113,16 +150,28 @@ func main() {
 		k = 4 * len(train)
 	}
 
+	// The TrainLog feeds two outputs from the same instrumentation: the
+	// "train" stage line of the report (always) and the stage spans of
+	// the -trace profile (when tracing).
+	tlog := obs.NewTrainLog(root)
 	var tr core.Trainer
 	switch *model {
 	case "quadhist":
-		tr = hist.New(dim, k)
+		h := hist.New(dim, k)
+		h.Log = tlog
+		tr = h
 	case "ptshist":
-		tr = ptshist.New(dim, k, *seed)
+		p := ptshist.New(dim, k, *seed)
+		p.Log = tlog
+		tr = p
 	case "quicksel":
-		tr = quicksel.New(dim, *seed)
+		q := quicksel.New(dim, *seed)
+		q.Log = tlog
+		tr = q
 	case "isomer":
-		tr = isomer.New(dim)
+		is := isomer.New(dim)
+		is.Log = tlog
+		tr = is
 	default:
 		usage(fmt.Errorf("unknown model %q", *model))
 	}
@@ -145,18 +194,25 @@ func main() {
 			fatal(err)
 		}
 	}
-	report(tr.Name(), dim, len(train), len(test), m, test, *minSel)
+	report(tr.Name(), dim, len(train), len(test), m, test, *minSel, tlog.Stats(), root)
+	finishTrace()
 }
 
 // report prints the evaluation block for a model on a test set.
-func report(name string, dim, nTrain, nTest int, m core.Model, test []core.LabeledQuery, minSel float64) {
+func report(name string, dim, nTrain, nTest int, m core.Model, test []core.LabeledQuery, minSel float64, stats *obs.TrainStats, parent obs.Span) {
+	ev := parent.Child("evaluate")
 	est := core.Estimates(m, test)
+	ev.Items = int64(nTest)
+	ev.End()
 	truth := workload.Truths(test)
 	q := metrics.SummarizeQErrors(est, truth, minSel)
 	fmt.Printf("model      %s\n", name)
 	fmt.Printf("dim        %d\n", dim)
 	fmt.Printf("train/test %d/%d\n", nTrain, nTest)
 	fmt.Printf("buckets    %d\n", m.NumBuckets())
+	if stats != nil {
+		fmt.Printf("train      %s\n", stats.Summary())
+	}
 	fmt.Printf("rms        %.5f\n", metrics.RMS(est, truth))
 	fmt.Printf("linf       %.5f\n", metrics.LInf(est, truth))
 	fmt.Printf("qerror     p50=%.3f p95=%.3f p99=%.3f max=%.3f\n", q.P50, q.P95, q.P99, q.Max)

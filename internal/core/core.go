@@ -10,6 +10,7 @@ import (
 	"math"
 
 	"repro/internal/geom"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 )
 
@@ -149,6 +150,17 @@ func EstimateRangesInto(m Model, ranges []geom.Range, workers int, out []float64
 	parallel.ForEachChunk(len(ranges), workers, 0, func(i int) {
 		out[i] = m.Estimate(ranges[i])
 	})
+}
+
+// EstimateRangesTraced is EstimateRangesInto wrapped in a child span of
+// parent named "core.estimate_ranges", annotated with the batch size. With
+// an inactive parent span the wrapper is free: the zero Span's Child and
+// End are no-ops.
+func EstimateRangesTraced(m Model, ranges []geom.Range, workers int, out []float64, parent obs.Span) {
+	sp := parent.Child("core.estimate_ranges")
+	sp.Items = int64(len(ranges))
+	EstimateRangesInto(m, ranges, workers, out)
+	sp.End()
 }
 
 // Clamp01 clips a prediction to the valid selectivity interval.

@@ -18,6 +18,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/geom"
 	"repro/internal/lp"
+	"repro/internal/obs"
 	"repro/internal/quadtree"
 	"repro/internal/solver"
 )
@@ -52,6 +53,9 @@ type Options struct {
 type Trainer struct {
 	Dim  int
 	Opts Options
+	// Log, when non-nil, collects per-stage timings and solver iteration
+	// counts (and mirrors the stages as trace spans); see obs.TrainLog.
+	Log *obs.TrainLog
 }
 
 // New returns a QUADHIST trainer with the paper's defaults: model size
@@ -98,27 +102,39 @@ func (t *Trainer) TrainHist(samples []core.LabeledQuery) (*Model, error) {
 	qsamples := makeQuadSamples(samples, t.Dim)
 	tau := t.Opts.Tau
 	if tau == 0 {
+		stage := t.Log.Stage("tau_search")
 		tau = searchTau(t.Dim, qsamples, t.Opts.MaxBuckets)
+		stage.End()
 	}
 	var opts []quadtree.Option
 	if t.Opts.MaxBuckets > 0 {
 		opts = append(opts, quadtree.WithMaxLeaves(t.Opts.MaxBuckets))
 	}
+	stage := t.Log.Stage("quadtree_build")
 	tree := quadtree.BuildFromQueries(t.Dim, qsamples, tau, opts...)
 	buckets := tree.Leaves()
+	stage.EndItems(int64(len(buckets)))
 
+	stage = t.Log.Stage("design_matrix")
 	a := core.DesignMatrixBoxes(samples, buckets)
 	s := core.Selectivities(samples)
+	stage.EndItems(int64(a.Rows) * int64(a.Cols))
+
+	stage = t.Log.Stage("solve")
 	var w []float64
 	var err error
+	var sst solver.Stats
 	if t.Opts.Objective == ObjectiveLInf {
 		w, err = lp.MinimaxWeights(a, s)
+		sst.Method = "lp_minimax"
 	} else {
-		w, err = solver.WeightsWith(t.Opts.Solver, a, s)
+		w, err = solver.WeightsWithStats(t.Opts.Solver, a, s, &sst)
 	}
+	stage.EndItems(int64(sst.Iterations))
 	if err != nil {
 		return nil, fmt.Errorf("hist: weight estimation: %w", err)
 	}
+	t.Log.SetSolver(sst.Method, sst.Iterations)
 	return &Model{Buckets: buckets, Weights: w}, nil
 }
 

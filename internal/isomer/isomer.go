@@ -24,6 +24,7 @@ import (
 	"repro/internal/bvh"
 	"repro/internal/core"
 	"repro/internal/geom"
+	"repro/internal/obs"
 )
 
 // ErrBudget is returned when training exceeds the configured budget, the
@@ -87,6 +88,9 @@ func (b *workBudget) spend(n int64) bool {
 type Trainer struct {
 	Dim  int
 	Opts Options
+	// Log, when non-nil, collects per-stage timings and solver iteration
+	// counts (and mirrors the stages as trace spans); see obs.TrainLog.
+	Log *obs.TrainLog
 }
 
 // New returns an ISOMER trainer with defaults.
@@ -131,16 +135,19 @@ func (t *Trainer) Train(samples []core.LabeledQuery) (core.Model, error) {
 
 	// Phase 1: bucket construction — flat query-boundary refinement by
 	// default, the faithful STHoles nested drilling with Options.Nested.
+	stage := t.Log.Stage("bucket_refine")
 	var buckets []geom.Box
 	if t.Opts.Nested {
 		buckets = NestedBuckets(t.Dim, boxes, maxBuckets)
 		if !budget.spend(int64(len(boxes)) * int64(len(buckets))) {
+			stage.EndItems(int64(len(buckets)))
 			return nil, ErrBudget
 		}
 	} else {
 		buckets = []geom.Box{geom.UnitCube(t.Dim)}
 		for _, q := range boxes {
 			if !budget.spend(int64(len(buckets))) {
+				stage.EndItems(int64(len(buckets)))
 				return nil, ErrBudget
 			}
 			if len(buckets) >= maxBuckets {
@@ -157,12 +164,16 @@ func (t *Trainer) Train(samples []core.LabeledQuery) (core.Model, error) {
 			buckets = next
 		}
 	}
+	stage.EndItems(int64(len(buckets)))
 
 	// Phase 2: maximum-entropy weights by iterative proportional scaling.
-	w, err := maxEntropyWeights(buckets, samples, iters, budget)
+	stage = t.Log.Stage("iterative_scaling")
+	w, sweeps, err := maxEntropyWeights(buckets, samples, iters, budget)
+	stage.EndItems(int64(sweeps))
 	if err != nil {
 		return nil, err
 	}
+	t.Log.SetSolver("iterative_scaling", sweeps)
 	return &Model{Buckets: buckets, Weights: w}, nil
 }
 
@@ -199,8 +210,9 @@ func splitAround(b, q geom.Box) []geom.Box {
 // uniform (volume-proportional) distribution — the entropy maximizer — each
 // sweep rescales the mass inside every query region so its selectivity
 // matches the feedback, then renormalizes. For feasible constraint sets
-// this converges to the maximum-entropy consistent distribution.
-func maxEntropyWeights(buckets []geom.Box, samples []core.LabeledQuery, iters int, budget *workBudget) ([]float64, error) {
+// this converges to the maximum-entropy consistent distribution. The second
+// return value is the number of sweeps that ran (for TrainStats).
+func maxEntropyWeights(buckets []geom.Box, samples []core.LabeledQuery, iters int, budget *workBudget) ([]float64, int, error) {
 	n := len(buckets)
 	m := len(samples)
 	// Fraction of bucket j inside query i, stored sparsely per query.
@@ -234,7 +246,7 @@ func maxEntropyWeights(buckets []geom.Box, samples []core.LabeledQuery, iters in
 			}
 		}
 		if !budget.spend(int64(n)) {
-			return nil, ErrBudget
+			return nil, 0, ErrBudget
 		}
 	}
 
@@ -245,13 +257,15 @@ func maxEntropyWeights(buckets []geom.Box, samples []core.LabeledQuery, iters in
 	normalizeTo1(w)
 
 	const floor = 1e-6
+	sweeps := 0
 	for sweep := 0; sweep < iters; sweep++ {
+		sweeps = sweep + 1
 		sweepCost := int64(0)
 		for _, r := range rows {
 			sweepCost += int64(len(r)) + 1
 		}
 		if !budget.spend(sweepCost) {
-			return nil, ErrBudget
+			return nil, sweeps, ErrBudget
 		}
 		worst := 0.0
 		for i, z := range samples {
@@ -285,7 +299,7 @@ func maxEntropyWeights(buckets []geom.Box, samples []core.LabeledQuery, iters in
 			break
 		}
 	}
-	return w, nil
+	return w, sweeps, nil
 }
 
 func normalizeTo1(w []float64) {

@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// chromeEvent is one Chrome trace-event ("X" = complete event with a
+// duration). Timestamps and durations are microseconds; tid groups every
+// span of one trace onto its own lane, so concurrent requests render as
+// parallel tracks in chrome://tracing / Perfetto.
+type chromeEvent struct {
+	Name string           `json:"name"`
+	Cat  string           `json:"cat"`
+	Ph   string           `json:"ph"`
+	TS   float64          `json:"ts"`
+	Dur  float64          `json:"dur"`
+	PID  int              `json:"pid"`
+	TID  uint64           `json:"tid"`
+	Args *chromeEventArgs `json:"args,omitempty"`
+}
+
+type chromeEventArgs struct {
+	Span   uint64 `json:"span"`
+	Parent uint64 `json:"parent,omitempty"`
+	Items  int64  `json:"items,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+	Overwritten     int64         `json:"overwrittenSpans,omitempty"`
+}
+
+// WriteChromeTrace exports the tracer's buffered spans as Chrome
+// trace-event JSON, loadable in chrome://tracing or https://ui.perfetto.dev.
+// Spans are emitted in deterministic (start time, span ID) order.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	spans, over := t.Snapshot()
+	events := make([]chromeEvent, 0, len(spans))
+	for _, s := range spans {
+		ev := chromeEvent{
+			Name: s.Name,
+			Cat:  "selest",
+			Ph:   "X",
+			TS:   float64(s.StartNS) / 1e3,
+			Dur:  float64(s.DurNS) / 1e3,
+			PID:  1,
+			TID:  s.TraceID,
+			Args: &chromeEventArgs{Span: s.SpanID, Parent: s.ParentID, Items: s.Items},
+		}
+		events = append(events, ev)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(chromeTrace{TraceEvents: events, DisplayTimeUnit: "ms", Overwritten: over})
+}

@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// populate builds a registry and records a fixed observation multiset
+// using `workers` goroutines — the multiset is identical for any worker
+// count, only the interleaving differs.
+func populate(workers int) *Registry {
+	r := NewRegistry()
+	c := r.Counter("selest_requests_total", "Requests.", Label{Key: "route", Value: "/v1/estimate"})
+	e := r.Counter("selest_errors_total", "Errors.", Label{Key: "route", Value: "/v1/estimate"}, Label{Key: "class", Value: "5xx"})
+	g := r.Gauge("selest_models", "Models registered.")
+	h := r.Histogram("selest_latency_seconds", "Latency.", nil, Label{Key: "route", Value: "/v1/estimate"})
+	r.CounterFunc("selest_cache_hits_total", "Cache hits.", func() int64 { return 42 })
+	r.GaugeFunc("selest_uptime_seconds", "Uptime.", func() float64 { return 3.5 })
+
+	// A fixed index space striped across the workers: the observation
+	// multiset is identical for any worker count, only the interleaving
+	// differs.
+	const total = 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < total; i += workers {
+				c.Inc()
+				if i%17 == 0 {
+					e.Inc()
+				}
+				h.Observe(float64(i%200+1) * 1e-4)
+			}
+		}(w)
+	}
+	wg.Wait()
+	g.Set(float64(workers))
+	return r
+}
+
+func render(t *testing.T, r *Registry) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	return buf.String()
+}
+
+// TestExpositionDeterministic is the tentpole guarantee: the same
+// observation multiset renders byte-identical exposition regardless of
+// how many goroutines recorded it or how their writes interleaved.
+func TestExpositionDeterministic(t *testing.T) {
+	// Same registry rendered twice: byte-identical.
+	r := populate(1)
+	if a, b := render(t, r), render(t, r); a != b {
+		t.Fatal("two renders of one registry differ")
+	}
+	// Different worker counts, same multiset: byte-identical pages,
+	// except the gauge recording the worker count itself.
+	norm := func(s string) string {
+		lines := strings.Split(s, "\n")
+		for i, l := range lines {
+			if strings.HasPrefix(l, "selest_models ") {
+				lines[i] = "selest_models X"
+			}
+		}
+		return strings.Join(lines, "\n")
+	}
+	base := norm(render(t, populate(1)))
+	for _, workers := range []int{2, 4, 8} {
+		got := norm(render(t, populate(workers)))
+		if got != base {
+			t.Fatalf("exposition differs between 1 and %d workers:\n%s\n----\n%s", workers, base, got)
+		}
+	}
+}
+
+func TestExpositionFormat(t *testing.T) {
+	r := populate(1)
+	page := render(t, r)
+	for _, want := range []string{
+		"# HELP selest_requests_total Requests.\n",
+		"# TYPE selest_requests_total counter\n",
+		`selest_requests_total{route="/v1/estimate"} 1000` + "\n",
+		`selest_errors_total{class="5xx",route="/v1/estimate"} 59` + "\n",
+		"# TYPE selest_latency_seconds histogram\n",
+		`selest_latency_seconds_bucket{route="/v1/estimate",le="+Inf"} 1000` + "\n",
+		`selest_latency_seconds_count{route="/v1/estimate"} 1000` + "\n",
+		"selest_cache_hits_total 42\n",
+		"selest_uptime_seconds 3.5\n",
+	} {
+		if !strings.Contains(page, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, page)
+		}
+	}
+	// Families are name-sorted.
+	idx := func(s string) int { return strings.Index(page, "# HELP "+s+" ") }
+	order := []string{"selest_cache_hits_total", "selest_errors_total", "selest_latency_seconds",
+		"selest_models", "selest_requests_total", "selest_uptime_seconds"}
+	for i := 1; i < len(order); i++ {
+		if idx(order[i-1]) < 0 || idx(order[i]) < 0 || idx(order[i-1]) > idx(order[i]) {
+			t.Fatalf("families not name-sorted: %s before %s", order[i-1], order[i])
+		}
+	}
+	// Histogram buckets are cumulative: the 1e-4 bound covers exactly the
+	// five i%200==0 observations of the fixed multiset.
+	if !strings.Contains(page, `selest_latency_seconds_bucket{route="/v1/estimate",le="0.0001"} 5`) {
+		t.Fatalf("first bucket wrong:\n%s", page)
+	}
+}
+
+// TestRegistryConcurrentReads hammers exposition against concurrent
+// writes; run with -race this is the registry's data-race gate. The
+// rendered page is not asserted (values are mid-flight), only that
+// rendering never tears or races.
+func TestRegistryConcurrentReads(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hot_total", "h")
+	h := r.Histogram("hot_seconds", "h", nil)
+	g := r.Gauge("hot_gauge", "h")
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.Inc()
+				h.Observe(float64(i%100) * 1e-5)
+				g.Set(float64(i))
+				if i%50 == 0 {
+					// Registration is also allowed concurrently.
+					r.Counter("late_total", "late", Label{Key: "w", Value: string(rune('a' + w))}).Inc()
+				}
+			}
+		}(w)
+	}
+	for i := 0; i < 50; i++ {
+		var buf bytes.Buffer
+		if err := r.WritePrometheus(&buf); err != nil {
+			t.Fatalf("WritePrometheus under load: %v", err)
+		}
+		if buf.Len() == 0 {
+			t.Fatal("empty exposition under load")
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestMetricsHandler(t *testing.T) {
+	r := populate(1)
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("content type %q", ct)
+	}
+	if rec.Body.String() != render(t, r) {
+		t.Fatal("handler body differs from WritePrometheus")
+	}
+}

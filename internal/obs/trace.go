@@ -1,0 +1,205 @@
+package obs
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SpanRecord is one completed span as stored in the tracer's ring.
+// Timestamps are monotonic nanoseconds since the tracer's epoch.
+type SpanRecord struct {
+	TraceID  uint64
+	SpanID   uint64
+	ParentID uint64 // 0 for root spans
+	Name     string
+	StartNS  int64
+	DurNS    int64
+	Items    int64 // optional payload size (query count, bucket count …)
+}
+
+// Tracer collects hierarchical spans into a bounded in-memory ring.
+//
+// Sampling is counter-based 1-in-N: SetSampling(1) traces every root,
+// SetSampling(100) every hundredth, SetSampling(0) — the default — turns
+// tracing off. An unsampled root yields the zero Span, whose Child/End
+// are no-ops, so a fully instrumented hot path costs one atomic load and
+// zero allocations when tracing is off (BenchmarkObsDisabled asserts
+// this; instrumentation therefore stays compiled in).
+//
+// The ring overwrites its oldest records under sustained tracing — the
+// export endpoints are for "what is the server doing right now", not a
+// durable log.
+type Tracer struct {
+	sample atomic.Int64 // 0 = off; N = trace 1 in N roots
+	seq    atomic.Uint64
+	roots  atomic.Uint64
+	epoch  time.Time
+
+	mu          sync.Mutex
+	buf         []SpanRecord
+	next        int // ring cursor
+	n           int // filled entries
+	overwritten int64
+}
+
+// DefaultTraceCapacity is the span-ring size used when NewTracer gets a
+// non-positive capacity.
+const DefaultTraceCapacity = 4096
+
+// NewTracer returns a tracer with sampling off.
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	return &Tracer{epoch: monotonicNow(), buf: make([]SpanRecord, capacity)}
+}
+
+// SetSampling sets the root-span sampling rate: 0 disables tracing, 1
+// traces every root, n traces one root in n.
+func (t *Tracer) SetSampling(n int) {
+	if t == nil {
+		return
+	}
+	if n < 0 {
+		n = 0
+	}
+	t.sample.Store(int64(n))
+}
+
+// Sampling returns the current 1-in-N rate (0 = off).
+func (t *Tracer) Sampling() int {
+	if t == nil {
+		return 0
+	}
+	return int(t.sample.Load())
+}
+
+// sinceEpoch is the tracer's monotonic clock.
+func (t *Tracer) sinceEpoch() int64 {
+	return int64(monotonicSince(t.epoch))
+}
+
+// Span is a live span handle. The zero Span is inert: Child returns
+// another zero Span and End does nothing, without reading the clock or
+// allocating — the entire cost of disabled tracing.
+type Span struct {
+	t        *Tracer
+	trace    uint64
+	id       uint64
+	parent   uint64
+	start    int64
+	spanName string
+	// Items annotates the span with a payload size (query count, bucket
+	// count, …); set it before End. Zero means unannotated.
+	Items int64
+}
+
+// StartRoot begins a new trace if the sampler admits it, returning the
+// root span (or the zero Span when tracing is off or the root was
+// sampled out).
+func (t *Tracer) StartRoot(name string) Span {
+	if t == nil {
+		return Span{}
+	}
+	n := t.sample.Load()
+	if n <= 0 {
+		return Span{}
+	}
+	if n > 1 && (t.roots.Add(1)-1)%uint64(n) != 0 {
+		return Span{}
+	}
+	id := t.seq.Add(1)
+	return Span{t: t, trace: id, id: id, start: t.sinceEpoch(), spanName: name}
+}
+
+// Active reports whether the span is recording (false for the zero Span).
+func (s Span) Active() bool { return s.t != nil }
+
+// TraceID returns the span's trace identifier (0 for the zero Span).
+func (s Span) TraceID() uint64 { return s.trace }
+
+// Child starts a sub-span of s. On a zero Span it returns the zero Span.
+func (s Span) Child(name string) Span {
+	if s.t == nil {
+		return Span{}
+	}
+	return Span{t: s.t, trace: s.trace, id: s.t.seq.Add(1), parent: s.id, start: s.t.sinceEpoch(), spanName: name}
+}
+
+// End completes the span and commits it to the tracer's ring. No-op on
+// the zero Span.
+func (s Span) End() {
+	if s.t == nil {
+		return
+	}
+	end := s.t.sinceEpoch()
+	s.t.record(SpanRecord{
+		TraceID:  s.trace,
+		SpanID:   s.id,
+		ParentID: s.parent,
+		Name:     s.spanName,
+		StartNS:  s.start,
+		DurNS:    end - s.start,
+		Items:    s.Items,
+	})
+}
+
+func (t *Tracer) record(r SpanRecord) {
+	t.mu.Lock()
+	if t.n == len(t.buf) {
+		t.overwritten++
+	} else {
+		t.n++
+	}
+	t.buf[t.next] = r
+	t.next = (t.next + 1) % len(t.buf)
+	t.mu.Unlock()
+}
+
+// Snapshot returns the buffered spans ordered by start time (ties broken
+// by span ID), plus how many older spans the ring has overwritten.
+func (t *Tracer) Snapshot() ([]SpanRecord, int64) {
+	if t == nil {
+		return nil, 0
+	}
+	t.mu.Lock()
+	out := make([]SpanRecord, t.n)
+	if t.n == len(t.buf) {
+		copy(out, t.buf[t.next:])
+		copy(out[len(t.buf)-t.next:], t.buf[:t.next])
+	} else {
+		copy(out, t.buf[:t.n])
+	}
+	over := t.overwritten
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].StartNS != out[j].StartNS {
+			return out[i].StartNS < out[j].StartNS
+		}
+		return out[i].SpanID < out[j].SpanID
+	})
+	return out, over
+}
+
+// ---- context propagation --------------------------------------------------
+
+type spanCtxKey struct{}
+
+// ContextWithSpan attaches a span to a context (the serving layer hands
+// the per-request root to its handlers this way). Attaching the zero Span
+// returns ctx unchanged, keeping the disabled path allocation-free.
+func ContextWithSpan(ctx context.Context, s Span) context.Context {
+	if !s.Active() {
+		return ctx
+	}
+	return context.WithValue(ctx, spanCtxKey{}, s)
+}
+
+// SpanFromContext returns the span attached to ctx, or the zero Span.
+func SpanFromContext(ctx context.Context) Span {
+	s, _ := ctx.Value(spanCtxKey{}).(Span)
+	return s
+}

@@ -1,0 +1,249 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+)
+
+func TestTracerHierarchy(t *testing.T) {
+	tr := NewTracer(16)
+	tr.SetSampling(1)
+	root := tr.StartRoot("root")
+	if !root.Active() {
+		t.Fatal("sampled root must be active")
+	}
+	c1 := root.Child("first")
+	c1.Items = 7
+	c1.End()
+	c2 := root.Child("second")
+	c2.End()
+	root.End()
+
+	spans, over := tr.Snapshot()
+	if over != 0 {
+		t.Fatalf("overwritten = %d, want 0", over)
+	}
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	// Snapshot orders by start time: root started first.
+	if spans[0].Name != "root" || spans[0].ParentID != 0 {
+		t.Fatalf("first span = %+v, want root", spans[0])
+	}
+	if spans[1].Name != "first" || spans[1].ParentID != spans[0].SpanID {
+		t.Fatalf("child parent linkage wrong: %+v", spans[1])
+	}
+	if spans[1].Items != 7 {
+		t.Fatalf("Items not committed: %+v", spans[1])
+	}
+	for _, s := range spans[1:] {
+		if s.TraceID != spans[0].TraceID {
+			t.Fatalf("span %q left the trace: %+v", s.Name, s)
+		}
+	}
+	if spans[0].DurNS < spans[1].DurNS {
+		t.Fatal("root ended after its children; duration must cover them")
+	}
+}
+
+func TestTracerSampling(t *testing.T) {
+	tr := NewTracer(64)
+	// Default: off.
+	if s := tr.StartRoot("off"); s.Active() {
+		t.Fatal("tracing must default to off")
+	}
+	// 1-in-3: exactly ceil(9/3) of 9 roots admitted.
+	tr.SetSampling(3)
+	active := 0
+	for i := 0; i < 9; i++ {
+		s := tr.StartRoot("r")
+		if s.Active() {
+			active++
+			s.End()
+		}
+	}
+	if active != 3 {
+		t.Fatalf("1-in-3 sampling admitted %d of 9 roots", active)
+	}
+	// Back off: zero spans, and children of zero spans stay zero.
+	tr.SetSampling(0)
+	s := tr.StartRoot("r")
+	c := s.Child("c")
+	if s.Active() || c.Active() || c.TraceID() != 0 {
+		t.Fatal("disabled tracer must hand out zero spans")
+	}
+	c.End() // must not panic or record
+	if spans, _ := tr.Snapshot(); len(spans) != 3 {
+		t.Fatalf("ring has %d spans, want the 3 sampled ones", len(spans))
+	}
+}
+
+func TestTracerRingOverwrite(t *testing.T) {
+	tr := NewTracer(4)
+	tr.SetSampling(1)
+	for i := 0; i < 10; i++ {
+		tr.StartRoot("r").End()
+	}
+	spans, over := tr.Snapshot()
+	if len(spans) != 4 {
+		t.Fatalf("ring holds %d, want capacity 4", len(spans))
+	}
+	if over != 6 {
+		t.Fatalf("overwritten = %d, want 6", over)
+	}
+	// The survivors are the newest 4 (span IDs 7..10).
+	for _, s := range spans {
+		if s.SpanID <= 6 {
+			t.Fatalf("old span survived overwrite: %+v", s)
+		}
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	tr := NewTracer(16)
+	tr.SetSampling(1)
+	root := tr.StartRoot("root")
+	ch := root.Child("stage")
+	ch.Items = 3
+	ch.End()
+	root.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			TS   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			TID  uint64  `json:"tid"`
+			Args struct {
+				Span   uint64 `json:"span"`
+				Parent uint64 `json:"parent"`
+				Items  int64  `json:"items"`
+			} `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace JSON invalid: %v\n%s", err, buf.String())
+	}
+	if len(doc.TraceEvents) != 2 {
+		t.Fatalf("got %d events, want 2", len(doc.TraceEvents))
+	}
+	ev0, ev1 := doc.TraceEvents[0], doc.TraceEvents[1]
+	if ev0.Name != "root" || ev1.Name != "stage" {
+		t.Fatalf("event order/names: %q, %q", ev0.Name, ev1.Name)
+	}
+	if ev0.Ph != "X" || ev1.Ph != "X" {
+		t.Fatal("events must be complete ('X') events")
+	}
+	if ev1.Args.Parent != ev0.Args.Span || ev1.Args.Items != 3 {
+		t.Fatalf("child args wrong: %+v", ev1.Args)
+	}
+	if ev0.TID != ev1.TID {
+		t.Fatal("spans of one trace must share a tid lane")
+	}
+}
+
+func TestContextPropagation(t *testing.T) {
+	ctx := context.Background()
+	// Attaching the zero span returns ctx unchanged (no allocation).
+	if got := ContextWithSpan(ctx, Span{}); got != ctx {
+		t.Fatal("zero span must not wrap the context")
+	}
+	if s := SpanFromContext(ctx); s.Active() {
+		t.Fatal("empty context must yield the zero span")
+	}
+	tr := NewTracer(4)
+	tr.SetSampling(1)
+	root := tr.StartRoot("root")
+	ctx2 := ContextWithSpan(ctx, root)
+	got := SpanFromContext(ctx2)
+	if !got.Active() || got.TraceID() != root.TraceID() {
+		t.Fatal("span did not round-trip through the context")
+	}
+}
+
+func TestTrainLog(t *testing.T) {
+	tr := NewTracer(16)
+	tr.SetSampling(1)
+	root := tr.StartRoot("train")
+	l := NewTrainLog(root)
+	if !l.Span().Active() {
+		t.Fatal("TrainLog must expose its parent span")
+	}
+	st := l.Stage("build")
+	st.EndItems(128)
+	l.Stage("solve").End()
+	l.SetSolver("pgd", 42)
+	root.End()
+
+	stats := l.Stats()
+	if len(stats.Stages) != 2 || stats.Stages[0].Name != "build" || stats.Stages[1].Name != "solve" {
+		t.Fatalf("stages = %+v", stats.Stages)
+	}
+	if stats.Stages[0].Items != 128 {
+		t.Fatalf("items = %d, want 128", stats.Stages[0].Items)
+	}
+	if stats.SolverMethod != "pgd" || stats.SolverIterations != 42 {
+		t.Fatalf("solver = %q/%d", stats.SolverMethod, stats.SolverIterations)
+	}
+	if stats.TotalSeconds <= 0 {
+		t.Fatal("total must be positive")
+	}
+	if stats.StageSeconds("build") <= 0 || stats.StageSeconds("absent") != 0 {
+		t.Fatal("StageSeconds lookup wrong")
+	}
+	sum := stats.Summary()
+	for _, want := range []string{"stages build=", "(128)", "solve=", "solver pgd iters=42", "total "} {
+		if !bytes.Contains([]byte(sum), []byte(want)) {
+			t.Fatalf("summary %q missing %q", sum, want)
+		}
+	}
+	// The stages also landed as spans under the root.
+	spans, _ := tr.Snapshot()
+	if len(spans) != 3 {
+		t.Fatalf("trace has %d spans, want root+2 stages", len(spans))
+	}
+}
+
+func TestTrainLogNilSafe(t *testing.T) {
+	var l *TrainLog
+	st := l.Stage("x")
+	st.End()
+	st.EndItems(5)
+	l.SetSolver("m", 1)
+	if l.Stats() != nil {
+		t.Fatal("nil log must yield nil stats")
+	}
+	if l.Span().Active() {
+		t.Fatal("nil log must yield the zero span")
+	}
+	var s *TrainStats
+	if s.Summary() != "" || s.StageSeconds("x") != 0 {
+		t.Fatal("nil TrainStats must be inert")
+	}
+}
+
+// TestDisabledPathZeroAlloc is the unit-level twin of
+// BenchmarkObsDisabled: the fully instrumented hot path must not
+// allocate when tracing is off.
+func TestDisabledPathZeroAlloc(t *testing.T) {
+	tr := NewTracer(16) // sampling off by default
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(1000, func() {
+		root := tr.StartRoot("request")
+		ctx2 := ContextWithSpan(ctx, root)
+		child := SpanFromContext(ctx2).Child("stage")
+		child.End()
+		root.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled tracing allocates %.1f per op, want 0", allocs)
+	}
+}

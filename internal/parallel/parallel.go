@@ -58,6 +58,40 @@ func Workers(n int) int {
 	return n
 }
 
+// Pool utilization counters, exported through Stats for the obs metrics
+// bridge. They are observational only — nothing in the scheduler reads
+// them back — so the determinism contract is untouched.
+var (
+	statRegions   atomic.Int64 // parallel regions entered (n > 0)
+	statSerial    atomic.Int64 // regions that ran serially (1 worker)
+	statSpawned   atomic.Int64 // extra worker goroutines spawned
+	statSaturated atomic.Int64 // regions cut short by an empty token bucket
+)
+
+// Stats is a snapshot of the pool's lifetime utilization counters.
+type Stats struct {
+	// Regions is the number of parallel regions entered.
+	Regions int64
+	// Serial is how many of those ran single-threaded (small n or
+	// workers=1).
+	Serial int64
+	// Spawned is the total number of extra worker goroutines started.
+	Spawned int64
+	// Saturated counts regions that stopped spawning because the
+	// process-wide token bucket was empty (nested parallelism).
+	Saturated int64
+}
+
+// ReadStats returns the current pool utilization counters.
+func ReadStats() Stats {
+	return Stats{
+		Regions:   statRegions.Load(),
+		Serial:    statSerial.Load(),
+		Spawned:   statSpawned.Load(),
+		Saturated: statSaturated.Load(),
+	}
+}
+
 // tokens bounds the number of extra worker goroutines alive at any moment
 // across every parallel region in the process. The caller's goroutine
 // always participates for free, so total concurrency is ≤ 2·GOMAXPROCS
@@ -93,11 +127,13 @@ func forEachChunked(n, workers, chunk int, fn func(i int)) {
 	if n <= 0 {
 		return
 	}
+	statRegions.Add(1)
 	workers = Workers(workers)
 	if workers > n {
 		workers = n
 	}
 	if workers == 1 {
+		statSerial.Add(1)
 		for i := 0; i < n; i++ {
 			fn(i)
 		}
@@ -133,9 +169,11 @@ func forEachChunked(n, workers, chunk int, fn func(i int)) {
 		select {
 		case tokens <- struct{}{}:
 		default:
+			statSaturated.Add(1)
 			w = workers // bucket empty: stop spawning
 			continue
 		}
+		statSpawned.Add(1)
 		wg.Add(1)
 		go func() {
 			defer func() {

@@ -18,6 +18,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/geom"
 	"repro/internal/lp"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/solver"
 )
@@ -44,6 +45,9 @@ type Options struct {
 type Trainer struct {
 	Dim  int
 	Opts Options
+	// Log, when non-nil, collects per-stage timings and solver iteration
+	// counts (and mirrors the stages as trace spans); see obs.TrainLog.
+	Log *obs.TrainLog
 }
 
 // New returns a PTSHIST trainer with model size k.
@@ -77,19 +81,30 @@ func (t *Trainer) TrainHist(samples []core.LabeledQuery) (*Model, error) {
 	if t.Opts.K <= 0 {
 		return nil, errors.New("ptshist: model size K must be positive")
 	}
+	stage := t.Log.Stage("sample_points")
 	pts := t.SamplePoints(samples)
+	stage.EndItems(int64(len(pts)))
+
+	stage = t.Log.Stage("design_matrix")
 	a := core.DesignMatrixPoints(samples, pts)
 	s := core.Selectivities(samples)
+	stage.EndItems(int64(a.Rows) * int64(a.Cols))
+
+	stage = t.Log.Stage("solve")
 	var w []float64
 	var err error
+	var sst solver.Stats
 	if t.Opts.LInfObjective {
 		w, err = lp.MinimaxWeights(a, s)
+		sst.Method = "lp_minimax"
 	} else {
-		w, err = solver.WeightsWith(t.Opts.Solver, a, s)
+		w, err = solver.WeightsWithStats(t.Opts.Solver, a, s, &sst)
 	}
+	stage.EndItems(int64(sst.Iterations))
 	if err != nil {
 		return nil, fmt.Errorf("ptshist: weight estimation: %w", err)
 	}
+	t.Log.SetSolver(sst.Method, sst.Iterations)
 	return &Model{Points: pts, Weights: w}, nil
 }
 

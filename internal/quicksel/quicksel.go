@@ -22,6 +22,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/geom"
 	"repro/internal/linalg"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/solver"
 )
@@ -54,6 +55,9 @@ type Options struct {
 type Trainer struct {
 	Dim  int
 	Opts Options
+	// Log, when non-nil, collects per-stage timings and solver iteration
+	// counts (and mirrors the stages as trace spans); see obs.TrainLog.
+	Log *obs.TrainLog
 }
 
 // New returns a QUICKSEL trainer with the 4× bucket convention.
@@ -95,6 +99,7 @@ func (t *Trainer) Train(samples []core.LabeledQuery) (core.Model, error) {
 	// Bucket generation: each query contributes its own box plus
 	// (mult−1) jittered sub-boxes of it, QuickSel's sampling of the
 	// "intersection lattice" of the workload.
+	stage := t.Log.Stage("bucket_sample")
 	buckets := make([]geom.Box, 0, mult*len(samples)+1)
 	buckets = append(buckets, geom.UnitCube(t.Dim)) // background bucket
 	for _, z := range samples {
@@ -104,17 +109,25 @@ func (t *Trainer) Train(samples []core.LabeledQuery) (core.Model, error) {
 			buckets = append(buckets, jitteredSubBox(qb, r))
 		}
 	}
+	stage.EndItems(int64(len(buckets)))
 
+	stage = t.Log.Stage("design_matrix")
 	a := core.DesignMatrixBoxes(samples, buckets)
 	s := core.Selectivities(samples)
+	stage.EndItems(int64(a.Rows) * int64(a.Cols))
+
 	if t.Opts.ExactQP {
+		stage = t.Log.Stage("solve")
 		w, err := exactQPWeights(a, s)
+		stage.End()
 		if err != nil {
 			return nil, err
 		}
+		t.Log.SetSolver("exact_qp", 0)
 		return &Model{Buckets: buckets, Weights: w}, nil
 	}
 	// Regularization rows: √μ·(w − u) ≈ 0.
+	stage = t.Log.Stage("solve")
 	n := len(buckets)
 	m := len(samples)
 	aug := linalg.NewMatrix(m+n, n)
@@ -127,10 +140,13 @@ func (t *Trainer) Train(samples []core.LabeledQuery) (core.Model, error) {
 		aug.Set(m+j, j, sqrtMu)
 		rhs[m+j] = sqrtMu * u
 	}
-	w, err := solver.WeightsWith(t.Opts.Solver, aug, rhs)
+	var sst solver.Stats
+	w, err := solver.WeightsWithStats(t.Opts.Solver, aug, rhs, &sst)
+	stage.EndItems(int64(sst.Iterations))
 	if err != nil {
 		return nil, err
 	}
+	t.Log.SetSolver(sst.Method, sst.Iterations)
 	return &Model{Buckets: buckets, Weights: w}, nil
 }
 

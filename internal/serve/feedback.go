@@ -2,10 +2,12 @@ package serve
 
 import (
 	"context"
+	"log/slog"
 	"sync"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // ring is a bounded FIFO of labeled queries with drop-oldest backpressure:
@@ -93,6 +95,18 @@ func (s *feedbackStore) Snapshot(name string) ([]core.LabeledQuery, int64) {
 	return r.snapshot(), r.total
 }
 
+// Totals sums observations ever added and ever dropped across all rings
+// (the obs metrics bridge reads these at exposition time).
+func (s *feedbackStore) Totals() (total, dropped int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, r := range s.rings {
+		total += r.total
+		dropped += r.drop
+	}
+	return total, dropped
+}
+
 // Names returns every model name with buffered feedback.
 func (s *feedbackStore) Names() []string {
 	s.mu.Lock()
@@ -129,13 +143,14 @@ func (s *feedbackStore) status() map[string]feedbackStatus {
 
 // RetrainResult describes one retrain attempt, for /statz and tests.
 type RetrainResult struct {
-	Model        string  `json:"model"`
-	Samples      int     `json:"samples"`
-	CandidateRMS float64 `json:"candidate_rms"`
-	CurrentRMS   float64 `json:"current_rms"`
-	Swapped      bool    `json:"swapped"`
-	Generation   int64   `json:"generation,omitempty"`
-	Err          string  `json:"error,omitempty"`
+	Model        string          `json:"model"`
+	Samples      int             `json:"samples"`
+	CandidateRMS float64         `json:"candidate_rms"`
+	CurrentRMS   float64         `json:"current_rms"`
+	Swapped      bool            `json:"swapped"`
+	Generation   int64           `json:"generation,omitempty"`
+	Err          string          `json:"error,omitempty"`
+	Train        *obs.TrainStats `json:"train,omitempty"`
 }
 
 // retrainLoop periodically refits every model that has accumulated enough
@@ -185,6 +200,9 @@ func (s *Server) retrainModel(name string) (RetrainResult, bool) {
 	s.retrainSeen[name] = total
 	s.retrainMu.Unlock()
 
+	sp := s.tracer.StartRoot("serve.retrain")
+	defer sp.End()
+
 	entry, ok := s.registry.Get(name)
 	if !ok {
 		return s.finishRetrain(RetrainResult{Model: name, Err: "model not registered"})
@@ -205,19 +223,21 @@ func (s *Server) retrainModel(name string) (RetrainResult, bool) {
 		val = train
 	}
 
-	tr, err := trainerFor(entry.Model, len(train), uint64(total))
+	tlog := obs.NewTrainLog(sp)
+	tr, err := trainerFor(entry.Model, len(train), uint64(total), tlog)
 	if err != nil {
 		return s.finishRetrain(RetrainResult{Model: name, Samples: len(samples), Err: err.Error()})
 	}
 	cand, err := tr.Train(train)
 	if err != nil {
-		return s.finishRetrain(RetrainResult{Model: name, Samples: len(samples), Err: err.Error()})
+		return s.finishRetrain(RetrainResult{Model: name, Samples: len(samples), Err: err.Error(), Train: tlog.Stats()})
 	}
 	res := RetrainResult{
 		Model:        name,
 		Samples:      len(samples),
 		CandidateRMS: core.RMS(cand, val),
 		CurrentRMS:   core.RMS(entry.Model, val),
+		Train:        tlog.Stats(),
 	}
 	if res.CandidateRMS <= res.CurrentRMS+s.opts.RetrainTolerance {
 		// CompareAndSwap so a concurrent upload beats a stale retrain.
@@ -229,7 +249,8 @@ func (s *Server) retrainModel(name string) (RetrainResult, bool) {
 	return s.finishRetrain(res)
 }
 
-// finishRetrain records the result in the retrainer counters.
+// finishRetrain records the result in the retrainer counters and logs the
+// outcome when a logger is attached.
 func (s *Server) finishRetrain(res RetrainResult) (RetrainResult, bool) {
 	s.retrainMu.Lock()
 	s.retrainRuns++
@@ -237,9 +258,29 @@ func (s *Server) finishRetrain(res RetrainResult) (RetrainResult, bool) {
 		s.retrainSwaps++
 	}
 	if res.Err != "" {
+		s.retrainErrs++
 		s.retrainErr = res.Err
 	}
 	s.lastRetrain = res
 	s.retrainMu.Unlock()
+	if s.logger != nil {
+		attrs := []slog.Attr{
+			slog.String("model", res.Model),
+			slog.Int("samples", res.Samples),
+			slog.Bool("swapped", res.Swapped),
+		}
+		if res.Err != "" {
+			attrs = append(attrs, slog.String("error", res.Err))
+			s.logger.LogAttrs(context.Background(), slog.LevelError, "retrain failed", attrs...)
+		} else {
+			attrs = append(attrs,
+				slog.Float64("candidate_rms", res.CandidateRMS),
+				slog.Float64("current_rms", res.CurrentRMS))
+			if res.Train != nil {
+				attrs = append(attrs, slog.String("train", res.Train.Summary()))
+			}
+			s.logger.LogAttrs(context.Background(), slog.LevelInfo, "retrain finished", attrs...)
+		}
+	}
 	return res, true
 }

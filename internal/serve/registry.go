@@ -11,6 +11,7 @@ import (
 	"repro/internal/gmm"
 	"repro/internal/hist"
 	"repro/internal/isomer"
+	"repro/internal/obs"
 	"repro/internal/ptshist"
 	"repro/internal/quicksel"
 )
@@ -189,9 +190,10 @@ func modelDim(m core.Model) (int, bool) {
 const maxRetrainBuckets = 512
 
 // trainerFor builds a trainer of the same family as m, sized for a
-// feedback batch of n queries. The retrainer refits with the same method
-// that produced the serving model, per the paper's online-learning loop.
-func trainerFor(m core.Model, n int, seed uint64) (core.Trainer, error) {
+// feedback batch of n queries, with its TrainLog attached (log may be
+// nil). The retrainer refits with the same method that produced the
+// serving model, per the paper's online-learning loop.
+func trainerFor(m core.Model, n int, seed uint64, log *obs.TrainLog) (core.Trainer, error) {
 	dim, ok := modelDim(m)
 	if !ok {
 		return nil, fmt.Errorf("serve: cannot infer dimensionality of empty %s model", modelTypeName(m))
@@ -199,13 +201,21 @@ func trainerFor(m core.Model, n int, seed uint64) (core.Trainer, error) {
 	buckets := min(4*n, maxRetrainBuckets)
 	switch m.(type) {
 	case *hist.Model:
-		return hist.New(dim, buckets), nil
+		tr := hist.New(dim, buckets)
+		tr.Log = log
+		return tr, nil
 	case *ptshist.Model:
-		return ptshist.New(dim, buckets, seed), nil
+		tr := ptshist.New(dim, buckets, seed)
+		tr.Log = log
+		return tr, nil
 	case *quicksel.Model:
-		return quicksel.New(dim, seed), nil
+		tr := quicksel.New(dim, seed)
+		tr.Log = log
+		return tr, nil
 	case *isomer.Model:
-		return isomer.New(dim), nil
+		tr := isomer.New(dim)
+		tr.Log = log
+		return tr, nil
 	}
 	return nil, fmt.Errorf("serve: no retrainer for model type %s", modelTypeName(m))
 }

@@ -370,7 +370,7 @@ func TestTrainerForAllFamilies(t *testing.T) {
 	train, _ := fixture(t, 40, 5)
 	models := []core.Model{trainModel(t, train)}
 	for _, m := range models {
-		tr, err := trainerFor(m, 40, 1)
+		tr, err := trainerFor(m, 40, 1, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -379,7 +379,7 @@ func TestTrainerForAllFamilies(t *testing.T) {
 		}
 	}
 	// Unsupported/empty models degrade to an error, not a panic.
-	if _, err := trainerFor(&hist.Model{}, 10, 1); err == nil ||
+	if _, err := trainerFor(&hist.Model{}, 10, 1, nil); err == nil ||
 		!strings.Contains(err.Error(), "dimensionality") {
 		t.Fatalf("empty model: %v", err)
 	}

@@ -25,8 +25,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"runtime/debug"
 	"strings"
 	"sync"
 	"time"
@@ -34,6 +38,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/geom"
 	"repro/internal/modelio"
+	"repro/internal/obs"
+	"repro/internal/parallel"
 )
 
 // Options tunes the server; zero values take the defaults noted per field.
@@ -61,6 +67,21 @@ type Options struct {
 	// (default 0: the shared pool's default, i.e. GOMAXPROCS unless
 	// overridden via parallel.SetDefault).
 	EstimateWorkers int
+	// Metrics is the observability registry backing GET /metrics and the
+	// /statz counters (default: a fresh private registry).
+	Metrics *obs.Registry
+	// Tracer records request/retrain spans for GET /debug/trace (default:
+	// a fresh tracer with obs.DefaultTraceCapacity spans).
+	Tracer *obs.Tracer
+	// TraceSample sets request-trace sampling: 0 disables (default),
+	// 1 traces every request, N traces one request in N.
+	TraceSample int
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ (off by
+	// default; profiling endpoints can stall a serving process).
+	EnablePprof bool
+	// Logger receives structured request/retrain logs (default: no
+	// logging; cmd/selserve passes a slog.Logger).
+	Logger *slog.Logger
 }
 
 func (o Options) withDefaults() Options {
@@ -92,12 +113,16 @@ type Server struct {
 	feedback *feedbackStore
 	stats    *statsSet
 	estCache *EstimateCache // nil when caching is disabled
+	metrics  *obs.Registry
+	tracer   *obs.Tracer
+	logger   *slog.Logger
 	started  time.Time
 
 	retrainMu    sync.Mutex
 	retrainSeen  map[string]int64 // feedback total at last retrain, per model
 	retrainRuns  int64
 	retrainSwaps int64
+	retrainErrs  int64
 	retrainErr   string
 	lastRetrain  RetrainResult
 }
@@ -105,19 +130,122 @@ type Server struct {
 // NewServer builds a server with an empty registry.
 func NewServer(opts Options) *Server {
 	opts = opts.withDefaults()
+	reg := opts.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	tracer := opts.Tracer
+	if tracer == nil {
+		tracer = obs.NewTracer(obs.DefaultTraceCapacity)
+	}
+	tracer.SetSampling(opts.TraceSample)
 	s := &Server{
 		opts:        opts,
 		registry:    NewRegistry(),
 		feedback:    newFeedbackStore(opts.FeedbackCapacity),
-		stats:       newStatsSet(),
+		stats:       newStatsSet(reg),
+		metrics:     reg,
+		tracer:      tracer,
+		logger:      opts.Logger,
 		started:     time.Now(),
 		retrainSeen: make(map[string]int64),
 	}
 	if opts.EstimateCacheSize > 0 {
 		s.estCache = NewEstimateCache(opts.EstimateCacheSize)
 	}
+	s.registerMetrics(reg)
 	return s
 }
+
+// registerMetrics bridges the server's pre-existing atomics (cache,
+// feedback, retrainer, worker pool) into the obs registry as func-backed
+// series, so exposition reads the same counters /statz reports rather
+// than maintaining a second accounting path.
+func (s *Server) registerMetrics(reg *obs.Registry) {
+	reg.GaugeFunc("selserve_uptime_seconds",
+		"Seconds since the server started.",
+		func() float64 { return time.Since(s.started).Seconds() })
+	reg.Gauge("selserve_build_info",
+		"Build metadata as labels; the value is always 1.",
+		obs.Label{Key: "go_version", Value: runtime.Version()},
+		obs.Label{Key: "revision", Value: buildRevision()},
+	).Set(1)
+	reg.GaugeFunc("selserve_models",
+		"Models currently registered.",
+		func() float64 { return float64(len(s.registry.Names())) })
+
+	if s.estCache != nil {
+		reg.CounterFunc("selserve_estimate_cache_hits_total",
+			"Estimate-cache lookups served from cache.",
+			func() int64 { return s.estCache.hits.Load() })
+		reg.CounterFunc("selserve_estimate_cache_misses_total",
+			"Estimate-cache lookups that fell through to the model.",
+			func() int64 { return s.estCache.misses.Load() })
+		reg.GaugeFunc("selserve_estimate_cache_entries",
+			"Entries currently in the estimate cache.",
+			func() float64 { return float64(s.estCache.Len()) })
+		reg.GaugeFunc("selserve_estimate_cache_capacity",
+			"Configured estimate-cache capacity.",
+			func() float64 { return float64(s.estCache.cap) })
+	}
+
+	reg.CounterFunc("selserve_feedback_observations_total",
+		"Feedback observations accepted across all models.",
+		func() int64 { total, _ := s.feedback.Totals(); return total })
+	reg.CounterFunc("selserve_feedback_dropped_total",
+		"Feedback observations overwritten before retraining saw them.",
+		func() int64 { _, dropped := s.feedback.Totals(); return dropped })
+
+	retrainCount := func(read func() int64) func() int64 {
+		return func() int64 {
+			s.retrainMu.Lock()
+			defer s.retrainMu.Unlock()
+			return read()
+		}
+	}
+	reg.CounterFunc("selserve_retrain_runs_total",
+		"Retrain attempts (swapped or not).",
+		retrainCount(func() int64 { return s.retrainRuns }))
+	reg.CounterFunc("selserve_retrain_swaps_total",
+		"Retrains whose candidate was hot-swapped into serving.",
+		retrainCount(func() int64 { return s.retrainSwaps }))
+	reg.CounterFunc("selserve_retrain_errors_total",
+		"Retrain attempts that failed.",
+		retrainCount(func() int64 { return s.retrainErrs }))
+
+	reg.CounterFunc("selserve_pool_regions_total",
+		"Parallel regions entered by the shared worker pool.",
+		func() int64 { return parallel.ReadStats().Regions })
+	reg.CounterFunc("selserve_pool_regions_serial_total",
+		"Parallel regions that ran single-threaded.",
+		func() int64 { return parallel.ReadStats().Serial })
+	reg.CounterFunc("selserve_pool_workers_spawned_total",
+		"Extra worker goroutines spawned by the pool.",
+		func() int64 { return parallel.ReadStats().Spawned })
+	reg.CounterFunc("selserve_pool_saturated_total",
+		"Regions that stopped spawning because the pool was saturated.",
+		func() int64 { return parallel.ReadStats().Saturated })
+}
+
+// buildRevision extracts the VCS revision baked into the binary, or
+// "unknown" for builds outside a repository.
+func buildRevision() string {
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, kv := range bi.Settings {
+			if kv.Key == "vcs.revision" {
+				return kv.Value
+			}
+		}
+	}
+	return "unknown"
+}
+
+// Metrics exposes the server's observability registry so embedders can
+// add their own series or render exposition out-of-band.
+func (s *Server) Metrics() *obs.Registry { return s.metrics }
+
+// Tracer exposes the server's span tracer.
+func (s *Server) Tracer() *obs.Tracer { return s.tracer }
 
 // Registry exposes the model registry, e.g. for preloading models from
 // disk before serving.
@@ -136,7 +264,29 @@ func (s *Server) Handler() http.Handler {
 	route("GET /v1/models/{name}", s.handleGetModel)
 	route("GET /healthz", s.handleHealthz)
 	route("GET /statz", s.handleStatz)
+	metricsHandler := s.metrics.Handler()
+	route("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		metricsHandler.ServeHTTP(w, r)
+	})
+	route("GET /debug/trace", s.handleDebugTrace)
+	if s.opts.EnablePprof {
+		// Explicit mounts (not the package's DefaultServeMux side effect)
+		// so profiling is reachable only when the operator asked for it.
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return mux
+}
+
+// handleDebugTrace exports the tracer's span ring as Chrome trace-event
+// JSON (load in chrome://tracing or https://ui.perfetto.dev).
+func (s *Server) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	// A write failure means the client hung up mid-download.
+	_ = s.tracer.WriteChromeTrace(w)
 }
 
 // Run serves on addr until ctx is cancelled, then drains in-flight
@@ -256,6 +406,7 @@ type modelStatus struct {
 
 type statzResponse struct {
 	UptimeSeconds float64                   `json:"uptime_seconds"`
+	Build         buildStatus               `json:"build"`
 	Endpoints     map[string]endpointStatus `json:"endpoints"`
 	Models        []modelStatus             `json:"models"`
 	Feedback      map[string]feedbackStatus `json:"feedback"`
@@ -263,9 +414,16 @@ type statzResponse struct {
 	EstimateCache *estimateCacheStatus      `json:"estimate_cache,omitempty"`
 }
 
+// buildStatus identifies the running binary in /statz.
+type buildStatus struct {
+	GoVersion string `json:"go_version"`
+	Revision  string `json:"revision"`
+}
+
 type retrainerStatus struct {
 	Runs      int64          `json:"runs"`
 	Swaps     int64          `json:"swaps"`
+	Errors    int64          `json:"errors"`
 	LastError string         `json:"last_error,omitempty"`
 	Last      *RetrainResult `json:"last,omitempty"`
 }
@@ -404,7 +562,7 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	}
 
 	ests := grow(&sc.ests, len(ranges))
-	s.estimateBatch(name, entry, ranges, ests, sc)
+	s.estimateBatch(name, entry, ranges, ests, sc, obs.SpanFromContext(r.Context()))
 
 	resp := estimateResponse{Model: name, Generation: entry.Generation}
 	if single {
@@ -419,12 +577,15 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 // the generation-keyed cache and evaluating the misses as one batch on
 // the shared deterministic kernel (core.EstimateRangesInto). Results are
 // index-addressed throughout, so the output is byte-identical for any
-// worker count.
-func (s *Server) estimateBatch(name string, entry *Entry, ranges []geom.Range, ests []float64, sc *estimateScratch) {
+// worker count. When sp is an active trace span, the cache scan and the
+// kernel fan-out appear as its children; for the untraced common case
+// every span call is an inert value-copy.
+func (s *Server) estimateBatch(name string, entry *Entry, ranges []geom.Range, ests []float64, sc *estimateScratch, sp obs.Span) {
 	if s.estCache == nil {
-		core.EstimateRangesInto(entry.Model, ranges, s.opts.EstimateWorkers, ests)
+		core.EstimateRangesTraced(entry.Model, ranges, s.opts.EstimateWorkers, ests, sp)
 		return
 	}
+	lookup := sp.Child("serve.cache_lookup")
 	keys := grow(&sc.keys, len(ranges))
 	miss := sc.miss[:0]
 	missRg := sc.missRg[:0]
@@ -440,12 +601,14 @@ func (s *Server) estimateBatch(name string, entry *Entry, ranges []geom.Range, e
 		miss = append(miss, i)
 		missRg = append(missRg, q)
 	}
+	lookup.Items = int64(len(ranges) - len(miss)) // cache hits
+	lookup.End()
 	sc.miss, sc.missRg = miss, missRg
 	if len(miss) == 0 {
 		return
 	}
 	missV := grow(&sc.missV, len(miss))
-	core.EstimateRangesInto(entry.Model, missRg, s.opts.EstimateWorkers, missV)
+	core.EstimateRangesTraced(entry.Model, missRg, s.opts.EstimateWorkers, missV, sp)
 	for k, i := range miss {
 		ests[i] = missV[k]
 		if keys[i] != "" {
@@ -495,8 +658,10 @@ func (s *Server) handleRetrain(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handlePutModel(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
+	publish := obs.SpanFromContext(r.Context()).Child("serve.publish_model")
 	m, err := modelio.Load(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))
 	if err != nil {
+		publish.End()
 		// Bad bytes are the client's fault; anything else is ours.
 		status := http.StatusInternalServerError
 		if errors.Is(err, modelio.ErrMalformed) ||
@@ -509,6 +674,8 @@ func (s *Server) handlePutModel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	entry := s.registry.Set(name, "upload", m)
+	publish.Items = int64(m.NumBuckets())
+	publish.End()
 	writeJSON(w, http.StatusOK, modelStatus{
 		Name:       name,
 		Type:       modelTypeName(m),
@@ -554,7 +721,7 @@ func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
 		})
 	}
 	s.retrainMu.Lock()
-	rt := retrainerStatus{Runs: s.retrainRuns, Swaps: s.retrainSwaps, LastError: s.retrainErr}
+	rt := retrainerStatus{Runs: s.retrainRuns, Swaps: s.retrainSwaps, Errors: s.retrainErrs, LastError: s.retrainErr}
 	if s.retrainRuns > 0 {
 		last := s.lastRetrain
 		rt.Last = &last
@@ -562,6 +729,7 @@ func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
 	s.retrainMu.Unlock()
 	resp := statzResponse{
 		UptimeSeconds: time.Since(s.started).Seconds(),
+		Build:         buildStatus{GoVersion: runtime.Version(), Revision: buildRevision()},
 		Endpoints:     s.stats.status(),
 		Models:        models,
 		Feedback:      s.feedback.status(),

@@ -1,52 +1,42 @@
 package serve
 
 import (
+	"log/slog"
 	"net/http"
 	"sync"
-	"sync/atomic"
 	"time"
 
-	"repro/internal/metrics"
+	"repro/internal/obs"
 )
 
-// latencyWindow is how many recent request latencies each endpoint keeps
-// for the /statz quantiles — a sliding window, not a full history, so
-// memory stays bounded under sustained traffic.
-const latencyWindow = 1024
-
-// endpointStats accumulates counters and a latency window for one route.
-// Counters are atomics so the hot path never contends; only the latency
-// ring takes a (short) lock.
+// endpointStats holds one route's metric handles. Counters and the latency
+// histogram live in the server's obs.Registry, so the same numbers back
+// both /statz (JSON summary) and /metrics (Prometheus exposition) — one
+// source of truth instead of two accounting paths.
 type endpointStats struct {
-	requests  atomic.Int64
-	errors4xx atomic.Int64
-	errors5xx atomic.Int64
-
-	mu   sync.Mutex
-	lat  [latencyWindow]float64 // milliseconds
-	n    int                    // filled entries
-	next int                    // ring cursor
+	requests  *obs.Counter
+	errors4xx *obs.Counter
+	errors5xx *obs.Counter
+	latency   *obs.Histogram // seconds
+	spanName  string         // precomputed so tracing never formats per request
 }
 
 func (e *endpointStats) record(d time.Duration, status int) {
-	e.requests.Add(1)
+	e.requests.Inc()
 	switch {
 	case status >= 500:
-		e.errors5xx.Add(1)
+		e.errors5xx.Inc()
 	case status >= 400:
-		e.errors4xx.Add(1)
+		e.errors4xx.Inc()
 	}
-	ms := float64(d) / float64(time.Millisecond)
-	e.mu.Lock()
-	e.lat[e.next] = ms
-	e.next = (e.next + 1) % latencyWindow
-	if e.n < latencyWindow {
-		e.n++
-	}
-	e.mu.Unlock()
+	e.latency.Observe(d.Seconds())
 }
 
-// latencySummary is the quantile block of one /statz endpoint row.
+// latencySummary is the quantile block of one /statz endpoint row. Field
+// names predate the obs registry and are kept stable for dashboards;
+// values now come from the log-bucketed histogram (quantiles exact to
+// within one bucket, max exact) instead of a 1024-entry sliding window —
+// so they summarize the full uptime, not just recent traffic.
 type latencySummary struct {
 	P50 float64 `json:"p50_ms"`
 	P95 float64 `json:"p95_ms"`
@@ -64,37 +54,32 @@ type endpointStatus struct {
 
 func (e *endpointStats) status() endpointStatus {
 	st := endpointStatus{
-		Requests:  e.requests.Load(),
-		Errors4xx: e.errors4xx.Load(),
-		Errors5xx: e.errors5xx.Load(),
+		Requests:  e.requests.Value(),
+		Errors4xx: e.errors4xx.Value(),
+		Errors5xx: e.errors5xx.Value(),
 	}
-	e.mu.Lock()
-	window := make([]float64, e.n)
-	if e.n == latencyWindow {
-		copy(window, e.lat[:])
-	} else {
-		copy(window, e.lat[:e.n])
-	}
-	e.mu.Unlock()
-	if len(window) > 0 {
+	if e.latency.Count() > 0 {
+		const toMS = 1e3 // histogram records seconds; /statz reports ms
 		st.Latency = &latencySummary{
-			P50: metrics.Quantile(window, 0.50),
-			P95: metrics.Quantile(window, 0.95),
-			P99: metrics.Quantile(window, 0.99),
-			Max: metrics.Quantile(window, 1.00),
+			P50: e.latency.Quantile(0.50) * toMS,
+			P95: e.latency.Quantile(0.95) * toMS,
+			P99: e.latency.Quantile(0.99) * toMS,
+			Max: e.latency.Max() * toMS,
 		}
 	}
 	return st
 }
 
-// statsSet holds the per-route stats, keyed by the route pattern.
+// statsSet lazily registers the per-route metric handles, keyed by the
+// route pattern.
 type statsSet struct {
+	reg    *obs.Registry
 	mu     sync.Mutex
 	routes map[string]*endpointStats
 }
 
-func newStatsSet() *statsSet {
-	return &statsSet{routes: make(map[string]*endpointStats)}
+func newStatsSet(reg *obs.Registry) *statsSet {
+	return &statsSet{reg: reg, routes: make(map[string]*endpointStats)}
 }
 
 func (s *statsSet) route(pattern string) *endpointStats {
@@ -102,7 +87,20 @@ func (s *statsSet) route(pattern string) *endpointStats {
 	defer s.mu.Unlock()
 	e, ok := s.routes[pattern]
 	if !ok {
-		e = &endpointStats{}
+		rl := obs.Label{Key: "route", Value: pattern}
+		e = &endpointStats{
+			requests: s.reg.Counter("selserve_http_requests_total",
+				"HTTP requests served, by route.", rl),
+			errors4xx: s.reg.Counter("selserve_http_errors_total",
+				"HTTP error responses, by route and class.",
+				rl, obs.Label{Key: "class", Value: "4xx"}),
+			errors5xx: s.reg.Counter("selserve_http_errors_total",
+				"HTTP error responses, by route and class.",
+				rl, obs.Label{Key: "class", Value: "5xx"}),
+			latency: s.reg.Histogram("selserve_http_request_seconds",
+				"HTTP request latency in seconds, by route.", nil, rl),
+			spanName: "http " + pattern,
+		}
 		s.routes[pattern] = e
 	}
 	return e
@@ -133,14 +131,43 @@ func (w *statusRecorder) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
-// instrument wraps a handler with request counting and latency capture for
-// its route pattern.
+// Flush forwards streaming flushes to the underlying writer when it
+// supports them, so wrapping a handler in the middleware never silently
+// buffers a response the handler meant to stream.
+func (w *statusRecorder) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap exposes the underlying writer to http.ResponseController, which
+// discovers optional interfaces (deadlines, hijacking) by unwrapping.
+func (w *statusRecorder) Unwrap() http.ResponseWriter {
+	return w.ResponseWriter
+}
+
+// instrument wraps a handler with request counting, latency capture, trace
+// span creation, and 5xx structured logging for its route pattern.
 func (s *Server) instrument(pattern string, h http.HandlerFunc) http.HandlerFunc {
 	es := s.stats.route(pattern)
 	return func(w http.ResponseWriter, r *http.Request) {
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		sp := s.tracer.StartRoot(es.spanName)
+		if sp.Active() {
+			r = r.WithContext(obs.ContextWithSpan(r.Context(), sp))
+		}
 		start := time.Now()
 		h(rec, r)
-		es.record(time.Since(start), rec.status)
+		d := time.Since(start)
+		sp.End()
+		es.record(d, rec.status)
+		if rec.status >= 500 && s.logger != nil {
+			s.logger.LogAttrs(r.Context(), slog.LevelError, "request failed",
+				slog.String("route", pattern),
+				slog.Int("status", rec.status),
+				slog.Duration("duration", d),
+				slog.Uint64("trace_id", sp.TraceID()),
+			)
+		}
 	}
 }

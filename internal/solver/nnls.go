@@ -27,6 +27,27 @@ import (
 // within its iteration budget.
 var ErrMaxIterations = errors.New("solver: iteration budget exhausted")
 
+// Stats reports what a weight-estimation call actually did — which
+// algorithm ran and how many (outer) iterations it took. The learners
+// surface it through obs.TrainStats so per-query adaptation cost is
+// visible in seltrain/selbench output and the serving /statz block. A nil
+// *Stats is ignored everywhere, so uninstrumented callers pay nothing.
+type Stats struct {
+	// Method is the algorithm that ran: "nnls", "pgd", or "exact_qp".
+	Method string
+	// Iterations counts outer iterations: active-set changes for NNLS,
+	// FISTA steps for PGD.
+	Iterations int
+}
+
+func (s *Stats) record(method string, iterations int) {
+	if s == nil {
+		return
+	}
+	s.Method = method
+	s.Iterations = iterations
+}
+
 // NNLS solves min ‖A·x − b‖₂ subject to x ≥ 0 with the Lawson–Hanson
 // active-set algorithm. It returns the solution vector; KKT optimality
 // (within tolerance) is property-tested.
@@ -38,6 +59,11 @@ var ErrMaxIterations = errors.New("solver: iteration budget exhausted")
 // fresh QR per iteration, which made the solver the dominant cost of
 // every training sweep.
 func NNLS(a *linalg.Matrix, b []float64) ([]float64, error) {
+	return NNLSStats(a, b, nil)
+}
+
+// NNLSStats is NNLS with an optional iteration-count report.
+func NNLSStats(a *linalg.Matrix, b []float64, st *Stats) ([]float64, error) {
 	m, n := a.Rows, a.Cols
 	if len(b) != m {
 		panic("solver: NNLS shape mismatch")
@@ -68,6 +94,7 @@ func NNLS(a *linalg.Matrix, b []float64) ([]float64, error) {
 			}
 		}
 		if best < 0 {
+			st.record("nnls", outer)
 			return x, nil // KKT satisfied
 		}
 		passive[best] = true
@@ -132,6 +159,7 @@ func NNLS(a *linalg.Matrix, b []float64) ([]float64, error) {
 	}
 	// Non-convergence is extremely rare; return the current feasible
 	// iterate rather than failing the training run.
+	st.record("nnls", maxOuter)
 	return x, nil
 }
 
@@ -220,6 +248,11 @@ func solvePassiveQR(a *linalg.Matrix, b []float64, passive []bool) ([]float64, e
 // construction used with scipy's nnls in the paper's code — followed by an
 // exact renormalization of any residual drift.
 func SimplexWeights(a *linalg.Matrix, s []float64) ([]float64, error) {
+	return SimplexWeightsStats(a, s, nil)
+}
+
+// SimplexWeightsStats is SimplexWeights with an optional solver report.
+func SimplexWeightsStats(a *linalg.Matrix, s []float64, st *Stats) ([]float64, error) {
 	m, n := a.Rows, a.Cols
 	if n == 0 {
 		return nil, errors.New("solver: no buckets")
@@ -239,7 +272,7 @@ func SimplexWeights(a *linalg.Matrix, s []float64) ([]float64, error) {
 	rhs := make([]float64, m+1)
 	copy(rhs, s)
 	rhs[m] = rho
-	w, err := NNLS(aug, rhs)
+	w, err := NNLSStats(aug, rhs, st)
 	if err != nil {
 		return nil, err
 	}

@@ -66,8 +66,15 @@ func projectSimplexInto(dst, v, u []float64) {
 // simplex-projected iterates are mostly exact zeros, the A·y product then
 // skips most columns outright.
 func SimplexPGD(a *linalg.Matrix, s []float64, iters int) []float64 {
+	return SimplexPGDStats(a, s, iters, nil)
+}
+
+// SimplexPGDStats is SimplexPGD with an optional report of how many FISTA
+// steps actually ran before the relative-improvement stop fired.
+func SimplexPGDStats(a *linalg.Matrix, s []float64, iters int, st *Stats) []float64 {
 	m, n := a.Rows, a.Cols
 	if n == 0 {
+		st.record("pgd", 0)
 		return nil
 	}
 	var sp *linalg.Sparse
@@ -113,7 +120,9 @@ func SimplexPGD(a *linalg.Matrix, s []float64, iters int) []float64 {
 	scratch := make([]float64, n)
 	tPrev := 1.0
 	objPrev := math.Inf(1)
+	ran := 0
 	for it := 0; it < iters; it++ {
+		ran = it + 1
 		// Gradient at y: 2Aᵀ(Ay − s).
 		mulVec(ax, y)
 		for i := range ax {
@@ -149,6 +158,7 @@ func SimplexPGD(a *linalg.Matrix, s []float64, iters int) []float64 {
 			objPrev = obj
 		}
 	}
+	st.record("pgd", ran)
 	return w
 }
 
@@ -209,10 +219,7 @@ const pgdIterations = 600
 // algorithm by problem size. Method selection can be forced with
 // WeightsWith.
 func Weights(a *linalg.Matrix, s []float64) ([]float64, error) {
-	if a.Cols <= nnlsSizeLimit {
-		return SimplexWeights(a, s)
-	}
-	return SimplexPGD(a, s, pgdIterations), nil
+	return WeightsWithStats(MethodAuto, a, s, nil)
 }
 
 // Method selects a weight-estimation algorithm.
@@ -230,12 +237,23 @@ const (
 // WeightsWith is Weights with an explicit method choice, used by the
 // solver-ablation benchmarks.
 func WeightsWith(method Method, a *linalg.Matrix, s []float64) ([]float64, error) {
+	return WeightsWithStats(method, a, s, nil)
+}
+
+// WeightsWithStats is WeightsWith with an optional report of the resolved
+// method and its iteration count (st may be nil).
+func WeightsWithStats(method Method, a *linalg.Matrix, s []float64, st *Stats) ([]float64, error) {
+	if method == MethodAuto {
+		if a.Cols <= nnlsSizeLimit {
+			method = MethodNNLS
+		} else {
+			method = MethodPGD
+		}
+	}
 	switch method {
 	case MethodNNLS:
-		return SimplexWeights(a, s)
-	case MethodPGD:
-		return SimplexPGD(a, s, pgdIterations), nil
+		return SimplexWeightsStats(a, s, st)
 	default:
-		return Weights(a, s)
+		return SimplexPGDStats(a, s, pgdIterations, st), nil
 	}
 }

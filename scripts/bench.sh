@@ -14,7 +14,7 @@
 # same machine documents a perf change.
 set -eu
 
-PATTERN='BenchmarkFig|BenchmarkTable|BenchmarkAblationSolver'
+PATTERN='BenchmarkFig|BenchmarkTable|BenchmarkAblationSolver|BenchmarkObs'
 COUNT=1x
 BASELINE=
 OUT=
@@ -101,6 +101,10 @@ BEGIN {
         # BenchmarkServeEstimateBatch/workers=4 -> serve_batch_w4
         key = name
         sub(/^BenchmarkServeEstimateBatch\/workers=/, "serve_batch_w", key)
+    } else if (name ~ /^BenchmarkObsDisabled\//) {
+        # BenchmarkObsDisabled/span -> obs_disabled_span
+        key = name
+        sub(/^BenchmarkObsDisabled\//, "obs_disabled_", key)
     } else {
         key = (name in id) ? id[name] : name
     }

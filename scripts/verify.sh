@@ -19,8 +19,10 @@ go run ./cmd/selvet ./...
 # re-sweep it explicitly so a selvet scope regression (e.g. a package
 # accidentally dropped from the walk) cannot silently skip the estimate
 # cache (lockheld: no I/O or estimation under the cache mutex) or the
-# batched fan-out (poolcapture: index-owned writes only).
-go run ./cmd/selvet ./internal/serve ./internal/parallel ./internal/core ./internal/bvh
+# batched fan-out (poolcapture: index-owned writes only). The obs layer
+# rides along: its exposition must stay deterministic (detrand, maprange)
+# since /metrics pages are diffed byte-for-byte in tests.
+go run ./cmd/selvet ./internal/serve ./internal/parallel ./internal/core ./internal/bvh ./internal/obs
 
 # Prove the gate can fail: the seeded-violation fixture must be flagged.
 # If selvet ever exits 0 here, the analyzers have gone blind and the
@@ -32,9 +34,18 @@ fi
 
 go test ./...
 go test -race ./internal/...
+# The metrics registry and span tracer are read by exposition handlers
+# while every request and trainer writes to them; their race test is the
+# gate for that contract, run explicitly so it cannot fall out of the
+# ./internal/... sweep unnoticed.
+go test -race ./internal/obs/...
 # Benchmark smoke: one iteration of the fig9 sweep under the Quick preset
 # plus one pass over the estimate-path kernels and the batched serving
 # endpoint, so a perf regression that breaks either harness is caught here
 # rather than in scripts/bench.sh.
 go test -run '^$' -bench 'BenchmarkFig09$' -benchtime 1x .
 go test -run '^$' -bench 'BenchmarkEstimatePath/|BenchmarkServeEstimateBatch/' -benchtime 1x .
+# Observability zero-cost gate: the disabled span path must stay at
+# 0 allocs/op (TestObsDisabledAllocs fails the suite otherwise; the
+# benchmark arm here keeps the ns/op number visible in verify output).
+go test -run 'TestObsDisabledAllocs' -bench 'BenchmarkObsDisabled/' -benchtime 1000x .
