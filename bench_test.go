@@ -284,6 +284,7 @@ func BenchmarkExtPredTime(b *testing.B) { benchExperiment(b, "ext_predtime") }
 
 func BenchmarkExtCrossing(b *testing.B) { benchExperiment(b, "ext_crossing") }
 func BenchmarkExtTheory(b *testing.B)   { benchExperiment(b, "ext_theory") }
+func BenchmarkExtOnline(b *testing.B)   { benchExperiment(b, "ext_online") }
 
 func BenchmarkFigAppendixDMV(b *testing.B)    { benchExperiment(b, "figB_dmv") }
 func BenchmarkFigAppendixCensus(b *testing.B) { benchExperiment(b, "figB_census") }

@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"repro/internal/modelio"
+	"repro/internal/online"
 	"repro/internal/serve"
 )
 
@@ -63,6 +64,10 @@ func main() {
 		logJSON     = flag.Bool("log-json", false, "emit logs as JSON instead of text")
 		traceSample = flag.Int("trace-sample", 0, "trace one request in N for GET /debug/trace (0 disables, 1 traces all)")
 		pprofOn     = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		onlineOn    = flag.Bool("online", false, "fold feedback into serving weights online (microsecond updates; retrainer stays on as structural fallback)")
+		onlineBatch = flag.Int("online-batch", 1, "observations per online update batch (1 = publish every observation)")
+		onlineRate  = flag.Float64("online-rate", online.DefaultRate, "online learning rate")
+		onlineRule  = flag.String("online-rule", "gradient", "online update rule: gradient or multiplicative")
 	)
 	flag.Var(&models, "model", "model file to preload, optionally name=path (repeatable)")
 	flag.Parse()
@@ -84,6 +89,12 @@ func main() {
 	}
 	logger := slog.New(handler)
 
+	rule, err := online.ParseRule(*onlineRule)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "selserve: bad -online-rule: %v\n", err)
+		os.Exit(2)
+	}
+
 	srv := serve.NewServer(serve.Options{
 		FeedbackCapacity:  *feedbackCap,
 		MinRetrainSamples: *minRetrain,
@@ -94,6 +105,10 @@ func main() {
 		EstimateWorkers:   *workers,
 		TraceSample:       *traceSample,
 		EnablePprof:       *pprofOn,
+		OnlineUpdates:     *onlineOn,
+		OnlineBatchSize:   *onlineBatch,
+		OnlineRate:        *onlineRate,
+		OnlineRule:        rule,
 		Logger:            logger,
 	})
 	for _, spec := range models {
@@ -131,6 +146,7 @@ func main() {
 		slog.Int("models", len(models)),
 		slog.Int("trace_sample", *traceSample),
 		slog.Bool("pprof", *pprofOn),
+		slog.Bool("online", *onlineOn),
 	)
 	if err := srv.Run(ctx, *addr); err != nil {
 		fatal(logger, err)

@@ -19,6 +19,7 @@ package bvh
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/geom"
 )
@@ -27,16 +28,25 @@ import (
 const maxLeafSize = 8
 
 // Tree is an immutable BVH over weighted box buckets.
+//
+// Subtree weight sums are stored out-of-line in a slice indexed by node id
+// rather than inside the nodes, so a tree can be reweighted without
+// rebuilding: Reweight shares the node structure, bucket geometry, and
+// precomputed inverse volumes, allocating only a new weight vector's worth
+// of cached sums. The online-learning fast path (internal/online) publishes
+// one such structurally-shared tree per feedback update.
 type Tree struct {
 	root    *node
+	nnodes  int
 	buckets []geom.Box
 	weights []float64
 	invVols []float64
+	wsums   []float64 // subtree weight sums, indexed by node id
 }
 
 type node struct {
+	id     int
 	bbox   geom.Box
-	wsum   float64
 	idx    []int // bucket indices, non-nil at leaves
 	lo, hi *node
 }
@@ -62,16 +72,59 @@ func Build(buckets []geom.Box, weights []float64) *Tree {
 		idx[i] = i
 	}
 	t.root = t.build(idx)
+	t.wsums = make([]float64, t.nnodes)
+	t.sumWeights(t.root)
 	return t
 }
 
+// Reweight returns a tree over the same buckets with a new weight vector:
+// node structure, bucket geometry, and inverse volumes are shared with the
+// receiver (they are immutable), while the weights and the per-node sums
+// are recomputed. Cost is one O(m) pass — no sorting, no tree building —
+// which is what makes copy-on-write weight publication cheap enough for
+// the per-feedback online update path. w is captured, not copied; callers
+// must not mutate it afterward.
+func (t *Tree) Reweight(w []float64) *Tree {
+	if len(w) != len(t.buckets) {
+		panic("bvh: Reweight weight count mismatch")
+	}
+	nt := &Tree{
+		root:    t.root,
+		nnodes:  t.nnodes,
+		buckets: t.buckets,
+		weights: w,
+		invVols: t.invVols,
+	}
+	if t.root != nil {
+		nt.wsums = make([]float64, nt.nnodes)
+		nt.sumWeights(nt.root)
+	}
+	return nt
+}
+
+// sumWeights fills wsums[nd.id] for the subtree in post-order. Summation
+// order is fixed by the tree structure, so reweighted trees produce
+// byte-identical sums for a given weight vector.
+func (t *Tree) sumWeights(nd *node) float64 {
+	s := 0.0
+	if nd.idx != nil {
+		for _, j := range nd.idx {
+			s += t.weights[j]
+		}
+	} else {
+		s = t.sumWeights(nd.lo) + t.sumWeights(nd.hi)
+	}
+	t.wsums[nd.id] = s
+	return s
+}
+
 func (t *Tree) build(idx []int) *node {
-	nd := &node{}
-	// Bounding box and weight sum of the node.
+	nd := &node{id: t.nnodes}
+	t.nnodes++
+	// Bounding box of the node.
 	nd.bbox = t.buckets[idx[0]].Clone()
 	for _, j := range idx {
 		b := t.buckets[j]
-		nd.wsum += t.weights[j]
 		for i := range nd.bbox.Lo {
 			nd.bbox.Lo[i] = min(nd.bbox.Lo[i], b.Lo[i])
 			nd.bbox.Hi[i] = max(nd.bbox.Hi[i], b.Hi[i])
@@ -104,6 +157,9 @@ func (t *Tree) build(idx []int) *node {
 // Len returns the number of indexed buckets.
 func (t *Tree) Len() int { return len(t.buckets) }
 
+// Weights returns the tree's weight vector. Callers must not mutate it.
+func (t *Tree) Weights() []float64 { return t.weights }
+
 // Estimate returns Σⱼ vol(Bⱼ∩R)/vol(Bⱼ)·wⱼ over all indexed buckets,
 // clamped to [0,1].
 func (t *Tree) Estimate(r geom.Range) float64 {
@@ -121,14 +177,15 @@ func (t *Tree) Estimate(r geom.Range) float64 {
 }
 
 func (t *Tree) estimate(nd *node, r geom.Range) float64 {
-	if nd.wsum == 0 {
+	wsum := t.wsums[nd.id]
+	if wsum == 0 {
 		return 0
 	}
 	switch geom.ClassifyBox(r, nd.bbox) {
 	case geom.BoxDisjoint:
 		return 0
 	case geom.BoxContained:
-		return nd.wsum
+		return wsum
 	}
 	if nd.idx != nil {
 		s := 0.0
@@ -153,6 +210,71 @@ func (t *Tree) estimate(nd *node, r geom.Range) float64 {
 		return s
 	}
 	return t.estimate(nd.lo, r) + t.estimate(nd.hi, r)
+}
+
+// ForEachOverlap calls fn(j, frac) for every bucket j with nonzero
+// fractional coverage frac = vol(Bⱼ∩R)/vol(Bⱼ) (1 for contained buckets,
+// point-mass convention for zero-volume ones). It is the sparse row of the
+// design matrix the online-learning update rules need: disjoint subtrees
+// are pruned, contained subtrees enumerate without further classification,
+// and only boundary buckets pay for an intersection volume. Enumeration
+// order is fixed by the tree structure, so consumers are deterministic.
+func (t *Tree) ForEachOverlap(r geom.Range, fn func(j int, frac float64)) {
+	if t.root != nil {
+		t.overlap(t.root, r, false, fn)
+	}
+}
+
+func (t *Tree) overlap(nd *node, r geom.Range, contained bool, fn func(j int, frac float64)) {
+	if !contained {
+		switch geom.ClassifyBox(r, nd.bbox) {
+		case geom.BoxDisjoint:
+			return
+		case geom.BoxContained:
+			contained = true
+		}
+	}
+	if nd.idx != nil {
+		for _, j := range nd.idx {
+			if contained {
+				fn(j, 1)
+				continue
+			}
+			switch geom.ClassifyBox(r, t.buckets[j]) {
+			case geom.BoxDisjoint:
+			case geom.BoxContained:
+				fn(j, 1)
+			default:
+				if t.invVols[j] != 0 {
+					if frac := r.IntersectBoxVolume(t.buckets[j]) * t.invVols[j]; frac > 0 {
+						fn(j, frac)
+					}
+				}
+			}
+		}
+		return
+	}
+	t.overlap(nd.lo, r, contained, fn)
+	t.overlap(nd.hi, r, contained, fn)
+}
+
+// ForEachOverlapFlat is the O(m) reference of ForEachOverlap, used by
+// models below the indexing threshold (and by the property tests as
+// ground truth). Buckets are visited in index order.
+func ForEachOverlapFlat(buckets []geom.Box, r geom.Range, fn func(j int, frac float64)) {
+	for j, b := range buckets {
+		switch geom.ClassifyBox(r, b) {
+		case geom.BoxDisjoint:
+		case geom.BoxContained:
+			fn(j, 1)
+		default:
+			if v := b.Volume(); v > 0 {
+				if frac := r.IntersectBoxVolume(b) / v; frac > 0 {
+					fn(j, frac)
+				}
+			}
+		}
+	}
 }
 
 // EstimateFlat is the O(m) reference kernel the tree accelerates:
@@ -193,13 +315,13 @@ func EstimateFlat(buckets []geom.Box, weights []float64, r geom.Range) float64 {
 const IndexThreshold = 64
 
 // Lazy is a lazily-built, immutably-shared BVH over a fixed bucket set.
-// The zero value is ready for use; the first Ensure call builds the tree
-// exactly once (sync.Once), after which the same *Tree is shared by every
-// concurrent reader. Models embed a Lazy so Estimate stays safe for any
-// number of goroutines while never rebuilding the index.
+// The zero value is ready for use; the first Ensure (or Seed) call installs
+// the tree exactly once (sync.Once), after which the same *Tree is shared
+// by every concurrent reader. Models embed a Lazy so Estimate stays safe
+// for any number of goroutines while never rebuilding the index.
 type Lazy struct {
 	once sync.Once
-	tree *Tree
+	tree atomic.Pointer[Tree]
 }
 
 // Ensure returns the shared tree for the given buckets/weights, building
@@ -211,6 +333,19 @@ func (l *Lazy) Ensure(buckets []geom.Box, weights []float64) *Tree {
 	if len(buckets) < IndexThreshold {
 		return nil
 	}
-	l.once.Do(func() { l.tree = Build(buckets, weights) })
-	return l.tree
+	l.once.Do(func() { l.tree.Store(Build(buckets, weights)) })
+	return l.tree.Load()
 }
+
+// Seed installs a prebuilt tree as this Lazy's index, winning only if no
+// index has been built yet. The copy-on-write publication path uses it so
+// a reweighted model starts life with its structurally-shared tree already
+// in place — the subsequent Ensure/Accelerate is then a no-op instead of a
+// full rebuild.
+func (l *Lazy) Seed(t *Tree) {
+	l.once.Do(func() { l.tree.Store(t) })
+}
+
+// Built returns the index if one has been built or seeded, and nil
+// otherwise. It never triggers a build.
+func (l *Lazy) Built() *Tree { return l.tree.Load() }

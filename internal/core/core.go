@@ -71,6 +71,31 @@ func Accelerate(m Model) bool {
 	return ok
 }
 
+// Reweightable is the capability interface of bucket-weight models whose
+// structure (bucket geometry, acceleration index) is fixed after training
+// while the weight vector alone carries the learned distribution — the
+// QUADHIST and QUICKSEL families. It is the contract the online-learning
+// subsystem (internal/online) builds on: a feedback item becomes a new
+// weight vector published as a structurally-shared copy of the model, with
+// no retraining and no index rebuild. As with Accelerable, consumers
+// discover the capability through this interface, never via model type
+// switches, so a new model family opts into online updates just by
+// implementing it.
+type Reweightable interface {
+	Model
+	// WeightView exposes the model's bucket geometry and current weight
+	// vector. Both slices are live model state: callers must not mutate
+	// them (the Model concurrency contract already demands immutability).
+	WeightView() (buckets []geom.Box, weights []float64)
+	// WithWeights returns a new model of the same family that shares the
+	// receiver's bucket geometry — and, when one exists, its acceleration
+	// index structure — with w as its weight vector. w is captured, not
+	// copied; the caller must not mutate it afterwards. The receiver is
+	// unchanged: concurrent estimates against it never see the new
+	// weights.
+	WithWeights(w []float64) Model
+}
+
 // Trainer is a learning procedure A: finite sample sequences → models.
 type Trainer interface {
 	// Train fits a model to the labeled sample.

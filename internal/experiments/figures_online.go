@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"math"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/hist"
+	"repro/internal/metrics"
+	"repro/internal/online"
+	"repro/internal/workload"
+)
+
+func init() {
+	Register("ext_online", extOnline)
+}
+
+// extOnlineWindows is the number of evaluation windows the drifting stream
+// is split into; the underlying data distribution moves linearly from the
+// Power dataset to the Forest dataset across them.
+const extOnlineWindows = 8
+
+// extOnline compares adaptation strategies on a feedback stream with
+// concept drift — the serving scenario internal/online exists for. A
+// QuadHist model is trained against the Power data distribution; the
+// distribution then drifts toward Forest as the mixture (1−t)·Power +
+// t·Forest. Selectivity is linear in the data distribution, so the
+// blended label is the exact selectivity of the drifting mixture — no
+// approximation. Four strategies process the same stream prequentially
+// (predict first, then learn from the observation):
+//
+//   - static: the trained model, never updated — the no-adaptation floor.
+//   - online-gradient / online-mw: the internal/online updaters, one
+//     microsecond-scale weight update per observation.
+//   - retrain: a full refit on the recent feedback window at every window
+//     boundary — the expensive path the serve-layer retrainer fallback
+//     takes.
+//
+// Reported per window: RMS of the pre-feedback predictions.
+func extOnline(cfg Config) []*Result {
+	gA := newGenerator(cfg, "power", 2, workload.OrthogonalRange)
+	gB := newGenerator(cfg, "forest", 2, workload.OrthogonalRange)
+	spec := workload.Spec{Class: workload.OrthogonalRange, Centers: workload.DataDriven}
+	perWindow := max(60, cfg.TestQueries/4)
+
+	n := cfg.TrainSizes[len(cfg.TrainSizes)-1]
+	train := gA.Generate(spec, n) // labels: pure Power (t = 0)
+	base, err := hist.New(2, cfg.BucketMultiplier*n).TrainHist(train)
+	if err != nil {
+		return []*Result{{ID: "ext_online", Title: "extension: online learning under drift",
+			Notes: []string{"base training failed: " + err.Error()}}}
+	}
+
+	// Window i: queries drawn as usual, labeled with the mixture
+	// selectivity at drift fraction t(i).
+	stream := make([][]core.LabeledQuery, extOnlineWindows)
+	fracs := make([]float64, extOnlineWindows)
+	for i := range stream {
+		t := float64(i) / float64(extOnlineWindows-1)
+		fracs[i] = t
+		w := gA.Generate(spec, perWindow)
+		for j := range w {
+			w[j].Sel = (1-t)*w[j].Sel + t*gB.Tree().Selectivity(w[j].R)
+		}
+		stream[i] = w
+	}
+
+	gradU, _ := online.ForModel(base, online.Options{Rule: online.RuleGradient})
+	mwU, _ := online.ForModel(base, online.Options{Rule: online.RuleMultiplicative})
+
+	res := &Result{
+		ID:    "ext_online",
+		Title: "extension: online weight updates vs full retrain under concept drift (QuadHist, Power→Forest mixture)",
+		Header: []string{"window", "drift_frac", "static_rms", "online_grad_rms",
+			"online_mw_rms", "retrain_rms"},
+	}
+
+	var retrainModel core.Model = base
+	var recent []core.LabeledQuery // retrain memory: the last few windows
+	windowRMS := func(m core.Model, w []core.LabeledQuery) float64 {
+		return metrics.RMS(core.Estimates(m, w), workload.Truths(w))
+	}
+	for i, w := range stream {
+		staticRMS := windowRMS(base, w)
+		retrainRMS := windowRMS(retrainModel, w)
+
+		// Prequential online folds: predict-then-update per observation.
+		gradErr, mwErr := 0.0, 0.0
+		for _, z := range w {
+			d := gradU.Model().Estimate(z.R) - z.Sel
+			gradErr += d * d
+			d = mwU.Model().Estimate(z.R) - z.Sel
+			mwErr += d * d
+			gradU.Apply([]core.LabeledQuery{z})
+			mwU.Apply([]core.LabeledQuery{z})
+		}
+		gradRMS := rootMean(gradErr, len(w))
+		mwRMS := rootMean(mwErr, len(w))
+
+		res.Rows = append(res.Rows, []string{
+			strconv.Itoa(i), fmtF(fracs[i]),
+			fmtF(staticRMS), fmtF(gradRMS), fmtF(mwRMS), fmtF(retrainRMS),
+		})
+
+		// Window boundary: the retrain strategy refits on recent feedback.
+		recent = append(recent, w...)
+		if keep := 3 * perWindow; len(recent) > keep {
+			recent = recent[len(recent)-keep:]
+		}
+		if m, rerr := hist.New(2, cfg.BucketMultiplier*len(recent)).TrainHist(recent); rerr == nil {
+			retrainModel = m
+		}
+	}
+
+	res.Notes = append(res.Notes,
+		"expected shape: static RMS degrades as the data distribution drifts away from the one the model was trained on; both online rules track the drift at a fraction of retraining cost",
+		"stated bound (checked by the package test): in the final window, online-gradient RMS < static RMS, and online-gradient RMS <= max(2x retrain RMS, retrain RMS + 0.02)")
+	return []*Result{res}
+}
+
+// rootMean is the RMS of a sum of squared errors over n samples.
+func rootMean(sumSq float64, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	return math.Sqrt(sumSq / float64(n))
+}

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+)
+
+// TestExtOnlineBound runs the drift experiment at smoke scale and enforces
+// the stated accuracy bound from its Notes: in the final window, the
+// online-gradient fold must beat the never-updated static model, and stay
+// within max(2× retrain RMS, retrain RMS + 0.02) of the periodic full
+// retrain.
+func TestExtOnlineBound(t *testing.T) {
+	results := extOnline(smoke())
+	if len(results) != 1 {
+		t.Fatalf("ext_online returned %d results", len(results))
+	}
+	res := results[0]
+	if len(res.Rows) != extOnlineWindows {
+		t.Fatalf("ext_online produced %d windows, want %d", len(res.Rows), extOnlineWindows)
+	}
+	last := res.Rows[len(res.Rows)-1]
+	col := func(j int) float64 {
+		v, err := strconv.ParseFloat(last[j], 64)
+		if err != nil {
+			t.Fatalf("row cell %d %q not a float: %v", j, last[j], err)
+		}
+		return v
+	}
+	staticRMS, gradRMS, mwRMS, retrainRMS := col(2), col(3), col(4), col(5)
+	if gradRMS >= staticRMS {
+		t.Fatalf("online-gradient did not beat static in the final window: %v vs %v",
+			gradRMS, staticRMS)
+	}
+	if mwRMS >= staticRMS {
+		t.Fatalf("online-mw did not beat static in the final window: %v vs %v",
+			mwRMS, staticRMS)
+	}
+	bound := max(2*retrainRMS, retrainRMS+0.02)
+	if gradRMS > bound {
+		t.Fatalf("online-gradient final-window RMS %v exceeds the stated bound %v (retrain %v)",
+			gradRMS, bound, retrainRMS)
+	}
+}
+
+// TestExtOnlineDeterministic: two runs with the same config must emit
+// identical rows — the experiment sits in the repository's deterministic
+// scope and feeds the determinism render tests.
+func TestExtOnlineDeterministic(t *testing.T) {
+	a := extOnline(smoke())[0]
+	b := extOnline(smoke())[0]
+	if len(a.Rows) != len(b.Rows) {
+		t.Fatalf("row counts differ: %d vs %d", len(a.Rows), len(b.Rows))
+	}
+	for i := range a.Rows {
+		for j := range a.Rows[i] {
+			if a.Rows[i][j] != b.Rows[i][j] {
+				t.Fatalf("row %d col %d differs across runs: %q vs %q",
+					i, j, a.Rows[i][j], b.Rows[i][j])
+			}
+		}
+	}
+}

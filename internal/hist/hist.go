@@ -190,6 +190,26 @@ func (m *Model) Estimate(r geom.Range) float64 {
 // build so the first estimate after a model swap is already sub-linear.
 func (m *Model) Accelerate() { m.accel.Ensure(m.Buckets, m.Weights) }
 
+// WeightView implements core.Reweightable.
+func (m *Model) WeightView() ([]geom.Box, []float64) { return m.Buckets, m.Weights }
+
+// WithWeights implements core.Reweightable: the returned model shares the
+// receiver's buckets, and when the receiver's BVH is built the new model
+// is seeded with a reweighted tree (shared node structure, fresh subtree
+// sums) — so publishing an online weight update costs one O(m) pass, not
+// an index rebuild.
+func (m *Model) WithWeights(w []float64) core.Model {
+	if len(w) != len(m.Buckets) {
+		panic("hist: WithWeights weight count mismatch")
+	}
+	nm := &Model{Buckets: m.Buckets, Weights: w}
+	if t := m.accel.Built(); t != nil {
+		nm.accel.Seed(t.Reweight(w))
+	}
+	return nm
+}
+
 var _ core.Trainer = (*Trainer)(nil)
 var _ core.Model = (*Model)(nil)
 var _ core.Accelerable = (*Model)(nil)
+var _ core.Reweightable = (*Model)(nil)

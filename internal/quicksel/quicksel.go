@@ -249,6 +249,26 @@ func (m *Model) Estimate(r geom.Range) float64 {
 // Accelerate implements core.Accelerable (force the one-time BVH build).
 func (m *Model) Accelerate() { m.accel.Ensure(m.Buckets, m.Weights) }
 
+// WeightView implements core.Reweightable.
+func (m *Model) WeightView() ([]geom.Box, []float64) { return m.Buckets, m.Weights }
+
+// WithWeights implements core.Reweightable: bucket geometry (and, when
+// built, the BVH node structure) is shared with the receiver; only the
+// weight vector and the cached subtree sums are new. Overlapping buckets
+// need no special handling — the estimate sum runs over buckets, not
+// space.
+func (m *Model) WithWeights(w []float64) core.Model {
+	if len(w) != len(m.Buckets) {
+		panic("quicksel: WithWeights weight count mismatch")
+	}
+	nm := &Model{Buckets: m.Buckets, Weights: w}
+	if t := m.accel.Built(); t != nil {
+		nm.accel.Seed(t.Reweight(w))
+	}
+	return nm
+}
+
 var _ core.Trainer = (*Trainer)(nil)
 var _ core.Model = (*Model)(nil)
 var _ core.Accelerable = (*Model)(nil)
+var _ core.Reweightable = (*Model)(nil)

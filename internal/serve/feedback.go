@@ -18,21 +18,35 @@ type ring struct {
 	head  int // index of the oldest element
 	size  int
 	total int64 // observations ever added
-	drop  int64 // observations overwritten before being retrained on
+	drop  int64 // observations overwritten by newer ones (any reason)
+	seen  int64 // total at the last snapshot: observations a consumer has read
+	lost  int64 // observations overwritten before ANY snapshot read them
 }
 
 func newRing(capacity int) *ring {
 	return &ring{buf: make([]core.LabeledQuery, capacity)}
 }
 
-// add appends one observation, overwriting the oldest when full.
+// add appends one observation, overwriting the oldest when full. Beyond
+// the plain drop count, it tracks observations actually LOST: overwritten
+// before any snapshot (retrain pass) read them. An overwrite after a
+// snapshot has consumed the element is benign — the signal reached the
+// retrainer — so drop and lost can legitimately diverge, and lost is the
+// number that means feedback silently vanished.
 func (r *ring) add(z core.LabeledQuery) (dropped bool) {
 	if len(r.buf) == 0 {
 		r.drop++
+		r.lost++
 		r.total++
 		return true
 	}
 	if r.size == len(r.buf) {
+		// Sequence number of the element being overwritten: elements are
+		// numbered 0..total-1 in arrival order, and the buffer holds the
+		// last size of them, so the oldest buffered one is total−size.
+		if oldestSeq := r.total - int64(r.size); oldestSeq >= r.seen {
+			r.lost++
+		}
 		r.buf[r.head] = z
 		r.head = (r.head + 1) % len(r.buf)
 		r.drop++
@@ -45,12 +59,15 @@ func (r *ring) add(z core.LabeledQuery) (dropped bool) {
 	return dropped
 }
 
-// snapshot copies the buffered observations in arrival order.
+// snapshot copies the buffered observations in arrival order and marks
+// them seen: everything buffered now has reached a consumer, so its later
+// overwrite is not a loss.
 func (r *ring) snapshot() []core.LabeledQuery {
 	out := make([]core.LabeledQuery, r.size)
 	for i := 0; i < r.size; i++ {
 		out[i] = r.buf[(r.head+i)%len(r.buf)]
 	}
+	r.seen = r.total
 	return out
 }
 
@@ -95,16 +112,18 @@ func (s *feedbackStore) Snapshot(name string) ([]core.LabeledQuery, int64) {
 	return r.snapshot(), r.total
 }
 
-// Totals sums observations ever added and ever dropped across all rings
-// (the obs metrics bridge reads these at exposition time).
-func (s *feedbackStore) Totals() (total, dropped int64) {
+// Totals sums observations ever added, ever dropped, and ever lost (see
+// ring.add) across all rings; the obs metrics bridge reads these at
+// exposition time.
+func (s *feedbackStore) Totals() (total, dropped, lost int64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for _, r := range s.rings {
 		total += r.total
 		dropped += r.drop
+		lost += r.lost
 	}
-	return total, dropped
+	return total, dropped, lost
 }
 
 // Names returns every model name with buffered feedback.
@@ -124,6 +143,10 @@ type feedbackStatus struct {
 	Capacity int   `json:"capacity"`
 	Total    int64 `json:"total"`
 	Dropped  int64 `json:"dropped"`
+	// Lost counts observations overwritten before any retrain snapshot
+	// read them — feedback that silently vanished, as opposed to Dropped,
+	// which also counts benign overwrites of already-consumed elements.
+	Lost int64 `json:"lost"`
 }
 
 func (s *feedbackStore) status() map[string]feedbackStatus {
@@ -136,6 +159,7 @@ func (s *feedbackStore) status() map[string]feedbackStatus {
 			Capacity: len(r.buf),
 			Total:    r.total,
 			Dropped:  r.drop,
+			Lost:     r.lost,
 		}
 	}
 	return out

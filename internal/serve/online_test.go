@@ -1,0 +1,398 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/hist"
+	"repro/internal/online"
+	"repro/internal/rng"
+)
+
+// onlineServer builds a server with online updates on, the retrainer
+// effectively off (huge interval, driven manually where a test wants it),
+// and a trained QuadHist model registered as "default".
+func onlineServer(t *testing.T, opts Options) (*Server, core.Model) {
+	t.Helper()
+	opts.OnlineUpdates = true
+	if opts.MinRetrainSamples == 0 {
+		opts.MinRetrainSamples = 1 << 30 // never auto-retrain unless asked
+	}
+	s := NewServer(opts)
+	train, _ := fixture(t, 400, 0)
+	m := trainModel(t, train)
+	s.registry.Set(DefaultModelName, "file", m)
+	return s, m
+}
+
+// feedbackBody builds a /v1/feedback payload of box observations.
+func feedbackBody(t *testing.T, obs []core.LabeledQuery) []byte {
+	t.Helper()
+	type wobs struct {
+		Lo  []float64 `json:"lo"`
+		Hi  []float64 `json:"hi"`
+		Sel float64   `json:"sel"`
+	}
+	var req struct {
+		Observations []wobs `json:"observations"`
+	}
+	for _, z := range obs {
+		b := z.R.(geom.Box)
+		req.Observations = append(req.Observations, wobs{Lo: b.Lo, Hi: b.Hi, Sel: z.Sel})
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+// feedbackStream generates a deterministic stream of box observations.
+func feedbackStream(seed uint64, n int) []core.LabeledQuery {
+	r := rng.New(seed)
+	out := make([]core.LabeledQuery, n)
+	for i := range out {
+		lo := geom.Point{r.Float64() * 0.7, r.Float64() * 0.7}
+		hi := geom.Point{lo[0] + 0.3*r.Float64(), lo[1] + 0.3*r.Float64()}
+		out[i] = core.LabeledQuery{R: geom.Box{Lo: lo, Hi: hi}, Sel: r.Float64()}
+	}
+	return out
+}
+
+// TestOnlineFeedbackPublishes: one feedback observation through the HTTP
+// path must bump the generation with source "online" and move the
+// estimate toward the observed selectivity.
+func TestOnlineFeedbackPublishes(t *testing.T) {
+	s, m := onlineServer(t, Options{})
+	h := s.Handler()
+	q := geom.Box{Lo: geom.Point{0.1, 0.1}, Hi: geom.Point{0.6, 0.6}}
+	before := m.Estimate(q)
+	target := core.Clamp01(before + 0.2)
+
+	code := doJSON(t, h, http.MethodPost, "/v1/feedback",
+		feedbackBody(t, []core.LabeledQuery{{R: q, Sel: target}}), nil)
+	if code != http.StatusOK {
+		t.Fatalf("feedback status %d", code)
+	}
+	entry, _ := s.registry.Get(DefaultModelName)
+	if entry.Source != "online" || entry.Generation != 2 {
+		t.Fatalf("entry source=%q gen=%d, want online/2", entry.Source, entry.Generation)
+	}
+	after := entry.Model.Estimate(q)
+	if math.Abs(after-target) >= math.Abs(before-target) {
+		t.Fatalf("online update did not reduce error: before=%v after=%v target=%v", before, after, target)
+	}
+	st := s.online.status()
+	if st.Applied != 1 || st.Published != 1 {
+		t.Fatalf("online status %+v, want applied=1 published=1", st)
+	}
+	if st.CumulativeDrift <= 0 {
+		t.Fatalf("cumulative drift not recorded: %+v", st)
+	}
+}
+
+// TestOnlineBatchSize: with a batch size of 4, three observations publish
+// nothing; the fourth publishes exactly one update folding all four.
+func TestOnlineBatchSize(t *testing.T) {
+	s, _ := onlineServer(t, Options{OnlineBatchSize: 4})
+	stream := feedbackStream(5, 4)
+	for i, z := range stream[:3] {
+		s.online.ingest(DefaultModelName, []core.LabeledQuery{z})
+		if got := s.online.published.Load(); got != 0 {
+			t.Fatalf("published %d after %d sub-batch observations", got, i+1)
+		}
+	}
+	s.online.ingest(DefaultModelName, []core.LabeledQuery{stream[3]})
+	st := s.online.status()
+	if st.Published != 1 || st.Applied+st.Skipped != 4 || st.Pending != 0 {
+		t.Fatalf("batch accounting wrong: %+v", st)
+	}
+}
+
+// TestOnlineFallbackUnsupported: a model family with no Reweightable
+// support routes every observation to the fallback counter and never
+// bumps the generation.
+func TestOnlineFallbackUnsupported(t *testing.T) {
+	s := NewServer(Options{OnlineUpdates: true, MinRetrainSamples: 1 << 30})
+	s.registry.Set(DefaultModelName, "file", nonReweightableModel{})
+	stream := feedbackStream(6, 5)
+	s.online.ingest(DefaultModelName, stream)
+	s.online.ingest(DefaultModelName, stream) // second probe must use the cached verdict
+	st := s.online.status()
+	if st.Fallbacks != 10 || st.Published != 0 {
+		t.Fatalf("fallback accounting wrong: %+v", st)
+	}
+	entry, _ := s.registry.Get(DefaultModelName)
+	if entry.Generation != 1 {
+		t.Fatalf("unsupported model was republished: gen %d", entry.Generation)
+	}
+}
+
+type nonReweightableModel struct{}
+
+func (nonReweightableModel) Estimate(geom.Range) float64 { return 0.5 }
+func (nonReweightableModel) NumBuckets() int             { return 1 }
+
+// TestOnlineRebuildAfterSwap: when a retrain/upload swaps the model, the
+// next online update must rebuild its updater from the winner instead of
+// publishing weights derived from the dead generation.
+func TestOnlineRebuildAfterSwap(t *testing.T) {
+	s, _ := onlineServer(t, Options{})
+	stream := feedbackStream(7, 3)
+	s.online.ingest(DefaultModelName, stream[:1])
+	gen1, _ := s.registry.Get(DefaultModelName)
+	if gen1.Source != "online" {
+		t.Fatalf("setup: first update did not publish (source %q)", gen1.Source)
+	}
+
+	// An out-of-band upload replaces the model.
+	train, _ := fixture(t, 300, 0)
+	m2 := trainModel(t, train)
+	s.registry.Set(DefaultModelName, "upload", m2)
+
+	s.online.ingest(DefaultModelName, stream[1:2])
+	entry, _ := s.registry.Get(DefaultModelName)
+	if entry.Source != "online" {
+		t.Fatalf("post-swap update did not publish: source %q", entry.Source)
+	}
+	// The published weights must derive from m2 (shared geometry), not
+	// from the pre-upload model.
+	hm := entry.Model.(*hist.Model)
+	h2 := m2.(*hist.Model)
+	if &hm.Buckets[0] != &h2.Buckets[0] {
+		t.Fatal("online update after swap did not rebuild from the new model")
+	}
+}
+
+// TestOnlineDeterminism (verify.sh runs this as the seeded determinism
+// self-check): the same feedback stream must yield byte-identical final
+// weights regardless of how much concurrent estimate traffic runs and of
+// the estimate worker count — estimates never perturb updater state, and
+// updates serialize per model.
+func TestOnlineDeterminism(t *testing.T) {
+	stream := feedbackStream(1701, 400)
+	finalWeights := func(estimateWorkers int, hammer bool) []float64 {
+		s, _ := onlineServer(t, Options{EstimateWorkers: estimateWorkers, EstimateCacheSize: -1})
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		if hammer {
+			for g := 0; g < 4; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					r := rng.New(uint64(1000 + g))
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						entry, _ := s.registry.Get(DefaultModelName)
+						lo := geom.Point{r.Float64() * 0.5, r.Float64() * 0.5}
+						hi := geom.Point{lo[0] + 0.4, lo[1] + 0.4}
+						entry.Model.Estimate(geom.Box{Lo: lo, Hi: hi})
+					}
+				}(g)
+			}
+		}
+		for _, z := range stream {
+			s.online.ingest(DefaultModelName, []core.LabeledQuery{z})
+		}
+		close(stop)
+		wg.Wait()
+		entry, _ := s.registry.Get(DefaultModelName)
+		return entry.Model.(*hist.Model).Weights
+	}
+	base := finalWeights(1, false)
+	for _, cfg := range []struct {
+		workers int
+		hammer  bool
+	}{{1, true}, {4, true}, {8, true}} {
+		got := finalWeights(cfg.workers, cfg.hammer)
+		if len(got) != len(base) {
+			t.Fatalf("weight count changed: %d vs %d", len(got), len(base))
+		}
+		for j := range got {
+			if got[j] != base[j] {
+				t.Fatalf("workers=%d hammer=%v: weight %d not byte-identical: %v vs %v",
+					cfg.workers, cfg.hammer, j, got[j], base[j])
+			}
+		}
+	}
+}
+
+// TestOnlineCOWRace is the torn-state test for the copy-on-write publish
+// path: concurrent estimate readers, online updates, and full retrain
+// hot-swaps. Run under -race (verify.sh does). Every estimate must come
+// from some consistently-published model — in [0,1] with the model's
+// weights a valid distribution — and nothing may panic or race.
+func TestOnlineCOWRace(t *testing.T) {
+	train, _ := fixture(t, 400, 0)
+	s, _ := onlineServer(t, Options{MinRetrainSamples: 8, EstimateCacheSize: -1})
+	// Give the retrainer material so RetrainNow genuinely swaps.
+	s.feedback.Add(DefaultModelName, train[:64])
+
+	const estimators = 8
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	errc := make(chan error, estimators)
+	for g := 0; g < estimators; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			r := rng.New(uint64(2000 + g))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				entry, ok := s.registry.Get(DefaultModelName)
+				if !ok {
+					continue
+				}
+				lo := geom.Point{r.Float64() * 0.6, r.Float64() * 0.6}
+				hi := geom.Point{lo[0] + 0.4*r.Float64(), lo[1] + 0.4*r.Float64()}
+				est := entry.Model.Estimate(geom.Box{Lo: lo, Hi: hi})
+				if est < 0 || est > 1 || math.IsNaN(est) {
+					select {
+					case errc <- fmt.Errorf("estimate out of range: %v (gen %d, source %s)", est, entry.Generation, entry.Source):
+					default:
+					}
+					return
+				}
+			}
+		}(g)
+	}
+
+	// Two writers race: online updates and retrain hot-swaps. Readers run
+	// until both writers have drained their streams.
+	var writers sync.WaitGroup
+	writers.Add(2)
+	go func() {
+		defer writers.Done()
+		for _, z := range feedbackStream(3000, 300) {
+			s.online.ingest(DefaultModelName, []core.LabeledQuery{z})
+		}
+	}()
+	go func() {
+		defer writers.Done()
+		for i := 0; i < 6; i++ {
+			s.RetrainNow()
+			s.feedback.Add(DefaultModelName, train[64+8*i:64+8*(i+1)])
+		}
+	}()
+	writers.Wait()
+	close(stop)
+	wg.Wait()
+
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	default:
+	}
+	// Final published weights must be a valid distribution.
+	entry, _ := s.registry.Get(DefaultModelName)
+	hm := entry.Model.(*hist.Model)
+	sumW := 0.0
+	for j, w := range hm.Weights {
+		if w < 0 || math.IsNaN(w) {
+			t.Fatalf("final weight %d invalid: %v", j, w)
+		}
+		sumW += w
+	}
+	if math.Abs(sumW-1) > 0.05 {
+		t.Fatalf("final weights not near-simplex: sum %v", sumW)
+	}
+	if st := s.online.status(); st.Published == 0 {
+		t.Fatalf("race test published nothing: %+v", st)
+	}
+}
+
+// TestOnlineRuleOption: the multiplicative rule must be honored end to
+// end (status reports it; zero-weight buckets stay zero).
+func TestOnlineRuleOption(t *testing.T) {
+	s, _ := onlineServer(t, Options{OnlineRule: online.RuleMultiplicative, OnlineRate: 0.3})
+	if got := s.online.status().Rule; got != "multiplicative" {
+		t.Fatalf("status rule %q", got)
+	}
+	s.online.ingest(DefaultModelName, feedbackStream(8, 10))
+	if s.online.status().Published == 0 {
+		t.Fatal("multiplicative rule published nothing")
+	}
+}
+
+// TestRingLostAccounting: drop counts every overwrite; lost counts only
+// overwrites of observations no snapshot ever read.
+func TestRingLostAccounting(t *testing.T) {
+	r := newRing(3)
+	q := func(sel float64) core.LabeledQuery {
+		return core.LabeledQuery{R: geom.UnitCube(1), Sel: sel}
+	}
+	for i := 0; i < 3; i++ {
+		r.add(q(float64(i)))
+	}
+	// Overwrite before any snapshot: a real loss.
+	r.add(q(3))
+	if r.drop != 1 || r.lost != 1 {
+		t.Fatalf("pre-snapshot overwrite: drop=%d lost=%d, want 1/1", r.drop, r.lost)
+	}
+	// A snapshot consumes everything buffered...
+	if got := len(r.snapshot()); got != 3 {
+		t.Fatalf("snapshot size %d", got)
+	}
+	// ...so the next three overwrites displace seen observations: dropped
+	// but not lost.
+	for i := 4; i < 7; i++ {
+		r.add(q(float64(i)))
+	}
+	if r.drop != 4 || r.lost != 1 {
+		t.Fatalf("post-snapshot overwrites: drop=%d lost=%d, want 4/1", r.drop, r.lost)
+	}
+	// The fourth overwrite displaces an unseen observation again.
+	r.add(q(7))
+	if r.drop != 5 || r.lost != 2 {
+		t.Fatalf("second loss: drop=%d lost=%d, want 5/2", r.drop, r.lost)
+	}
+	// Store-level totals and /statz plumbing.
+	fs := newFeedbackStore(2)
+	fs.Add("m", []core.LabeledQuery{q(0), q(1), q(2)})
+	total, dropped, lost := fs.Totals()
+	if total != 3 || dropped != 1 || lost != 1 {
+		t.Fatalf("Totals = %d/%d/%d, want 3/1/1", total, dropped, lost)
+	}
+	if st := fs.status()["m"]; st.Lost != 1 {
+		t.Fatalf("status lost = %d, want 1", st.Lost)
+	}
+}
+
+// TestStatzOnlineBlock: /statz must carry the online block when the
+// subsystem is enabled and omit it otherwise.
+func TestStatzOnlineBlock(t *testing.T) {
+	s, _ := onlineServer(t, Options{})
+	s.online.ingest(DefaultModelName, feedbackStream(9, 3))
+	var statz struct {
+		Online *onlineStatus `json:"online"`
+	}
+	if code := doJSON(t, s.Handler(), http.MethodGet, "/statz", nil, &statz); code != http.StatusOK {
+		t.Fatalf("statz status %d", code)
+	}
+	if statz.Online == nil || statz.Online.Applied+statz.Online.Skipped != 3 {
+		t.Fatalf("statz online block wrong: %+v", statz.Online)
+	}
+
+	off := NewServer(Options{})
+	var statzOff struct {
+		Online *onlineStatus `json:"online"`
+	}
+	doJSON(t, off.Handler(), http.MethodGet, "/statz", nil, &statzOff)
+	if statzOff.Online != nil {
+		t.Fatal("statz reports online block with the subsystem disabled")
+	}
+}

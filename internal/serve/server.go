@@ -39,6 +39,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/modelio"
 	"repro/internal/obs"
+	"repro/internal/online"
 	"repro/internal/parallel"
 )
 
@@ -79,6 +80,20 @@ type Options struct {
 	// EnablePprof mounts net/http/pprof under /debug/pprof/ (off by
 	// default; profiling endpoints can stall a serving process).
 	EnablePprof bool
+	// OnlineUpdates enables the internal/online fast path: accepted
+	// feedback is folded into the serving model's weights on the request
+	// path and published as a copy-on-write registry swap, microseconds
+	// after the observation arrives. The background retrainer stays on as
+	// the structural fallback. Off by default.
+	OnlineUpdates bool
+	// OnlineBatchSize is how many accepted observations accumulate before
+	// an online update is applied and published (default 1: every
+	// observation publishes).
+	OnlineBatchSize int
+	// OnlineRate is the online learning rate η (default online.DefaultRate).
+	OnlineRate float64
+	// OnlineRule picks the online update rule (default online.RuleGradient).
+	OnlineRule online.Rule
 	// Logger receives structured request/retrain logs (default: no
 	// logging; cmd/selserve passes a slog.Logger).
 	Logger *slog.Logger
@@ -103,6 +118,12 @@ func (o Options) withDefaults() Options {
 	if o.EstimateCacheSize == 0 {
 		o.EstimateCacheSize = 4096
 	}
+	if o.OnlineBatchSize <= 0 {
+		o.OnlineBatchSize = 1
+	}
+	if o.OnlineRate <= 0 {
+		o.OnlineRate = online.DefaultRate
+	}
 	return o
 }
 
@@ -113,6 +134,7 @@ type Server struct {
 	feedback *feedbackStore
 	stats    *statsSet
 	estCache *EstimateCache // nil when caching is disabled
+	online   *onlineManager // nil when online updates are disabled
 	metrics  *obs.Registry
 	tracer   *obs.Tracer
 	logger   *slog.Logger
@@ -154,6 +176,9 @@ func NewServer(opts Options) *Server {
 		s.estCache = NewEstimateCache(opts.EstimateCacheSize)
 	}
 	s.registerMetrics(reg)
+	if opts.OnlineUpdates {
+		s.online = newOnlineManager(s)
+	}
 	return s
 }
 
@@ -191,10 +216,13 @@ func (s *Server) registerMetrics(reg *obs.Registry) {
 
 	reg.CounterFunc("selserve_feedback_observations_total",
 		"Feedback observations accepted across all models.",
-		func() int64 { total, _ := s.feedback.Totals(); return total })
+		func() int64 { total, _, _ := s.feedback.Totals(); return total })
 	reg.CounterFunc("selserve_feedback_dropped_total",
-		"Feedback observations overwritten before retraining saw them.",
-		func() int64 { _, dropped := s.feedback.Totals(); return dropped })
+		"Feedback observations overwritten by newer ones (any reason).",
+		func() int64 { _, dropped, _ := s.feedback.Totals(); return dropped })
+	reg.CounterFunc("selserve_feedback_lost_total",
+		"Feedback observations overwritten before any retrain snapshot read them.",
+		func() int64 { _, _, lost := s.feedback.Totals(); return lost })
 
 	retrainCount := func(read func() int64) func() int64 {
 		return func() int64 {
@@ -411,6 +439,7 @@ type statzResponse struct {
 	Models        []modelStatus             `json:"models"`
 	Feedback      map[string]feedbackStatus `json:"feedback"`
 	Retrainer     retrainerStatus           `json:"retrainer"`
+	Online        *onlineStatus             `json:"online,omitempty"`
 	EstimateCache *estimateCacheStatus      `json:"estimate_cache,omitempty"`
 }
 
@@ -645,6 +674,12 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 		obs[i] = core.LabeledQuery{R: q, Sel: *o.Sel}
 	}
 	dropped := s.feedback.Add(name, obs)
+	if s.online != nil {
+		// Fast path: fold the observations into the serving weights now.
+		// The ring keeps its copy regardless — structural refreshes still
+		// come from the background retrainer.
+		s.online.ingest(name, obs)
+	}
 	writeJSON(w, http.StatusOK, feedbackResponse{Model: name, Accepted: len(obs), Dropped: dropped})
 }
 
@@ -734,6 +769,10 @@ func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
 		Models:        models,
 		Feedback:      s.feedback.status(),
 		Retrainer:     rt,
+	}
+	if s.online != nil {
+		ol := s.online.status()
+		resp.Online = &ol
 	}
 	if s.estCache != nil {
 		ec := s.estCache.status()

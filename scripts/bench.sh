@@ -12,6 +12,12 @@
 # -baseline pointing at a previous BENCH_<n>.json, each entry also reports
 # its speedup relative to that file, so a before/after pair measured on the
 # same machine documents a perf change.
+#
+# With -baseline, the script is also a regression gate: any benchmark more
+# than 10% slower than its baseline entry (speedup < 0.90) fails the run
+# with a nonzero exit after the JSON is written, listing the regressions on
+# stderr — so CI or a pre-merge check can call
+# `scripts/bench.sh -baseline BENCH_1.json` and trust the exit code.
 set -eu
 
 PATTERN='BenchmarkFig|BenchmarkTable|BenchmarkAblationSolver|BenchmarkObs'
@@ -70,6 +76,7 @@ BEGIN {
     id["BenchmarkExtPredTime"] = "ext_predtime"
     id["BenchmarkExtCrossing"] = "ext_crossing"
     id["BenchmarkExtTheory"] = "ext_theory"
+    id["BenchmarkExtOnline"] = "ext_online"
     nbase = 0
     if (baseline != "") {
         while ((getline line < baseline) > 0) {
@@ -120,11 +127,18 @@ END {
     if (baseline != "")
         printf "  \"baseline\": \"%s\",\n", baseline
     printf "  \"benchmarks\": {\n"
+    nregress = 0
     for (i = 0; i < n; i++) {
         key = order[i]
         printf "    \"%s\": {\"bench\": \"%s\", \"ns_per_op\": %.0f", key, bench[key], ns[key]
         if (key in base && ns[key] > 0) {
-            printf ", \"baseline_ns_per_op\": %.0f, \"speedup_vs_baseline\": %.2f", base[key], base[key] / ns[key]
+            speedup = base[key] / ns[key]
+            printf ", \"baseline_ns_per_op\": %.0f, \"speedup_vs_baseline\": %.2f", base[key], speedup
+            # The regression gate only judges cross-file comparisons (the
+            # whole point of -baseline); intra-run reference arms below
+            # measure a designed gap, not a regression.
+            if (speedup < 0.90)
+                regress[nregress++] = sprintf("%s: %.0f -> %.0f ns/op (%.2fx)", key, base[key], ns[key], speedup)
         } else {
             # Intra-run baselines for benchmarks that carry their own
             # reference arm: the flat kernel at the same bucket count for
@@ -143,7 +157,13 @@ END {
         printf "}%s\n", (i < n - 1) ? "," : ""
     }
     printf "  }\n}\n"
+    if (nregress > 0) {
+        printf "bench.sh: %d benchmark(s) regressed more than 10%% vs %s:\n", nregress, baseline > "/dev/stderr"
+        for (i = 0; i < nregress; i++)
+            printf "  %s\n", regress[i] > "/dev/stderr"
+        exit 1
+    }
 }
-' "$RAW" > "$OUT"
+' "$RAW" > "$OUT" || { echo "wrote $OUT (REGRESSION GATE FAILED)" >&2; exit 1; }
 
 echo "wrote $OUT"

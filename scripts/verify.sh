@@ -21,8 +21,10 @@ go run ./cmd/selvet ./...
 # cache (lockheld: no I/O or estimation under the cache mutex) or the
 # batched fan-out (poolcapture: index-owned writes only). The obs layer
 # rides along: its exposition must stay deterministic (detrand, maprange)
-# since /metrics pages are diffed byte-for-byte in tests.
-go run ./cmd/selvet ./internal/serve ./internal/parallel ./internal/core ./internal/bvh ./internal/obs
+# since /metrics pages are diffed byte-for-byte in tests. internal/online
+# is in the sweep because its whole contract is deterministic pure-compute
+# updates (detrand: no clocks — latency timing lives in the serve layer).
+go run ./cmd/selvet ./internal/serve ./internal/parallel ./internal/core ./internal/bvh ./internal/obs ./internal/online
 
 # Prove the gate can fail: the seeded-violation fixture must be flagged.
 # If selvet ever exits 0 here, the analyzers have gone blind and the
@@ -39,6 +41,15 @@ go test -race ./internal/...
 # gate for that contract, run explicitly so it cannot fall out of the
 # ./internal/... sweep unnoticed.
 go test -race ./internal/obs/...
+# Online-learning contract gates, run explicitly for the same reason:
+# the copy-on-write publish path must stay torn-state-free under
+# concurrent estimates + online updates + retrain hot-swaps, and the
+# seeded determinism self-check must keep holding — the same feedback
+# stream yields byte-identical final weights regardless of estimate
+# concurrency.
+go test -race -run 'TestOnlineCOWRace|TestOnlineDeterminism' ./internal/serve
+go test -race ./internal/online
+go test -run 'TestOnlineDeterminism|TestDeterministicFold' ./internal/serve ./internal/online
 # Benchmark smoke: one iteration of the fig9 sweep under the Quick preset
 # plus one pass over the estimate-path kernels and the batched serving
 # endpoint, so a perf regression that breaks either harness is caught here
