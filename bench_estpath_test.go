@@ -136,3 +136,87 @@ func BenchmarkServeEstimateBatch(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkServeEstimateStream is end-to-end /v1/estimate/stream
+// throughput by worker count: each iteration pushes 256 NDJSON query
+// lines through the handler and drains the result lines. Reports
+// queries/s alongside ns/op.
+func BenchmarkServeEstimateStream(b *testing.B) {
+	model := estPathModel(4096)
+	core.Accelerate(model)
+	queries := estPathQueries(256)
+	var sb strings.Builder
+	for _, q := range queries {
+		fmt.Fprintf(&sb, `{"lo":[%g,%g],"hi":[%g,%g]}`+"\n", q.Lo[0], q.Lo[1], q.Hi[0], q.Hi[1])
+	}
+	body := sb.String()
+
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			s := serve.NewServer(serve.Options{EstimateWorkers: workers, EstimateCacheSize: -1})
+			s.Registry().Set(serve.DefaultModelName, "bench", model)
+			h := s.Handler()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				req := httptest.NewRequest("POST", "/v1/estimate/stream", strings.NewReader(body))
+				w := httptest.NewRecorder()
+				h.ServeHTTP(w, req)
+				if w.Code != http.StatusOK {
+					b.Fatalf("HTTP %d: %s", w.Code, w.Body.String())
+				}
+				if n := strings.Count(w.Body.String(), "\n"); n != len(queries) {
+					b.Fatalf("%d result lines, want %d", n, len(queries))
+				}
+			}
+			b.ReportMetric(float64(b.N)*float64(len(queries))/b.Elapsed().Seconds(), "queries/s")
+		})
+	}
+}
+
+// BenchmarkServeEstimateAlloc is the steady-state single-estimate path
+// the zero-allocation gate (TestEstimateHandlerZeroAlloc) protects:
+// one box query per request through the full mux. The allocs/op column
+// is the headline number — it must stay at 0.
+func BenchmarkServeEstimateAlloc(b *testing.B) {
+	model := estPathModel(4096)
+	core.Accelerate(model)
+	s := serve.NewServer(serve.Options{EstimateCacheSize: -1})
+	s.Registry().Set(serve.DefaultModelName, "bench", model)
+	h := s.Handler()
+	body := `{"query":{"lo":[0.2,0.3],"hi":[0.6,0.7]}}`
+
+	b.Run("single", func(b *testing.B) {
+		// Warm the pools outside the measured region, then reuse one
+		// request object: httptest.NewRequest per iteration would charge
+		// the benchmark for harness allocations the real server never
+		// makes per-request.
+		req := httptest.NewRequest("POST", "/v1/estimate", nil)
+		rd := strings.NewReader(body)
+		req.Body = http.NoBody
+		w := httptest.NewRecorder()
+		run := func() {
+			rd.Reset(body)
+			req.Body = readCloser{rd}
+			req.ContentLength = int64(len(body))
+			w.Body.Reset()
+			w.Code = http.StatusOK
+			h.ServeHTTP(w, req)
+		}
+		for i := 0; i < 8; i++ {
+			run()
+			if w.Code != http.StatusOK {
+				b.Fatalf("HTTP %d: %s", w.Code, w.Body.String())
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			run()
+		}
+	})
+}
+
+// readCloser adapts a strings.Reader into a no-op-close request body.
+type readCloser struct{ *strings.Reader }
+
+func (readCloser) Close() error { return nil }

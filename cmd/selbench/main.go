@@ -35,6 +35,8 @@ func main() {
 		estIters  = flag.Int("estpath-iters", 20000, "query evaluations per estimate-path cell")
 		trainprof = flag.Bool("trainprof", false, "print per-family training stage timings on a synthetic workload and exit")
 		trainN    = flag.Int("trainprof-queries", 200, "training queries for -trainprof")
+		stream    = flag.Bool("stream", false, "benchmark the NDJSON stream endpoint vs the batch endpoint over a real listener and exit")
+		streamN   = flag.Int("stream-queries", 50000, "queries per request for -stream")
 	)
 	flag.Parse()
 
@@ -52,6 +54,12 @@ func main() {
 	}
 	if *trainprof {
 		if err := runTrainProf(os.Stdout, *trainN); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *stream {
+		if err := runStream(os.Stdout, *streamN); err != nil {
 			fatal(err)
 		}
 		return

@@ -1,0 +1,152 @@
+package main
+
+// The -stream mode: end-to-end throughput of the NDJSON streaming
+// endpoint (DESIGN.md §13) against the batched /v1/estimate JSON
+// endpoint, over a real TCP listener so the numbers include the full
+// HTTP stack. The model is the same synthetic 4096-bucket grid the
+// -estpath mode uses, so the delta between the two rows is wire and
+// codec cost, not prediction cost.
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/serve"
+)
+
+// streamBody renders queries as NDJSON lines, one box query per line.
+func streamBody(queries []geom.Range) []byte {
+	var b bytes.Buffer
+	for _, q := range queries {
+		box := q.(geom.Box)
+		b.WriteString(`{"lo":`)
+		writeFloats(&b, box.Lo)
+		b.WriteString(`,"hi":`)
+		writeFloats(&b, box.Hi)
+		b.WriteString("}\n")
+	}
+	return b.Bytes()
+}
+
+// batchBody renders the same queries as one /v1/estimate batch request.
+func batchBody(queries []geom.Range) []byte {
+	var b bytes.Buffer
+	b.WriteString(`{"queries":[`)
+	for i, q := range queries {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		box := q.(geom.Box)
+		b.WriteString(`{"lo":`)
+		writeFloats(&b, box.Lo)
+		b.WriteString(`,"hi":`)
+		writeFloats(&b, box.Hi)
+		b.WriteByte('}')
+	}
+	b.WriteString("]}")
+	return b.Bytes()
+}
+
+func writeFloats(b *bytes.Buffer, p geom.Point) {
+	b.WriteByte('[')
+	for i, v := range p {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.Write(strconv.AppendFloat(nil, v, 'g', -1, 64))
+	}
+	b.WriteByte(']')
+}
+
+// postAndDrain posts body and reads the whole response, returning the
+// number of newline-delimited lines and the elapsed wall time.
+func postAndDrain(url, contentType string, body []byte) (lines int, elapsed time.Duration, err error) {
+	start := time.Now()
+	resp, err := http.Post(url, contentType, bytes.NewReader(body))
+	if err != nil {
+		return 0, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return 0, 0, fmt.Errorf("HTTP %d: %s", resp.StatusCode, msg)
+	}
+	br := bufio.NewReaderSize(resp.Body, 1<<16)
+	for {
+		b, err := br.ReadBytes('\n')
+		if len(b) > 0 {
+			lines++
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return lines, 0, err
+		}
+	}
+	return lines, time.Since(start), nil
+}
+
+// runStream benchmarks the stream vs batch wire paths with n queries
+// per request, a few requests each, reporting best-of ns/query.
+func runStream(w io.Writer, n int) error {
+	model := estPathModel(4096)
+	core.Accelerate(model)
+	s := serve.NewServer(serve.Options{})
+	s.Registry().Set(serve.DefaultModelName, "bench", model)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	srv := &http.Server{Handler: s.Handler()}
+	go srv.Serve(ln)
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+
+	queries := estPathQueries(n)
+	rows := []struct {
+		name, url, ctype string
+		body             []byte
+		wantLines        int
+	}{
+		{"stream", base + "/v1/estimate/stream", "application/x-ndjson", streamBody(queries), n},
+		{"batch", base + "/v1/estimate", "application/json", batchBody(queries), 1},
+	}
+
+	if _, err := fmt.Fprintf(w, "wire path throughput, %d queries per request (best of 3)\n", n); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%8s %12s %14s\n", "path", "ns/query", "queries/sec"); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		best := time.Duration(0)
+		for rep := 0; rep < 3; rep++ {
+			lines, elapsed, err := postAndDrain(row.url, row.ctype, row.body)
+			if err != nil {
+				return fmt.Errorf("%s: %v", row.name, err)
+			}
+			if lines != row.wantLines {
+				return fmt.Errorf("%s: %d response lines, want %d", row.name, lines, row.wantLines)
+			}
+			if best == 0 || elapsed < best {
+				best = elapsed
+			}
+		}
+		perQuery := float64(best.Nanoseconds()) / float64(n)
+		if _, err := fmt.Fprintf(w, "%8s %12.0f %14.0f\n", row.name, perQuery, 1e9/perQuery); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -27,28 +27,40 @@ import (
 // maxLeafSize is the bucket count below which a node stays a leaf.
 const maxLeafSize = 8
 
-// Tree is an immutable BVH over weighted box buckets.
+// Tree is an immutable BVH over weighted box buckets, stored in a flat
+// structure-of-arrays layout: node bounding boxes, child links, leaf
+// windows, and bucket corners all live in contiguous slices indexed by
+// node or bucket id, so a query walk streams through a few dense arrays
+// instead of chasing per-node pointers into scattered allocations. Box
+// queries additionally take a specialized walk that classifies nodes and
+// buckets with inline coordinate comparisons — no interface dispatch per
+// node.
 //
 // Subtree weight sums are stored out-of-line in a slice indexed by node id
-// rather than inside the nodes, so a tree can be reweighted without
-// rebuilding: Reweight shares the node structure, bucket geometry, and
-// precomputed inverse volumes, allocating only a new weight vector's worth
-// of cached sums. The online-learning fast path (internal/online) publishes
-// one such structurally-shared tree per feedback update.
+// rather than next to the geometry, so a tree can be reweighted without
+// rebuilding: Reweight shares every structure array (node boxes, links,
+// leaf windows, bucket geometry, precomputed inverse volumes), allocating
+// only a new weight vector's worth of cached sums. The online-learning
+// fast path (internal/online) publishes one such structurally-shared tree
+// per feedback update.
 type Tree struct {
-	root    *node
-	nnodes  int
+	dim int
+	// Node arrays, indexed by node id. Ids are assigned in build order
+	// (pre-order), so children always have larger ids than their parent —
+	// which is what lets sumWeights run as one reverse sweep.
+	nlo, nhi    []float64 // node bounding boxes, dim coords per node
+	left, right []int32   // child node ids, -1 at leaves
+	loff, lcnt  []int32   // a leaf's window [loff, loff+lcnt) into leafIdx
+	leafIdx     []int32   // bucket ids; each leaf's window is contiguous
+	// Bucket geometry flattened alongside the originals: blo/bhi mirror
+	// buckets[j].Lo/Hi at offset j*dim, kept so the leaf loops read
+	// contiguous memory instead of slice-of-slice corners.
+	blo, bhi []float64
+
 	buckets []geom.Box
 	weights []float64
 	invVols []float64
 	wsums   []float64 // subtree weight sums, indexed by node id
-}
-
-type node struct {
-	id     int
-	bbox   geom.Box
-	idx    []int // bucket indices, non-nil at leaves
-	lo, hi *node
 }
 
 // Build constructs a BVH over the buckets with the given weights. The
@@ -67,91 +79,131 @@ func Build(buckets []geom.Box, weights []float64) *Tree {
 	if len(buckets) == 0 {
 		return t
 	}
-	idx := make([]int, len(buckets))
-	for i := range idx {
-		idx[i] = i
+	d := buckets[0].Dim()
+	t.dim = d
+	t.blo = make([]float64, len(buckets)*d)
+	t.bhi = make([]float64, len(buckets)*d)
+	for j, b := range buckets {
+		copy(t.blo[j*d:(j+1)*d], b.Lo)
+		copy(t.bhi[j*d:(j+1)*d], b.Hi)
 	}
-	t.root = t.build(idx)
-	t.wsums = make([]float64, t.nnodes)
-	t.sumWeights(t.root)
+	idx := make([]int32, len(buckets))
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	t.leafIdx = make([]int32, 0, len(buckets))
+	t.build(idx)
+	t.wsums = make([]float64, t.numNodes())
+	t.sumWeights()
 	return t
 }
 
+func (t *Tree) numNodes() int { return len(t.left) }
+
+// build appends the subtree over idx to the node arrays and returns its id.
+// Ids and the split rule (widest dimension, median bucket center) are
+// identical to the historical pointer-tree builder, so trees built from the
+// same buckets have the same shape they always had.
+func (t *Tree) build(idx []int32) int32 {
+	d := t.dim
+	id := int32(len(t.left))
+	off := int(id) * d
+	t.nlo = append(t.nlo, t.blo[int(idx[0])*d:(int(idx[0])+1)*d]...)
+	t.nhi = append(t.nhi, t.bhi[int(idx[0])*d:(int(idx[0])+1)*d]...)
+	nlo := t.nlo[off : off+d]
+	nhi := t.nhi[off : off+d]
+	for _, j := range idx[1:] {
+		bo := int(j) * d
+		for i := 0; i < d; i++ {
+			nlo[i] = min(nlo[i], t.blo[bo+i])
+			nhi[i] = max(nhi[i], t.bhi[bo+i])
+		}
+	}
+	t.left = append(t.left, -1)
+	t.right = append(t.right, -1)
+	t.loff = append(t.loff, 0)
+	t.lcnt = append(t.lcnt, 0)
+	if len(idx) <= maxLeafSize {
+		t.loff[id] = int32(len(t.leafIdx))
+		t.lcnt[id] = int32(len(idx))
+		t.leafIdx = append(t.leafIdx, idx...)
+		return id
+	}
+	// Split along the widest dimension at the median bucket center.
+	axis := 0
+	widest := nhi[0] - nlo[0]
+	for i := 1; i < d; i++ {
+		if w := nhi[i] - nlo[i]; w > widest {
+			widest, axis = w, i
+		}
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		ca := t.blo[int(idx[a])*d+axis] + t.bhi[int(idx[a])*d+axis]
+		cb := t.blo[int(idx[b])*d+axis] + t.bhi[int(idx[b])*d+axis]
+		return ca < cb
+	})
+	mid := len(idx) / 2
+	// nlo/nhi are stale after the recursive appends; they are not used
+	// again below.
+	lo := t.build(idx[:mid])
+	hi := t.build(idx[mid:])
+	t.left[id] = lo
+	t.right[id] = hi
+	return id
+}
+
 // Reweight returns a tree over the same buckets with a new weight vector:
-// node structure, bucket geometry, and inverse volumes are shared with the
-// receiver (they are immutable), while the weights and the per-node sums
-// are recomputed. Cost is one O(m) pass — no sorting, no tree building —
-// which is what makes copy-on-write weight publication cheap enough for
-// the per-feedback online update path. w is captured, not copied; callers
-// must not mutate it afterward.
+// every structure array — node boxes, child links, leaf windows, bucket
+// geometry, and inverse volumes — is shared with the receiver (they are
+// immutable), while the weights and the per-node sums are recomputed. Cost
+// is one O(m) pass — no sorting, no tree building — which is what makes
+// copy-on-write weight publication cheap enough for the per-feedback
+// online update path. w is captured, not copied; callers must not mutate
+// it afterward.
 func (t *Tree) Reweight(w []float64) *Tree {
 	if len(w) != len(t.buckets) {
 		panic("bvh: Reweight weight count mismatch")
 	}
 	nt := &Tree{
-		root:    t.root,
-		nnodes:  t.nnodes,
+		dim:     t.dim,
+		nlo:     t.nlo,
+		nhi:     t.nhi,
+		left:    t.left,
+		right:   t.right,
+		loff:    t.loff,
+		lcnt:    t.lcnt,
+		leafIdx: t.leafIdx,
+		blo:     t.blo,
+		bhi:     t.bhi,
 		buckets: t.buckets,
 		weights: w,
 		invVols: t.invVols,
 	}
-	if t.root != nil {
-		nt.wsums = make([]float64, nt.nnodes)
-		nt.sumWeights(nt.root)
+	if n := nt.numNodes(); n > 0 {
+		nt.wsums = make([]float64, n)
+		nt.sumWeights()
 	}
 	return nt
 }
 
-// sumWeights fills wsums[nd.id] for the subtree in post-order. Summation
-// order is fixed by the tree structure, so reweighted trees produce
-// byte-identical sums for a given weight vector.
-func (t *Tree) sumWeights(nd *node) float64 {
-	s := 0.0
-	if nd.idx != nil {
-		for _, j := range nd.idx {
-			s += t.weights[j]
+// sumWeights fills wsums for every node in one reverse sweep: children
+// have larger ids than their parent, so by the time a parent is reached
+// both subtree sums are ready. Leaf sums add bucket weights in leaf-window
+// order and parents add left+right — exactly the post-order recursion the
+// pointer tree used, so reweighted trees produce byte-identical sums for a
+// given weight vector.
+func (t *Tree) sumWeights() {
+	for id := t.numNodes() - 1; id >= 0; id-- {
+		if t.left[id] < 0 {
+			s := 0.0
+			for _, j := range t.leafIdx[t.loff[id] : t.loff[id]+t.lcnt[id]] {
+				s += t.weights[j]
+			}
+			t.wsums[id] = s
+			continue
 		}
-	} else {
-		s = t.sumWeights(nd.lo) + t.sumWeights(nd.hi)
+		t.wsums[id] = t.wsums[t.left[id]] + t.wsums[t.right[id]]
 	}
-	t.wsums[nd.id] = s
-	return s
-}
-
-func (t *Tree) build(idx []int) *node {
-	nd := &node{id: t.nnodes}
-	t.nnodes++
-	// Bounding box of the node.
-	nd.bbox = t.buckets[idx[0]].Clone()
-	for _, j := range idx {
-		b := t.buckets[j]
-		for i := range nd.bbox.Lo {
-			nd.bbox.Lo[i] = min(nd.bbox.Lo[i], b.Lo[i])
-			nd.bbox.Hi[i] = max(nd.bbox.Hi[i], b.Hi[i])
-		}
-	}
-	if len(idx) <= maxLeafSize {
-		nd.idx = idx
-		return nd
-	}
-	// Split along the widest dimension at the median bucket center.
-	axis := 0
-	widest := nd.bbox.Hi[0] - nd.bbox.Lo[0]
-	for i := 1; i < len(nd.bbox.Lo); i++ {
-		if w := nd.bbox.Hi[i] - nd.bbox.Lo[i]; w > widest {
-			widest, axis = w, i
-		}
-	}
-	sort.Slice(idx, func(a, b int) bool {
-		ca := t.buckets[idx[a]].Lo[axis] + t.buckets[idx[a]].Hi[axis]
-		cb := t.buckets[idx[b]].Lo[axis] + t.buckets[idx[b]].Hi[axis]
-		return ca < cb
-	})
-	mid := len(idx) / 2
-	nd.lo = t.build(idx[:mid])
-	nd.hi = t.build(idx[mid:])
-	nd.idx = nil
-	return nd
 }
 
 // Len returns the number of indexed buckets.
@@ -161,12 +213,22 @@ func (t *Tree) Len() int { return len(t.buckets) }
 func (t *Tree) Weights() []float64 { return t.weights }
 
 // Estimate returns Σⱼ vol(Bⱼ∩R)/vol(Bⱼ)·wⱼ over all indexed buckets,
-// clamped to [0,1].
+// clamped to [0,1]. Box queries (by value or pointer — the serving wire
+// path passes pooled *geom.Box) take the specialized coordinate walk; all
+// other range classes go through the generic classifier.
 func (t *Tree) Estimate(r geom.Range) float64 {
-	if t.root == nil {
+	if t.numNodes() == 0 {
 		return 0
 	}
-	s := t.estimate(t.root, r)
+	var s float64
+	switch q := r.(type) {
+	case geom.Box:
+		s = t.estimateBox(0, q.Lo, q.Hi)
+	case *geom.Box:
+		s = t.estimateBox(0, q.Lo, q.Hi)
+	default:
+		s = t.estimate(0, r)
+	}
 	if s < 0 {
 		return 0
 	}
@@ -176,20 +238,100 @@ func (t *Tree) Estimate(r geom.Range) float64 {
 	return s
 }
 
-func (t *Tree) estimate(nd *node, r geom.Range) float64 {
-	wsum := t.wsums[nd.id]
+// estimateBox is the box-query walk: node and bucket classification are
+// inline float comparisons over the flat coordinate arrays. The recursion
+// structure (left subtree + right subtree) and the per-leaf term order
+// match the generic walk exactly, so both produce the same float results.
+func (t *Tree) estimateBox(id int32, qlo, qhi geom.Point) float64 {
+	wsum := t.wsums[id]
 	if wsum == 0 {
 		return 0
 	}
-	switch geom.ClassifyBox(r, nd.bbox) {
+	d := t.dim
+	off := int(id) * d
+	nlo := t.nlo[off : off+d]
+	nhi := t.nhi[off : off+d]
+	contained := true
+	for i := 0; i < d; i++ {
+		if qlo[i] > nhi[i] || nlo[i] > qhi[i] {
+			return 0 // disjoint
+		}
+		if nlo[i] < qlo[i] || nhi[i] > qhi[i] {
+			contained = false
+		}
+	}
+	if contained {
+		return wsum
+	}
+	if t.left[id] < 0 {
+		s := 0.0
+		for _, j := range t.leafIdx[t.loff[id] : t.loff[id]+t.lcnt[id]] {
+			w := t.weights[j]
+			if w == 0 {
+				continue
+			}
+			bo := int(j) * d
+			blo := t.blo[bo : bo+d]
+			bhi := t.bhi[bo : bo+d]
+			// One pass classifies the bucket and accumulates the
+			// intersection volume, mirroring geom.ClassifyBox +
+			// IntersectBoxVolume: disjoint skips, contained adds the
+			// full weight (zero-volume buckets behave like point
+			// masses), straddling pays vol·invVol·w.
+			vol := 1.0
+			cont, zero := true, false
+			for i := 0; i < d; i++ {
+				bl, bh := blo[i], bhi[i]
+				if qlo[i] > bh || bl > qhi[i] {
+					cont, zero = false, true
+					break
+				}
+				if bl < qlo[i] || bh > qhi[i] {
+					cont = false
+				}
+				side := min(bh, qhi[i]) - max(bl, qlo[i])
+				if side <= 0 {
+					zero = true
+				} else {
+					vol *= side
+				}
+			}
+			switch {
+			case cont:
+				s += w
+			case !zero && t.invVols[j] != 0:
+				s += vol * t.invVols[j] * w
+			}
+		}
+		return s
+	}
+	return t.estimateBox(t.left[id], qlo, qhi) + t.estimateBox(t.right[id], qlo, qhi)
+}
+
+// nodeBox returns node id's bounding box as a view over the flat arrays
+// (no allocation; the windows are immutable).
+func (t *Tree) nodeBox(id int32) geom.Box {
+	off := int(id) * t.dim
+	return geom.Box{
+		Lo: geom.Point(t.nlo[off : off+t.dim : off+t.dim]),
+		Hi: geom.Point(t.nhi[off : off+t.dim : off+t.dim]),
+	}
+}
+
+func (t *Tree) estimate(id int32, r geom.Range) float64 {
+	wsum := t.wsums[id]
+	if wsum == 0 {
+		return 0
+	}
+	switch geom.ClassifyBox(r, t.nodeBox(id)) {
 	case geom.BoxDisjoint:
 		return 0
 	case geom.BoxContained:
 		return wsum
 	}
-	if nd.idx != nil {
+	if t.left[id] < 0 {
 		s := 0.0
-		for _, j := range nd.idx {
+		for _, j := range t.leafIdx[t.loff[id] : t.loff[id]+t.lcnt[id]] {
 			w := t.weights[j]
 			if w == 0 {
 				continue
@@ -209,7 +351,7 @@ func (t *Tree) estimate(nd *node, r geom.Range) float64 {
 		}
 		return s
 	}
-	return t.estimate(nd.lo, r) + t.estimate(nd.hi, r)
+	return t.estimate(t.left[id], r) + t.estimate(t.right[id], r)
 }
 
 // ForEachOverlap calls fn(j, frac) for every bucket j with nonzero
@@ -220,42 +362,42 @@ func (t *Tree) estimate(nd *node, r geom.Range) float64 {
 // and only boundary buckets pay for an intersection volume. Enumeration
 // order is fixed by the tree structure, so consumers are deterministic.
 func (t *Tree) ForEachOverlap(r geom.Range, fn func(j int, frac float64)) {
-	if t.root != nil {
-		t.overlap(t.root, r, false, fn)
+	if t.numNodes() > 0 {
+		t.overlap(0, r, false, fn)
 	}
 }
 
-func (t *Tree) overlap(nd *node, r geom.Range, contained bool, fn func(j int, frac float64)) {
+func (t *Tree) overlap(id int32, r geom.Range, contained bool, fn func(j int, frac float64)) {
 	if !contained {
-		switch geom.ClassifyBox(r, nd.bbox) {
+		switch geom.ClassifyBox(r, t.nodeBox(id)) {
 		case geom.BoxDisjoint:
 			return
 		case geom.BoxContained:
 			contained = true
 		}
 	}
-	if nd.idx != nil {
-		for _, j := range nd.idx {
+	if t.left[id] < 0 {
+		for _, j := range t.leafIdx[t.loff[id] : t.loff[id]+t.lcnt[id]] {
 			if contained {
-				fn(j, 1)
+				fn(int(j), 1)
 				continue
 			}
 			switch geom.ClassifyBox(r, t.buckets[j]) {
 			case geom.BoxDisjoint:
 			case geom.BoxContained:
-				fn(j, 1)
+				fn(int(j), 1)
 			default:
 				if t.invVols[j] != 0 {
 					if frac := r.IntersectBoxVolume(t.buckets[j]) * t.invVols[j]; frac > 0 {
-						fn(j, frac)
+						fn(int(j), frac)
 					}
 				}
 			}
 		}
 		return
 	}
-	t.overlap(nd.lo, r, contained, fn)
-	t.overlap(nd.hi, r, contained, fn)
+	t.overlap(t.left[id], r, contained, fn)
+	t.overlap(t.right[id], r, contained, fn)
 }
 
 // ForEachOverlapFlat is the O(m) reference of ForEachOverlap, used by
@@ -309,9 +451,9 @@ func EstimateFlat(buckets []geom.Box, weights []float64, r geom.Range) float64 {
 
 // IndexThreshold is the bucket count at which box-bucketed models switch
 // from the flat kernel to a BVH walk. Below it the flat scan's tight loop
-// beats the tree's pointer chasing; above it the walk touches only the
-// O(√m) boundary buckets. The crossover was measured with the estpath
-// benchmark (cmd/selbench -estpath).
+// beats the tree walk; above it the walk touches only the O(√m) boundary
+// buckets. The crossover was measured with the estpath benchmark
+// (cmd/selbench -estpath).
 const IndexThreshold = 64
 
 // Lazy is a lazily-built, immutably-shared BVH over a fixed bucket set.

@@ -172,6 +172,16 @@ func EstimateRangesInto(m Model, ranges []geom.Range, workers int, out []float64
 	if workers <= 0 && len(ranges) < estimatesParallelThreshold {
 		workers = 1
 	}
+	if workers == 1 {
+		// Inline serial loop: identical results to the one-worker pool
+		// path (both are index-addressed), but the closure below never
+		// materializes — the serving layer's zero-allocation estimate
+		// path depends on this.
+		for i, r := range ranges {
+			out[i] = m.Estimate(r)
+		}
+		return
+	}
 	parallel.ForEachChunk(len(ranges), workers, 0, func(i int) {
 		out[i] = m.Estimate(ranges[i])
 	})

@@ -43,43 +43,63 @@ type Component struct {
 
 // Mass returns the component's probability mass inside the range, exactly
 // for boxes, halfspaces and balls, and by bounding-box sampling otherwise.
+// Pointer and value forms of the three closed-form classes take the same
+// code path — the serving wire decoder passes pointers to pooled geometry.
 func (c Component) Mass(r geom.Range) float64 {
 	switch q := r.(type) {
 	case geom.Box:
-		m := 1.0
-		for i := range c.Mean {
-			lo := (q.Lo[i] - c.Mean[i]) / c.Sigma
-			hi := (q.Hi[i] - c.Mean[i]) / c.Sigma
-			if hi <= lo {
-				return 0
-			}
-			m *= normCDF(hi) - normCDF(lo)
-			if m == 0 {
-				return 0
-			}
-		}
-		return m
+		return c.boxMass(q)
+	case *geom.Box:
+		return c.boxMass(*q)
 	case geom.Halfspace:
-		norm := q.A.Norm()
-		if norm == 0 {
-			if q.B <= 0 {
-				return 1
-			}
-			return 0
-		}
-		return 1 - normCDF((q.B-q.A.Dot(c.Mean))/(c.Sigma*norm))
+		return c.halfspaceMass(q)
+	case *geom.Halfspace:
+		return c.halfspaceMass(*q)
 	case geom.Ball:
-		if q.Radius <= 0 {
-			return 0
-		}
-		d := float64(len(c.Mean))
-		dist := c.Mean.Dist(q.Center)
-		lambda := (dist / c.Sigma) * (dist / c.Sigma)
-		x := (q.Radius / c.Sigma) * (q.Radius / c.Sigma)
-		return noncentralChiSquareCDF(x, d, lambda)
+		return c.ballMass(q)
+	case *geom.Ball:
+		return c.ballMass(*q)
 	default:
 		return c.sampleMass(r)
 	}
+}
+
+func (c Component) boxMass(q geom.Box) float64 {
+	m := 1.0
+	for i := range c.Mean {
+		lo := (q.Lo[i] - c.Mean[i]) / c.Sigma
+		hi := (q.Hi[i] - c.Mean[i]) / c.Sigma
+		if hi <= lo {
+			return 0
+		}
+		m *= normCDF(hi) - normCDF(lo)
+		if m == 0 {
+			return 0
+		}
+	}
+	return m
+}
+
+func (c Component) halfspaceMass(q geom.Halfspace) float64 {
+	norm := q.A.Norm()
+	if norm == 0 {
+		if q.B <= 0 {
+			return 1
+		}
+		return 0
+	}
+	return 1 - normCDF((q.B-q.A.Dot(c.Mean))/(c.Sigma*norm))
+}
+
+func (c Component) ballMass(q geom.Ball) float64 {
+	if q.Radius <= 0 {
+		return 0
+	}
+	d := float64(len(c.Mean))
+	dist := c.Mean.Dist(q.Center)
+	lambda := (dist / c.Sigma) * (dist / c.Sigma)
+	x := (q.Radius / c.Sigma) * (q.Radius / c.Sigma)
+	return noncentralChiSquareCDF(x, d, lambda)
 }
 
 // sampleMass estimates the mass by deterministic sampling of the Gaussian

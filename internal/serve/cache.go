@@ -123,30 +123,51 @@ func (c *EstimateCache) status() estimateCacheStatus {
 // QueryKey canonicalizes a query range into compact bytes for cache
 // keying: a one-byte class tag followed by the raw IEEE-754 bits of the
 // defining coordinates. Two wire queries that parse to the same geometry
-// always map to the same key regardless of JSON formatting. Ranges
-// outside the three wire classes report ok=false and bypass the cache.
+// always map to the same key regardless of JSON formatting. Pointer and
+// value forms of the same geometry produce identical keys — the
+// zero-allocation wire decoder passes pointers into pooled arenas, while
+// tests and embedders pass values. Ranges outside the three wire classes
+// report ok=false and bypass the cache.
 func QueryKey(r geom.Range) (string, bool) {
-	var buf []byte
 	switch q := r.(type) {
 	case geom.Box:
-		buf = make([]byte, 0, 1+16*len(q.Lo))
-		buf = append(buf, 'b')
-		buf = appendFloats(buf, q.Lo)
-		buf = appendFloats(buf, q.Hi)
+		return boxKey(q), true
+	case *geom.Box:
+		return boxKey(*q), true
 	case geom.Halfspace:
-		buf = make([]byte, 0, 1+8*len(q.A)+8)
-		buf = append(buf, 'h')
-		buf = appendFloats(buf, q.A)
-		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(q.B))
+		return halfspaceKey(q), true
+	case *geom.Halfspace:
+		return halfspaceKey(*q), true
 	case geom.Ball:
-		buf = make([]byte, 0, 1+8*len(q.Center)+8)
-		buf = append(buf, 'c')
-		buf = appendFloats(buf, q.Center)
-		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(q.Radius))
-	default:
-		return "", false
+		return ballKey(q), true
+	case *geom.Ball:
+		return ballKey(*q), true
 	}
-	return string(buf), true
+	return "", false
+}
+
+func boxKey(q geom.Box) string {
+	buf := make([]byte, 0, 1+16*len(q.Lo))
+	buf = append(buf, 'b')
+	buf = appendFloats(buf, q.Lo)
+	buf = appendFloats(buf, q.Hi)
+	return string(buf)
+}
+
+func halfspaceKey(q geom.Halfspace) string {
+	buf := make([]byte, 0, 1+8*len(q.A)+8)
+	buf = append(buf, 'h')
+	buf = appendFloats(buf, q.A)
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(q.B))
+	return string(buf)
+}
+
+func ballKey(q geom.Ball) string {
+	buf := make([]byte, 0, 1+8*len(q.Center)+8)
+	buf = append(buf, 'c')
+	buf = appendFloats(buf, q.Center)
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(q.Radius))
+	return string(buf)
 }
 
 func appendFloats(buf []byte, p geom.Point) []byte {

@@ -1,0 +1,7 @@
+//go:build race
+
+package serve
+
+// raceEnabled gates allocation-count assertions: the race detector's
+// instrumentation allocates, so 0-allocs/op gates only hold without it.
+const raceEnabled = true

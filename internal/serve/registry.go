@@ -67,6 +67,20 @@ func (r *Registry) Get(name string) (*Entry, bool) {
 	return e, e != nil
 }
 
+// GetBytes is Get keyed by raw name bytes. The map index with an inline
+// string conversion compiles to a no-copy lookup, so the zero-allocation
+// estimate path can resolve a model without materializing a string.
+func (r *Registry) GetBytes(name []byte) (*Entry, bool) {
+	r.mu.RLock()
+	sl, ok := r.slots[string(name)]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, false
+	}
+	e := sl.ptr.Load()
+	return e, e != nil
+}
+
 // getOrCreateSlot finds name's slot, creating it on first use.
 func (r *Registry) getOrCreateSlot(name string) *slot {
 	r.mu.RLock()

@@ -25,6 +25,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log/slog"
 	"net"
 	"net/http"
@@ -140,6 +141,10 @@ type Server struct {
 	logger   *slog.Logger
 	started  time.Time
 
+	// encodeErrs counts response encode/write failures (satisfying the
+	// contract that writeJSON never silently discards an error).
+	encodeErrs *obs.Counter
+
 	retrainMu    sync.Mutex
 	retrainSeen  map[string]int64 // feedback total at last retrain, per model
 	retrainRuns  int64
@@ -172,6 +177,8 @@ func NewServer(opts Options) *Server {
 		started:     time.Now(),
 		retrainSeen: make(map[string]int64),
 	}
+	s.encodeErrs = reg.Counter("selserve_encode_errors_total",
+		"Response encode or write failures (client hangups included).")
 	if opts.EstimateCacheSize > 0 {
 		s.estCache = NewEstimateCache(opts.EstimateCacheSize)
 	}
@@ -286,6 +293,7 @@ func (s *Server) Handler() http.Handler {
 		mux.HandleFunc(pattern, s.instrument(pattern, h))
 	}
 	route("POST /v1/estimate", s.handleEstimate)
+	route("POST /v1/estimate/stream", s.handleEstimateStream)
 	route("POST /v1/feedback", s.handleFeedback)
 	route("POST /v1/retrain", s.handleRetrain)
 	route("PUT /v1/models/{name}", s.handlePutModel)
@@ -374,24 +382,24 @@ func (q wireQuery) toRange() (geom.Range, error) {
 	switch {
 	case q.Lo != nil || q.Hi != nil:
 		if len(q.Lo) == 0 || len(q.Lo) != len(q.Hi) {
-			return nil, fmt.Errorf("box query needs lo and hi of equal positive dimension")
+			return nil, errBoxDims
 		}
 		return geom.NewBox(geom.Point(q.Lo), geom.Point(q.Hi)), nil
 	case q.A != nil || q.B != nil:
 		if len(q.A) == 0 || q.B == nil {
-			return nil, fmt.Errorf("halfspace query needs a and b")
+			return nil, errHalfspaceAB
 		}
 		return geom.NewHalfspace(geom.Point(q.A), *q.B), nil
 	case q.Center != nil || q.Radius != nil:
 		if len(q.Center) == 0 || q.Radius == nil {
-			return nil, fmt.Errorf("ball query needs center and radius")
+			return nil, errBallCR
 		}
 		if *q.Radius < 0 {
-			return nil, fmt.Errorf("ball query needs a non-negative radius")
+			return nil, errBallNegative
 		}
 		return geom.NewBall(geom.Point(q.Center), *q.Radius), nil
 	}
-	return nil, fmt.Errorf("query must specify lo/hi, a/b, or center/radius")
+	return nil, errNoClass
 }
 
 type estimateRequest struct {
@@ -463,32 +471,64 @@ type apiError struct {
 	Error string `json:"error"`
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	// An encode failure here means the client hung up mid-response;
-	// there is no channel left to report it on.
-	_ = json.NewEncoder(w).Encode(v)
+// encodeScratch is a pooled encode buffer with its json.Encoder bound
+// once, so control-plane responses reuse one buffer instead of allocating
+// an encoder per call.
+type encodeScratch struct {
+	buf bytes.Buffer
+	enc *json.Encoder
 }
 
-func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
-}
+var encPool = sync.Pool{New: func() any {
+	es := new(encodeScratch)
+	es.enc = json.NewEncoder(&es.buf)
+	return es
+}}
 
-// writeJSONBuf is writeJSON through a caller-owned reusable buffer: the
-// response is encoded once into buf and written with a single Write,
-// keeping the estimate hot path free of per-response allocations.
-func writeJSONBuf(w http.ResponseWriter, status int, v any, buf *bytes.Buffer) {
-	buf.Reset()
-	if err := json.NewEncoder(buf).Encode(v); err != nil {
-		writeError(w, http.StatusInternalServerError, "encode response: %v", err)
+// writeJSON encodes v through a pooled encoder and writes it in one
+// Write. Encode failures (a value the encoder rejects) and short writes
+// (the client hung up mid-response) are counted in obs and logged instead
+// of silently discarded.
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	es := encPool.Get().(*encodeScratch)
+	es.buf.Reset()
+	if err := es.enc.Encode(v); err != nil {
+		encPool.Put(es)
+		s.encodeFailed("encode", err)
+		http.Error(w, `{"error":"encode response"}`, http.StatusInternalServerError)
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
+	w.Header()["Content-Type"] = jsonContentType
 	w.WriteHeader(status)
-	// A short write means the client hung up mid-response; there is no
-	// channel left to report it on.
-	_, _ = w.Write(buf.Bytes())
+	if _, err := w.Write(es.buf.Bytes()); err != nil {
+		s.encodeFailed("write", err)
+	}
+	encPool.Put(es)
+}
+
+// encodeFailed records one response encode/write failure.
+func (s *Server) encodeFailed(stage string, err error) {
+	s.encodeErrs.Inc()
+	if s.logger != nil {
+		s.logger.LogAttrs(context.Background(), slog.LevelWarn, "response encode failed",
+			slog.String("stage", stage),
+			slog.String("error", err.Error()),
+		)
+	}
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	s.writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// writeRaw writes pre-encoded JSON bytes: the zero-allocation counterpart
+// of writeJSON for the hand-rolled estimate encoder.
+func (s *Server) writeRaw(w http.ResponseWriter, status int, body []byte) {
+	w.Header()["Content-Type"] = jsonContentType
+	w.WriteHeader(status)
+	if _, err := w.Write(body); err != nil {
+		s.encodeFailed("write", err)
+	}
 }
 
 // decodeBody parses a size-limited JSON request body, rejecting unknown
@@ -498,10 +538,43 @@ func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool 
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
-		writeError(w, http.StatusBadRequest, "invalid request body: %v", err)
+		s.writeError(w, http.StatusBadRequest, "invalid request body: %v", err)
 		return false
 	}
 	return true
+}
+
+// readBody slurps the request body into the pooled scratch buffer,
+// enforcing MaxBodyBytes by hand — http.MaxBytesReader allocates a
+// wrapper per request, which the zero-allocation estimate path cannot
+// afford. Returns false after writing the error response.
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request, sc *estimateScratch) bool {
+	if cl := r.ContentLength; cl > s.opts.MaxBodyBytes {
+		s.writeError(w, http.StatusBadRequest, "invalid request body: http: request body too large")
+		return false
+	} else if cl > 0 && int64(cap(sc.body)) < cl {
+		sc.body = make([]byte, 0, cl)
+	}
+	sc.body = sc.body[:0]
+	for {
+		if len(sc.body) == cap(sc.body) {
+			// Grow via append, keeping the doubled capacity pooled.
+			sc.body = append(sc.body, 0)[:len(sc.body)]
+		}
+		n, err := r.Body.Read(sc.body[len(sc.body):cap(sc.body)])
+		sc.body = sc.body[:len(sc.body)+n]
+		if int64(len(sc.body)) > s.opts.MaxBodyBytes {
+			s.writeError(w, http.StatusBadRequest, "invalid request body: http: request body too large")
+			return false
+		}
+		if err == io.EOF {
+			return true
+		}
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, "read request body: %v", err)
+			return false
+		}
+	}
 }
 
 func modelName(name string) string {
@@ -517,14 +590,25 @@ func modelName(name string) string {
 // request; every slot is (re)assigned before use, so nothing leaks
 // between requests.
 type estimateScratch struct {
-	ranges []geom.Range
+	// decode state (see wire.go)
+	body   []byte           // raw request bytes
+	name   []byte           // parsed model name
+	strbuf []byte           // escape-decoding scratch
+	coords []float64        // arena backing every parsed coordinate slice
+	boxes  []geom.Box       // parsed concrete geometry, pointed to by ranges
+	halfs  []geom.Halfspace //
+	balls  []geom.Ball      //
+	qerrs  []error          // per-query validation error, nil when valid
+	ranges []geom.Range     // one per query, nil when invalid
+
+	// estimate + encode state
 	keys   []string
 	miss   []int
 	missRg []geom.Range
 	missV  []float64
 	ests   []float64
 	bad    []string
-	buf    bytes.Buffer
+	out    []byte // hand-rolled response bytes
 }
 
 var scratchPool = sync.Pool{New: func() any { return new(estimateScratch) }}
@@ -541,65 +625,63 @@ func grow[T any](s *[]T, n int) []T {
 }
 
 func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
-	var req estimateRequest
-	if !s.decodeBody(w, r, &req) {
+	sc := scratchPool.Get().(*estimateScratch)
+	defer scratchPool.Put(sc)
+	if !s.readBody(w, r, sc) {
 		return
 	}
-	single := req.Query != nil
-	queries := req.Queries
-	if single {
-		if len(queries) > 0 {
-			writeError(w, http.StatusBadRequest, "specify either query or queries, not both")
-			return
-		}
-		queries = []wireQuery{*req.Query}
-	}
-	if len(queries) == 0 {
-		writeError(w, http.StatusBadRequest, "no queries given")
+	sc.resetWire()
+	single, nQueries, perr := parseEstimateRequest(sc)
+	if perr != nil {
+		s.writeError(w, http.StatusBadRequest, "invalid request body: %v", perr)
 		return
 	}
-	name := modelName(req.Model)
-	entry, ok := s.registry.Get(name)
+	if single && nQueries > 0 {
+		s.writeError(w, http.StatusBadRequest, "specify either query or queries, not both")
+		return
+	}
+	ranges := sc.ranges
+	if len(ranges) == 0 {
+		s.writeError(w, http.StatusBadRequest, "no queries given")
+		return
+	}
+	nameBytes := sc.nameOrDefault()
+	entry, ok := s.registry.GetBytes(nameBytes)
 	if !ok {
-		writeError(w, http.StatusNotFound, "model %q not registered", name)
+		s.writeError(w, http.StatusNotFound, "model %q not registered", string(nameBytes))
 		return
 	}
 	dim, _ := modelDim(entry.Model)
 
-	sc := scratchPool.Get().(*estimateScratch)
-	defer scratchPool.Put(sc)
-	ranges := grow(&sc.ranges, len(queries))
 	bad := sc.bad[:0]
-	for i, wq := range queries {
-		q, err := wq.toRange()
+	for i, q := range ranges {
+		err := sc.qerrs[i]
 		if err == nil && dim > 0 && q.Dim() != dim {
-			err = fmt.Errorf("dimension %d, model %q has dimension %d", q.Dim(), name, dim)
+			err = fmt.Errorf("dimension %d, model %q has dimension %d", q.Dim(), string(nameBytes), dim)
 		}
 		if err != nil {
 			bad = append(bad, fmt.Sprintf("query %d: %v", i, err))
-			continue
 		}
-		ranges[i] = q
 	}
 	sc.bad = bad
 	if len(bad) > 0 {
 		// Report every malformed query at once so a client can fix the
 		// whole batch in one round trip.
-		writeError(w, http.StatusBadRequest, "%d of %d queries invalid: %s",
-			len(bad), len(queries), strings.Join(bad, "; "))
+		s.writeError(w, http.StatusBadRequest, "%d of %d queries invalid: %s",
+			len(bad), len(ranges), strings.Join(bad, "; "))
 		return
 	}
 
+	// The cache keys by model-name string; convert only when it is on.
+	name := ""
+	if s.estCache != nil {
+		name = string(nameBytes)
+	}
 	ests := grow(&sc.ests, len(ranges))
 	s.estimateBatch(name, entry, ranges, ests, sc, obs.SpanFromContext(r.Context()))
 
-	resp := estimateResponse{Model: name, Generation: entry.Generation}
-	if single {
-		resp.Estimate = &ests[0]
-	} else {
-		resp.Estimates = ests
-	}
-	writeJSONBuf(w, http.StatusOK, resp, &sc.buf)
+	sc.out = appendEstimateResponse(sc.out[:0], nameBytes, entry.Generation, ests, single)
+	s.writeRaw(w, http.StatusOK, sc.out)
 }
 
 // estimateBatch fills ests[i] for every range, serving what it can from
@@ -652,23 +734,23 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if len(req.Observations) == 0 {
-		writeError(w, http.StatusBadRequest, "no observations given")
+		s.writeError(w, http.StatusBadRequest, "no observations given")
 		return
 	}
 	name := modelName(req.Model)
 	if _, ok := s.registry.Get(name); !ok {
-		writeError(w, http.StatusNotFound, "model %q not registered", name)
+		s.writeError(w, http.StatusNotFound, "model %q not registered", name)
 		return
 	}
 	obs := make([]core.LabeledQuery, len(req.Observations))
 	for i, o := range req.Observations {
 		q, err := o.toRange()
 		if err != nil {
-			writeError(w, http.StatusBadRequest, "observation %d: %v", i, err)
+			s.writeError(w, http.StatusBadRequest, "observation %d: %v", i, err)
 			return
 		}
 		if o.Sel == nil || *o.Sel < 0 || *o.Sel > 1 {
-			writeError(w, http.StatusBadRequest, "observation %d: sel must be in [0,1]", i)
+			s.writeError(w, http.StatusBadRequest, "observation %d: sel must be in [0,1]", i)
 			return
 		}
 		obs[i] = core.LabeledQuery{R: q, Sel: *o.Sel}
@@ -680,7 +762,7 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 		// come from the background retrainer.
 		s.online.ingest(name, obs)
 	}
-	writeJSON(w, http.StatusOK, feedbackResponse{Model: name, Accepted: len(obs), Dropped: dropped})
+	s.writeJSON(w, http.StatusOK, feedbackResponse{Model: name, Accepted: len(obs), Dropped: dropped})
 }
 
 func (s *Server) handleRetrain(w http.ResponseWriter, r *http.Request) {
@@ -688,7 +770,7 @@ func (s *Server) handleRetrain(w http.ResponseWriter, r *http.Request) {
 	if results == nil {
 		results = []RetrainResult{}
 	}
-	writeJSON(w, http.StatusOK, results)
+	s.writeJSON(w, http.StatusOK, results)
 }
 
 func (s *Server) handlePutModel(w http.ResponseWriter, r *http.Request) {
@@ -705,13 +787,13 @@ func (s *Server) handlePutModel(w http.ResponseWriter, r *http.Request) {
 			errors.Is(err, modelio.ErrInvalidModel) {
 			status = http.StatusBadRequest
 		}
-		writeError(w, status, "load model: %v", err)
+		s.writeError(w, status, "load model: %v", err)
 		return
 	}
 	entry := s.registry.Set(name, "upload", m)
 	publish.Items = int64(m.NumBuckets())
 	publish.End()
-	writeJSON(w, http.StatusOK, modelStatus{
+	s.writeJSON(w, http.StatusOK, modelStatus{
 		Name:       name,
 		Type:       modelTypeName(m),
 		Buckets:    m.NumBuckets(),
@@ -725,18 +807,18 @@ func (s *Server) handleGetModel(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	entry, ok := s.registry.Get(name)
 	if !ok {
-		writeError(w, http.StatusNotFound, "model %q not registered", name)
+		s.writeError(w, http.StatusNotFound, "model %q not registered", name)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
 	if err := modelio.Save(w, entry.Model); err != nil {
 		// Headers are gone; all we can do is log via the status recorder.
-		writeError(w, http.StatusInternalServerError, "save model: %v", err)
+		s.writeError(w, http.StatusInternalServerError, "save model: %v", err)
 	}
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
 func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
@@ -778,5 +860,5 @@ func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
 		ec := s.estCache.status()
 		resp.EstimateCache = &ec
 	}
-	writeJSON(w, http.StatusOK, resp)
+	s.writeJSON(w, http.StatusOK, resp)
 }

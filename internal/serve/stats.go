@@ -146,12 +146,18 @@ func (w *statusRecorder) Unwrap() http.ResponseWriter {
 	return w.ResponseWriter
 }
 
+// recorderPool recycles statusRecorders: the middleware wraps every
+// request, so a per-request allocation here would alone break the
+// zero-allocation estimate-path gate.
+var recorderPool = sync.Pool{New: func() any { return new(statusRecorder) }}
+
 // instrument wraps a handler with request counting, latency capture, trace
 // span creation, and 5xx structured logging for its route pattern.
 func (s *Server) instrument(pattern string, h http.HandlerFunc) http.HandlerFunc {
 	es := s.stats.route(pattern)
 	return func(w http.ResponseWriter, r *http.Request) {
-		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		rec := recorderPool.Get().(*statusRecorder)
+		rec.ResponseWriter, rec.status = w, http.StatusOK
 		sp := s.tracer.StartRoot(es.spanName)
 		if sp.Active() {
 			r = r.WithContext(obs.ContextWithSpan(r.Context(), sp))
@@ -169,5 +175,7 @@ func (s *Server) instrument(pattern string, h http.HandlerFunc) http.HandlerFunc
 				slog.Uint64("trace_id", sp.TraceID()),
 			)
 		}
+		rec.ResponseWriter = nil // handlers never retain the recorder
+		recorderPool.Put(rec)
 	}
 }

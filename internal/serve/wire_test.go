@@ -1,0 +1,309 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/rng"
+)
+
+// TestAppendJSONFloatMatchesEncodingJSON pins the hand-rolled float
+// encoder to encoding/json's exact output across magnitude regimes, so
+// swapping the encoder never changes a single response byte.
+func TestAppendJSONFloatMatchesEncodingJSON(t *testing.T) {
+	vals := []float64{
+		0, 1, -1, 0.5, 0.25, 1.0 / 3.0, 0.1, 0.2, 0.1 + 0.2, math.Pi,
+		1e-6, 9.999e-7, 1e-7, 1e-9, 2.5e-13, 1e-300, 5e-324,
+		1e20, 1e21, 1.5e21, 1e22, math.MaxFloat64, 123456.789,
+	}
+	r := rng.New(7)
+	for i := 0; i < 500; i++ {
+		vals = append(vals, r.Float64())
+		vals = append(vals, r.Float64()*math.Pow(10, float64(i%40-20)))
+	}
+	for _, v := range vals {
+		want, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := appendJSONFloat(nil, v)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("appendJSONFloat(%g) = %s, encoding/json says %s", v, got, want)
+		}
+	}
+}
+
+// TestAppendEstimateResponseMatchesEncodingJSON pins the full response
+// encoder to the bytes json.Encoder produced for estimateResponse before
+// the hand-rolled path existed.
+func TestAppendEstimateResponseMatchesEncodingJSON(t *testing.T) {
+	single := 0.25
+	cases := []estimateResponse{
+		{Model: "default", Generation: 1, Estimate: &single},
+		{Model: `we"ird\name`, Generation: 42, Estimates: []float64{0, 1, 0.125, 3e-9}},
+		{Model: "batch", Generation: 7, Estimates: []float64{0.5}},
+	}
+	for _, resp := range cases {
+		var buf bytes.Buffer
+		if err := json.NewEncoder(&buf).Encode(resp); err != nil {
+			t.Fatal(err)
+		}
+		ests := resp.Estimates
+		isSingle := resp.Estimate != nil
+		if isSingle {
+			ests = []float64{*resp.Estimate}
+		}
+		got := appendEstimateResponse(nil, []byte(resp.Model), resp.Generation, ests, isSingle)
+		if !bytes.Equal(got, buf.Bytes()) {
+			t.Fatalf("hand-rolled response %q, encoding/json produced %q", got, buf.Bytes())
+		}
+	}
+}
+
+// randomWireQuery draws one wire query across the three classes; bad
+// selects an invalid variant so error paths agree too.
+func randomWireQuery(r *rng.RNG, d int, bad bool) wireQuery {
+	pt := func(n int) []float64 {
+		p := make([]float64, n)
+		for i := range p {
+			p[i] = r.Float64()*2 - 0.5
+		}
+		return p
+	}
+	f := func(v float64) *float64 { return &v }
+	switch r.IntN(3) {
+	case 0:
+		if bad {
+			return wireQuery{Lo: pt(d)} // missing hi
+		}
+		lo, hi := pt(d), pt(d)
+		for i := range hi {
+			hi[i] = lo[i] + r.Float64()*0.5
+		}
+		return wireQuery{Lo: lo, Hi: hi}
+	case 1:
+		if bad {
+			return wireQuery{A: pt(d)} // missing b
+		}
+		return wireQuery{A: pt(d), B: f(r.Float64())}
+	default:
+		if bad {
+			return wireQuery{Center: pt(d), Radius: f(-0.1)}
+		}
+		return wireQuery{Center: pt(d), Radius: f(r.Float64() * 0.5)}
+	}
+}
+
+// TestWireParserMatchesEncodingJSON is the decode property test: any
+// request the old encoding/json path accepted parses to identical
+// geometry (and any per-query error it reported is reported identically)
+// by the hand-rolled parser.
+func TestWireParserMatchesEncodingJSON(t *testing.T) {
+	r := rng.New(1234)
+	names := []string{"", "default", "tenant-7", `esc"aped`, "uni\tcode"}
+	for trial := 0; trial < 200; trial++ {
+		d := 1 + r.IntN(4)
+		req := estimateRequest{Model: names[r.IntN(len(names))]}
+		n := 1 + r.IntN(6)
+		single := n == 1 && r.IntN(2) == 0
+		var wqs []wireQuery
+		for i := 0; i < n; i++ {
+			wqs = append(wqs, randomWireQuery(r, d, r.IntN(4) == 0))
+		}
+		if single {
+			req.Query = &wqs[0]
+		} else {
+			req.Queries = wqs
+		}
+		body, err := json.Marshal(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		sc := new(estimateScratch)
+		sc.body = body
+		sc.resetWire()
+		hasQuery, nQueries, perr := parseEstimateRequest(sc)
+		if perr != nil {
+			t.Fatalf("trial %d: parse error %v on %s", trial, perr, body)
+		}
+		if hasQuery != single || nQueries != len(req.Queries) {
+			t.Fatalf("trial %d: form flags (%v,%d), want (%v,%d)", trial, hasQuery, nQueries, single, len(req.Queries))
+		}
+		if string(sc.nameOrDefault()) != modelName(req.Model) {
+			t.Fatalf("trial %d: model %q, want %q", trial, sc.nameOrDefault(), modelName(req.Model))
+		}
+		if len(sc.ranges) != n {
+			t.Fatalf("trial %d: %d ranges, want %d", trial, len(sc.ranges), n)
+		}
+		for i, wq := range wqs {
+			want, werr := wq.toRange()
+			got, gerr := sc.ranges[i], sc.qerrs[i]
+			if (werr == nil) != (gerr == nil) {
+				t.Fatalf("trial %d query %d: error %v, want %v", trial, i, gerr, werr)
+			}
+			if werr != nil {
+				if gerr.Error() != werr.Error() {
+					t.Fatalf("trial %d query %d: error %q, want %q", trial, i, gerr, werr)
+				}
+				continue
+			}
+			var gv geom.Range
+			switch g := got.(type) {
+			case *geom.Box:
+				gv = *g
+			case *geom.Halfspace:
+				gv = *g
+			case *geom.Ball:
+				gv = *g
+			default:
+				t.Fatalf("trial %d query %d: unexpected range type %T", trial, i, got)
+			}
+			if !reflect.DeepEqual(gv, want) {
+				t.Fatalf("trial %d query %d: parsed %#v, want %#v", trial, i, gv, want)
+			}
+		}
+	}
+}
+
+// TestWireParserEdgeCases pins grammar corners the property test cannot
+// reach: null fields, escapes in names, duplicate-free whitespace, and
+// transport-level rejections.
+func TestWireParserEdgeCases(t *testing.T) {
+	parse := func(body string) (*estimateScratch, bool, int, error) {
+		sc := new(estimateScratch)
+		sc.body = []byte(body)
+		sc.resetWire()
+		hq, nq, err := parseEstimateRequest(sc)
+		return sc, hq, nq, err
+	}
+
+	// null query/queries/model are absent, like encoding/json omitempty.
+	sc, hq, nq, err := parse(`{"model":null,"query":null,"queries":null}`)
+	if err != nil || hq || nq != 0 || len(sc.name) != 0 {
+		t.Fatalf("null fields: hq=%v nq=%d err=%v", hq, nq, err)
+	}
+	// "lo": null leaves the box class unselected.
+	sc, _, _, err = parse(`{"query":{"lo":null,"a":[1],"b":0.5}}`)
+	if err != nil || sc.qerrs[0] != nil {
+		t.Fatalf("null lo: err=%v qerr=%v", err, sc.qerrs[0])
+	}
+	if _, ok := sc.ranges[0].(*geom.Halfspace); !ok {
+		t.Fatalf("null lo: parsed %T, want *geom.Halfspace", sc.ranges[0])
+	}
+	// Escaped model names decode.
+	sc, _, _, err = parse(`{"model":"a\"b\\cA\n"}`)
+	if err != nil || string(sc.name) != "a\"b\\cA\n" {
+		t.Fatalf("escaped model: %q err=%v", sc.name, err)
+	}
+	// Scientific-notation coordinates.
+	sc, _, _, err = parse(`{"query":{"lo":[-1e-3,2E2],"hi":[1.5e0,3e2]}}`)
+	if err != nil || sc.qerrs[0] != nil {
+		t.Fatalf("scientific notation: err=%v qerr=%v", err, sc.qerrs[0])
+	}
+	if b := sc.ranges[0].(*geom.Box); b.Lo[0] != -1e-3 || b.Lo[1] != 200 || b.Hi[0] != 1.5 || b.Hi[1] != 300 {
+		t.Fatalf("scientific notation parsed %v", sc.ranges[0])
+	}
+	// Transport-level failures.
+	for _, bad := range []string{
+		``, `hello`, `{`, `{"model"}`, `{"model":}`, `{"query":{"lo":[}}`,
+		`{"nope":1}`, `{"query":{"zz":[1]}}`, `{"query":{"lo":[1,]}}`,
+		`{"queries":[{"lo":[0],"hi":[1]}`, `{"model":"x`,
+	} {
+		if _, _, _, err := parse(bad); err == nil {
+			t.Fatalf("parse(%q) accepted, want error", bad)
+		}
+	}
+	// Empty queries array parses to zero queries (the handler 400s later).
+	if _, hq, nq, err := parse(`{"queries":[]}`); err != nil || hq || nq != 0 {
+		t.Fatalf("empty queries: hq=%v nq=%d err=%v", hq, nq, err)
+	}
+}
+
+// TestQueryKeyPointerValueAgree: the wire decoder hands the cache pointer
+// ranges while embedders hand it values; both must key identically or a
+// hot cache would split per caller.
+func TestQueryKeyPointerValueAgree(t *testing.T) {
+	box := geom.NewBox(geom.Point{0.1, 0.2}, geom.Point{0.6, 0.9})
+	half := geom.NewHalfspace(geom.Point{1, -1}, 0.1)
+	ball := geom.NewBall(geom.Point{0.4, 0.6}, 0.2)
+	pairs := []struct{ v, p geom.Range }{
+		{box, &box}, {half, &half}, {ball, &ball},
+	}
+	for _, pr := range pairs {
+		kv, okv := QueryKey(pr.v)
+		kp, okp := QueryKey(pr.p)
+		if !okv || !okp || kv != kp {
+			t.Fatalf("%T: value key %q (ok=%v) != pointer key %q (ok=%v)", pr.v, kv, okv, kp, okp)
+		}
+	}
+	if _, ok := QueryKey(nil); ok {
+		t.Fatal("nil range produced a cache key")
+	}
+}
+
+// reusableBody lets one http.Request replay the same payload without
+// allocating a fresh reader per iteration.
+type reusableBody struct{ *bytes.Reader }
+
+func (reusableBody) Close() error { return nil }
+
+// discardWriter is a minimal ResponseWriter whose header map is reused
+// across requests, so response writing itself is measurable at 0 allocs.
+type discardWriter struct {
+	h      http.Header
+	status int
+}
+
+func (w *discardWriter) Header() http.Header         { return w.h }
+func (w *discardWriter) Write(p []byte) (int, error) { return len(p), nil }
+func (w *discardWriter) WriteHeader(code int)        { w.status = code }
+
+// TestEstimateHandlerZeroAlloc is the end-to-end allocation gate for the
+// single-estimate request path (the TestObsDisabledAllocs pattern applied
+// to the handler): mux dispatch, instrumentation, body read, decode,
+// estimate, encode — 0 allocs/op at steady state. The cache is disabled
+// because cache keying interns query bytes as map-key strings by design.
+func TestEstimateHandlerZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; the gate runs without -race")
+	}
+	train, test := fixture(t, 60, 1)
+	m := trainModel(t, train)
+	s := NewServer(Options{EstimateCacheSize: -1})
+	s.Registry().Set(DefaultModelName, "test", m)
+	h := s.Handler()
+
+	b := test[0].R.(geom.Box)
+	payload, err := json.Marshal(estimateRequest{Query: &wireQuery{Lo: b.Lo, Hi: b.Hi}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd := bytes.NewReader(payload)
+	req := httptest.NewRequest("POST", "/v1/estimate", rd)
+	req.Body = reusableBody{rd}
+	w := &discardWriter{h: make(http.Header)}
+
+	// Warm the pools and prove the path actually serves 200s.
+	for i := 0; i < 8; i++ {
+		rd.Reset(payload)
+		w.status = 0
+		h.ServeHTTP(w, req)
+		if w.status != http.StatusOK {
+			t.Fatalf("warmup request: HTTP %d", w.status)
+		}
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		rd.Reset(payload)
+		h.ServeHTTP(w, req)
+	})
+	if allocs != 0 {
+		t.Fatalf("single-estimate request path allocates %.1f objects/op, want 0", allocs)
+	}
+}

@@ -108,6 +108,14 @@ BEGIN {
         # BenchmarkServeEstimateBatch/workers=4 -> serve_batch_w4
         key = name
         sub(/^BenchmarkServeEstimateBatch\/workers=/, "serve_batch_w", key)
+    } else if (name ~ /^BenchmarkServeEstimateStream\//) {
+        # BenchmarkServeEstimateStream/workers=4 -> serve_stream_w4
+        key = name
+        sub(/^BenchmarkServeEstimateStream\/workers=/, "serve_stream_w", key)
+    } else if (name ~ /^BenchmarkServeEstimateAlloc\//) {
+        # BenchmarkServeEstimateAlloc/single -> serve_alloc_single
+        key = name
+        sub(/^BenchmarkServeEstimateAlloc\//, "serve_alloc_", key)
     } else if (name ~ /^BenchmarkObsDisabled\//) {
         # BenchmarkObsDisabled/span -> obs_disabled_span
         key = name
@@ -150,6 +158,8 @@ END {
                 sub(/^estpath_[a-z]+_/, "estpath_flat_", ref)
             } else if (key ~ /^serve_batch_w/ && key != "serve_batch_w1") {
                 ref = "serve_batch_w1"
+            } else if (key ~ /^serve_stream_w/ && key != "serve_stream_w1") {
+                ref = "serve_stream_w1"
             }
             if (ref != "" && ref in ns && ns[key] > 0)
                 printf ", \"baseline\": \"%s\", \"baseline_ns_per_op\": %.0f, \"speedup_vs_baseline\": %.2f", ref, ns[ref], ns[ref] / ns[key]

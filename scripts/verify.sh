@@ -24,7 +24,7 @@ go run ./cmd/selvet ./...
 # since /metrics pages are diffed byte-for-byte in tests. internal/online
 # is in the sweep because its whole contract is deterministic pure-compute
 # updates (detrand: no clocks — latency timing lives in the serve layer).
-go run ./cmd/selvet ./internal/serve ./internal/parallel ./internal/core ./internal/bvh ./internal/obs ./internal/online
+go run ./cmd/selvet ./internal/serve ./internal/parallel ./internal/core ./internal/bvh ./internal/obs ./internal/online ./internal/gmm
 
 # Prove the gate can fail: the seeded-violation fixture must be flagged.
 # If selvet ever exits 0 here, the analyzers have gone blind and the
@@ -55,7 +55,18 @@ go test -run 'TestOnlineDeterminism|TestDeterministicFold' ./internal/serve ./in
 # endpoint, so a perf regression that breaks either harness is caught here
 # rather than in scripts/bench.sh.
 go test -run '^$' -bench 'BenchmarkFig09$' -benchtime 1x .
-go test -run '^$' -bench 'BenchmarkEstimatePath/|BenchmarkServeEstimateBatch/' -benchtime 1x .
+go test -run '^$' -bench 'BenchmarkEstimatePath/|BenchmarkServeEstimateBatch/|BenchmarkServeEstimateStream/' -benchtime 1x .
+# Wire-path zero-allocation gate: the steady-state single-estimate path
+# through the full mux (pooled codecs, arena parse, hand-rolled encode)
+# must measure exactly 0 allocs/op — this is the contract DESIGN.md §13
+# documents, and any new per-request allocation fails the test.
+go test -run 'TestEstimateHandlerZeroAlloc' -count=1 ./internal/serve
+# Stream endpoint concurrency gate: per-connection pooled state and the
+# registry's COW publication must stay tear-free under concurrent streams
+# and model hot-swaps; the BVH Reweight path gets the same treatment since
+# streaming estimates read trees that online learning republishes.
+go test -race -run 'TestEstimateStreamConcurrentWithSwaps' -count=1 ./internal/serve
+go test -race -run 'TestReweightConcurrentNoTear' -count=1 ./internal/bvh
 # Observability zero-cost gate: the disabled span path must stay at
 # 0 allocs/op (TestObsDisabledAllocs fails the suite otherwise; the
 # benchmark arm here keeps the ns/op number visible in verify output).
