@@ -24,13 +24,13 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "", "experiment id (see -list)")
-		preset   = flag.String("preset", "default", "preset: quick, default, full")
-		all      = flag.Bool("all", false, "run every registered experiment")
-		list     = flag.Bool("list", false, "list experiment ids and exit")
-		seed     = flag.Uint64("seed", 0, "override the preset's base seed")
-		out      = flag.String("o", "", "write output to this file instead of stdout")
-		workers  = flag.Int("workers", 0, "concurrent sweep points and kernel workers (0 = all CPUs); results are identical for any value")
+		exp       = flag.String("exp", "", "experiment id (see -list)")
+		preset    = flag.String("preset", "default", "preset: quick, default, full")
+		all       = flag.Bool("all", false, "run every registered experiment")
+		list      = flag.Bool("list", false, "list experiment ids and exit")
+		seed      = flag.Uint64("seed", 0, "override the preset's base seed")
+		out       = flag.String("o", "", "write output to this file instead of stdout")
+		workers   = flag.Int("workers", 0, "concurrent sweep points and kernel workers (0 = all CPUs); results are identical for any value")
 		estpath   = flag.Bool("estpath", false, "benchmark the estimate hot path (flat vs BVH vs BVH+cache) and exit")
 		estIters  = flag.Int("estpath-iters", 20000, "query evaluations per estimate-path cell")
 		trainprof = flag.Bool("trainprof", false, "print per-family training stage timings on a synthetic workload and exit")

@@ -8,13 +8,21 @@
 //
 //	selvet ./...                     # whole module (the CI gate)
 //	selvet ./internal/solver ./internal/lp
-//	selvet -json ./...               # machine-readable findings
+//	selvet -json ./...               # machine-readable findings + summary
 //	selvet -run detrand,floateq ./...
+//	selvet -strict-suppressions ./...  # also flag stale //selvet:ignore lines
 //
 // Findings print as file:line:col: [analyzer] message and make selvet
 // exit 1; a clean tree exits 0; usage or load errors exit 2. Individual
 // lines are suppressed with `//selvet:ignore <analyzer> <reason>` on the
-// offending or preceding line — the reason is mandatory.
+// offending or preceding line — the reason is mandatory. With
+// -strict-suppressions, a directive whose analyzer ran but reported
+// nothing on its line is itself a finding: stale suppressions silently
+// widen the exemption surface as code changes underneath them.
+//
+// -json emits an object: {"findings": [...], "summary": {...}} where the
+// summary carries per-analyzer finding and suppression counts, files and
+// packages scanned, and wall time in milliseconds.
 package main
 
 import (
@@ -24,21 +32,33 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"repro/internal/analysis"
 )
 
+// summary is the machine-readable run report in -json mode.
+type summary struct {
+	Findings     map[string]int `json:"findings_by_analyzer"`
+	Suppressions map[string]int `json:"suppressions_by_analyzer"`
+	Packages     int            `json:"packages"`
+	Files        int            `json:"files"`
+	ElapsedMS    int64          `json:"elapsed_ms"`
+}
+
 func main() {
 	var (
-		jsonOut = flag.Bool("json", false, "emit findings as a JSON array")
+		jsonOut = flag.Bool("json", false, "emit findings and a run summary as JSON")
 		run     = flag.String("run", "", "comma-separated analyzer subset (default: all)")
+		strict  = flag.Bool("strict-suppressions", false, "flag //selvet:ignore directives that suppress nothing")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: selvet [-json] [-run analyzers] [patterns...]\n")
+		fmt.Fprintf(os.Stderr, "usage: selvet [-json] [-run analyzers] [-strict-suppressions] [patterns...]\n")
 		fmt.Fprintf(os.Stderr, "patterns: ./... (default), package dirs, or dir/... subtrees\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	start := time.Now()
 
 	analyzers, err := analysis.ByName(*run)
 	if err != nil {
@@ -59,10 +79,21 @@ func main() {
 	}
 
 	var diags []analysis.Diagnostic
+	sum := summary{Findings: map[string]int{}, Suppressions: map[string]int{}}
 	for _, pkg := range pkgs {
-		diags = append(diags, analysis.RunPackage(pkg, analyzers)...)
+		ds, stats := analysis.RunPackageStats(pkg, analyzers, *strict)
+		diags = append(diags, ds...)
+		for name, n := range stats.Findings {
+			sum.Findings[name] += n
+		}
+		for name, n := range stats.Suppressions {
+			sum.Suppressions[name] += n
+		}
+		sum.Packages++
+		sum.Files += stats.Files
 	}
 	analysis.SortDiagnostics(diags)
+	sum.ElapsedMS = time.Since(start).Milliseconds()
 
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
@@ -70,7 +101,11 @@ func main() {
 		if diags == nil {
 			diags = []analysis.Diagnostic{}
 		}
-		if err := enc.Encode(diags); err != nil {
+		out := struct {
+			Findings []analysis.Diagnostic `json:"findings"`
+			Summary  summary               `json:"summary"`
+		}{diags, sum}
+		if err := enc.Encode(out); err != nil {
 			fatal(err)
 		}
 	} else {

@@ -17,6 +17,23 @@
 //   - errdiscard:  no silently dropped error returns
 //   - poolcapture: closures handed to the internal/parallel pool must
 //     only write captured state through their own index slot
+//   - zeroalloc:   functions annotated //selvet:zeroalloc must contain
+//     no allocating constructs (boxing, capturing closures, string
+//     concat/conversion, fmt, un-rooted append)
+//   - poolpair:    every sync.Pool Get reaches a Put on all CFG paths,
+//     and the value is never used after a plain Put
+//   - atomicmix:   a location accessed via sync/atomic anywhere in a
+//     package is never accessed plainly, and typed atomic wrappers are
+//     never copied by value
+//   - cowshare:    structure arrays shared by copy-on-write bvh trees
+//     and WeightView slices are only written during construction
+//   - obslabel:    metric names and label keys are compile-time
+//     constants, labels are registered in sorted order, and label values
+//     are never request-derived
+//
+// The last five run on a lightweight intraprocedural CFG/dataflow layer
+// (cfg.go, flow.go) built directly over go/ast — basic blocks, a generic
+// forward worklist solver, and a flow-insensitive taint fixpoint.
 //
 // Findings can be suppressed per line with
 //
@@ -90,6 +107,11 @@ func All() []*Analyzer {
 		AnalyzerLockheld,
 		AnalyzerErrdiscard,
 		AnalyzerPoolcapture,
+		AnalyzerZeroalloc,
+		AnalyzerPoolpair,
+		AnalyzerAtomicmix,
+		AnalyzerCowshare,
+		AnalyzerObslabel,
 	}
 }
 
@@ -176,17 +198,43 @@ func parseIgnores(fset *token.FileSet, file *ast.File) []*IgnoreDirective {
 	return out
 }
 
+// PackageStats summarizes one package's run: surviving findings and used
+// suppressions per analyzer, plus the file count. The selvet -json
+// summary aggregates these across packages.
+type PackageStats struct {
+	Findings     map[string]int
+	Suppressions map[string]int
+	Files        int
+}
+
 // RunPackage runs the given analyzers over one loaded package and returns
 // the surviving diagnostics: findings suppressed by a well-formed
 // //selvet:ignore directive on the same or preceding line are dropped,
 // while malformed directives (unknown analyzer, missing reason) are
 // reported as findings of the pseudo-analyzer "selvet".
 func RunPackage(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	diags, _ := RunPackageStats(pkg, analyzers, false)
+	return diags
+}
+
+// RunPackageStats is RunPackage plus per-analyzer counters. With strict
+// set, a well-formed directive whose analyzer ran on this package but
+// suppressed nothing is itself reported ("selvet" pseudo-analyzer): a
+// stale suppression means the code was fixed, or the directive never
+// matched — either way it silently widens the exemption surface.
+func RunPackageStats(pkg *Package, analyzers []*Analyzer, strict bool) ([]Diagnostic, PackageStats) {
+	stats := PackageStats{
+		Findings:     map[string]int{},
+		Suppressions: map[string]int{},
+		Files:        len(pkg.Files),
+	}
 	var raw []Diagnostic
+	ran := map[string]bool{}
 	for _, a := range analyzers {
 		if a.Applies != nil && !a.Applies(pkg.RelPath) {
 			continue
 		}
+		ran[a.Name] = true
 		pass := &Pass{
 			Analyzer: a,
 			Fset:     pkg.Fset,
@@ -218,26 +266,31 @@ func RunPackage(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 		if suppressed(d, ignores) {
 			continue
 		}
+		stats.Findings[d.Analyzer]++
 		out = append(out, d)
+	}
+	report := func(dir *IgnoreDirective, format string, args ...any) {
+		stats.Findings["selvet"]++
+		out = append(out, Diagnostic{
+			Analyzer: "selvet",
+			Position: dir.Position,
+			Message:  fmt.Sprintf(format, args...),
+		})
 	}
 	for _, dir := range directives {
 		switch {
 		case !known[dir.Analyzer]:
-			out = append(out, Diagnostic{
-				Analyzer: "selvet",
-				Position: dir.Position,
-				Message:  fmt.Sprintf("ignore directive names unknown analyzer %q", dir.Analyzer),
-			})
+			report(dir, "ignore directive names unknown analyzer %q", dir.Analyzer)
 		case dir.Reason == "":
-			out = append(out, Diagnostic{
-				Analyzer: "selvet",
-				Position: dir.Position,
-				Message:  fmt.Sprintf("ignore directive for %q needs a reason", dir.Analyzer),
-			})
+			report(dir, "ignore directive for %q needs a reason", dir.Analyzer)
+		case dir.used:
+			stats.Suppressions[dir.Analyzer]++
+		case strict && ran[dir.Analyzer]:
+			report(dir, "stale ignore directive: %q reported nothing on this line", dir.Analyzer)
 		}
 	}
 	SortDiagnostics(out)
-	return out
+	return out, stats
 }
 
 // suppressed reports whether a well-formed directive on the diagnostic's

@@ -107,13 +107,23 @@ func TestErrdiscardFixture(t *testing.T) {
 func TestPoolcaptureFixture(t *testing.T) {
 	runFixture(t, "poolcapture", []*Analyzer{AnalyzerPoolcapture})
 }
+func TestZeroallocFixture(t *testing.T) { runFixture(t, "zeroalloc", []*Analyzer{AnalyzerZeroalloc}) }
+func TestPoolpairFixture(t *testing.T)  { runFixture(t, "poolpair", []*Analyzer{AnalyzerPoolpair}) }
+func TestAtomicmixFixture(t *testing.T) {
+	runFixture(t, "atomicmix", []*Analyzer{AnalyzerAtomicmix})
+}
+func TestCowshareFixture(t *testing.T) { runFixture(t, "cowshare", []*Analyzer{AnalyzerCowshare}) }
+func TestObslabelFixture(t *testing.T) { runFixture(t, "obslabel", []*Analyzer{AnalyzerObslabel}) }
 
 // TestFixturesAreSeededViolations double-checks the property verify.sh
 // relies on: running the full analyzer set over any violation fixture
 // yields at least one finding (nonzero selvet exit).
 func TestFixturesAreSeededViolations(t *testing.T) {
 	m := loadTestModule(t)
-	for _, fixture := range []string{"detrand", "maprange", "floateq", "serve", "errdiscard", "poolcapture"} {
+	for _, fixture := range []string{
+		"detrand", "maprange", "floateq", "serve", "errdiscard", "poolcapture",
+		"zeroalloc", "poolpair", "atomicmix", "cowshare", "obslabel",
+	} {
 		pkg, err := m.LoadDir(filepath.Join("testdata", "src", fixture))
 		if err != nil {
 			t.Fatalf("LoadDir(%s): %v", fixture, err)
@@ -154,18 +164,73 @@ func TestDirectiveValidation(t *testing.T) {
 
 // TestRepoIsClean is the self-gate: the full analyzer set over every
 // package of this module must produce zero findings — the exact
-// condition under which `go run ./cmd/selvet ./...` exits 0.
+// condition under which `go run ./cmd/selvet ./...` exits 0. Strict
+// suppression checking is on, so every //selvet:ignore in the tree must
+// also still be earning its keep.
 func TestRepoIsClean(t *testing.T) {
 	m := loadTestModule(t)
 	var dirty []string
 	for _, pkg := range m.Pkgs {
-		for _, d := range RunPackage(pkg, All()) {
+		diags, _ := RunPackageStats(pkg, All(), true)
+		for _, d := range diags {
 			dirty = append(dirty, d.String())
 		}
 	}
 	if len(dirty) > 0 {
 		t.Fatalf("selvet findings in the tree (fix or suppress with a reason):\n%s",
 			strings.Join(dirty, "\n"))
+	}
+}
+
+// TestStaleSuppression checks -strict-suppressions semantics: a
+// well-formed directive whose analyzer ran but reported nothing is a
+// finding under strict mode and silent otherwise, and the run stats
+// count used suppressions but not stale ones.
+func TestStaleSuppression(t *testing.T) {
+	m := loadTestModule(t)
+	pkg, err := m.LoadDir(filepath.Join("testdata", "src", "directives"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lax, _ := RunPackageStats(pkg, All(), false)
+	for _, d := range lax {
+		if strings.Contains(d.Message, "stale") {
+			t.Errorf("stale directive reported without strict mode: %s", d)
+		}
+	}
+	strict, stats := RunPackageStats(pkg, All(), true)
+	found := false
+	for _, d := range strict {
+		if d.Analyzer == "selvet" && strings.Contains(d.Message, "stale ignore directive") &&
+			strings.Contains(d.Message, "floateq") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("strict mode did not flag the stale floateq directive")
+	}
+	if stats.Suppressions["floateq"] != 0 {
+		t.Errorf("stale directive counted as a used suppression: %v", stats.Suppressions)
+	}
+	if stats.Files == 0 {
+		t.Error("stats did not count scanned files")
+	}
+}
+
+// TestFixtureStats checks the per-analyzer counters the -json summary is
+// built from, over a fixture with known findings and one suppression.
+func TestFixtureStats(t *testing.T) {
+	m := loadTestModule(t)
+	pkg, err := m.LoadDir(filepath.Join("testdata", "src", "poolpair"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, stats := RunPackageStats(pkg, []*Analyzer{AnalyzerPoolpair}, false)
+	if stats.Findings["poolpair"] != 3 {
+		t.Errorf("poolpair findings = %d, want 3 (two leaks, one use-after-put)", stats.Findings["poolpair"])
+	}
+	if stats.Suppressions["poolpair"] != 1 {
+		t.Errorf("poolpair suppressions = %d, want 1", stats.Suppressions["poolpair"])
 	}
 }
 

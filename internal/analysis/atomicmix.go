@@ -1,0 +1,181 @@
+package analysis
+
+// AnalyzerAtomicmix machine-checks the atomics discipline (DESIGN.md
+// §14): a memory location is either always atomic or never atomic.
+// Mixing the two — `atomic.AddInt64(&s.n, 1)` in one function and
+// `s.n++` in another — is a data race the race detector only catches
+// when both sides happen to run under -race at the same time.
+//
+// Two forms are enforced package-wide:
+//
+//   - legacy form: any struct field or package variable whose address is
+//     passed to a sync/atomic function must never be read or written
+//     plainly anywhere else in the package;
+//   - typed form: a field of wrapper type (atomic.Int64, atomic.Uint64,
+//     atomic.Pointer[T], ...) must only be touched through its methods —
+//     copying the wrapper value out reads the guts non-atomically (and
+//     go vet's copylocks misses the load-bearing half of that story).
+//
+// Fields of a slice-of-wrapper (e.g. []atomic.Int64) are reached by
+// indexing, which is fine — the element's methods still do the access.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+var AnalyzerAtomicmix = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "a field accessed atomically anywhere in the package must never be accessed plainly",
+	Run:  runAtomicmix,
+}
+
+func runAtomicmix(p *Pass) {
+	// Pass 1: collect the objects used atomically via the legacy
+	// &x-to-sync/atomic-function form, and remember those call sites so
+	// pass 2 can exempt them.
+	atomicObjs := map[types.Object]bool{}
+	atomicSites := map[*ast.Ident]bool{}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(p.Info, call)
+			if fn == nil || funcPkgPath(fn) != "sync/atomic" || fn.Type().(*types.Signature).Recv() != nil {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				if obj, id := trackableObject(p.Info, un.X); obj != nil {
+					atomicObjs[obj] = true
+					atomicSites[id] = true
+				}
+			}
+			return true
+		})
+	}
+
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := p.Info.ObjectOf(id)
+			if obj == nil || !atomicObjs[obj] || atomicSites[id] {
+				return true
+			}
+			if defIsDeclaration(p.Info, id) {
+				return true
+			}
+			p.Reportf(id.Pos(),
+				"%s is accessed atomically elsewhere in this package; this plain access races with it", obj.Name())
+			return true
+		})
+	}
+
+	checkTypedWrappers(p)
+}
+
+// trackableObject resolves the field or package-level variable a
+// &-operand denotes — the locations whose accesses are scattered widely
+// enough that the mixed-use race hides. Locals are skipped: their atomic
+// and plain uses sit in one function where review sees both.
+func trackableObject(info *types.Info, e ast.Expr) (types.Object, *ast.Ident) {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[x]; ok && sel.Kind() == types.FieldVal {
+			return sel.Obj(), x.Sel
+		}
+		// Package-qualified var (pkg.Var).
+		if obj, ok := info.Uses[x.Sel].(*types.Var); ok && !obj.IsField() && obj.Parent() == obj.Pkg().Scope() {
+			return obj, x.Sel
+		}
+	case *ast.Ident:
+		if obj, ok := info.ObjectOf(x).(*types.Var); ok && !obj.IsField() && obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+			return obj, x
+		}
+	}
+	return nil, nil
+}
+
+// defIsDeclaration reports whether id is the declaring occurrence (field
+// declaration, var spec name) rather than an access.
+func defIsDeclaration(info *types.Info, id *ast.Ident) bool {
+	_, isDef := info.Defs[id]
+	return isDef
+}
+
+// checkTypedWrappers flags value copies of atomic.* typed wrappers:
+// selector or index expressions of wrapper type that are neither a
+// method-call receiver nor an address-of operand.
+func checkTypedWrappers(p *Pass) {
+	for _, f := range p.Files {
+		// allowed holds wrapper-typed expressions appearing in sanctioned
+		// positions; every other wrapper-typed selector/index is a copy.
+		allowed := map[ast.Expr]bool{}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.SelectorExpr:
+				// recv.Method(...) — the receiver side of a method call —
+				// or a deeper selection through the wrapper.
+				if isAtomicWrapper(p.Info.TypeOf(x.X)) {
+					allowed[ast.Unparen(x.X)] = true
+				}
+			case *ast.UnaryExpr:
+				if x.Op == token.AND && isAtomicWrapper(p.Info.TypeOf(x.X)) {
+					allowed[ast.Unparen(x.X)] = true
+				}
+			}
+			return true
+		})
+		ast.Inspect(f, func(n ast.Node) bool {
+			var e ast.Expr
+			switch x := n.(type) {
+			case *ast.SelectorExpr:
+				e = x
+			case *ast.IndexExpr:
+				e = x
+			default:
+				return true
+			}
+			if !isAtomicWrapper(p.Info.TypeOf(e)) || allowed[e] {
+				return true
+			}
+			// Type expressions — atomic.Int64 in a field declaration, or a
+			// generic instantiation atomic.Pointer[T] — are not values.
+			if tv, ok := p.Info.Types[e]; !ok || !tv.IsValue() {
+				return true
+			}
+			p.Reportf(e.Pos(),
+				"copying %s reads an atomic wrapper non-atomically; use its methods or take its address", types.TypeString(p.Info.TypeOf(e), nil))
+			return true
+		})
+	}
+}
+
+// isAtomicWrapper reports the typed wrappers of sync/atomic.
+func isAtomicWrapper(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	switch obj.Name() {
+	case "Bool", "Int32", "Int64", "Uint32", "Uint64", "Uintptr", "Pointer", "Value":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,439 @@
+package analysis
+
+// Intraprocedural control-flow graphs over go/ast, plus a forward
+// dataflow driver (DESIGN.md §14). This is deliberately not SSA and not
+// x/tools/go/cfg: the analyzers in this package need exactly two
+// capabilities — "does fact X hold on every path from a statement to the
+// function exit" (poolpair) and "which syntactic constructs can execute
+// on a path" — and a basic-block graph over the raw AST answers both
+// while keeping positions and types.Info usable directly for reporting.
+//
+// Granularity: a Block's Nodes are the leaf statements and expressions
+// that execute in it, in order. Control statements are decomposed — an
+// IfStmt contributes its Init and Cond to the block that evaluates them,
+// never its branches; a RangeStmt contributes its X, Key, and Value
+// expressions to the loop head. Analyzers that walk Block.Nodes with
+// ast.Inspect therefore see each executed node exactly once.
+//
+// Conservative corners, chosen to keep the builder small:
+//
+//   - goto jumps to Exit (the tree has no gotos; a goto-heavy function
+//     would see spurious "on some path" findings, never missed ones for
+//     must-reach properties).
+//   - Only explicit panic(...) calls end a path; implicit runtime panics
+//     (nil derefs, bounds) are not modeled. Deferred calls still cover
+//     them in the analyzers' semantics because a defer, once executed,
+//     holds on every later exit.
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Block is one basic block: Nodes execute in order, then control moves to
+// one of Succs. The virtual Exit block of a CFG has no Nodes.
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Succs []*Block
+	Preds []*Block
+}
+
+// CFG is the control-flow graph of one function body. Entry is where
+// execution starts; every return, explicit panic, and fall-off-the-end
+// path leads to Exit.
+type CFG struct {
+	Entry  *Block
+	Exit   *Block
+	Blocks []*Block // all blocks, Entry first, Exit last
+}
+
+// BuildCFG constructs the control-flow graph of a function body.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{g: &CFG{}}
+	b.g.Entry = b.newBlock()
+	b.g.Exit = &Block{}
+	b.cur = b.g.Entry
+	b.stmtList(body.List)
+	if b.cur != nil {
+		b.edge(b.cur, b.g.Exit) // fall off the end (implicit return)
+	}
+	b.g.Exit.Index = len(b.g.Blocks)
+	b.g.Blocks = append(b.g.Blocks, b.g.Exit)
+	return b.g
+}
+
+// loopTargets is one enclosing breakable/continuable construct.
+type loopTargets struct {
+	label     string // enclosing label, "" when unlabeled
+	brk, cont *Block // cont is nil for switch/select
+}
+
+type cfgBuilder struct {
+	g     *CFG
+	cur   *Block // nil after a terminator (unreachable until next join)
+	loops []loopTargets
+	label string // pending label for the next loop/switch statement
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// use appends a node to the current block, materializing an unreachable
+// block when control cannot get here (code after return/break).
+func (b *cfgBuilder) use(n ast.Node) {
+	if n == nil {
+		return
+	}
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch x := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		b.stmtList(x.List)
+	case *ast.IfStmt:
+		b.ifStmt(x)
+	case *ast.ForStmt:
+		b.forStmt(x, b.takeLabel())
+	case *ast.RangeStmt:
+		b.rangeStmt(x, b.takeLabel())
+	case *ast.SwitchStmt:
+		b.switchStmt(x.Init, x.Tag, nil, x.Body, b.takeLabel())
+	case *ast.TypeSwitchStmt:
+		b.switchStmt(x.Init, nil, x.Assign, x.Body, b.takeLabel())
+	case *ast.SelectStmt:
+		b.selectStmt(x, b.takeLabel())
+	case *ast.ReturnStmt:
+		b.use(x)
+		b.terminate()
+	case *ast.BranchStmt:
+		b.branchStmt(x)
+	case *ast.LabeledStmt:
+		b.label = x.Label.Name
+		b.stmt(x.Stmt)
+		b.label = ""
+	case *ast.ExprStmt:
+		b.use(x)
+		if isPanicCall(x.X) {
+			b.terminate()
+		}
+	default:
+		// Assign, Decl, IncDec, Send, Defer, Go, Empty: straight-line.
+		b.use(s)
+	}
+}
+
+// takeLabel consumes the pending label of a labeled loop/switch.
+func (b *cfgBuilder) takeLabel() string {
+	l := b.label
+	b.label = ""
+	return l
+}
+
+// terminate routes the current block to Exit and marks what follows
+// unreachable.
+func (b *cfgBuilder) terminate() {
+	if b.cur != nil {
+		b.edge(b.cur, b.g.Exit)
+		b.cur = nil
+	}
+}
+
+func (b *cfgBuilder) ifStmt(x *ast.IfStmt) {
+	b.use(x.Init)
+	b.use(x.Cond)
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	head := b.cur
+	after := b.newBlock()
+
+	then := b.newBlock()
+	b.edge(head, then)
+	b.cur = then
+	b.stmtList(x.Body.List)
+	if b.cur != nil {
+		b.edge(b.cur, after)
+	}
+
+	if x.Else != nil {
+		els := b.newBlock()
+		b.edge(head, els)
+		b.cur = els
+		b.stmt(x.Else)
+		if b.cur != nil {
+			b.edge(b.cur, after)
+		}
+	} else {
+		b.edge(head, after)
+	}
+	b.cur = after
+}
+
+func (b *cfgBuilder) forStmt(x *ast.ForStmt, label string) {
+	b.use(x.Init)
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	head := b.newBlock()
+	b.edge(b.cur, head)
+	b.cur = head
+	b.use(x.Cond)
+
+	after := b.newBlock()
+	// The continue target runs Post (when present) and loops back.
+	cont := head
+	if x.Post != nil {
+		cont = b.newBlock()
+		b.cur = cont
+		b.use(x.Post)
+		b.edge(cont, head)
+	}
+	body := b.newBlock()
+	b.edge(head, body)
+	if x.Cond != nil {
+		b.edge(head, after)
+	}
+	b.loops = append(b.loops, loopTargets{label: label, brk: after, cont: cont})
+	b.cur = body
+	b.stmtList(x.Body.List)
+	b.loops = b.loops[:len(b.loops)-1]
+	if b.cur != nil {
+		b.edge(b.cur, cont)
+	}
+	// For a for{} with no break, after has no predecessors: the code
+	// following the loop is unreachable and analyzes with no in-state.
+	b.cur = after
+}
+
+func (b *cfgBuilder) rangeStmt(x *ast.RangeStmt, label string) {
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	b.use(x.X)
+	head := b.newBlock()
+	b.edge(b.cur, head)
+	// Key/Value are (re)assigned at the head on every iteration.
+	b.cur = head
+	b.use(x.Key)
+	b.use(x.Value)
+
+	after := b.newBlock()
+	body := b.newBlock()
+	b.edge(head, body)
+	b.edge(head, after) // empty collection
+	b.loops = append(b.loops, loopTargets{label: label, brk: after, cont: head})
+	b.cur = body
+	b.stmtList(x.Body.List)
+	b.loops = b.loops[:len(b.loops)-1]
+	if b.cur != nil {
+		b.edge(b.cur, head)
+	}
+	b.cur = after
+}
+
+// switchStmt builds expression and type switches: tag evaluates in the
+// head, each clause gets its own block, fallthrough chains clause bodies.
+func (b *cfgBuilder) switchStmt(init ast.Stmt, tag ast.Expr, assign ast.Stmt, body *ast.BlockStmt, label string) {
+	b.use(init)
+	b.use(tag)
+	b.use(assign)
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	head := b.cur
+	after := b.newBlock()
+
+	var clauses []*ast.CaseClause
+	for _, cs := range body.List {
+		if cc, ok := cs.(*ast.CaseClause); ok {
+			clauses = append(clauses, cc)
+		}
+	}
+	blocks := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, cc := range clauses {
+		blocks[i] = b.newBlock()
+		b.edge(head, blocks[i])
+		if cc.List == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		b.edge(head, after)
+	}
+	b.loops = append(b.loops, loopTargets{label: label, brk: after})
+	for i, cc := range clauses {
+		b.cur = blocks[i]
+		for _, e := range cc.List {
+			b.use(e)
+		}
+		// Fallthrough is only legal as a clause's final statement: peel it
+		// off and chain into the next clause's body block instead.
+		body, falls := cc.Body, false
+		if n := len(body); n > 0 {
+			if br, ok := body[n-1].(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				body, falls = body[:n-1], true
+			}
+		}
+		b.stmtList(body)
+		switch {
+		case falls && b.cur != nil && i+1 < len(blocks):
+			b.edge(b.cur, blocks[i+1])
+			b.cur = nil
+		case b.cur != nil:
+			b.edge(b.cur, after)
+		}
+	}
+	b.loops = b.loops[:len(b.loops)-1]
+	b.cur = after
+}
+
+func (b *cfgBuilder) selectStmt(x *ast.SelectStmt, label string) {
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	head := b.cur
+	after := b.newBlock()
+	b.loops = append(b.loops, loopTargets{label: label, brk: after})
+	for _, cs := range x.Body.List {
+		cc, ok := cs.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		blk := b.newBlock()
+		b.edge(head, blk)
+		b.cur = blk
+		b.use(cc.Comm)
+		b.stmtList(cc.Body)
+		if b.cur != nil {
+			b.edge(b.cur, after)
+		}
+	}
+	b.loops = b.loops[:len(b.loops)-1]
+	b.cur = after
+}
+
+func (b *cfgBuilder) branchStmt(x *ast.BranchStmt) {
+	target := func(cont bool) *Block {
+		for i := len(b.loops) - 1; i >= 0; i-- {
+			lt := b.loops[i]
+			if cont && lt.cont == nil {
+				continue // break-only construct (switch/select)
+			}
+			if x.Label != nil && lt.label != x.Label.Name {
+				continue
+			}
+			if cont {
+				return lt.cont
+			}
+			return lt.brk
+		}
+		return nil
+	}
+	switch x.Tok {
+	case token.BREAK:
+		if t := target(false); t != nil && b.cur != nil {
+			b.edge(b.cur, t)
+		}
+		b.cur = nil
+	case token.CONTINUE:
+		if t := target(true); t != nil && b.cur != nil {
+			b.edge(b.cur, t)
+		}
+		b.cur = nil
+	case token.GOTO:
+		// Conservative: route to Exit (see file comment).
+		b.terminate()
+	case token.FALLTHROUGH:
+		// Normally peeled off by switchStmt; a stray one terminates.
+		b.cur = nil
+	}
+}
+
+// isPanicCall reports whether e is a call of the builtin panic.
+func isPanicCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "panic" && id.Obj == nil
+}
+
+// --- forward dataflow ------------------------------------------------------
+
+// ForwardFlow runs a forward worklist fixpoint over g. boundary is the
+// entry state; meet joins the out-states of a block's predecessors
+// (called only with states of blocks already visited); transfer computes
+// a block's out-state from its in-state and must not mutate its input.
+// equal bounds the iteration. The returned maps hold the fixpoint
+// in- and out-states of every block; the in-state of g.Exit is the join
+// over every path through the function.
+func ForwardFlow[S any](g *CFG, boundary S, meet func(S, S) S, equal func(S, S) bool, transfer func(*Block, S) S) (in, out map[*Block]S) {
+	in = make(map[*Block]S, len(g.Blocks))
+	out = make(map[*Block]S, len(g.Blocks))
+	seen := make(map[*Block]bool, len(g.Blocks))
+
+	work := []*Block{g.Entry}
+	queued := map[*Block]bool{g.Entry: true}
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		queued[blk] = false
+
+		var s S
+		if blk == g.Entry {
+			s = boundary
+		} else {
+			first := true
+			for _, p := range blk.Preds {
+				if !seen[p] {
+					continue
+				}
+				if first {
+					s = out[p]
+					first = false
+				} else {
+					s = meet(s, out[p])
+				}
+			}
+			if first {
+				continue // no processed predecessor yet (unreachable or later in queue)
+			}
+		}
+		ns := transfer(blk, s)
+		if seen[blk] && equal(ns, out[blk]) {
+			in[blk] = s
+			continue
+		}
+		in[blk], out[blk] = s, ns
+		seen[blk] = true
+		for _, succ := range blk.Succs {
+			if !queued[succ] {
+				queued[succ] = true
+				work = append(work, succ)
+			}
+		}
+	}
+	return in, out
+}

@@ -1,0 +1,275 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// parseBody wraps a statement list in a function and returns its body.
+func parseBody(t *testing.T, body string) *ast.BlockStmt {
+	t.Helper()
+	src := "package p\nfunc f(c bool, x int) {\n" + body + "\n}\nfunc a() {}\nfunc b() {}\nfunc g() {}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "cfg_test_src.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return f.Decls[0].(*ast.FuncDecl).Body
+}
+
+// reachable returns the blocks reachable from Entry.
+func reachable(g *CFG) map[*Block]bool {
+	seen := map[*Block]bool{}
+	stack := []*Block{g.Entry}
+	for len(stack) > 0 {
+		blk := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[blk] {
+			continue
+		}
+		seen[blk] = true
+		stack = append(stack, blk.Succs...)
+	}
+	return seen
+}
+
+// blockCalling finds the block whose nodes contain a call to the named
+// function.
+func blockCalling(g *CFG, name string) *Block {
+	for _, blk := range g.Blocks {
+		for _, n := range blk.Nodes {
+			found := false
+			ast.Inspect(n, func(m ast.Node) bool {
+				if call, ok := m.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == name {
+						found = true
+					}
+				}
+				return !found
+			})
+			if found {
+				return blk
+			}
+		}
+	}
+	return nil
+}
+
+func hasEdge(from, to *Block) bool {
+	for _, s := range from.Succs {
+		if s == to {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCFGLinear(t *testing.T) {
+	g := BuildCFG(parseBody(t, "a()\nb()"))
+	r := reachable(g)
+	if !r[g.Exit] {
+		t.Fatal("exit not reachable in a straight-line body")
+	}
+	if blk := blockCalling(g, "a"); blk == nil || !r[blk] {
+		t.Fatal("straight-line statement not placed in a reachable block")
+	}
+	if len(g.Exit.Preds) == 0 {
+		t.Fatal("exit has no predecessors")
+	}
+}
+
+func TestCFGIfElseMerges(t *testing.T) {
+	g := BuildCFG(parseBody(t, "if c {\na()\n} else {\nb()\n}\ng()"))
+	r := reachable(g)
+	ga, gb, gg := blockCalling(g, "a"), blockCalling(g, "b"), blockCalling(g, "g")
+	if ga == nil || gb == nil || gg == nil {
+		t.Fatal("branch statements not placed in blocks")
+	}
+	if !r[ga] || !r[gb] || !r[gg] {
+		t.Fatal("branch or merge block unreachable")
+	}
+	if !hasEdge(ga, gg) || !hasEdge(gb, gg) {
+		t.Fatal("both branches must flow into the merge block")
+	}
+}
+
+func TestCFGEarlyReturn(t *testing.T) {
+	g := BuildCFG(parseBody(t, "if c {\na()\nreturn\n}\nb()"))
+	ga, gb := blockCalling(g, "a"), blockCalling(g, "b")
+	if ga == nil || gb == nil {
+		t.Fatal("statements not placed in blocks")
+	}
+	if !hasEdge(ga, g.Exit) {
+		t.Fatal("return must edge to exit")
+	}
+	if hasEdge(ga, gb) {
+		t.Fatal("code after return must not be a successor of the returning block")
+	}
+	if !reachable(g)[gb] {
+		t.Fatal("fall-through branch must stay reachable")
+	}
+}
+
+func TestCFGDeadCodeAfterReturn(t *testing.T) {
+	g := BuildCFG(parseBody(t, "a()\nreturn\nb()"))
+	gb := blockCalling(g, "b")
+	if gb == nil {
+		t.Fatal("dead statement not placed in a block")
+	}
+	if reachable(g)[gb] {
+		t.Fatal("statement after an unconditional return must be unreachable")
+	}
+}
+
+func TestCFGLoopBackEdge(t *testing.T) {
+	g := BuildCFG(parseBody(t, "for x > 0 {\na()\n}\nb()"))
+	r := reachable(g)
+	ga, gb := blockCalling(g, "a"), blockCalling(g, "b")
+	if ga == nil || gb == nil || !r[ga] || !r[gb] {
+		t.Fatal("loop body and continuation must be reachable")
+	}
+	// The loop body must eventually lead back to itself.
+	seen := map[*Block]bool{}
+	stack := ga.Succs
+	cyclic := false
+	for len(stack) > 0 {
+		blk := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if blk == ga {
+			cyclic = true
+			break
+		}
+		if seen[blk] {
+			continue
+		}
+		seen[blk] = true
+		stack = append(stack, blk.Succs...)
+	}
+	if !cyclic {
+		t.Fatal("loop body has no back edge")
+	}
+}
+
+func TestCFGPanicEdgesToExit(t *testing.T) {
+	g := BuildCFG(parseBody(t, "if c {\na()\npanic(\"x\")\n}\nb()"))
+	ga, gb := blockCalling(g, "a"), blockCalling(g, "b")
+	if ga == nil || gb == nil {
+		t.Fatal("statements not placed in blocks")
+	}
+	if !hasEdge(ga, g.Exit) {
+		t.Fatal("explicit panic must edge to exit")
+	}
+	if hasEdge(ga, gb) {
+		t.Fatal("panicking block must not fall through")
+	}
+}
+
+func TestCFGFallthroughChains(t *testing.T) {
+	g := BuildCFG(parseBody(t, "switch x {\ncase 1:\na()\nfallthrough\ncase 2:\nb()\n}\ng()"))
+	r := reachable(g)
+	ga, gb, gg := blockCalling(g, "a"), blockCalling(g, "b"), blockCalling(g, "g")
+	if ga == nil || gb == nil || gg == nil {
+		t.Fatal("switch statements not placed in blocks")
+	}
+	if !hasEdge(ga, gb) {
+		t.Fatal("fallthrough must chain to the next case clause")
+	}
+	if !r[gg] {
+		t.Fatal("code after the switch must be reachable")
+	}
+}
+
+// TestForwardFlowReachingState checks the worklist solver on a diamond:
+// a fact introduced on one branch survives to the merge under a union
+// meet, and blocks after an unconditional return never observe it.
+func TestForwardFlowReachingState(t *testing.T) {
+	g := BuildCFG(parseBody(t, "if c {\na()\n} else {\nb()\n}\ng()"))
+	ga, gg := blockCalling(g, "a"), blockCalling(g, "g")
+	meet := func(x, y int) int { return x | y }
+	equal := func(x, y int) bool { return x == y }
+	transfer := func(blk *Block, in int) int {
+		if blk == ga {
+			return in | 1
+		}
+		return in
+	}
+	ins, outs := ForwardFlow(g, 0, meet, equal, transfer)
+	if ins[gg]&1 == 0 {
+		t.Fatal("fact set on the then-branch must reach the merge block")
+	}
+	if outs[ga]&1 == 0 {
+		t.Fatal("transfer output lost")
+	}
+	// The else branch alone must not carry the fact.
+	if gb := blockCalling(g, "b"); gb != nil && ins[gb]&1 != 0 {
+		t.Fatal("fact leaked into a sibling branch")
+	}
+}
+
+// TestFlowFrom checks the taint fixpoint: derivation through plain and
+// multi-value assignment and reslicing, and no derivation for unrelated
+// locals.
+func TestFlowFrom(t *testing.T) {
+	src := `package p
+func seedFn() []int { return nil }
+func f() {
+	s := seedFn()
+	u := s[1:]
+	v, w := s, 0
+	clean := make([]int, 4)
+	_, _, _, _ = u, v, w, clean
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "flow_test_src.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	// Type-check the snippet so FlowFrom has object identities.
+	info := &types.Info{
+		Types: map[ast.Expr]types.TypeAndValue{},
+		Defs:  map[*ast.Ident]types.Object{},
+		Uses:  map[*ast.Ident]types.Object{},
+	}
+	conf := types.Config{}
+	if _, err := conf.Check("p", fset, []*ast.File{f}, info); err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	var fn *ast.FuncDecl
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == "f" {
+			fn = fd
+		}
+	}
+	tainted := FlowFrom(info, fn, func(e ast.Expr) bool {
+		call, ok := e.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		return ok && id.Name == "seedFn"
+	})
+	names := map[string]bool{}
+	for obj := range tainted {
+		names[obj.Name()] = true
+	}
+	for _, want := range []string{"s", "u", "v"} {
+		if !names[want] {
+			t.Errorf("%s should be tainted, got %v", want, keys(names))
+		}
+	}
+	if names["clean"] {
+		t.Error("clean derives only its length from nothing tainted; it must stay clean")
+	}
+}
+
+func keys(m map[string]bool) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,324 @@
+package analysis
+
+// AnalyzerCowshare machine-checks the copy-on-write publication contract
+// (DESIGN.md §14): bvh.Tree.Reweight and core.Reweightable.WithWeights
+// hand out trees that share every structure array with the original, so
+// concurrent readers of the old tree see the new tree's memory. The only
+// safe writers are the builders; everything else must treat those arrays
+// as frozen. go test -race catches a violation only when a reader and
+// the writer collide inside the race window — this check catches the
+// write at compile time.
+//
+// Two package-dependent modes:
+//
+//   - inside a package named "bvh": any write to a field of Tree — or
+//     through a local alias of one, like the builder's node-box windows —
+//     is flagged unless the tree was constructed locally (assigned from a
+//     Tree composite literal in the same function) or the write happens
+//     in one of the construction methods (build, sumWeights), which run
+//     only on trees no reader has seen yet. The construction-method list
+//     is project knowledge, same as poolcapture's pool entry points.
+//
+//   - everywhere: slices obtained from a WeightView() call (the
+//     core.Reweightable contract) or a Tree's Weights() method are live
+//     model state; indexed writes, copy-into, and append through them are
+//     flagged. Taint propagates through assignments and reslices
+//     (FlowFrom).
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+var AnalyzerCowshare = &Analyzer{
+	Name: "cowshare",
+	Doc:  "structure arrays shared by COW trees and weight views must only be written during construction",
+	Run:  runCowshare,
+}
+
+// cowBuilders are the bvh construction methods that may write structure
+// arrays through their receiver: they run strictly before publication.
+var cowBuilders = map[string]bool{
+	"build":      true,
+	"sumWeights": true,
+}
+
+func runCowshare(p *Pass) {
+	inBVH := p.Pkg != nil && p.Pkg.Name() == "bvh"
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			fn, ok := n.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				return true
+			}
+			if inBVH && !(isTreeMethod(p.Info, fn) && cowBuilders[fn.Name.Name]) {
+				checkTreeWrites(p, fn)
+			}
+			checkViewWrites(p, fn)
+			return false
+		})
+	}
+}
+
+// isTreeMethod reports whether fn is a method with a (possibly pointer)
+// Tree receiver.
+func isTreeMethod(info *types.Info, fn *ast.FuncDecl) bool {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return false
+	}
+	t := info.TypeOf(fn.Recv.List[0].Type)
+	return t != nil && isTreeType(t)
+}
+
+func isTreeType(t types.Type) bool {
+	if pt, ok := t.(*types.Pointer); ok {
+		t = pt.Elem()
+	}
+	n, ok := t.(*types.Named)
+	return ok && n.Obj().Name() == "Tree" && n.Obj().Pkg() != nil && n.Obj().Pkg().Name() == "bvh"
+}
+
+// --- mode 1: structure-array writes inside package bvh ---------------------
+
+func checkTreeWrites(p *Pass, fn *ast.FuncDecl) {
+	// Locals constructed from a Tree composite literal are private until
+	// the function publishes them; writes through them are construction.
+	fresh := FlowFrom(p.Info, fn, func(e ast.Expr) bool {
+		cl, ok := ast.Unparen(e).(*ast.CompositeLit)
+		if !ok {
+			return false
+		}
+		t := p.Info.TypeOf(cl)
+		return t != nil && isTreeType(t)
+	})
+	// Slice-typed locals aliasing a (non-fresh) tree's field arrays —
+	// `nlo := t.nlo[off : off+d]` — share the backing store: element
+	// writes through them are writes to the shared structure. Only
+	// alias-preserving right-hand sides (the selector itself, possibly
+	// resliced) propagate; deriving a scalar from a field does not.
+	aliases := sliceAliases(p.Info, fn, func(e ast.Expr) bool {
+		sel, _ := treeFieldSel(p.Info, e)
+		return sel != nil && !Derived(p.Info, sel.X, fresh, nil)
+	})
+
+	forEachWrite(fn, func(lhs ast.Expr, at ast.Node) {
+		reportSharedWrite(p, lhs, at, fresh, aliases)
+	})
+}
+
+// sliceAliases computes the slice-typed locals of fn that alias storage
+// matched by base: assigned from a base expression (possibly resliced)
+// or from another alias. Unlike FlowFrom, only alias-preserving
+// right-hand sides propagate — make(..., len(alias)) is fresh storage.
+func sliceAliases(info *types.Info, fn ast.Node, base func(ast.Expr) bool) map[types.Object]bool {
+	aliases := map[types.Object]bool{}
+	mark := func(lhs ast.Expr) bool {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return false
+		}
+		obj := info.ObjectOf(id)
+		if obj == nil || aliases[obj] {
+			return false
+		}
+		if _, isSlice := obj.Type().Underlying().(*types.Slice); !isSlice {
+			return false
+		}
+		aliases[obj] = true
+		return true
+	}
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(fn, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			switch {
+			case len(as.Lhs) == len(as.Rhs):
+				for i, rhs := range as.Rhs {
+					if aliasExpr(info, rhs, base, aliases) && mark(as.Lhs[i]) {
+						changed = true
+					}
+				}
+			case len(as.Rhs) == 1 && aliasExpr(info, as.Rhs[0], base, aliases):
+				// Multi-value form (w, n := m.WeightView()): any
+				// slice-typed result may be the view.
+				for _, lhs := range as.Lhs {
+					if mark(lhs) {
+						changed = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return aliases
+}
+
+// aliasExpr reports whether e, after peeling reslices, matches base or
+// names an already-aliased local — the forms sharing a backing array.
+func aliasExpr(info *types.Info, e ast.Expr, base func(ast.Expr) bool, aliases map[types.Object]bool) bool {
+	for {
+		if sl, ok := ast.Unparen(e).(*ast.SliceExpr); ok {
+			e = sl.X
+			continue
+		}
+		break
+	}
+	e = ast.Unparen(e)
+	if base(e) {
+		return true
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := info.ObjectOf(id); obj != nil {
+			return aliases[obj]
+		}
+	}
+	return false
+}
+
+// treeFieldSel matches a selector of a Tree field, returning it and the
+// field object.
+func treeFieldSel(info *types.Info, e ast.Expr) (*ast.SelectorExpr, types.Object) {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return nil, nil
+	}
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil, nil
+	}
+	if t := info.TypeOf(sel.X); t == nil || !isTreeType(t) {
+		return nil, nil
+	}
+	return sel, s.Obj()
+}
+
+// reportSharedWrite flags one assignment target that stores into shared
+// tree structure.
+func reportSharedWrite(p *Pass, lhs ast.Expr, at ast.Node, fresh, aliases map[types.Object]bool) {
+	base := ast.Unparen(lhs)
+	// Peel element/window addressing down to the stored-into expression.
+	peeled := false
+	for {
+		switch x := base.(type) {
+		case *ast.IndexExpr:
+			base = ast.Unparen(x.X)
+			peeled = true
+			continue
+		case *ast.StarExpr:
+			base = ast.Unparen(x.X)
+			peeled = true
+			continue
+		}
+		break
+	}
+	if sel, obj := treeFieldSel(p.Info, base); sel != nil {
+		if Derived(p.Info, sel.X, fresh, nil) {
+			return // locally constructed tree: still private
+		}
+		p.Reportf(at.Pos(),
+			"write to %s of a published bvh.Tree: structure arrays are shared by Reweight and must stay frozen", obj.Name())
+		return
+	}
+	// Rebinding an alias variable is harmless; only element writes
+	// through it touch the shared backing array.
+	if !peeled {
+		return
+	}
+	if id, ok := base.(*ast.Ident); ok {
+		if obj := p.Info.ObjectOf(id); obj != nil && aliases[obj] && !fresh[obj] {
+			p.Reportf(at.Pos(),
+				"write through %s, an alias of a published bvh.Tree structure array", obj.Name())
+		}
+	}
+}
+
+// --- mode 2: writes through weight views -----------------------------------
+
+// viewCall matches calls that expose live COW state: any WeightView()
+// (the core.Reweightable contract) and Weights() on a bvh Tree.
+func viewCall(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "WeightView":
+		return true
+	case "Weights":
+		t := info.TypeOf(sel.X)
+		return t != nil && isTreeType(t)
+	}
+	return false
+}
+
+func checkViewWrites(p *Pass, fn *ast.FuncDecl) {
+	seed := func(e ast.Expr) bool { return viewCall(p.Info, e) }
+	aliases := sliceAliases(p.Info, fn, seed)
+	isView := func(e ast.Expr) bool {
+		return aliasExpr(p.Info, e, seed, aliases)
+	}
+
+	forEachWrite(fn, func(lhs ast.Expr, at ast.Node) {
+		// Only element writes share memory; rebinding a variable doesn't.
+		ix, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+		if !ok {
+			return
+		}
+		if isView(ix.X) {
+			p.Reportf(at.Pos(),
+				"write into a weight view: WeightView/Weights expose live model state shared with concurrent readers")
+		}
+	})
+
+	// copy(view, ...) and append(view, ...) write the shared backing.
+	ast.Inspect(fn, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		switch {
+		case id.Name == "copy" && len(call.Args) == 2 && isBuiltin(p.Info, id):
+			if isView(call.Args[0]) {
+				p.Reportf(call.Pos(), "copy into a weight view overwrites live model state shared with concurrent readers")
+			}
+		case id.Name == "append" && len(call.Args) > 0 && isBuiltin(p.Info, id):
+			if isView(call.Args[0]) {
+				p.Reportf(call.Pos(), "append through a weight view may write the shared backing array of live model state")
+			}
+		}
+		return true
+	})
+}
+
+func isBuiltin(info *types.Info, id *ast.Ident) bool {
+	_, ok := info.ObjectOf(id).(*types.Builtin)
+	return ok
+}
+
+// forEachWrite visits every assignment target and inc/dec operand in fn,
+// including inside nested function literals — a closure writing shared
+// structure is still this function's write.
+func forEachWrite(fn *ast.FuncDecl, visit func(lhs ast.Expr, at ast.Node)) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				visit(lhs, x)
+			}
+		case *ast.IncDecStmt:
+			visit(x.X, x)
+		}
+		return true
+	})
+}

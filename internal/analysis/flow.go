@@ -1,0 +1,122 @@
+package analysis
+
+// Flow-insensitive intraprocedural value tracking shared by the
+// dataflow-backed analyzers (DESIGN.md §14): given a seed predicate over
+// expressions, FlowFrom computes the set of variables in one function
+// whose value may derive from a seed — "this slice aliases a COW weight
+// view", "this string came from the request". Flow-insensitivity (any
+// assignment order) errs toward tainting more, which is the safe
+// direction for every consumer in this package.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// FlowFrom returns the objects (variables) declared or assigned inside fn
+// whose value may derive from an expression matched by seed. Derivation
+// propagates through assignments, short variable declarations, var specs
+// with initializers, and value-preserving wrappers (parens, slicing,
+// indexing, selection, type conversion); an expression derives taint when
+// seed matches it or any of its subexpressions, or when it mentions an
+// already-tainted object.
+func FlowFrom(info *types.Info, fn ast.Node, seed func(ast.Expr) bool) map[types.Object]bool {
+	tainted := map[types.Object]bool{}
+	derives := func(e ast.Expr) bool {
+		hit := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.FuncLit:
+				return false // a nested closure's internals are its own scope
+			case ast.Expr:
+				if seed(x) {
+					hit = true
+				}
+				if id, ok := x.(*ast.Ident); ok {
+					if obj := info.ObjectOf(id); obj != nil && tainted[obj] {
+						hit = true
+					}
+				}
+			}
+			return !hit
+		})
+		return hit
+	}
+	mark := func(lhs ast.Expr) bool {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return false
+		}
+		obj := info.ObjectOf(id)
+		if obj == nil || tainted[obj] {
+			return false
+		}
+		tainted[obj] = true
+		return true
+	}
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(fn, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.AssignStmt:
+				if len(x.Lhs) == len(x.Rhs) {
+					for i, rhs := range x.Rhs {
+						if derives(rhs) && mark(x.Lhs[i]) {
+							changed = true
+						}
+					}
+				} else if len(x.Rhs) == 1 && derives(x.Rhs[0]) {
+					// Multi-value form: one seed result taints every LHS.
+					for _, lhs := range x.Lhs {
+						if mark(lhs) {
+							changed = true
+						}
+					}
+				}
+			case *ast.ValueSpec:
+				for i, name := range x.Names {
+					var rhs ast.Expr
+					switch {
+					case len(x.Values) == len(x.Names):
+						rhs = x.Values[i]
+					case len(x.Values) == 1:
+						rhs = x.Values[0]
+					}
+					if rhs != nil && derives(rhs) && mark(name) {
+						changed = true
+					}
+				}
+			case *ast.RangeStmt:
+				if derives(x.X) {
+					// Ranging over a tainted collection taints the
+					// element (and, harmlessly, the key).
+					for _, lhs := range []ast.Expr{x.Key, x.Value} {
+						if lhs != nil && mark(lhs) {
+							changed = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return tainted
+}
+
+// Derived reports whether e derives from the given taint set or seed, by
+// the same rules FlowFrom uses for right-hand sides.
+func Derived(info *types.Info, e ast.Expr, tainted map[types.Object]bool, seed func(ast.Expr) bool) bool {
+	hit := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if ex, ok := n.(ast.Expr); ok && seed != nil && seed(ex) {
+			hit = true
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := info.ObjectOf(id); obj != nil && tainted[obj] {
+				hit = true
+			}
+		}
+		return !hit
+	})
+	return hit
+}

@@ -1,0 +1,250 @@
+package analysis
+
+// AnalyzerObslabel machine-checks the metrics-registration contract of
+// internal/obs (DESIGN.md §14). Three rules:
+//
+//   - metric names and label keys are compile-time constants — a
+//     computed name silently forks a time series and breaks dashboards
+//     that query by literal name;
+//   - labels are passed to Counter/Gauge/Histogram/CounterFunc/GaugeFunc
+//     in sorted key order — renderLabels sorts internally, but the
+//     registration call is the documented place readers learn the label
+//     set, so pass order is part of the contract;
+//   - label values must not derive from an *http.Request — request-
+//     derived values (paths, header contents) have unbounded cardinality
+//     and blow up the registry. Route patterns are fine because they are
+//     the mux's compile-time strings, not the request's.
+//
+// obs.Label literals are checked wherever they occur (including ones
+// bound to a local and passed by name, the stats.go idiom); name
+// constancy and key order are checked at the registration call.
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+var AnalyzerObslabel = &Analyzer{
+	Name: "obslabel",
+	Doc:  "metric names and label keys must be constants, labels sorted at registration, values not request-derived",
+	Run:  runObslabel,
+}
+
+// obsRegMethods maps Registry method name to the argument index where
+// the variadic labels begin.
+var obsRegMethods = map[string]int{
+	"Counter":     2, // name, help, labels...
+	"Gauge":       2,
+	"Histogram":   3, // name, help, bounds, labels...
+	"CounterFunc": 3, // name, help, fn, labels...
+	"GaugeFunc":   3,
+}
+
+func runObslabel(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			fn, ok := n.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				return true
+			}
+			checkObsInFunc(p, fn)
+			return false
+		})
+	}
+}
+
+func checkObsInFunc(p *Pass, fn *ast.FuncDecl) {
+	// Variables carrying request-derived data in this function.
+	reqSeed := func(e ast.Expr) bool {
+		return isHTTPRequest(p.Info.TypeOf(e))
+	}
+	reqTainted := FlowFrom(p.Info, fn, reqSeed)
+
+	// Every obs.Label literal: constant key, non-request value. Also
+	// remember each local bound to exactly one literal so call-site
+	// ordering can see through the name.
+	litKeys := map[ast.Expr]string{}     // literal -> constant key ("" if unknown)
+	bound := map[types.Object]ast.Expr{} // local -> its single literal
+	ast.Inspect(fn, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CompositeLit:
+			if !isObsLabel(p.Info.TypeOf(x)) {
+				return true
+			}
+			key, val := labelLitFields(x)
+			k := ""
+			if key != nil {
+				if tv, ok := p.Info.Types[key]; ok && tv.Value != nil {
+					k = constString(tv)
+				} else {
+					p.Reportf(key.Pos(), "obs.Label key is not a compile-time constant")
+				}
+			}
+			litKeys[x] = k
+			if val != nil && Derived(p.Info, val, reqTainted, reqSeed) {
+				p.Reportf(val.Pos(), "obs.Label value derives from an *http.Request: request-derived label values have unbounded cardinality")
+			}
+		case *ast.AssignStmt:
+			if len(x.Lhs) == len(x.Rhs) {
+				for i, rhs := range x.Rhs {
+					bindLabelLocal(p.Info, x.Lhs[i], rhs, bound)
+				}
+			}
+		case *ast.ValueSpec:
+			if len(x.Values) == len(x.Names) {
+				for i, name := range x.Names {
+					bindLabelLocal(p.Info, name, x.Values[i], bound)
+				}
+			}
+		}
+		return true
+	})
+
+	// Registration calls: constant name, sorted keys.
+	ast.Inspect(fn, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		labelStart, ok := obsRegistryCall(p.Info, call)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		if tv, ok := p.Info.Types[call.Args[0]]; !ok || tv.Value == nil {
+			p.Reportf(call.Args[0].Pos(), "metric name is not a compile-time constant")
+		}
+		if call.Ellipsis.IsValid() {
+			return true // labels... spread: the slice is checked where built
+		}
+		prev, prevKnown := "", false
+		for _, arg := range call.Args[labelStart:] {
+			key, known := argLabelKey(p.Info, arg, litKeys, bound)
+			if !known {
+				prevKnown = false
+				continue
+			}
+			if prevKnown {
+				if key == prev {
+					p.Reportf(arg.Pos(), "duplicate label key %q in registration call", key)
+				} else if key < prev {
+					p.Reportf(arg.Pos(), "label keys not in sorted order at registration: %q after %q", key, prev)
+				}
+			}
+			prev, prevKnown = key, true
+		}
+		return true
+	})
+}
+
+// obsRegistryCall reports whether call is a Registry registration method
+// of internal/obs, returning the index of the first label argument.
+func obsRegistryCall(info *types.Info, call *ast.CallExpr) (int, bool) {
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return 0, false
+	}
+	start, ok := obsRegMethods[fn.Name()]
+	if !ok || !strings.HasSuffix(funcPkgPath(fn), "internal/obs") {
+		return 0, false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || !sig.Variadic() {
+		return 0, false
+	}
+	return start, true
+}
+
+// argLabelKey resolves the constant key of one label argument: either an
+// obs.Label literal, or a local bound to exactly one such literal.
+func argLabelKey(info *types.Info, arg ast.Expr, litKeys map[ast.Expr]string, bound map[types.Object]ast.Expr) (string, bool) {
+	e := ast.Unparen(arg)
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := info.ObjectOf(id); obj != nil {
+			if lit, ok := bound[obj]; ok {
+				e = lit
+			}
+		}
+	}
+	k, ok := litKeys[e]
+	return k, ok && k != ""
+}
+
+// bindLabelLocal records lhs -> rhs when rhs is an obs.Label composite
+// literal and lhs is a plain local; a second binding poisons the entry.
+func bindLabelLocal(info *types.Info, lhs, rhs ast.Expr, bound map[types.Object]ast.Expr) {
+	cl, ok := ast.Unparen(rhs).(*ast.CompositeLit)
+	if !ok || !isObsLabel(info.TypeOf(cl)) {
+		return
+	}
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return
+	}
+	obj := info.ObjectOf(id)
+	if obj == nil {
+		return
+	}
+	if _, dup := bound[obj]; dup {
+		bound[obj] = nil // rebound: key no longer statically known
+		return
+	}
+	bound[obj] = cl
+}
+
+// labelLitFields extracts the Key and Value expressions from an
+// obs.Label composite literal, keyed or positional.
+func labelLitFields(cl *ast.CompositeLit) (key, val ast.Expr) {
+	for i, elt := range cl.Elts {
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			if id, ok := kv.Key.(*ast.Ident); ok {
+				switch id.Name {
+				case "Key":
+					key = kv.Value
+				case "Value":
+					val = kv.Value
+				}
+			}
+			continue
+		}
+		switch i {
+		case 0:
+			key = elt
+		case 1:
+			val = elt
+		}
+	}
+	return key, val
+}
+
+func isObsLabel(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == "Label" && obj.Pkg() != nil && strings.HasSuffix(obj.Pkg().Path(), "internal/obs")
+}
+
+func isHTTPRequest(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if pt, ok := t.(*types.Pointer); ok {
+		t = pt.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == "Request" && obj.Pkg() != nil && obj.Pkg().Path() == "net/http"
+}
+
+func constString(tv types.TypeAndValue) string {
+	if tv.Value == nil || tv.Value.Kind() != constant.String {
+		return ""
+	}
+	return constant.StringVal(tv.Value)
+}

@@ -1,0 +1,243 @@
+package analysis
+
+// AnalyzerPoolpair machine-checks the pooling discipline (DESIGN.md §14):
+// every value checked out of a sync.Pool must go back. Concretely, for
+// each
+//
+//	v := pool.Get().(*T)
+//
+// inside one function, every control-flow path from the Get to the
+// function exit must execute either pool.Put(v) or defer pool.Put(v)
+// (the deferred form also covers explicit panics raised after the defer
+// runs — the reason handlers use it). And once a non-deferred Put(v) has
+// executed, the function must not touch v again: the pool may already
+// have handed it to another goroutine.
+//
+// The check is a forward dataflow over the function's CFG with a tiny
+// per-value lattice {live, put, deferred}; a merge point keeps the set of
+// statuses reaching it, so "some path leaks" and "definitely used after
+// Put" are both exact over the modeled graph (see cfg.go for what is
+// modeled).
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+var AnalyzerPoolpair = &Analyzer{
+	Name: "poolpair",
+	Doc:  "every sync.Pool Get must reach a Put (or defer Put) on all paths, and the value must not be used after Put",
+	Run:  runPoolpair,
+}
+
+// pool value statuses, combined as bit sets at merge points.
+const (
+	ppLive     = 1 << iota // checked out, not yet returned
+	ppPut                  // returned via a plain Put
+	ppDeferred             // returned via defer Put (covers later panics)
+)
+
+func runPoolpair(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				checkPoolPairs(p, body)
+			}
+			return true
+		})
+	}
+}
+
+// poolGet matches `pool.Get()` possibly wrapped in a type assertion,
+// returning the call when the callee is (*sync.Pool).Get.
+func poolGet(info *types.Info, e ast.Expr) *ast.CallExpr {
+	e = ast.Unparen(e)
+	if ta, ok := e.(*ast.TypeAssertExpr); ok {
+		e = ast.Unparen(ta.X)
+	}
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Name() != "Get" || funcPkgPath(fn) != "sync" {
+		return nil
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil || !namedFrom(recv.Type(), "sync", "Pool") {
+		return nil
+	}
+	return call
+}
+
+// poolPutArg returns the object passed to a (*sync.Pool).Put call, nil
+// for anything else.
+func poolPutArg(info *types.Info, call *ast.CallExpr) types.Object {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Name() != "Put" || funcPkgPath(fn) != "sync" {
+		return nil
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil || !namedFrom(recv.Type(), "sync", "Pool") {
+		return nil
+	}
+	if len(call.Args) != 1 {
+		return nil
+	}
+	id, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return info.ObjectOf(id)
+}
+
+// checkPoolPairs analyzes one function body. Nested function literals are
+// analyzed by their own runPoolpair visit, and a Get whose value escapes
+// into a nested literal is out of this analyzer's intraprocedural scope —
+// in this tree pooled values never cross function boundaries.
+func checkPoolPairs(p *Pass, body *ast.BlockStmt) {
+	// First sweep: find the pooled variables and their Get sites.
+	gets := map[types.Object]*ast.CallExpr{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // nested literals get their own analysis
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		call := poolGet(p.Info, as.Rhs[0])
+		if call == nil {
+			return true
+		}
+		if id, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident); ok && id.Name != "_" {
+			if obj := p.Info.ObjectOf(id); obj != nil {
+				gets[obj] = call
+			}
+		}
+		return true
+	})
+	if len(gets) == 0 {
+		return
+	}
+
+	g := BuildCFG(body)
+	type state = map[types.Object]int
+	boundary := state{}
+	meet := func(a, b state) state {
+		out := make(state, len(a))
+		for k, v := range a {
+			out[k] = v
+		}
+		for k, v := range b {
+			out[k] |= v
+		}
+		return out
+	}
+	equal := func(a, b state) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for k, v := range a {
+			if b[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+
+	// usedAfterPut records findings during transfer; dedup by position.
+	reported := map[ast.Node]bool{}
+	transfer := func(blk *Block, in state) state {
+		out := make(state, len(in))
+		for k, v := range in {
+			out[k] = v
+		}
+		for _, n := range blk.Nodes {
+			applyPoolNode(p, n, gets, out, reported)
+		}
+		return out
+	}
+	_, outs := ForwardFlow(g, boundary, meet, equal, transfer)
+
+	// A Get leaks when some path reaches Exit with the value still live.
+	// Exit's in-state is the meet over its predecessors' out-states.
+	final := state{}
+	for _, pred := range g.Exit.Preds {
+		if s, ok := outs[pred]; ok {
+			final = meet(final, s)
+		}
+	}
+	for obj, status := range final {
+		if status&ppLive != 0 && status&ppDeferred == 0 {
+			p.Reportf(gets[obj].Pos(),
+				"sync.Pool Get of %s is not matched by a Put on every path to the function exit", obj.Name())
+		}
+	}
+}
+
+// applyPoolNode advances the per-variable statuses across one CFG node.
+func applyPoolNode(p *Pass, n ast.Node, gets map[types.Object]*ast.CallExpr, st map[types.Object]int, reported map[ast.Node]bool) {
+	switch x := n.(type) {
+	case *ast.AssignStmt:
+		if len(x.Lhs) == 1 && len(x.Rhs) == 1 && poolGet(p.Info, x.Rhs[0]) != nil {
+			if id, ok := ast.Unparen(x.Lhs[0]).(*ast.Ident); ok {
+				if obj := p.Info.ObjectOf(id); obj != nil {
+					if _, tracked := gets[obj]; tracked {
+						st[obj] = ppLive
+						return
+					}
+				}
+			}
+		}
+	case *ast.DeferStmt:
+		if obj := poolPutArg(p.Info, x.Call); obj != nil {
+			if _, tracked := gets[obj]; tracked {
+				st[obj] = ppDeferred
+				return
+			}
+		}
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(x.X).(*ast.CallExpr); ok {
+			if obj := poolPutArg(p.Info, call); obj != nil {
+				if _, tracked := gets[obj]; tracked {
+					// Uses inside the Put call itself are fine.
+					st[obj] = ppPut
+					return
+				}
+			}
+		}
+	}
+	// Any other appearance of a tracked variable is a use: flag it when
+	// the value has definitely been returned already.
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		id, ok := m.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := p.Info.ObjectOf(id)
+		if obj == nil {
+			return true
+		}
+		if _, tracked := gets[obj]; !tracked {
+			return true
+		}
+		if st[obj] == ppPut && !reported[m] {
+			reported[m] = true
+			p.Reportf(id.Pos(), "%s is used after being returned to its sync.Pool", obj.Name())
+		}
+		return true
+	})
+}

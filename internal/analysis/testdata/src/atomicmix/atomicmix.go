@@ -1,0 +1,65 @@
+// Package atomicmixfix is a selvet fixture: locations accessed both
+// through sync/atomic and plainly, value copies of typed atomic
+// wrappers, the sanctioned accesses (methods, address-of, plain-only
+// fields), and a suppressed case.
+package atomicmixfix
+
+import "sync/atomic"
+
+type counters struct {
+	hits   int64 // accessed atomically: plain access is a race
+	config int64 // plain-only: fine
+}
+
+func bump(c *counters) {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+func raceyRead(c *counters) int64 {
+	return c.hits // want "accessed atomically elsewhere in this package"
+}
+
+func raceyWrite(c *counters) {
+	c.hits++ // want "accessed atomically elsewhere in this package"
+}
+
+func plainOK(c *counters) {
+	c.config = 7
+}
+
+var total int64
+
+func bumpTotal() {
+	atomic.AddInt64(&total, 1)
+}
+
+func readTotal() int64 {
+	return total // want "accessed atomically elsewhere in this package"
+}
+
+type gauge struct {
+	v atomic.Int64
+}
+
+func set(g *gauge) {
+	g.v.Store(1) // method receiver: sanctioned
+}
+
+func addr(g *gauge) *atomic.Int64 {
+	return &g.v // address-of: sanctioned
+}
+
+func copyOut(g *gauge) atomic.Int64 {
+	return g.v // want "copying sync/atomic.Int64"
+}
+
+// Indexing a wrapper slice and calling a method on the element is the
+// intended access path.
+func sliceOK(xs []atomic.Int64) int64 {
+	return xs[0].Load()
+}
+
+func suppressed(c *counters) int64 {
+	//selvet:ignore atomicmix fixture demonstrates a startup-only read before any goroutine exists
+	return c.hits
+}

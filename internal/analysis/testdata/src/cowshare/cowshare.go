@@ -1,0 +1,111 @@
+// Package bvh is a selvet fixture for cowshare. The package is named
+// bvh on purpose: structure-array mode keys on the package name, the
+// same way the real internal/bvh is checked. It seeds writes to a
+// published Tree's structure arrays (directly and through a reslice
+// alias), writes through weight views, the sanctioned construction
+// shapes, and a suppressed case.
+package bvh
+
+// Tree mirrors the real flat-array index: every slice field is shared
+// wholesale by copy-on-write reweighting.
+type Tree struct {
+	nlo, nhi []float64
+	weights  []float64
+	wsums    []float64
+}
+
+// Build constructs a fresh tree: writes are fine until it is returned.
+func Build(n int) *Tree {
+	t := &Tree{}
+	for i := 0; i < n; i++ {
+		t.nlo = append(t.nlo, 0)
+		t.nhi = append(t.nhi, 1)
+	}
+	t.build(0)
+	t.sumWeights()
+	return t
+}
+
+// build is a construction method: it writes structure arrays through
+// its receiver before any reader can see the tree.
+func (t *Tree) build(id int) {
+	t.nlo[id] = 0
+	window := t.nhi[id:]
+	window[0] = 1
+}
+
+func (t *Tree) sumWeights() {
+	for i := range t.wsums {
+		t.wsums[i] = 0
+	}
+}
+
+// Reweight shares every structure array with the original and only
+// fills the arrays it owns — the copy-on-write contract.
+func Reweight(t *Tree, w []float64) *Tree {
+	nt := &Tree{nlo: t.nlo, nhi: t.nhi, weights: w}
+	nt.wsums = append(nt.wsums, 0)
+	nt.sumWeights()
+	return nt
+}
+
+func (t *Tree) Weights() []float64 { return t.weights }
+
+func mutateDirect(t *Tree) {
+	t.nlo[0] = 2 // want "write to nlo of a published bvh.Tree"
+}
+
+func mutateField(t *Tree) {
+	t.nhi = append(t.nhi, 3) // want "write to nhi of a published bvh.Tree"
+}
+
+func mutateAlias(t *Tree) {
+	window := t.nlo[0:2]
+	window[0] = 3 // want "alias of a published bvh.Tree structure array"
+}
+
+// readOK derives scalars and reads freely; only writes are the hazard.
+func readOK(t *Tree) float64 {
+	v := t.nlo[0]
+	window := t.nhi[0:1]
+	return v + window[0]
+}
+
+func tamperView(t *Tree) {
+	w := t.Weights()
+	w[0] = 2 // want "write into a weight view"
+}
+
+func overwriteView(t *Tree, w []float64) {
+	copy(t.Weights(), w) // want "copy into a weight view"
+}
+
+func growView(t *Tree) []float64 {
+	return append(t.Weights(), 1) // want "append through a weight view"
+}
+
+// model exercises the core.Reweightable contract by method name, the
+// cross-package half of the check.
+type model struct {
+	w []float64
+}
+
+func (m *model) WeightView() ([]float64, int) { return m.w, len(m.w) }
+
+func tamperModel(m *model) {
+	w, _ := m.WeightView()
+	w[0] = 1 // want "write into a weight view"
+}
+
+// cloneOK copies a view into private storage — reads never flag.
+func cloneOK(m *model) []float64 {
+	w, n := m.WeightView()
+	out := make([]float64, n)
+	copy(out, w)
+	return out
+}
+
+func suppressed(t *Tree) {
+	//selvet:ignore cowshare fixture demonstrates a single-owner tree mutated before publication
+	t.nlo[0] = 4
+}

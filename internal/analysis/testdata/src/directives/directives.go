@@ -1,10 +1,16 @@
 // Package dirfix is a selvet fixture for the driver's directive
 // validation: directives naming unknown analyzers or lacking a reason
-// are themselves findings.
+// are themselves findings, and -strict-suppressions additionally flags
+// well-formed directives that suppress nothing.
 package dirfix
 
 func unused() int {
 	x := 1 //selvet:ignore nosuch this analyzer does not exist
 	y := 2 //selvet:ignore detrand
 	return x + y
+}
+
+func stale() int {
+	//selvet:ignore floateq nothing on this line triggers floateq anymore
+	return 3
 }

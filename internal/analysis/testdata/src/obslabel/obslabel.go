@@ -1,0 +1,48 @@
+// Package obslabelfix is a selvet fixture: dynamic metric names and
+// label keys, unsorted and duplicate label registration, request-derived
+// label values, the sanctioned shapes (constants, sorted keys, a label
+// bound to a local first), and a suppressed case.
+package obslabelfix
+
+import (
+	"net/http"
+
+	"repro/internal/obs"
+)
+
+func register(reg *obs.Registry, name string, r *http.Request) {
+	reg.Counter(name, "dynamic name forks the time series") // want "metric name is not a compile-time constant"
+
+	reg.Counter("m_unsorted_total", "unsorted keys",
+		obs.Label{Key: "route", Value: "/v1"},
+		obs.Label{Key: "class", Value: "4xx"}) // want "label keys not in sorted order"
+
+	reg.Counter("m_dup_total", "duplicate keys",
+		obs.Label{Key: "class", Value: "4xx"},
+		obs.Label{Key: "class", Value: "5xx"}) // want "duplicate label key"
+
+	key := "dyn"
+	reg.Gauge("m_dynkey", "dynamic key",
+		obs.Label{Key: key, Value: "v"}) // want "obs.Label key is not a compile-time constant"
+
+	reg.Counter("m_request_total", "request-derived value",
+		obs.Label{Key: "path", Value: r.URL.Path}) // want "value derives from an"
+
+	// Sorted constant keys with static values are the contract.
+	reg.Counter("ok_total", "sorted",
+		obs.Label{Key: "class", Value: "2xx"},
+		obs.Label{Key: "route", Value: "/v1"})
+	reg.Histogram("ok_seconds", "latency", nil,
+		obs.Label{Key: "route", Value: "/v1"})
+
+	// A label bound to a local still participates in the order check.
+	rl := obs.Label{Key: "route", Value: "/v1/estimate"}
+	reg.Counter("ok_local_total", "local label, sorted",
+		obs.Label{Key: "class", Value: "5xx"}, rl)
+	reg.Counter("bad_local_total", "local label, unsorted",
+		rl,
+		obs.Label{Key: "class", Value: "5xx"}) // want "label keys not in sorted order"
+
+	//selvet:ignore obslabel fixture demonstrates a sanctioned migration-period dynamic name
+	reg.Gauge(name, "suppressed dynamic name")
+}

@@ -1,0 +1,79 @@
+// Package poolpairfix is a selvet fixture: sync.Pool Gets that leak on
+// some control-flow path, a use after a plain Put, the sanctioned
+// shapes (defer Put, Put on every branch, Put before an explicit
+// panic), and a suppressed case.
+package poolpairfix
+
+import (
+	"bytes"
+	"sync"
+)
+
+var pool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+func leakOnElse(cond bool) {
+	b := pool.Get().(*bytes.Buffer) // want "not matched by a Put on every path"
+	if cond {
+		pool.Put(b)
+	}
+}
+
+func leakOnPanic(cond bool) {
+	b := pool.Get().(*bytes.Buffer) // want "not matched by a Put on every path"
+	if cond {
+		panic("before the Put")
+	}
+	pool.Put(b)
+}
+
+func useAfterPut() int {
+	b := pool.Get().(*bytes.Buffer)
+	pool.Put(b)
+	return b.Len() // want "used after being returned to its sync.Pool"
+}
+
+// deferOK is the canonical shape: the deferred Put covers early returns
+// and explicit panics alike.
+func deferOK(cond bool) {
+	b := pool.Get().(*bytes.Buffer)
+	defer pool.Put(b)
+	if cond {
+		return
+	}
+	b.Reset()
+}
+
+// branchesOK returns the value on every path explicitly.
+func branchesOK(cond bool) {
+	b := pool.Get().(*bytes.Buffer)
+	if cond {
+		b.Reset()
+		pool.Put(b)
+		return
+	}
+	pool.Put(b)
+}
+
+// panicAfterDeferOK: the defer runs on the panic unwind.
+func panicAfterDeferOK(cond bool) {
+	b := pool.Get().(*bytes.Buffer)
+	defer pool.Put(b)
+	if cond {
+		panic("unwinds through the defer")
+	}
+}
+
+// loopOK: a Get/Put pair fully inside one loop iteration.
+func loopOK(n int) {
+	for i := 0; i < n; i++ {
+		b := pool.Get().(*bytes.Buffer)
+		b.Reset()
+		pool.Put(b)
+	}
+}
+
+func suppressed() {
+	//selvet:ignore poolpair fixture demonstrates a value intentionally retired from the pool
+	b := pool.Get().(*bytes.Buffer)
+	b.Reset()
+}

@@ -1,0 +1,105 @@
+// Package zeroallocfix is a selvet fixture: allocating constructs inside
+// //selvet:zeroalloc-annotated functions, the sanctioned allocation-free
+// idioms, an annotated function literal, and a suppressed case.
+// Unannotated functions may allocate freely.
+package zeroallocfix
+
+import "fmt"
+
+type sink struct {
+	vals []float64
+}
+
+func take(any) {}
+
+//selvet:zeroalloc
+func badFmt(n int) {
+	fmt.Println(n) // want "call to fmt.Println" // want "interface boxing of int"
+}
+
+//selvet:zeroalloc
+func badConcat(a, b string) string {
+	return a + b // want "string concatenation"
+}
+
+//selvet:zeroalloc
+func badConv(b []byte) string {
+	s := string(b) // want "string conversion"
+	return s
+}
+
+// Conversion contexts the runtime special-cases stay exempt.
+//
+//selvet:zeroalloc
+func convOK(m map[string]int, b []byte, s string) bool {
+	if m[string(b)] > 0 {
+		return true
+	}
+	return string(b) == s
+}
+
+//selvet:zeroalloc
+func badBox(f float64) {
+	take(f) // want "interface boxing of float64"
+}
+
+// Constants, nil, and pointer-shaped values box without allocating.
+//
+//selvet:zeroalloc
+func boxOK(p *sink, ch chan int) {
+	take("static")
+	take(nil)
+	take(p)
+	take(ch)
+}
+
+//selvet:zeroalloc
+func badClosure(n int) func() int {
+	f := func() int { return n } // want "closure captures n"
+	return f
+}
+
+//selvet:zeroalloc
+func badAppend() []int {
+	var out []int
+	out = append(out, 1) // want "append to non-arena slice out"
+	return out
+}
+
+// Caller-owned and scratch-arena storage stays rooted through append.
+//
+//selvet:zeroalloc
+func appendOK(dst []byte, b byte) []byte {
+	return append(dst, b)
+}
+
+//selvet:zeroalloc
+func scratchOK(s *sink, v float64) {
+	s.vals = append(s.vals[:0], v)
+}
+
+// Error paths may allocate: the contract covers the happy path.
+//
+//selvet:zeroalloc
+func errPathOK(n int) error {
+	if n < 0 {
+		return fmt.Errorf("negative count %d", n)
+	}
+	return nil
+}
+
+// A function literal is annotated by a directive on the preceding line.
+func makeHandler(n int) func() int {
+	//selvet:zeroalloc
+	return func() int {
+		var xs []int
+		//selvet:ignore zeroalloc fixture demonstrates a sanctioned one-time allocation
+		xs = append(xs, n)
+		return xs[0]
+	}
+}
+
+// plain is unannotated: allocation is not a finding.
+func plain(n int) string {
+	return fmt.Sprintf("%d", n)
+}

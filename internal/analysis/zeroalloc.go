@@ -1,0 +1,757 @@
+package analysis
+
+// AnalyzerZeroalloc machine-checks the zero-allocation wire-path contract
+// (DESIGN.md §13–14): a function or closure annotated
+//
+//	//selvet:zeroalloc
+//
+// (in a FuncDecl's doc comment, or on the line directly above a FuncLit)
+// must not contain the allocating constructs the hand-rolled codec was
+// built to avoid:
+//
+//   - interface boxing of a non-pointer-shaped concrete value (constants
+//     and nil are exempt — the compiler materializes static interface
+//     data for them; pointers, channels, maps, and funcs are direct
+//     interface values)
+//   - closures that capture enclosing locals (a capture-free literal is
+//     a static function value)
+//   - append whose destination is not arena-rooted: reachable, through
+//     the function's own assignments, from a parameter, receiver, or
+//     package-level variable — pooled storage whose capacity amortizes
+//   - string concatenation, and string<->[]byte/[]rune conversions
+//     outside the compiler's non-allocating contexts (map index,
+//     comparison operand, switch tag)
+//   - any call into package fmt
+//
+// Two path-sensitive exemptions mirror what the runtime gate
+// (TestEstimateHandlerZeroAlloc) actually measures — the success path:
+// constructs inside a return statement whose returned error is non-nil,
+// and constructs inside a block (if/case body, not the function body
+// itself) that terminates in return or panic, are error-path work and
+// exempt. The static check and the runtime gate are complementary and
+// both required: this analyzer pins the constructs, AllocsPerRun pins
+// the arena capacities the analyzer takes on faith.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+var AnalyzerZeroalloc = &Analyzer{
+	Name: "zeroalloc",
+	Doc:  "functions annotated //selvet:zeroalloc must not contain allocating constructs",
+	Run:  runZeroalloc,
+}
+
+const zeroallocDirective = "//selvet:zeroalloc"
+
+func runZeroalloc(p *Pass) {
+	for _, f := range p.Files {
+		// Lines holding a //selvet:zeroalloc comment, for FuncLit
+		// annotations (a literal has no doc comment of its own).
+		directiveLines := map[int]bool{}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if strings.TrimSpace(c.Text) == zeroallocDirective {
+					directiveLines[p.Fset.Position(c.Pos()).Line] = true
+				}
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil && docHasZeroalloc(fn.Doc) {
+					za := &zeroallocCheck{p: p, fn: fn.Body, params: funcParamObjs(p.Info, fn)}
+					if obj, ok := p.Info.Defs[fn.Name].(*types.Func); ok {
+						za.results = obj.Type().(*types.Signature).Results()
+					}
+					za.check()
+					return false
+				}
+			case *ast.FuncLit:
+				line := p.Fset.Position(fn.Pos()).Line
+				if directiveLines[line] || directiveLines[line-1] {
+					za := &zeroallocCheck{p: p, fn: fn.Body, params: litParamObjs(p.Info, fn)}
+					if sig, ok := p.Info.TypeOf(fn).(*types.Signature); ok {
+						za.results = sig.Results()
+					}
+					za.check()
+					return false
+				}
+			}
+			return true
+		})
+	}
+}
+
+func docHasZeroalloc(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.TrimSpace(c.Text) == zeroallocDirective {
+			return true
+		}
+	}
+	return false
+}
+
+// funcParamObjs collects a declaration's receiver, parameter, and named
+// result objects — the arena roots the caller owns.
+func funcParamObjs(info *types.Info, fn *ast.FuncDecl) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	addFieldList := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			for _, name := range field.Names {
+				if obj := info.ObjectOf(name); obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+	}
+	addFieldList(fn.Recv)
+	addFieldList(fn.Type.Params)
+	addFieldList(fn.Type.Results)
+	return out
+}
+
+func litParamObjs(info *types.Info, fn *ast.FuncLit) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	for _, fl := range []*ast.FieldList{fn.Type.Params, fn.Type.Results} {
+		if fl == nil {
+			continue
+		}
+		for _, field := range fl.List {
+			for _, name := range field.Names {
+				if obj := info.ObjectOf(name); obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+type zeroallocCheck struct {
+	p       *Pass
+	fn      *ast.BlockStmt
+	params  map[types.Object]bool
+	results *types.Tuple          // declared result types, for return boxing
+	rooted  map[types.Object]bool // locals resolved to arena storage
+}
+
+func (za *zeroallocCheck) check() {
+	za.rooted = za.computeRooted()
+	za.stmts(za.fn.List, true, false)
+}
+
+// --- statement walk with error-path exemption ------------------------------
+
+// stmts walks one statement list. topLevel marks the function body's own
+// list (whose trailing return is the success path); exempt marks that the
+// whole list is error-path work.
+func (za *zeroallocCheck) stmts(list []ast.Stmt, topLevel, exempt bool) {
+	for _, s := range list {
+		za.stmt(s, topLevel, exempt)
+	}
+}
+
+// blockExempt reports whether a nested statement list is error-path work:
+// it ends in an explicit return or panic. The function body's own list is
+// never exempt — its tail is the success path.
+func blockExempt(list []ast.Stmt) bool {
+	if len(list) == 0 {
+		return false
+	}
+	switch last := list[len(list)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.ExprStmt:
+		return isPanicCall(last.X)
+	}
+	return false
+}
+
+func (za *zeroallocCheck) stmt(s ast.Stmt, topLevel, exempt bool) {
+	switch x := s.(type) {
+	case *ast.BlockStmt:
+		za.stmts(x.List, false, exempt)
+	case *ast.IfStmt:
+		za.expr(x.Init, exempt)
+		za.expr(x.Cond, exempt)
+		za.stmts(x.Body.List, false, exempt || blockExempt(x.Body.List))
+		if x.Else != nil {
+			if blk, ok := x.Else.(*ast.BlockStmt); ok {
+				za.stmts(blk.List, false, exempt || blockExempt(blk.List))
+			} else {
+				za.stmt(x.Else, false, exempt)
+			}
+		}
+	case *ast.ForStmt:
+		za.expr(x.Init, exempt)
+		za.expr(x.Cond, exempt)
+		za.expr(x.Post, exempt)
+		za.stmts(x.Body.List, false, exempt)
+	case *ast.RangeStmt:
+		za.expr(x.X, exempt)
+		za.stmts(x.Body.List, false, exempt)
+	case *ast.SwitchStmt:
+		za.expr(x.Init, exempt)
+		za.switchTag(x.Tag, exempt)
+		za.caseClauses(x.Body, exempt)
+	case *ast.TypeSwitchStmt:
+		za.expr(x.Init, exempt)
+		za.expr(x.Assign, exempt)
+		za.caseClauses(x.Body, exempt)
+	case *ast.SelectStmt:
+		for _, cs := range x.Body.List {
+			if cc, ok := cs.(*ast.CommClause); ok {
+				za.expr(cc.Comm, exempt)
+				za.stmts(cc.Body, false, exempt || blockExempt(cc.Body))
+			}
+		}
+	case *ast.ReturnStmt:
+		za.returnStmt(x, exempt)
+	case *ast.LabeledStmt:
+		za.stmt(x.Stmt, topLevel, exempt)
+	default:
+		za.expr(s, exempt)
+	}
+}
+
+func (za *zeroallocCheck) caseClauses(body *ast.BlockStmt, exempt bool) {
+	for _, cs := range body.List {
+		if cc, ok := cs.(*ast.CaseClause); ok {
+			for _, e := range cc.List {
+				za.exprCtx(e, exempt, false)
+			}
+			za.stmts(cc.Body, false, exempt || blockExempt(cc.Body))
+		}
+	}
+}
+
+// returnStmt exempts allocating work on a return that hands back a
+// non-nil error: that is by definition the failure path.
+func (za *zeroallocCheck) returnStmt(x *ast.ReturnStmt, exempt bool) {
+	if !exempt {
+		sawErr := false
+		for _, res := range x.Results {
+			if id, ok := ast.Unparen(res).(*ast.Ident); ok && id.Name == "nil" {
+				continue
+			}
+			if t := za.p.Info.TypeOf(res); t != nil && isErrorType(t) {
+				sawErr = true
+			}
+		}
+		exempt = sawErr
+	}
+	for i, res := range x.Results {
+		za.exprCtx(res, exempt, false)
+		if za.results != nil && len(x.Results) == za.results.Len() {
+			za.boxing(res, za.results.At(i).Type(), exempt)
+		}
+	}
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+// --- expression walk -------------------------------------------------------
+
+// expr walks any node (stmt fragments included) in a normal context.
+func (za *zeroallocCheck) expr(n ast.Node, exempt bool) {
+	if n == nil {
+		return
+	}
+	switch x := n.(type) {
+	case *ast.AssignStmt:
+		za.assign(x, exempt)
+	case ast.Expr:
+		za.exprCtx(x, exempt, false)
+	case *ast.ExprStmt:
+		za.exprCtx(x.X, exempt, false)
+	case *ast.DeferStmt:
+		za.call(x.Call, exempt)
+	case *ast.GoStmt:
+		za.call(x.Call, exempt)
+	case *ast.IncDecStmt:
+		za.exprCtx(x.X, exempt, false)
+	case *ast.SendStmt:
+		za.exprCtx(x.Chan, exempt, false)
+		za.exprCtx(x.Value, exempt, false)
+		za.boxing(x.Value, chanElem(za.p.Info.TypeOf(x.Chan)), exempt)
+	case *ast.DeclStmt:
+		if gd, ok := x.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for i, v := range vs.Values {
+						za.exprCtx(v, exempt, false)
+						if i < len(vs.Names) {
+							if obj := za.p.Info.ObjectOf(vs.Names[i]); obj != nil {
+								za.boxing(v, obj.Type(), exempt)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func chanElem(t types.Type) types.Type {
+	if t == nil {
+		return nil
+	}
+	if ch, ok := t.Underlying().(*types.Chan); ok {
+		return ch.Elem()
+	}
+	return nil
+}
+
+// assign checks string-concat assignment ops, boxing into interface
+// destinations, and walks both sides.
+func (za *zeroallocCheck) assign(x *ast.AssignStmt, exempt bool) {
+	if x.Tok == token.ADD_ASSIGN && len(x.Lhs) == 1 && isString(za.p.Info.TypeOf(x.Lhs[0])) && !exempt {
+		za.p.Reportf(x.Pos(), "string concatenation allocates on the zero-alloc path")
+	}
+	for _, lhs := range x.Lhs {
+		za.exprCtx(lhs, exempt, false)
+	}
+	for i, rhs := range x.Rhs {
+		za.exprCtx(rhs, exempt, false)
+		if len(x.Lhs) == len(x.Rhs) && (x.Tok == token.ASSIGN || x.Tok == token.DEFINE) {
+			if t := za.p.Info.TypeOf(x.Lhs[i]); t != nil {
+				za.boxing(rhs, t, exempt)
+			}
+		}
+	}
+}
+
+// exprCtx walks one expression. noAllocConv marks the compiler contexts
+// where a string conversion does not allocate (map index, comparison
+// operand, switch tag).
+func (za *zeroallocCheck) exprCtx(e ast.Expr, exempt, noAllocConv bool) {
+	switch x := e.(type) {
+	case nil:
+	case *ast.ParenExpr:
+		za.exprCtx(x.X, exempt, noAllocConv)
+	case *ast.BinaryExpr:
+		za.binary(x, exempt)
+	case *ast.CallExpr:
+		if za.stringConversion(x, exempt, noAllocConv) {
+			return
+		}
+		za.call(x, exempt)
+	case *ast.FuncLit:
+		za.funcLit(x, exempt)
+	case *ast.IndexExpr:
+		za.exprCtx(x.X, exempt, false)
+		// Indexing a map evaluates the key without materializing it.
+		isMap := false
+		if t := za.p.Info.TypeOf(x.X); t != nil {
+			_, isMap = t.Underlying().(*types.Map)
+		}
+		za.exprCtx(x.Index, exempt, isMap)
+	case *ast.SliceExpr:
+		za.exprCtx(x.X, exempt, false)
+		za.exprCtx(x.Low, exempt, false)
+		za.exprCtx(x.High, exempt, false)
+		za.exprCtx(x.Max, exempt, false)
+	case *ast.StarExpr:
+		za.exprCtx(x.X, exempt, false)
+	case *ast.UnaryExpr:
+		za.exprCtx(x.X, exempt, false)
+	case *ast.SelectorExpr:
+		za.exprCtx(x.X, exempt, false)
+	case *ast.TypeAssertExpr:
+		za.exprCtx(x.X, exempt, false)
+	case *ast.KeyValueExpr:
+		za.exprCtx(x.Key, exempt, false)
+		za.exprCtx(x.Value, exempt, false)
+	case *ast.CompositeLit:
+		for _, el := range x.Elts {
+			za.exprCtx(el, exempt, false)
+		}
+	}
+}
+
+// switchTag walks a switch tag, where a string conversion is free.
+func (za *zeroallocCheck) switchTag(tag ast.Expr, exempt bool) {
+	if tag == nil {
+		return
+	}
+	za.exprCtx(tag, exempt, true)
+}
+
+// binary flags string + and walks operands; comparison operands are
+// no-alloc conversion contexts.
+func (za *zeroallocCheck) binary(x *ast.BinaryExpr, exempt bool) {
+	switch x.Op {
+	case token.ADD:
+		if isString(za.p.Info.TypeOf(x)) && !exempt {
+			za.p.Reportf(x.OpPos, "string concatenation allocates on the zero-alloc path")
+		}
+		za.exprCtx(x.X, exempt, false)
+		za.exprCtx(x.Y, exempt, false)
+	case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+		za.exprCtx(x.X, exempt, true)
+		za.exprCtx(x.Y, exempt, true)
+	default:
+		za.exprCtx(x.X, exempt, false)
+		za.exprCtx(x.Y, exempt, false)
+	}
+}
+
+// stringConversion handles T(x) for the string<->bytes/runes family,
+// reporting it outside no-alloc contexts. Returns true when the call was
+// a conversion it fully handled.
+func (za *zeroallocCheck) stringConversion(call *ast.CallExpr, exempt, noAllocConv bool) bool {
+	tv, ok := za.p.Info.Types[call.Fun]
+	if !ok || !tv.IsType() || len(call.Args) != 1 {
+		return false
+	}
+	dst := tv.Type
+	src := za.p.Info.TypeOf(call.Args[0])
+	if src == nil {
+		return false
+	}
+	conv := (isString(dst) && isByteOrRuneSlice(src)) || (isByteOrRuneSlice(dst) && isString(src))
+	if conv {
+		if !exempt && !noAllocConv {
+			// A conversion of a constant is folded at compile time.
+			if cv, ok := za.p.Info.Types[call.Args[0]]; !ok || cv.Value == nil {
+				za.p.Reportf(call.Pos(), "string conversion allocates on the zero-alloc path (exempt as a map index, comparison operand, or switch tag)")
+			}
+		}
+		za.exprCtx(call.Args[0], exempt, false)
+		return true
+	}
+	// Some other conversion: walk the operand, no finding.
+	za.exprCtx(call.Args[0], exempt, false)
+	return true
+}
+
+func isString(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Uint8 || b.Kind() == types.Rune || b.Kind() == types.Int32)
+}
+
+// call checks fmt calls, append rootedness, and boxing at call arguments.
+func (za *zeroallocCheck) call(call *ast.CallExpr, exempt bool) {
+	if fn := calleeFunc(za.p.Info, call); fn != nil && funcPkgPath(fn) == "fmt" && !exempt {
+		za.p.Reportf(call.Pos(), "call to fmt.%s allocates on the zero-alloc path", fn.Name())
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Obj == nil && id.Name == "append" {
+		za.appendCall(call, exempt)
+		for _, a := range call.Args {
+			za.exprCtx(a, exempt, false)
+		}
+		return
+	}
+	za.exprCtx(call.Fun, exempt, false)
+	sig, _ := za.p.Info.TypeOf(call.Fun).(*types.Signature)
+	for i, a := range call.Args {
+		za.exprCtx(a, exempt, false)
+		if sig == nil || exempt {
+			continue
+		}
+		if pt := paramType(sig, i, call); pt != nil {
+			za.boxing(a, pt, exempt)
+		}
+	}
+}
+
+// paramType resolves the declared type of argument i, unwrapping the
+// variadic slice.
+func paramType(sig *types.Signature, i int, call *ast.CallExpr) types.Type {
+	n := sig.Params().Len()
+	if n == 0 {
+		return nil
+	}
+	if sig.Variadic() && i >= n-1 {
+		if call.Ellipsis != token.NoPos {
+			if i == n-1 {
+				return sig.Params().At(n - 1).Type()
+			}
+			return nil
+		}
+		if s, ok := sig.Params().At(n - 1).Type().(*types.Slice); ok {
+			return s.Elem()
+		}
+		return nil
+	}
+	if i < n {
+		return sig.Params().At(i).Type()
+	}
+	return nil
+}
+
+// boxing reports arg being converted to an interface destination when the
+// conversion must materialize a heap value: concrete, non-pointer-shaped,
+// non-constant, non-nil operands.
+func (za *zeroallocCheck) boxing(arg ast.Expr, dst types.Type, exempt bool) {
+	if exempt || dst == nil {
+		return
+	}
+	if _, ok := dst.Underlying().(*types.Interface); !ok {
+		return
+	}
+	tv, ok := za.p.Info.Types[arg]
+	if !ok || tv.Type == nil {
+		return
+	}
+	src := tv.Type
+	if tv.Value != nil {
+		return // constants box to static interface data
+	}
+	if tv.IsNil() {
+		return
+	}
+	if _, ok := src.Underlying().(*types.Interface); ok {
+		return // interface-to-interface carries the existing word
+	}
+	if isPointerShaped(src) {
+		return
+	}
+	za.p.Reportf(arg.Pos(), "interface boxing of %s allocates on the zero-alloc path", src)
+}
+
+// isPointerShaped reports types stored directly in an interface word.
+func isPointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+// funcLit flags closures that capture enclosing state; a capture-free
+// literal is a static function value and passes.
+func (za *zeroallocCheck) funcLit(lit *ast.FuncLit, exempt bool) {
+	if exempt {
+		return
+	}
+	var captured []string
+	seen := map[types.Object]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := za.p.Info.ObjectOf(id)
+		if obj == nil || seen[obj] {
+			return true
+		}
+		if _, isVar := obj.(*types.Var); !isVar {
+			return true
+		}
+		if obj.Parent() == nil || obj.Parent().Parent() == nil {
+			return true // fields, package vars: not captures
+		}
+		if declaredWithin(obj, lit) || za.isPackageLevel(obj) {
+			return true
+		}
+		// Declared in an enclosing function scope: a capture.
+		if declaredWithin(obj, za.fn) || za.params[obj] {
+			seen[obj] = true
+			captured = append(captured, obj.Name())
+		}
+		return true
+	})
+	if len(captured) > 0 {
+		za.p.Reportf(lit.Pos(), "closure captures %s and allocates on the zero-alloc path", strings.Join(captured, ", "))
+	}
+	// The literal's own body is not part of the annotated contract
+	// unless separately annotated, so stop here.
+}
+
+func (za *zeroallocCheck) isPackageLevel(obj types.Object) bool {
+	return obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope()
+}
+
+// --- append rootedness -----------------------------------------------------
+
+// appendCall reports append whose destination cannot be traced to arena
+// storage (parameter, receiver, or package variable).
+func (za *zeroallocCheck) appendCall(call *ast.CallExpr, exempt bool) {
+	if exempt || len(call.Args) == 0 {
+		return
+	}
+	if !za.rootedExpr(call.Args[0]) {
+		za.p.Reportf(call.Pos(), "append to non-arena slice %s allocates on the zero-alloc path", exprName(call.Args[0]))
+	}
+}
+
+func exprName(e ast.Expr) string {
+	if id := rootIdent(e); id != nil {
+		return id.Name
+	}
+	return "expression"
+}
+
+// computeRooted resolves which locals hold arena-backed slices, by
+// optimistic fixpoint: every local starts rooted and is demoted when any
+// of its assignments (or its uninitialized declaration) supplies
+// non-arena storage. Self-referential growth (`out = append(out, ...)`)
+// keeps the initial root.
+func (za *zeroallocCheck) computeRooted() map[types.Object]bool {
+	rooted := map[types.Object]bool{}
+	var locals []types.Object
+	ast.Inspect(za.fn, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := za.p.Info.Defs[id]
+		if obj == nil || !declaredWithin(obj, za.fn) {
+			return true
+		}
+		if _, isVar := obj.(*types.Var); isVar {
+			rooted[obj] = true
+			locals = append(locals, obj)
+		}
+		return true
+	})
+	za.rooted = rooted
+
+	demote := func(lhs ast.Expr, rhs ast.Expr) bool {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok {
+			return false
+		}
+		obj := za.p.Info.ObjectOf(id)
+		if obj == nil || !rooted[obj] {
+			return false
+		}
+		if rhs == nil || !za.rootedExpr(rhs) {
+			delete(rooted, obj)
+			return true
+		}
+		return false
+	}
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(za.fn, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.AssignStmt:
+				if len(x.Lhs) == len(x.Rhs) {
+					for i := range x.Lhs {
+						if demote(x.Lhs[i], x.Rhs[i]) {
+							changed = true
+						}
+					}
+				} else {
+					// Multi-value results are not arena storage.
+					for _, lhs := range x.Lhs {
+						if demote(lhs, nil) {
+							changed = true
+						}
+					}
+				}
+			case *ast.ValueSpec:
+				for i, name := range x.Names {
+					var rhs ast.Expr
+					if len(x.Values) == len(x.Names) {
+						rhs = x.Values[i]
+					}
+					if demote(name, rhs) {
+						changed = true
+					}
+				}
+			case *ast.RangeStmt:
+				if x.Key != nil {
+					if demote(x.Key, x.X) {
+						changed = true
+					}
+				}
+				if x.Value != nil {
+					if demote(x.Value, x.X) {
+						changed = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return rooted
+}
+
+// rootedExpr reports whether e denotes (or derives from) arena storage.
+func (za *zeroallocCheck) rootedExpr(e ast.Expr) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := za.p.Info.ObjectOf(x)
+		if obj == nil {
+			return false
+		}
+		if za.params[obj] || za.isPackageLevel(obj) {
+			return true
+		}
+		if declaredWithin(obj, za.fn) {
+			return za.rooted[obj]
+		}
+		// Captured from an enclosing function: treat as caller-owned.
+		return true
+	case *ast.SelectorExpr:
+		// A field chain roots at its base: p.sc.strbuf is arena iff p is.
+		return za.rootedExpr(x.X)
+	case *ast.IndexExpr:
+		return za.rootedExpr(x.X)
+	case *ast.StarExpr:
+		return za.rootedExpr(x.X)
+	case *ast.SliceExpr:
+		return za.rootedExpr(x.X)
+	case *ast.TypeAssertExpr:
+		return za.rootedExpr(x.X)
+	case *ast.CallExpr:
+		// A sync.Pool Get hands back recycled arena memory — the pooled
+		// scratch pattern the zero-alloc path is built on.
+		if poolGet(za.p.Info, x) != nil {
+			return true
+		}
+		// append(rooted, ...) and conversions of rooted storage stay rooted.
+		if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok && id.Obj == nil && id.Name == "append" && len(x.Args) > 0 {
+			return za.rootedExpr(x.Args[0])
+		}
+		if tv, ok := za.p.Info.Types[x.Fun]; ok && tv.IsType() && len(x.Args) == 1 {
+			return za.rootedExpr(x.Args[0])
+		}
+		// Stdlib append-style builders (utf8.AppendRune, strconv.
+		// AppendFloat, ...) grow and return their first argument, so
+		// rootedness flows through them exactly like builtin append.
+		if fn := calleeFunc(za.p.Info, x); fn != nil && len(x.Args) > 0 &&
+			strings.HasPrefix(fn.Name(), "Append") && isStdlibPkg(funcPkgPath(fn)) {
+			return za.rootedExpr(x.Args[0])
+		}
+		return false
+	}
+	return false
+}
+
+// isStdlibPkg reports a standard-library import path (no dot in the
+// first segment, the convention module paths violate).
+func isStdlibPkg(path string) bool {
+	first, _, _ := strings.Cut(path, "/")
+	return path != "" && !strings.Contains(first, ".")
+}

@@ -70,6 +70,8 @@ func (r *Registry) Get(name string) (*Entry, bool) {
 // GetBytes is Get keyed by raw name bytes. The map index with an inline
 // string conversion compiles to a no-copy lookup, so the zero-allocation
 // estimate path can resolve a model without materializing a string.
+//
+//selvet:zeroalloc
 func (r *Registry) GetBytes(name []byte) (*Entry, bool) {
 	r.mu.RLock()
 	sl, ok := r.slots[string(name)]

@@ -523,6 +523,8 @@ func (s *Server) writeError(w http.ResponseWriter, status int, format string, ar
 
 // writeRaw writes pre-encoded JSON bytes: the zero-allocation counterpart
 // of writeJSON for the hand-rolled estimate encoder.
+//
+//selvet:zeroalloc
 func (s *Server) writeRaw(w http.ResponseWriter, status int, body []byte) {
 	w.Header()["Content-Type"] = jsonContentType
 	w.WriteHeader(status)
@@ -548,6 +550,8 @@ func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool 
 // enforcing MaxBodyBytes by hand — http.MaxBytesReader allocates a
 // wrapper per request, which the zero-allocation estimate path cannot
 // afford. Returns false after writing the error response.
+//
+//selvet:zeroalloc
 func (s *Server) readBody(w http.ResponseWriter, r *http.Request, sc *estimateScratch) bool {
 	if cl := r.ContentLength; cl > s.opts.MaxBodyBytes {
 		s.writeError(w, http.StatusBadRequest, "invalid request body: http: request body too large")
@@ -616,6 +620,8 @@ var scratchPool = sync.Pool{New: func() any { return new(estimateScratch) }}
 // grow reslices *s to n elements, reallocating only when the pooled
 // capacity is too small. Stale values from a previous request may remain
 // until overwritten — callers assign every slot they read.
+//
+//selvet:zeroalloc
 func grow[T any](s *[]T, n int) []T {
 	if cap(*s) < n {
 		*s = make([]T, n)
@@ -624,6 +630,7 @@ func grow[T any](s *[]T, n int) []T {
 	return *s
 }
 
+//selvet:zeroalloc
 func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	sc := scratchPool.Get().(*estimateScratch)
 	defer scratchPool.Put(sc)
@@ -657,9 +664,11 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	for i, q := range ranges {
 		err := sc.qerrs[i]
 		if err == nil && dim > 0 && q.Dim() != dim {
+			//selvet:ignore zeroalloc malformed queries take the 400 path; well-formed requests never reach this line
 			err = fmt.Errorf("dimension %d, model %q has dimension %d", q.Dim(), string(nameBytes), dim)
 		}
 		if err != nil {
+			//selvet:ignore zeroalloc error-message formatting for the 400 response only; the happy path keeps bad empty
 			bad = append(bad, fmt.Sprintf("query %d: %v", i, err))
 		}
 	}
@@ -675,6 +684,7 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	// The cache keys by model-name string; convert only when it is on.
 	name := ""
 	if s.estCache != nil {
+		//selvet:ignore zeroalloc the estimate cache keys by string; opting into caching buys this one conversion
 		name = string(nameBytes)
 	}
 	ests := grow(&sc.ests, len(ranges))
@@ -691,6 +701,8 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 // worker count. When sp is an active trace span, the cache scan and the
 // kernel fan-out appear as its children; for the untraced common case
 // every span call is an inert value-copy.
+//
+//selvet:zeroalloc
 func (s *Server) estimateBatch(name string, entry *Entry, ranges []geom.Range, ests []float64, sc *estimateScratch, sp obs.Span) {
 	if s.estCache == nil {
 		core.EstimateRangesTraced(entry.Model, ranges, s.opts.EstimateWorkers, ests, sp)

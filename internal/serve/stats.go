@@ -92,11 +92,11 @@ func (s *statsSet) route(pattern string) *endpointStats {
 			requests: s.reg.Counter("selserve_http_requests_total",
 				"HTTP requests served, by route.", rl),
 			errors4xx: s.reg.Counter("selserve_http_errors_total",
-				"HTTP error responses, by route and class.",
-				rl, obs.Label{Key: "class", Value: "4xx"}),
+				"HTTP error responses, by class and route.",
+				obs.Label{Key: "class", Value: "4xx"}, rl),
 			errors5xx: s.reg.Counter("selserve_http_errors_total",
-				"HTTP error responses, by route and class.",
-				rl, obs.Label{Key: "class", Value: "5xx"}),
+				"HTTP error responses, by class and route.",
+				obs.Label{Key: "class", Value: "5xx"}, rl),
 			latency: s.reg.Histogram("selserve_http_request_seconds",
 				"HTTP request latency in seconds, by route.", nil, rl),
 			spanName: "http " + pattern,
@@ -155,6 +155,7 @@ var recorderPool = sync.Pool{New: func() any { return new(statusRecorder) }}
 // span creation, and 5xx structured logging for its route pattern.
 func (s *Server) instrument(pattern string, h http.HandlerFunc) http.HandlerFunc {
 	es := s.stats.route(pattern)
+	//selvet:zeroalloc
 	return func(w http.ResponseWriter, r *http.Request) {
 		rec := recorderPool.Get().(*statusRecorder)
 		rec.ResponseWriter, rec.status = w, http.StatusOK

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"strconv"
+	"unicode/utf16"
 	"unicode/utf8"
 	"unsafe"
 
@@ -48,6 +49,8 @@ var (
 
 // bstr views b as a string without copying. The result aliases b and must
 // not outlive it; use only for transient strconv/map-lookup calls.
+//
+//selvet:zeroalloc
 func bstr(b []byte) string {
 	if len(b) == 0 {
 		return ""
@@ -75,6 +78,8 @@ type queryParts struct {
 // interface word; the value-receiver method set carries over). Arena
 // growth may relocate the backing array, but previously returned pointers
 // keep addressing the old block, which remains valid for the request.
+//
+//selvet:zeroalloc
 func (qp *queryParts) build(sc *estimateScratch) (geom.Range, error) {
 	switch {
 	case qp.hasLo || qp.hasHi:
@@ -115,6 +120,7 @@ type wireParser struct {
 
 var errUnterminated = errors.New("unexpected end of request body")
 
+//selvet:zeroalloc
 func (p *wireParser) ws() {
 	for p.i < len(p.b) {
 		switch p.b[p.i] {
@@ -126,6 +132,7 @@ func (p *wireParser) ws() {
 	}
 }
 
+//selvet:zeroalloc
 func (p *wireParser) expect(c byte) error {
 	p.ws()
 	if p.i >= len(p.b) {
@@ -140,6 +147,8 @@ func (p *wireParser) expect(c byte) error {
 
 // tryNull consumes a JSON null if one is next. A null field is treated as
 // absent, matching encoding/json decoding into omitempty pointers/slices.
+//
+//selvet:zeroalloc
 func (p *wireParser) tryNull() bool {
 	p.ws()
 	if p.i+4 <= len(p.b) && string(p.b[p.i:p.i+4]) == "null" {
@@ -152,6 +161,8 @@ func (p *wireParser) tryNull() bool {
 // parseString decodes a JSON string. The fast path (no escapes) returns a
 // window into the input; escaped strings decode into the scratch buffer.
 // Either way the result is transient: callers copy what they keep.
+//
+//selvet:zeroalloc
 func (p *wireParser) parseString() ([]byte, error) {
 	p.ws()
 	if p.i >= len(p.b) || p.b[p.i] != '"' {
@@ -177,8 +188,10 @@ func (p *wireParser) parseString() ([]byte, error) {
 	return nil, errUnterminated
 }
 
+//selvet:zeroalloc
 func (p *wireParser) parseStringSlow(start int) ([]byte, error) {
 	buf := append(p.sc.strbuf[:0], p.b[start:p.i]...)
+	//selvet:ignore zeroalloc one closure on the escaped-string slow path keeps the grown buffer pooled; unescaped strings never reach it
 	defer func() { p.sc.strbuf = buf[:0] }() // keep grown capacity pooled
 	for p.i < len(p.b) {
 		c := p.b[p.i]
@@ -212,8 +225,20 @@ func (p *wireParser) parseStringSlow(start int) ([]byte, error) {
 				if err != nil {
 					return nil, fmt.Errorf("invalid \\u escape at offset %d", p.i-1)
 				}
-				buf = utf8.AppendRune(buf, rune(v))
+				r := rune(v)
 				p.i += 4
+				if utf16.IsSurrogate(r) {
+					// Combine a valid high/low pair into one rune, exactly
+					// as encoding/json does; an unpaired half encodes as
+					// U+FFFD (utf8.AppendRune substitutes it on its own).
+					if r2 := p.lookaheadU(); r2 >= 0 {
+						if dec := utf16.DecodeRune(r, r2); dec != utf8.RuneError {
+							r = dec
+							p.i += 6
+						}
+					}
+				}
+				buf = utf8.AppendRune(buf, r)
 			default:
 				return nil, fmt.Errorf("invalid escape \\%s at offset %d", string(e), p.i-1)
 			}
@@ -228,6 +253,23 @@ func (p *wireParser) parseStringSlow(start int) ([]byte, error) {
 	return nil, errUnterminated
 }
 
+// lookaheadU returns the code unit of a \uXXXX escape starting directly
+// after the current position (p.i on the last consumed digit), or -1
+// when the next bytes are not a well-formed \u escape.
+//
+//selvet:zeroalloc
+func (p *wireParser) lookaheadU() rune {
+	if p.i+7 > len(p.b) || p.b[p.i+1] != '\\' || p.b[p.i+2] != 'u' {
+		return -1
+	}
+	v, err := strconv.ParseUint(bstr(p.b[p.i+3:p.i+7]), 16, 32)
+	if err != nil {
+		return -1
+	}
+	return rune(v)
+}
+
+//selvet:zeroalloc
 func (p *wireParser) parseFloat() (float64, error) {
 	p.ws()
 	start := p.i
@@ -253,6 +295,8 @@ func (p *wireParser) parseFloat() (float64, error) {
 // coordinate arena and returns the element count. The caller slices the
 // window off the arena tail immediately; growth during later arrays may
 // relocate the arena, but earlier windows keep addressing the old block.
+//
+//selvet:zeroalloc
 func (p *wireParser) parseFloatArray() (int, error) {
 	if err := p.expect('['); err != nil {
 		return 0, err
@@ -287,6 +331,8 @@ func (p *wireParser) parseFloatArray() (int, error) {
 
 // parseOptArray parses a number array (or null) into the arena and
 // records the window and presence flag.
+//
+//selvet:zeroalloc
 func (p *wireParser) parseOptArray(dst *geom.Point, has *bool) error {
 	if p.tryNull() {
 		return nil
@@ -301,6 +347,8 @@ func (p *wireParser) parseOptArray(dst *geom.Point, has *bool) error {
 }
 
 // parseOptFloat parses a number (or null) and records presence.
+//
+//selvet:zeroalloc
 func (p *wireParser) parseOptFloat(dst *float64, has *bool) error {
 	if p.tryNull() {
 		return nil
@@ -316,6 +364,8 @@ func (p *wireParser) parseOptFloat(dst *float64, has *bool) error {
 
 // parseQueryObject parses one wire query object into qp. Unknown fields
 // are rejected, mirroring decodeBody's DisallowUnknownFields.
+//
+//selvet:zeroalloc
 func (p *wireParser) parseQueryObject(qp *queryParts) error {
 	*qp = queryParts{}
 	if err := p.expect('{'); err != nil {
@@ -372,6 +422,8 @@ func (p *wireParser) parseQueryObject(qp *queryParts) error {
 // parseQuery parses one query object and appends its range (or nil plus
 // the semantic error) to the scratch, keeping indexes aligned with the
 // request order.
+//
+//selvet:zeroalloc
 func (p *wireParser) parseQuery(qp *queryParts) error {
 	if err := p.parseQueryObject(qp); err != nil {
 		return err
@@ -388,6 +440,8 @@ func (p *wireParser) parseQuery(qp *queryParts) error {
 // and the flags report which request forms appeared. A non-nil error is a
 // transport-level decode failure ("invalid request body"); per-query
 // validation problems are in sc.qerrs instead.
+//
+//selvet:zeroalloc
 func parseEstimateRequest(sc *estimateScratch) (hasQuery bool, nQueries int, err error) {
 	p := wireParser{b: sc.body, sc: sc}
 	var qp queryParts
@@ -448,6 +502,7 @@ func parseEstimateRequest(sc *estimateScratch) (hasQuery bool, nQueries int, err
 	}
 }
 
+//selvet:zeroalloc
 func (p *wireParser) parseQueryArray(qp *queryParts) (int, error) {
 	if err := p.expect('['); err != nil {
 		return 0, err
@@ -481,6 +536,8 @@ func (p *wireParser) parseQueryArray(qp *queryParts) (int, error) {
 
 // resetWire clears the per-request decode state while keeping every
 // pooled capacity.
+//
+//selvet:zeroalloc
 func (sc *estimateScratch) resetWire() {
 	sc.name = sc.name[:0]
 	sc.coords = sc.coords[:0]
@@ -492,6 +549,8 @@ func (sc *estimateScratch) resetWire() {
 }
 
 // nameOrDefault returns the parsed model name, defaulting like modelName.
+//
+//selvet:zeroalloc
 func (sc *estimateScratch) nameOrDefault() []byte {
 	if len(sc.name) == 0 {
 		return defaultModelBytes
@@ -504,6 +563,8 @@ func (sc *estimateScratch) nameOrDefault() []byte {
 // appendJSONFloat renders a float64 the way encoding/json does ('f' for
 // ordinary magnitudes, 'e' with a trimmed exponent otherwise), so the
 // hand-rolled encoder is byte-compatible with the old reflect-based one.
+//
+//selvet:zeroalloc
 func appendJSONFloat(dst []byte, f float64) []byte {
 	if math.IsInf(f, 0) || math.IsNaN(f) {
 		// Estimates are clamped to [0,1]; this matches encoding/json's
@@ -527,6 +588,8 @@ func appendJSONFloat(dst []byte, f float64) []byte {
 
 // appendJSONString renders s as a JSON string with the escapes required
 // by the grammar; multi-byte UTF-8 passes through unescaped.
+//
+//selvet:zeroalloc
 func appendJSONString(dst []byte, s []byte) []byte {
 	const hexdigits = "0123456789abcdef"
 	dst = append(dst, '"')
@@ -553,6 +616,8 @@ func appendJSONString(dst []byte, s []byte) []byte {
 // appendEstimateResponse renders the estimate response (single or batch)
 // exactly as encoding/json rendered estimateResponse, trailing newline
 // included.
+//
+//selvet:zeroalloc
 func appendEstimateResponse(dst []byte, name []byte, generation int64, ests []float64, single bool) []byte {
 	dst = append(dst, `{"model":`...)
 	dst = appendJSONString(dst, name)

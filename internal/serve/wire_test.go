@@ -307,3 +307,150 @@ func TestEstimateHandlerZeroAlloc(t *testing.T) {
 		t.Fatalf("single-estimate request path allocates %.1f objects/op, want 0", allocs)
 	}
 }
+
+// TestWireParserSurrogatePairs pins \uXXXX handling to encoding/json:
+// valid high/low pairs combine into one rune, unpaired halves decode to
+// U+FFFD, and a high surrogate followed by a non-surrogate escape only
+// consumes itself. encoding/json is the oracle for every case.
+func TestWireParserSurrogatePairs(t *testing.T) {
+	// The escapes are assembled from a spelled-out backslash rune so the
+	// test source itself contains no escape sequences that editors or
+	// formatters might normalize.
+	bs := string(rune(92))
+	hi, lo := bs+"uD83D", bs+"uDE00"
+	cases := []string{
+		hi + lo,                           // valid escaped pair: one emoji
+		hi,                                // lone high surrogate
+		lo,                                // lone low surrogate
+		hi + "x",                          // high surrogate, then a literal byte
+		hi + bs + "u0041",                 // high surrogate, then a non-surrogate escape
+		hi + hi + lo,                      // lone high, then a valid pair
+		lo + hi + lo + "ok",               // low first, then a valid pair, then literals
+		"A" + bs + "u00e9" + bs + "u4e2d", // BMP escapes untouched by pairing
+		"pre" + hi + lo + "post",          // pair embedded in literal text
+		"literal \U0001F600 text",         // raw UTF-8 emoji passes through unescaped
+	}
+	for _, esc := range cases {
+		body := `{"model":"` + esc + `"}`
+		var want struct {
+			Model string `json:"model"`
+		}
+		if err := json.Unmarshal([]byte(body), &want); err != nil {
+			t.Fatalf("oracle rejected %q: %v", body, err)
+		}
+		sc := new(estimateScratch)
+		sc.body = []byte(body)
+		sc.resetWire()
+		if _, _, err := parseEstimateRequest(sc); err != nil {
+			t.Errorf("parse(%q): %v", body, err)
+			continue
+		}
+		if got := string(sc.name); got != want.Model {
+			t.Errorf("parse(%q) name = %q, want %q (per encoding/json)", body, got, want.Model)
+		}
+	}
+
+	// Truncated escapes at end of input are transport errors.
+	for _, bad := range []string{`{"model":"\u12`, `{"model":"\uD83D\uDE`, `{"model":"\uZZZZ"}`} {
+		sc := new(estimateScratch)
+		sc.body = []byte(bad)
+		sc.resetWire()
+		if _, _, err := parseEstimateRequest(sc); err == nil {
+			t.Errorf("parse(%q) accepted, want error", bad)
+		}
+	}
+}
+
+// TestWireParserExponentFloats pins textual float forms json.Marshal
+// never emits (uppercase E, explicit +, subnormals, extreme exponents)
+// to bit-identical agreement with encoding/json.
+func TestWireParserExponentFloats(t *testing.T) {
+	cases := []string{
+		"1e5", "1E5", "1e+5", "1e-5", "2.5e3", "-1.25E-2",
+		"0.0", "-0", "1e308", "-1e308", "5e-324", "4.9e-324",
+		"123456789.123456789e-9", "1E+2",
+	}
+	for _, f := range cases {
+		var want []float64
+		if err := json.Unmarshal([]byte("["+f+"]"), &want); err != nil {
+			t.Fatalf("oracle rejected %s: %v", f, err)
+		}
+		body := `{"query":{"lo":[` + f + `],"hi":[` + f + `]}}`
+		sc := new(estimateScratch)
+		sc.body = []byte(body)
+		sc.resetWire()
+		if _, _, err := parseEstimateRequest(sc); err != nil {
+			t.Errorf("parse(%s): %v", f, err)
+			continue
+		}
+		box, ok := sc.ranges[0].(*geom.Box)
+		if !ok {
+			t.Errorf("parse(%s): range %T, want *geom.Box", f, sc.ranges[0])
+			continue
+		}
+		if math.Float64bits(box.Lo[0]) != math.Float64bits(want[0]) {
+			t.Errorf("parse(%s) = %v (bits %x), want %v (bits %x)",
+				f, box.Lo[0], math.Float64bits(box.Lo[0]), want[0], math.Float64bits(want[0]))
+		}
+	}
+	// Malformed numbers stay rejected.
+	for _, bad := range []string{"1e", "1e+", "--1", "1.2.3", "0x10"} {
+		body := `{"query":{"lo":[` + bad + `],"hi":[1]}}`
+		sc := new(estimateScratch)
+		sc.body = []byte(body)
+		sc.resetWire()
+		if _, _, err := parseEstimateRequest(sc); err == nil {
+			t.Errorf("parse(%s) accepted, want error", bad)
+		}
+	}
+}
+
+// unknownLenReader hides its concrete type from httptest.NewRequest so
+// the request carries ContentLength -1, exercising the streamed-overflow
+// branch of readBody rather than the declared-length rejection.
+type unknownLenReader struct{ r *bytes.Reader }
+
+func (u unknownLenReader) Read(p []byte) (int, error) { return u.r.Read(p) }
+
+// TestReadBodyTruncation covers both MaxBodyBytes rejections: a declared
+// Content-Length over the cap fails before any read, and a stream with
+// unknown length is cut off as soon as the cap is crossed. A body at
+// exactly the cap must reach the parser.
+func TestReadBodyTruncation(t *testing.T) {
+	const limit = 1 << 10
+	s := NewServer(Options{MaxBodyBytes: limit})
+	h := s.Handler()
+
+	big := bytes.Repeat([]byte("x"), limit+1)
+
+	// Declared length over the cap: rejected up front.
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest("POST", "/v1/estimate", bytes.NewReader(big)))
+	if w.Code != http.StatusBadRequest || !bytes.Contains(w.Body.Bytes(), []byte("request body too large")) {
+		t.Fatalf("declared oversize: HTTP %d %q", w.Code, w.Body.String())
+	}
+
+	// Unknown length (chunked-style): rejected once the cap is crossed.
+	w = httptest.NewRecorder()
+	req := httptest.NewRequest("POST", "/v1/estimate", unknownLenReader{bytes.NewReader(big)})
+	if req.ContentLength != -1 {
+		t.Fatalf("test harness: ContentLength = %d, want -1", req.ContentLength)
+	}
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusBadRequest || !bytes.Contains(w.Body.Bytes(), []byte("request body too large")) {
+		t.Fatalf("streamed oversize: HTTP %d %q", w.Code, w.Body.String())
+	}
+
+	// Exactly at the cap: readBody succeeds and the parser sees the body
+	// (the 404 proves it got past transport into model lookup).
+	atLimit := append([]byte(`{"model":"nosuch","query":{"lo":[0],"hi":[1]}`), bytes.Repeat([]byte(" "), limit-46)...)
+	atLimit = append(atLimit, '}')
+	if len(atLimit) != limit {
+		t.Fatalf("test harness: body is %d bytes, want %d", len(atLimit), limit)
+	}
+	w = httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest("POST", "/v1/estimate", bytes.NewReader(atLimit)))
+	if w.Code != http.StatusNotFound {
+		t.Fatalf("at-limit body: HTTP %d %q, want 404 model-not-found", w.Code, w.Body.String())
+	}
+}

@@ -10,10 +10,14 @@ set -eux
 go build ./...
 go vet ./...
 
-# Static-analysis gate: the determinism, concurrency, and numeric
-# contracts (detrand, maprange, floateq, lockheld, errdiscard,
-# poolcapture) must hold on every package — findings fail the build.
-go run ./cmd/selvet ./...
+# Static-analysis gate: the determinism, concurrency, numeric, and
+# serving-path contracts (detrand, maprange, floateq, lockheld,
+# errdiscard, poolcapture, zeroalloc, poolpair, atomicmix, cowshare,
+# obslabel) must hold on every package — findings fail the build.
+# -strict-suppressions additionally fails on any //selvet:ignore line
+# that no longer suppresses a finding, so the exemption surface cannot
+# grow stale as code changes underneath it.
+go run ./cmd/selvet -strict-suppressions ./...
 
 # The serving hot path is the contract that matters most in production:
 # re-sweep it explicitly so a selvet scope regression (e.g. a package
@@ -33,6 +37,17 @@ if go run ./cmd/selvet ./internal/analysis/testdata/src/detrand >/dev/null 2>&1;
     echo "verify.sh: selvet failed to flag the seeded violation fixture" >&2
     exit 1
 fi
+
+# Per-analyzer seeded-violation self-checks for the CFG/dataflow
+# analyzers: each one, run alone over its own fixture, must still flag
+# it. A shared fixture hit by a *different* analyzer would mask one
+# analyzer going blind, so the subset runs are the real proof.
+for a in zeroalloc poolpair atomicmix cowshare obslabel; do
+    if go run ./cmd/selvet -run "$a" "./internal/analysis/testdata/src/$a" >/dev/null 2>&1; then
+        echo "verify.sh: selvet -run $a missed its seeded violations" >&2
+        exit 1
+    fi
+done
 
 go test ./...
 go test -race ./internal/...
