@@ -1,0 +1,163 @@
+package main
+
+// The -bin mode: end-to-end throughput of the length-prefixed binary
+// protocol (DESIGN.md §15) over real TCP, next to the NDJSON stream and
+// JSON batch paths from -stream so all three wire formats are measured
+// against the same 4096-bucket model in one table. Three binary rows:
+// single (one estimate frame per round trip), pipeline (all frames
+// written before reading responses), and batch (one batched-estimate
+// frame carrying every query).
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/serve"
+	"repro/internal/wirebin"
+)
+
+// runBin benchmarks the binary wire path with n queries split across
+// conns persistent connections, reporting best-of-3 ns/query.
+func runBin(w io.Writer, n, conns int) error {
+	if conns < 1 {
+		conns = 1
+	}
+	model := estPathModel(4096)
+	core.Accelerate(model)
+	s := serve.NewServer(serve.Options{})
+	s.Registry().Set(serve.DefaultModelName, "bench", model)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{})
+	go func() { defer close(done); _ = s.ServeBin(ctx, ln) }()
+	defer func() { cancel(); <-done }()
+
+	queries := estPathQueries(n)
+
+	rows := []struct {
+		name string
+		run  func(c *wirebin.Client, lo, hi int) error
+	}{
+		{"single", func(c *wirebin.Client, lo, hi int) error {
+			for _, q := range queries[lo:hi] {
+				if _, _, err := c.Estimate("", q); err != nil {
+					return err
+				}
+			}
+			return nil
+		}},
+		{"pipeline", func(c *wirebin.Client, lo, hi int) error {
+			reqs := make([][]byte, 0, hi-lo)
+			for _, q := range queries[lo:hi] {
+				f, err := wirebin.AppendEstimateReq(nil, nil, q)
+				if err != nil {
+					return err
+				}
+				reqs = append(reqs, f)
+			}
+			got := 0
+			if err := c.Pipeline(reqs, func(i int, r *wirebin.Response) error {
+				got++
+				return nil
+			}); err != nil {
+				return err
+			}
+			if got != hi-lo {
+				return fmt.Errorf("pipeline: %d responses, want %d", got, hi-lo)
+			}
+			return nil
+		}},
+		{"batch", func(c *wirebin.Client, lo, hi int) error {
+			ests, _, err := c.EstimateBatch("", queries[lo:hi], nil)
+			if err != nil {
+				return err
+			}
+			if len(ests) != hi-lo {
+				return fmt.Errorf("batch: %d estimates, want %d", len(ests), hi-lo)
+			}
+			return nil
+		}},
+	}
+
+	if _, err := fmt.Fprintf(w, "binary wire path throughput, %d queries, %d conns (best of 3)\n", n, conns); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%8s %12s %14s\n", "path", "ns/query", "queries/sec"); err != nil {
+		return err
+	}
+	addr := ln.Addr().String()
+	for _, row := range rows {
+		best, err := bestOf(3, func() (time.Duration, error) {
+			return binRep(addr, conns, n, row.run)
+		})
+		if err != nil {
+			return fmt.Errorf("%s: %v", row.name, err)
+		}
+		perQuery := float64(best.Nanoseconds()) / float64(n)
+		if _, err := fmt.Fprintf(w, "%8s %12.0f %14.0f\n", row.name, perQuery, 1e9/perQuery); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// binRep runs one timed repetition: conns clients in parallel, each
+// owning an equal shard of the n queries over its own connection.
+func binRep(addr string, conns, n int, run func(c *wirebin.Client, lo, hi int) error) (time.Duration, error) {
+	clients := make([]*wirebin.Client, conns)
+	for i := range clients {
+		c, err := wirebin.Dial(addr)
+		if err != nil {
+			return 0, err
+		}
+		defer c.Close()
+		clients[i] = c
+	}
+	errs := make([]error, conns)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i, c := range clients {
+		lo, hi := i*n/conns, (i+1)*n/conns
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, c *wirebin.Client, lo, hi int) {
+			defer wg.Done()
+			errs[i] = run(c, lo, hi)
+		}(i, c, lo, hi)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return 0, err
+		}
+	}
+	return elapsed, nil
+}
+
+// bestOf returns the fastest of reps calls to f.
+func bestOf(reps int, f func() (time.Duration, error)) (time.Duration, error) {
+	best := time.Duration(0)
+	for rep := 0; rep < reps; rep++ {
+		elapsed, err := f()
+		if err != nil {
+			return 0, err
+		}
+		if best == 0 || elapsed < best {
+			best = elapsed
+		}
+	}
+	return best, nil
+}

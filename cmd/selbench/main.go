@@ -37,6 +37,9 @@ func main() {
 		trainN    = flag.Int("trainprof-queries", 200, "training queries for -trainprof")
 		stream    = flag.Bool("stream", false, "benchmark the NDJSON stream endpoint vs the batch endpoint over a real listener and exit")
 		streamN   = flag.Int("stream-queries", 50000, "queries per request for -stream")
+		bin       = flag.Bool("bin", false, "benchmark the binary wire protocol over a real listener and exit")
+		binN      = flag.Int("bin-queries", 50000, "total queries for -bin")
+		conns     = flag.Int("conns", 1, "parallel persistent connections for -stream and -bin")
 	)
 	flag.Parse()
 
@@ -59,7 +62,13 @@ func main() {
 		return
 	}
 	if *stream {
-		if err := runStream(os.Stdout, *streamN); err != nil {
+		if err := runStream(os.Stdout, *streamN, *conns); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *bin {
+		if err := runBin(os.Stdout, *binN, *conns); err != nil {
 			fatal(err)
 		}
 		return

@@ -15,6 +15,7 @@ import (
 	"net"
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -96,8 +97,11 @@ func postAndDrain(url, contentType string, body []byte) (lines int, elapsed time
 }
 
 // runStream benchmarks the stream vs batch wire paths with n queries
-// per request, a few requests each, reporting best-of ns/query.
-func runStream(w io.Writer, n int) error {
+// split across conns parallel connections, reporting best-of ns/query.
+func runStream(w io.Writer, n, conns int) error {
+	if conns < 1 {
+		conns = 1
+	}
 	model := estPathModel(4096)
 	core.Accelerate(model)
 	s := serve.NewServer(serve.Options{})
@@ -114,34 +118,67 @@ func runStream(w io.Writer, n int) error {
 	base := "http://" + ln.Addr().String()
 
 	queries := estPathQueries(n)
+
+	// Each connection posts its own shard of the query set; with
+	// conns=1 this is the original single-request benchmark.
+	type shard struct {
+		body      []byte
+		wantLines int
+	}
+	makeShards := func(render func([]geom.Range) []byte, linesPer func(int) int) []shard {
+		out := make([]shard, 0, conns)
+		for i := 0; i < conns; i++ {
+			lo, hi := i*n/conns, (i+1)*n/conns
+			if lo == hi {
+				continue
+			}
+			out = append(out, shard{render(queries[lo:hi]), linesPer(hi - lo)})
+		}
+		return out
+	}
 	rows := []struct {
 		name, url, ctype string
-		body             []byte
-		wantLines        int
+		shards           []shard
 	}{
-		{"stream", base + "/v1/estimate/stream", "application/x-ndjson", streamBody(queries), n},
-		{"batch", base + "/v1/estimate", "application/json", batchBody(queries), 1},
+		{"stream", base + "/v1/estimate/stream", "application/x-ndjson",
+			makeShards(streamBody, func(k int) int { return k })},
+		{"batch", base + "/v1/estimate", "application/json",
+			makeShards(batchBody, func(int) int { return 1 })},
 	}
 
-	if _, err := fmt.Fprintf(w, "wire path throughput, %d queries per request (best of 3)\n", n); err != nil {
+	if _, err := fmt.Fprintf(w, "wire path throughput, %d queries, %d conns (best of 3)\n", n, conns); err != nil {
 		return err
 	}
 	if _, err := fmt.Fprintf(w, "%8s %12s %14s\n", "path", "ns/query", "queries/sec"); err != nil {
 		return err
 	}
 	for _, row := range rows {
-		best := time.Duration(0)
-		for rep := 0; rep < 3; rep++ {
-			lines, elapsed, err := postAndDrain(row.url, row.ctype, row.body)
-			if err != nil {
-				return fmt.Errorf("%s: %v", row.name, err)
+		best, err := bestOf(3, func() (time.Duration, error) {
+			errs := make([]error, len(row.shards))
+			var wg sync.WaitGroup
+			start := time.Now()
+			for i, sh := range row.shards {
+				wg.Add(1)
+				go func(i int, sh shard) {
+					defer wg.Done()
+					lines, _, err := postAndDrain(row.url, row.ctype, sh.body)
+					if err == nil && lines != sh.wantLines {
+						err = fmt.Errorf("%d response lines, want %d", lines, sh.wantLines)
+					}
+					errs[i] = err
+				}(i, sh)
 			}
-			if lines != row.wantLines {
-				return fmt.Errorf("%s: %d response lines, want %d", row.name, lines, row.wantLines)
+			wg.Wait()
+			elapsed := time.Since(start)
+			for _, err := range errs {
+				if err != nil {
+					return 0, err
+				}
 			}
-			if best == 0 || elapsed < best {
-				best = elapsed
-			}
+			return elapsed, nil
+		})
+		if err != nil {
+			return fmt.Errorf("%s: %v", row.name, err)
 		}
 		perQuery := float64(best.Nanoseconds()) / float64(n)
 		if _, err := fmt.Fprintf(w, "%8s %12.0f %14.0f\n", row.name, perQuery, 1e9/perQuery); err != nil {

@@ -1,8 +1,9 @@
 // Command selserve runs the selectivity-estimation server: it preloads
-// trained models (as written by seltrain -out), serves estimate requests
-// over HTTP, buffers observed-selectivity feedback, and periodically
-// retrains and hot-swaps the serving models. SIGINT/SIGTERM trigger a
-// graceful drain.
+// trained models (as written by seltrain -out; JSON envelopes and binary
+// snapshots are both accepted), serves estimate requests over HTTP — and,
+// with -listen-bin, over the compact binary protocol (internal/wirebin) —
+// buffers observed-selectivity feedback, and periodically retrains and
+// hot-swaps the serving models. SIGINT/SIGTERM trigger a graceful drain.
 //
 // Usage:
 //
@@ -53,6 +54,7 @@ func main() {
 	var models modelFlags
 	var (
 		addr        = flag.String("addr", ":8080", "listen address")
+		addrBin     = flag.String("listen-bin", "", "binary-protocol listen address (e.g. :8081; empty disables)")
 		feedbackCap = flag.Int("feedback-cap", 4096, "feedback ring capacity per model")
 		minRetrain  = flag.Int("min-retrain", 32, "buffered observations required before a retrain")
 		interval    = flag.Duration("retrain-interval", 15*time.Second, "background retrain period")
@@ -123,7 +125,7 @@ func main() {
 		if err != nil {
 			fatal(logger, err)
 		}
-		m, err := modelio.Load(f)
+		m, err := modelio.LoadAny(f)
 		if cerr := f.Close(); err == nil && cerr != nil {
 			err = cerr
 		}
@@ -143,13 +145,26 @@ func main() {
 	defer stop()
 	logger.Info("selserve listening",
 		slog.String("addr", *addr),
+		slog.String("addr_bin", *addrBin),
 		slog.Int("models", len(models)),
 		slog.Int("trace_sample", *traceSample),
 		slog.Bool("pprof", *pprofOn),
 		slog.Bool("online", *onlineOn),
 	)
+	// The binary listener runs beside HTTP; model lifecycle (retrainer,
+	// registry) lives with the HTTP Serve loop, so RunBin only serves
+	// frames. Both drain on the same signal context.
+	errc := make(chan error, 1)
+	if *addrBin != "" {
+		go func() { errc <- srv.RunBin(ctx, *addrBin) }()
+	}
 	if err := srv.Run(ctx, *addr); err != nil {
 		fatal(logger, err)
+	}
+	if *addrBin != "" {
+		if err := <-errc; err != nil {
+			fatal(logger, err)
+		}
 	}
 	logger.Info("selserve drained cleanly")
 }

@@ -17,6 +17,7 @@
 package bvh
 
 import (
+	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -491,3 +492,103 @@ func (l *Lazy) Seed(t *Tree) {
 // Built returns the index if one has been built or seeded, and nil
 // otherwise. It never triggers a build.
 func (l *Lazy) Built() *Tree { return l.tree.Load() }
+
+// Raw is a Tree's complete structural state as flat arrays, for
+// serialization: every field maps one-to-one onto a Tree's internal
+// structure-of-arrays layout, so a snapshot can store the arrays verbatim
+// and a load can rebuild the index without re-running the builder (no
+// sorting, no recursion, no weight sweep). Buckets and weights are not
+// part of Raw — they belong to the owning model and are passed separately
+// to FromRaw, which shares them exactly like Build does.
+type Raw struct {
+	Dim         int
+	NLo, NHi    []float64 // node bounding boxes, Dim coords per node
+	Left, Right []int32   // child node ids, -1 at leaves
+	LOff, LCnt  []int32   // leaf windows into LeafIdx
+	LeafIdx     []int32   // bucket ids, each leaf's window contiguous
+	InvVols     []float64 // per-bucket inverse volumes (0 for zero-volume)
+	WSums       []float64 // subtree weight sums, indexed by node id
+}
+
+// Raw exports the tree's structural arrays. The returned slices alias the
+// tree's internals (both are immutable); callers must not mutate them.
+func (t *Tree) Raw() Raw {
+	return Raw{
+		Dim:     t.dim,
+		NLo:     t.nlo,
+		NHi:     t.nhi,
+		Left:    t.left,
+		Right:   t.right,
+		LOff:    t.loff,
+		LCnt:    t.lcnt,
+		LeafIdx: t.leafIdx,
+		InvVols: t.invVols,
+		WSums:   t.wsums,
+	}
+}
+
+// FromRaw reconstructs a Tree from exported structural arrays plus the
+// owning model's buckets and weights, validating every cross-reference so
+// corrupt or adversarial input yields an error instead of a tree whose
+// walks read out of bounds. All slices (including blo/bhi, which callers
+// typically alias into the same backing store as the bucket corners) are
+// captured, not copied.
+func FromRaw(r Raw, buckets []geom.Box, weights []float64, blo, bhi []float64) (*Tree, error) {
+	m, n := len(buckets), len(r.Left)
+	d := r.Dim
+	switch {
+	case len(weights) != m:
+		return nil, fmt.Errorf("bvh: %d buckets but %d weights", m, len(weights))
+	case len(r.InvVols) != m:
+		return nil, fmt.Errorf("bvh: %d buckets but %d invVols", m, len(r.InvVols))
+	case n == 0 && m > 0, d <= 0 && n > 0:
+		return nil, fmt.Errorf("bvh: empty tree over %d buckets", m)
+	case len(r.Right) != n || len(r.LOff) != n || len(r.LCnt) != n || len(r.WSums) != n:
+		return nil, fmt.Errorf("bvh: node array lengths disagree")
+	case len(r.NLo) != n*d || len(r.NHi) != n*d:
+		return nil, fmt.Errorf("bvh: node box arrays want %d coords, have %d/%d", n*d, len(r.NLo), len(r.NHi))
+	case len(r.LeafIdx) > m:
+		return nil, fmt.Errorf("bvh: leafIdx longer than bucket count")
+	case len(blo) != m*d || len(bhi) != m*d:
+		return nil, fmt.Errorf("bvh: bucket corner arrays want %d coords, have %d/%d", m*d, len(blo), len(bhi))
+	}
+	for id := 0; id < n; id++ {
+		l, rgt := r.Left[id], r.Right[id]
+		if (l < 0) != (rgt < 0) {
+			return nil, fmt.Errorf("bvh: node %d has one child", id)
+		}
+		if l < 0 {
+			off, cnt := r.LOff[id], r.LCnt[id]
+			if cnt < 0 || off < 0 || int(off)+int(cnt) > len(r.LeafIdx) {
+				return nil, fmt.Errorf("bvh: node %d leaf window out of range", id)
+			}
+			continue
+		}
+		// Pre-order ids: children strictly after the parent keeps the
+		// reverse weight sweep and walk recursion acyclic.
+		if int(l) <= id || int(rgt) <= id || int(l) >= n || int(rgt) >= n {
+			return nil, fmt.Errorf("bvh: node %d has out-of-order children %d/%d", id, l, rgt)
+		}
+	}
+	for _, j := range r.LeafIdx {
+		if j < 0 || int(j) >= m {
+			return nil, fmt.Errorf("bvh: leafIdx entry %d out of range", j)
+		}
+	}
+	return &Tree{
+		dim:     d,
+		nlo:     r.NLo,
+		nhi:     r.NHi,
+		left:    r.Left,
+		right:   r.Right,
+		loff:    r.LOff,
+		lcnt:    r.LCnt,
+		leafIdx: r.LeafIdx,
+		blo:     blo,
+		bhi:     bhi,
+		buckets: buckets,
+		weights: weights,
+		invVols: r.InvVols,
+		wsums:   r.WSums,
+	}, nil
+}

@@ -190,6 +190,16 @@ func (m *Model) Estimate(r geom.Range) float64 {
 // build so the first estimate after a model swap is already sub-linear.
 func (m *Model) Accelerate() { m.accel.Ensure(m.Buckets, m.Weights) }
 
+// IndexTree returns the built BVH index, or nil if none has been built
+// yet. It never triggers a build; the binary snapshot writer uses it to
+// decide whether a tree section can be persisted.
+func (m *Model) IndexTree() *bvh.Tree { return m.accel.Built() }
+
+// SeedIndex installs a prebuilt BVH as this model's index (winning only if
+// none exists yet), so a model loaded from a binary snapshot skips the
+// build entirely — the subsequent Accelerate is a no-op.
+func (m *Model) SeedIndex(t *bvh.Tree) { m.accel.Seed(t) }
+
 // WeightView implements core.Reweightable.
 func (m *Model) WeightView() ([]geom.Box, []float64) { return m.Buckets, m.Weights }
 

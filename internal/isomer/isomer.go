@@ -334,6 +334,16 @@ func (m *Model) Estimate(r geom.Range) float64 {
 // Accelerate implements core.Accelerable (force the one-time BVH build).
 func (m *Model) Accelerate() { m.accel.Ensure(m.Buckets, m.Weights) }
 
+// IndexTree returns the built BVH index, or nil if none has been built
+// yet. It never triggers a build; the binary snapshot writer uses it to
+// decide whether a tree section can be persisted.
+func (m *Model) IndexTree() *bvh.Tree { return m.accel.Built() }
+
+// SeedIndex installs a prebuilt BVH as this model's index (winning only if
+// none exists yet), so a model loaded from a binary snapshot skips the
+// build entirely — the subsequent Accelerate is a no-op.
+func (m *Model) SeedIndex(t *bvh.Tree) { m.accel.Seed(t) }
+
 var _ core.Trainer = (*Trainer)(nil)
 var _ core.Model = (*Model)(nil)
 var _ core.Accelerable = (*Model)(nil)

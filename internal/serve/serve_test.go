@@ -229,6 +229,31 @@ func TestModelUploadAndDownload(t *testing.T) {
 		}
 	}
 
+	// Uploads accept binary snapshots too (the format is sniffed), with
+	// estimates identical to the JSON-uploaded model's.
+	var bbuf bytes.Buffer
+	if err := modelio.SaveBinary(&bbuf, m); err != nil {
+		t.Fatal(err)
+	}
+	var bst modelStatus
+	if code := doJSON(t, h, "PUT", "/v1/models/powerbin", bbuf.Bytes(), &bst); code != 200 {
+		t.Fatalf("binary upload: HTTP %d", code)
+	}
+	if bst.Type != "quadhist" || bst.Buckets != m.NumBuckets() {
+		t.Fatalf("binary upload status: %+v", bst)
+	}
+	for _, z := range test {
+		zb := z.R.(geom.Box)
+		body, _ := json.Marshal(estimateRequest{Model: "powerbin", Query: &wireQuery{Lo: zb.Lo, Hi: zb.Hi}})
+		var resp estimateResponse
+		if code := doJSON(t, h, "POST", "/v1/estimate", body, &resp); code != 200 {
+			t.Fatalf("estimate on binary-uploaded model: HTTP %d", code)
+		}
+		if resp.Estimate == nil || *resp.Estimate != m.Estimate(z.R) {
+			t.Fatal("binary-uploaded model drifted")
+		}
+	}
+
 	// Decode failures map to 400, missing models to 404.
 	cases := []struct {
 		name string

@@ -145,6 +145,10 @@ type Server struct {
 	// contract that writeJSON never silently discards an error).
 	encodeErrs *obs.Counter
 
+	// bin holds the binary-protocol listener's metric handles (see
+	// binserver.go); registered unconditionally for stable scrape series.
+	bin binStats
+
 	retrainMu    sync.Mutex
 	retrainSeen  map[string]int64 // feedback total at last retrain, per model
 	retrainRuns  int64
@@ -183,6 +187,7 @@ func NewServer(opts Options) *Server {
 		s.estCache = NewEstimateCache(opts.EstimateCacheSize)
 	}
 	s.registerMetrics(reg)
+	s.registerBinMetrics(reg)
 	if opts.OnlineUpdates {
 		s.online = newOnlineManager(s)
 	}
@@ -788,7 +793,7 @@ func (s *Server) handleRetrain(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handlePutModel(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	publish := obs.SpanFromContext(r.Context()).Child("serve.publish_model")
-	m, err := modelio.Load(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))
+	m, err := modelio.LoadAny(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))
 	if err != nil {
 		publish.End()
 		// Bad bytes are the client's fault; anything else is ours.

@@ -88,7 +88,11 @@ func (s *Server) handleEstimateStream(w http.ResponseWriter, r *http.Request) {
 		sc.out = out
 		_, err := bw.Write(out)
 		sc.resetWire()
-		return err == nil
+		if err != nil {
+			s.encodeFailed("stream write", err)
+			return false
+		}
+		return true
 	}
 	// fail writes one in-order error line for the current query, flushing
 	// the batch ahead of it first.
@@ -106,8 +110,11 @@ func (s *Server) handleEstimateStream(w http.ResponseWriter, r *http.Request) {
 		sc.strbuf = quoted[:0]
 		out = append(out, '"', '}', '\n')
 		sc.out = out
-		_, err := bw.Write(out)
-		return err == nil
+		if _, err := bw.Write(out); err != nil {
+			s.encodeFailed("stream write", err)
+			return false
+		}
+		return true
 	}
 
 	var qp queryParts
@@ -161,6 +168,7 @@ func (s *Server) handleEstimateStream(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 			if err := bw.Flush(); err != nil {
+				s.encodeFailed("stream flush", err)
 				return
 			}
 			if flusher != nil {
@@ -172,7 +180,7 @@ func (s *Server) handleEstimateStream(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := bw.Flush(); err != nil {
-		s.encodeFailed("write", err)
+		s.encodeFailed("stream flush", err)
 	}
 }
 

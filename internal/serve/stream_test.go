@@ -197,3 +197,67 @@ func TestEstimateStreamConcurrentWithSwaps(t *testing.T) {
 	}()
 	wg.Wait()
 }
+
+// failingWriter errors every write after the first n bytes, simulating a
+// client that hung up mid-stream.
+type failingWriter struct {
+	h       http.Header
+	status  int
+	allowed int
+	written int
+}
+
+func (w *failingWriter) Header() http.Header { return w.h }
+func (w *failingWriter) WriteHeader(c int)   { w.status = c }
+func (w *failingWriter) Write(p []byte) (int, error) {
+	if w.written+len(p) > w.allowed {
+		return 0, fmt.Errorf("client gone")
+	}
+	w.written += len(p)
+	return len(p), nil
+}
+
+// TestEstimateStreamWriteFailureCounted pins the encode-failure contract
+// to the stream endpoint: result-line and error-line write failures must
+// land in selserve_encode_errors_total (and the warn log), exactly like
+// /v1/estimate's writeJSON path — they used to be dropped silently.
+func TestEstimateStreamWriteFailureCounted(t *testing.T) {
+	train, test := fixture(t, 60, 4)
+	m := trainModel(t, train)
+
+	run := func(t *testing.T, lines []string) int64 {
+		t.Helper()
+		s := NewServer(Options{})
+		s.Registry().Set(DefaultModelName, "test", m)
+		body := strings.Join(lines, "\n") + "\n"
+		req := httptest.NewRequest("POST", "/v1/estimate/stream", strings.NewReader(body))
+		w := &failingWriter{h: make(http.Header)}
+		s.Handler().ServeHTTP(w, req)
+		return s.encodeErrs.Value()
+	}
+
+	// Enough queries to cross a batch boundary: the mid-stream bw.Flush
+	// used to return without counting.
+	t.Run("result lines", func(t *testing.T) {
+		var lines []string
+		for i := 0; i < streamBatchSize+40; i++ {
+			b := test[i%len(test)].R.(geom.Box)
+			lines = append(lines, fmt.Sprintf(`{"lo":[%g,%g],"hi":[%g,%g]}`, b.Lo[0], b.Lo[1], b.Hi[0], b.Hi[1]))
+		}
+		if got := run(t, lines); got == 0 {
+			t.Fatal("result-line write failure not counted in selserve_encode_errors_total")
+		}
+	})
+
+	// Enough error lines to overflow the 64KiB response buffer so the
+	// error-line write itself fails; that failure used to be dropped.
+	t.Run("error lines", func(t *testing.T) {
+		lines := make([]string, 3000)
+		for i := range lines {
+			lines[i] = `{"bogus":true}`
+		}
+		if got := run(t, lines); got == 0 {
+			t.Fatal("error-line write failure not counted in selserve_encode_errors_total")
+		}
+	})
+}

@@ -1,0 +1,161 @@
+package wirebin
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"time"
+
+	"repro/internal/geom"
+)
+
+// Client is a single-connection binary-protocol client with reusable
+// encode/decode buffers: steady-state calls allocate nothing beyond what
+// the caller's result slices need. It is not safe for concurrent use —
+// callers wanting parallelism open one Client per goroutine (connections
+// are cheap and persistent).
+type Client struct {
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+	out  []byte
+	in   []byte
+	resp Response
+}
+
+// Dial connects to a selserve binary listener.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an existing connection (useful for tests and custom
+// dialers).
+func NewClient(conn net.Conn) *Client {
+	return &Client{
+		conn: conn,
+		br:   bufio.NewReaderSize(conn, 1<<16),
+		bw:   bufio.NewWriterSize(conn, 1<<16),
+	}
+}
+
+// Close closes the underlying connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// roundTrip flushes c.out as one request frame and decodes the one
+// response frame the server owes us.
+func (c *Client) roundTrip() (*Response, error) {
+	if _, err := c.bw.Write(c.out); err != nil {
+		return nil, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return nil, err
+	}
+	typ, payload, err := ReadFrame(c.br, &c.in)
+	if err != nil {
+		return nil, err
+	}
+	if err := DecodeResponse(typ, payload, &c.resp); err != nil {
+		return nil, err
+	}
+	return &c.resp, nil
+}
+
+// errResponse converts a FrameError response into a Go error.
+func errResponse(r *Response) error {
+	return fmt.Errorf("wirebin: server error code %d: %s", r.Code, r.Msg)
+}
+
+// Estimate round-trips one estimate request. model may be "" for the
+// server default. Returns the estimate and the generation of the model
+// that served it.
+func (c *Client) Estimate(model string, q geom.Range) (est float64, generation int64, err error) {
+	c.out = c.out[:0]
+	c.out, err = AppendEstimateReq(c.out, []byte(model), q)
+	if err != nil {
+		return 0, 0, err
+	}
+	r, err := c.roundTrip()
+	if err != nil {
+		return 0, 0, err
+	}
+	if r.Type == FrameError {
+		return 0, 0, errResponse(r)
+	}
+	if r.Type != FrameEstimateResp {
+		return 0, 0, ErrUnknownFrame
+	}
+	return r.Est, r.Generation, nil
+}
+
+// EstimateBatch round-trips one batched estimate request, appending the
+// estimates to dst (pass dst[:0] to reuse capacity).
+func (c *Client) EstimateBatch(model string, ranges []geom.Range, dst []float64) (ests []float64, generation int64, err error) {
+	c.out = c.out[:0]
+	c.out, err = AppendEstimateBatchReq(c.out, []byte(model), ranges)
+	if err != nil {
+		return dst, 0, err
+	}
+	r, err := c.roundTrip()
+	if err != nil {
+		return dst, 0, err
+	}
+	if r.Type == FrameError {
+		return dst, 0, errResponse(r)
+	}
+	if r.Type != FrameEstimateBatchResp {
+		return dst, 0, ErrUnknownFrame
+	}
+	return append(dst, r.Ests...), r.Generation, nil
+}
+
+// Feedback round-trips one feedback upload; sels[i] labels ranges[i].
+func (c *Client) Feedback(model string, ranges []geom.Range, sels []float64) (accepted, dropped int, generation int64, err error) {
+	c.out = c.out[:0]
+	c.out, err = AppendFeedbackReq(c.out, []byte(model), ranges, sels)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	r, err := c.roundTrip()
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if r.Type == FrameError {
+		return 0, 0, 0, errResponse(r)
+	}
+	if r.Type != FrameFeedbackResp {
+		return 0, 0, 0, ErrUnknownFrame
+	}
+	return r.Accepted, r.Dropped, r.Generation, nil
+}
+
+// Pipeline sends every request frame in reqs back-to-back, then reads one
+// response per request in order, invoking fn for each. It exists for
+// benchmarks and tests exercising the pipelining contract; fn must not
+// retain the Response.
+func (c *Client) Pipeline(reqs [][]byte, fn func(i int, r *Response) error) error {
+	for _, f := range reqs {
+		if _, err := c.bw.Write(f); err != nil {
+			return err
+		}
+	}
+	if err := c.bw.Flush(); err != nil {
+		return err
+	}
+	for i := range reqs {
+		typ, payload, err := ReadFrame(c.br, &c.in)
+		if err != nil {
+			return err
+		}
+		if err := DecodeResponse(typ, payload, &c.resp); err != nil {
+			return err
+		}
+		if err := fn(i, &c.resp); err != nil {
+			return err
+		}
+	}
+	return nil
+}

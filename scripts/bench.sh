@@ -116,6 +116,14 @@ BEGIN {
         # BenchmarkServeEstimateAlloc/single -> serve_alloc_single
         key = name
         sub(/^BenchmarkServeEstimateAlloc\//, "serve_alloc_", key)
+    } else if (name ~ /^BenchmarkServeBin\//) {
+        # BenchmarkServeBin/single -> serve_bin_single
+        key = name
+        sub(/^BenchmarkServeBin\//, "serve_bin_", key)
+    } else if (name ~ /^BenchmarkSnapshotLoad\//) {
+        # BenchmarkSnapshotLoad/binary_m16384 -> snapshot_load_binary_m16384
+        key = name
+        sub(/^BenchmarkSnapshotLoad\//, "snapshot_load_", key)
     } else if (name ~ /^BenchmarkObsDisabled\//) {
         # BenchmarkObsDisabled/span -> obs_disabled_span
         key = name
@@ -160,6 +168,13 @@ END {
                 ref = "serve_batch_w1"
             } else if (key ~ /^serve_stream_w/ && key != "serve_stream_w1") {
                 ref = "serve_stream_w1"
+            } else if (key == "serve_bin_single") {
+                ref = "serve_bin_http_single"
+            } else if (key == "serve_bin_batch") {
+                ref = "serve_bin_http_batch"
+            } else if (key ~ /^snapshot_load_binary_/) {
+                ref = key
+                sub(/^snapshot_load_binary_/, "snapshot_load_json_", ref)
             }
             if (ref != "" && ref in ns && ns[key] > 0)
                 printf ", \"baseline\": \"%s\", \"baseline_ns_per_op\": %.0f, \"speedup_vs_baseline\": %.2f", ref, ns[ref], ns[ref] / ns[key]

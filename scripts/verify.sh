@@ -28,7 +28,7 @@ go run ./cmd/selvet -strict-suppressions ./...
 # since /metrics pages are diffed byte-for-byte in tests. internal/online
 # is in the sweep because its whole contract is deterministic pure-compute
 # updates (detrand: no clocks — latency timing lives in the serve layer).
-go run ./cmd/selvet ./internal/serve ./internal/parallel ./internal/core ./internal/bvh ./internal/obs ./internal/online ./internal/gmm
+go run ./cmd/selvet ./internal/serve ./internal/parallel ./internal/core ./internal/bvh ./internal/obs ./internal/online ./internal/gmm ./internal/wirebin ./internal/modelio
 
 # Prove the gate can fail: the seeded-violation fixture must be flagged.
 # If selvet ever exits 0 here, the analyzers have gone blind and the
@@ -86,3 +86,15 @@ go test -race -run 'TestReweightConcurrentNoTear' -count=1 ./internal/bvh
 # 0 allocs/op (TestObsDisabledAllocs fails the suite otherwise; the
 # benchmark arm here keeps the ns/op number visible in verify output).
 go test -run 'TestObsDisabledAllocs' -bench 'BenchmarkObsDisabled/' -benchtime 1000x .
+# Binary wire protocol gates (DESIGN.md §15): the frame codec must stay
+# race-clean, the decoder must survive its fuzz corpus, binary estimates
+# must be bit-identical to the JSON path, the per-frame server path must
+# measure exactly 0 allocs/op, and pooled per-connection state must stay
+# tear-free under concurrent connections + model hot-swaps.
+go test -race -count=1 ./internal/wirebin
+go test -run 'FuzzDecodeRequest' -count=1 ./internal/wirebin
+go test -race -run 'TestBinJSONEquivalence|TestBinConcurrentSwaps' -count=1 ./internal/serve
+go test -run 'TestBinFrameZeroAlloc' -count=1 ./internal/serve
+# Binary snapshot gates: load must seed the BVH (no rebuild on
+# Accelerate) and corrupted/truncated snapshots must fail typed.
+go test -run 'TestBinaryRoundTripEstimates|TestBinaryLoadSeedsIndex|TestBinaryCorruption' -count=1 ./internal/modelio
