@@ -1,0 +1,104 @@
+package selest
+
+// Open-loop load-harness benchmarks (DESIGN.md §16): each arm drives a
+// short deterministic schedule of one traffic class against an in-process
+// server via internal/load — the same schedule/worker machinery cmd/selload
+// uses — and reports the class's intended-start p99 (completion minus
+// scheduled start, the coordinated-omission-safe tail) as the ns/op
+// metric, so scripts/bench.sh records tail latency under load next to the
+// closed-loop wire benchmarks. Wall time per iteration is the schedule
+// horizon, not the sum of request latencies; ns/op here is a latency
+// quantile, not throughput.
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/load"
+	"repro/internal/serve"
+)
+
+// loadBenchServer starts a server the way `selload -self` does: online
+// updates on, background retraining effectively off, both listeners on
+// loopback.
+func loadBenchServer(b *testing.B) (baseURL, binAddr string) {
+	b.Helper()
+	model := load.GridModel(4096, 0)
+	core.Accelerate(model)
+	s := serve.NewServer(serve.Options{
+		OnlineUpdates:     true,
+		MinRetrainSamples: 1 << 30,
+	})
+	s.Registry().Set(serve.DefaultModelName, "bench", model)
+
+	hln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	bln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := &http.Server{Handler: s.Handler()}
+	go srv.Serve(hln)
+	ctx, cancel := context.WithCancel(context.Background())
+	binDone := make(chan struct{})
+	go func() { defer close(binDone); _ = s.ServeBin(ctx, bln) }()
+	b.Cleanup(func() {
+		cancel()
+		srv.Close()
+		<-binDone
+	})
+	return "http://" + hln.Addr().String(), bln.Addr().String()
+}
+
+func BenchmarkSelLoad(b *testing.B) {
+	baseURL, binAddr := loadBenchServer(b)
+	arms := []struct {
+		name  string
+		class load.Class
+	}{
+		{"single_p99", load.ClassSingle},
+		{"bin_p99", load.ClassBin},
+		{"feedback_p99", load.ClassFeedback},
+	}
+	for _, arm := range arms {
+		b.Run(arm.name, func(b *testing.B) {
+			var mix load.Mix
+			mix[arm.class] = 1
+			var p99ns float64
+			for i := 0; i < b.N; i++ {
+				res, err := load.Run(load.Options{
+					BaseURL: baseURL,
+					BinAddr: binAddr,
+					Workers: 4,
+					Timeout: 10 * time.Second,
+					Spec: load.ScheduleSpec{
+						Seed:     1,
+						Rate:     500,
+						Duration: time.Second,
+						Arrival:  load.ArrivalExp,
+						Mix:      mix,
+					},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				cs := res.Collector.Class(arm.class)
+				if errs := cs.Errors.Value(); errs > 0 {
+					b.Fatalf("%d of %d requests failed", errs, cs.Sent.Value())
+				}
+				s := load.Summarize(cs.Intended.Snapshot())
+				if s.Count == 0 {
+					b.Fatal("no completed requests")
+				}
+				p99ns = s.P99Us * 1e3
+			}
+			b.ReportMetric(p99ns, "ns/op")
+		})
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/load"
 	"repro/internal/serve"
 	"repro/internal/wirebin"
 )
@@ -27,7 +28,7 @@ func runBin(w io.Writer, n, conns int) error {
 	if conns < 1 {
 		conns = 1
 	}
-	model := estPathModel(4096)
+	model := load.GridModel(4096, 0)
 	core.Accelerate(model)
 	s := serve.NewServer(serve.Options{})
 	s.Registry().Set(serve.DefaultModelName, "bench", model)
@@ -42,7 +43,7 @@ func runBin(w io.Writer, n, conns int) error {
 	go func() { defer close(done); _ = s.ServeBin(ctx, ln) }()
 	defer func() { cancel(); <-done }()
 
-	queries := estPathQueries(n)
+	queries := load.GridQueries(7, n)
 
 	rows := []struct {
 		name string
@@ -89,12 +90,9 @@ func runBin(w io.Writer, n, conns int) error {
 		}},
 	}
 
-	if _, err := fmt.Fprintf(w, "binary wire path throughput, %d queries, %d conns (best of 3)\n", n, conns); err != nil {
-		return err
-	}
-	if _, err := fmt.Fprintf(w, "%8s %12s %14s\n", "path", "ns/query", "queries/sec"); err != nil {
-		return err
-	}
+	rep := load.NewReporter(w)
+	rep.Titlef("binary wire path throughput, %d queries, %d conns (best of 3)", n, conns)
+	rep.ThroughputHeader("ns/query", "queries/sec")
 	addr := ln.Addr().String()
 	for _, row := range rows {
 		best, err := bestOf(3, func() (time.Duration, error) {
@@ -103,12 +101,11 @@ func runBin(w io.Writer, n, conns int) error {
 		if err != nil {
 			return fmt.Errorf("%s: %v", row.name, err)
 		}
-		perQuery := float64(best.Nanoseconds()) / float64(n)
-		if _, err := fmt.Fprintf(w, "%8s %12.0f %14.0f\n", row.name, perQuery, 1e9/perQuery); err != nil {
-			return err
-		}
+		arm := load.NewBench(row.name)
+		arm.ObserveBatch(best.Seconds(), n)
+		rep.ThroughputRow(row.name, arm.MeanNs())
 	}
-	return nil
+	return rep.Err()
 }
 
 // binRep runs one timed repetition: conns clients in parallel, each

@@ -3,88 +3,54 @@ package main
 // The -estpath mode: a self-contained benchmark of the estimate hot path
 // (DESIGN.md §10) that needs no `go test` harness — flat O(m) scan vs the
 // BVH index vs the BVH behind the serving cache, at each bucket count the
-// serving layer is sized for. Models are synthetic k×k grids so the run
-// measures prediction, not training.
+// serving layer is sized for. Models and queries come from internal/load
+// (the same generators the load harness and wire benchmarks use), so
+// every benchmark in the repo measures the same workload.
 
 import (
-	"fmt"
 	"io"
-	"math"
 	"time"
 
 	"repro/internal/bvh"
 	"repro/internal/core"
 	"repro/internal/geom"
-	"repro/internal/hist"
-	"repro/internal/rng"
+	"repro/internal/load"
 	"repro/internal/serve"
 )
 
-// estPathModel builds a k×k grid histogram (m = k² buckets) with
-// deterministic simplex weights.
-func estPathModel(m int) *hist.Model {
-	k := int(math.Round(math.Sqrt(float64(m))))
-	buckets := make([]geom.Box, 0, k*k)
-	weights := make([]float64, 0, k*k)
-	total := 0.0
-	for i := 0; i < k; i++ {
-		for j := 0; j < k; j++ {
-			buckets = append(buckets, geom.NewBox(
-				geom.Point{float64(i) / float64(k), float64(j) / float64(k)},
-				geom.Point{float64(i+1) / float64(k), float64(j+1) / float64(k)},
-			))
-			w := float64((i*31+j*17)%97 + 1)
-			weights = append(weights, w)
-			total += w
-		}
-	}
-	for i := range weights {
-		weights[i] /= total
-	}
-	return &hist.Model{Buckets: buckets, Weights: weights}
-}
-
-func estPathQueries(n int) []geom.Range {
-	r := rng.New(7)
-	qs := make([]geom.Range, n)
-	for i := range qs {
-		c := geom.Point{r.Float64(), r.Float64()}
-		qs[i] = geom.BoxFromCenter(c, []float64{0.02 + 0.3*r.Float64(), 0.02 + 0.3*r.Float64()})
-	}
-	return qs
-}
-
-// timeKernel runs fn over iters query evaluations and returns ns/query.
-func timeKernel(iters int, queries []geom.Range, fn func(q geom.Range)) float64 {
+// timeKernel runs fn over iters query evaluations and returns the mean
+// ns/query, accounted through a shared-reporter histogram arm (the timing
+// wraps the whole loop, so the kernel itself carries no per-call
+// instrumentation).
+func timeKernel(name string, iters int, queries []geom.Range, fn func(q geom.Range)) float64 {
+	arm := load.NewBench(name)
 	start := time.Now()
 	for i := 0; i < iters; i++ {
 		fn(queries[i%len(queries)])
 	}
-	return float64(time.Since(start).Nanoseconds()) / float64(iters)
+	arm.ObserveBatch(time.Since(start).Seconds(), iters)
+	return arm.MeanNs()
 }
 
 // runEstPath prints the estimate-path latency table. iters is the number
 // of query evaluations per (kernel, m) cell.
 func runEstPath(w io.Writer, iters int) error {
-	queries := estPathQueries(256)
-	if _, err := fmt.Fprintf(w, "estimate path latency, ns/query (%d iterations per cell)\n", iters); err != nil {
-		return err
-	}
-	if _, err := fmt.Fprintf(w, "%8s %12s %12s %12s %10s %12s\n",
-		"m", "flat", "bvh", "bvh+cache", "bvh_x", "cache_x"); err != nil {
-		return err
-	}
+	queries := load.GridQueries(7, 256)
+	rep := load.NewReporter(w)
+	rep.Titlef("estimate path latency, ns/query (%d iterations per cell)", iters)
+	rep.Rowf("%8s %12s %12s %12s %10s %12s",
+		"m", "flat", "bvh", "bvh+cache", "bvh_x", "cache_x")
 	for _, m := range []int{256, 1024, 4096, 16384} {
-		model := estPathModel(m)
-		flat := timeKernel(iters, queries, func(q geom.Range) {
+		model := load.GridModel(m, 0)
+		flat := timeKernel("flat", iters, queries, func(q geom.Range) {
 			bvh.EstimateFlat(model.Buckets, model.Weights, q)
 		})
 		core.Accelerate(model)
-		accel := timeKernel(iters, queries, func(q geom.Range) {
+		accel := timeKernel("bvh", iters, queries, func(q geom.Range) {
 			model.Estimate(q)
 		})
 		cache := serve.NewEstimateCache(4 * len(queries))
-		cached := timeKernel(iters, queries, func(q geom.Range) {
+		cached := timeKernel("bvh+cache", iters, queries, func(q geom.Range) {
 			key, ok := serve.QueryKey(q)
 			if !ok {
 				return
@@ -94,10 +60,8 @@ func runEstPath(w io.Writer, iters int) error {
 			}
 			cache.Put("bench", 1, key, model.Estimate(q))
 		})
-		if _, err := fmt.Fprintf(w, "%8d %12.0f %12.0f %12.0f %9.1fx %11.1fx\n",
-			m, flat, accel, cached, flat/accel, flat/cached); err != nil {
-			return err
-		}
+		rep.Rowf("%8d %12.0f %12.0f %12.0f %9.1fx %11.1fx",
+			m, flat, accel, cached, flat/accel, flat/cached)
 	}
-	return nil
+	return rep.Err()
 }

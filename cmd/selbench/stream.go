@@ -3,9 +3,10 @@ package main
 // The -stream mode: end-to-end throughput of the NDJSON streaming
 // endpoint (DESIGN.md §13) against the batched /v1/estimate JSON
 // endpoint, over a real TCP listener so the numbers include the full
-// HTTP stack. The model is the same synthetic 4096-bucket grid the
-// -estpath mode uses, so the delta between the two rows is wire and
-// codec cost, not prediction cost.
+// HTTP stack. The model, queries, request bodies, and the result table
+// all come from internal/load — the same 4096-bucket grid the -estpath
+// mode and the open-loop harness use, so the delta between rows is wire
+// and codec cost, not workload drift.
 
 import (
 	"bufio"
@@ -14,58 +15,14 @@ import (
 	"io"
 	"net"
 	"net/http"
-	"strconv"
 	"sync"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/geom"
+	"repro/internal/load"
 	"repro/internal/serve"
 )
-
-// streamBody renders queries as NDJSON lines, one box query per line.
-func streamBody(queries []geom.Range) []byte {
-	var b bytes.Buffer
-	for _, q := range queries {
-		box := q.(geom.Box)
-		b.WriteString(`{"lo":`)
-		writeFloats(&b, box.Lo)
-		b.WriteString(`,"hi":`)
-		writeFloats(&b, box.Hi)
-		b.WriteString("}\n")
-	}
-	return b.Bytes()
-}
-
-// batchBody renders the same queries as one /v1/estimate batch request.
-func batchBody(queries []geom.Range) []byte {
-	var b bytes.Buffer
-	b.WriteString(`{"queries":[`)
-	for i, q := range queries {
-		if i > 0 {
-			b.WriteByte(',')
-		}
-		box := q.(geom.Box)
-		b.WriteString(`{"lo":`)
-		writeFloats(&b, box.Lo)
-		b.WriteString(`,"hi":`)
-		writeFloats(&b, box.Hi)
-		b.WriteByte('}')
-	}
-	b.WriteString("]}")
-	return b.Bytes()
-}
-
-func writeFloats(b *bytes.Buffer, p geom.Point) {
-	b.WriteByte('[')
-	for i, v := range p {
-		if i > 0 {
-			b.WriteByte(',')
-		}
-		b.Write(strconv.AppendFloat(nil, v, 'g', -1, 64))
-	}
-	b.WriteByte(']')
-}
 
 // postAndDrain posts body and reads the whole response, returning the
 // number of newline-delimited lines and the elapsed wall time.
@@ -102,7 +59,7 @@ func runStream(w io.Writer, n, conns int) error {
 	if conns < 1 {
 		conns = 1
 	}
-	model := estPathModel(4096)
+	model := load.GridModel(4096, 0)
 	core.Accelerate(model)
 	s := serve.NewServer(serve.Options{})
 	s.Registry().Set(serve.DefaultModelName, "bench", model)
@@ -117,7 +74,7 @@ func runStream(w io.Writer, n, conns int) error {
 	defer srv.Close()
 	base := "http://" + ln.Addr().String()
 
-	queries := estPathQueries(n)
+	queries := load.GridQueries(7, n)
 
 	// Each connection posts its own shard of the query set; with
 	// conns=1 this is the original single-request benchmark.
@@ -141,17 +98,15 @@ func runStream(w io.Writer, n, conns int) error {
 		shards           []shard
 	}{
 		{"stream", base + "/v1/estimate/stream", "application/x-ndjson",
-			makeShards(streamBody, func(k int) int { return k })},
+			makeShards(load.StreamBody, func(k int) int { return k })},
 		{"batch", base + "/v1/estimate", "application/json",
-			makeShards(batchBody, func(int) int { return 1 })},
+			makeShards(func(qs []geom.Range) []byte { return load.BatchBody("", qs) },
+				func(int) int { return 1 })},
 	}
 
-	if _, err := fmt.Fprintf(w, "wire path throughput, %d queries, %d conns (best of 3)\n", n, conns); err != nil {
-		return err
-	}
-	if _, err := fmt.Fprintf(w, "%8s %12s %14s\n", "path", "ns/query", "queries/sec"); err != nil {
-		return err
-	}
+	rep := load.NewReporter(w)
+	rep.Titlef("wire path throughput, %d queries, %d conns (best of 3)", n, conns)
+	rep.ThroughputHeader("ns/query", "queries/sec")
 	for _, row := range rows {
 		best, err := bestOf(3, func() (time.Duration, error) {
 			errs := make([]error, len(row.shards))
@@ -180,10 +135,9 @@ func runStream(w io.Writer, n, conns int) error {
 		if err != nil {
 			return fmt.Errorf("%s: %v", row.name, err)
 		}
-		perQuery := float64(best.Nanoseconds()) / float64(n)
-		if _, err := fmt.Fprintf(w, "%8s %12.0f %14.0f\n", row.name, perQuery, 1e9/perQuery); err != nil {
-			return err
-		}
+		arm := load.NewBench(row.name)
+		arm.ObserveBatch(best.Seconds(), n)
+		rep.ThroughputRow(row.name, arm.MeanNs())
 	}
-	return nil
+	return rep.Err()
 }

@@ -13,6 +13,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/hist"
 	"repro/internal/isomer"
+	"repro/internal/load"
 	"repro/internal/obs"
 	"repro/internal/ptshist"
 	"repro/internal/quicksel"
@@ -22,9 +23,9 @@ import (
 // ground truth (the estpath model), so every family trains on identical,
 // deterministic feedback.
 func trainProfWorkload(n int) []core.LabeledQuery {
-	truth := estPathModel(4096)
+	truth := load.GridModel(4096, 0)
 	core.Accelerate(truth)
-	qs := estPathQueries(n)
+	qs := load.GridQueries(7, n)
 	samples := make([]core.LabeledQuery, len(qs))
 	for i, q := range qs {
 		samples[i] = core.LabeledQuery{R: q, Sel: truth.Estimate(q)}

@@ -1,0 +1,217 @@
+// Command selload drives a deterministic open-loop load schedule against
+// a live selserve and judges the run against a declarative SLO manifest.
+//
+// Usage:
+//
+//	selload -self -rate 500 -duration 5s                 # in-process server
+//	selload -addr http://host:8080 -bin-addr host:9090   # external server
+//	selload -self -slo scripts/slo.json -o report.json   # gate + artifact
+//
+// The schedule is a pure function of -seed/-rate/-duration/-arrival/-mix:
+// the same flags reproduce the same request stream byte for byte at any
+// -workers value (workers only partition the one global schedule). Two
+// latency views are recorded per traffic class — intended-start
+// (completion minus scheduled start; immune to coordinated omission) and
+// actual-start (completion minus send) — and the server's /metrics page is
+// scraped before and after so the JSON report correlates client tails
+// with server-side histogram and counter deltas.
+//
+// Exit status: 0 on success, 1 when the run fails or the SLO manifest is
+// violated, 2 on usage errors.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/load"
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "", "target base URL, e.g. http://127.0.0.1:8080 (omit with -self)")
+		binAddr  = flag.String("bin-addr", "", "binary-protocol host:port (required when the mix sends bin traffic to an external server)")
+		self     = flag.Bool("self", false, "spawn an in-process selserve (HTTP and binary listeners on 127.0.0.1) and load it")
+		rate     = flag.Float64("rate", 200, "mean arrivals per second, all classes combined")
+		duration = flag.Duration("duration", 5*time.Second, "schedule horizon")
+		arrival  = flag.String("arrival", "exp", "inter-arrival process: exp (Poisson) or uniform")
+		seed     = flag.Uint64("seed", 1, "base schedule seed; same seed, same request stream")
+		workers  = flag.Int("workers", 4, "concurrent senders, one persistent connection each (does not change the schedule)")
+		mixFlag  = flag.String("mix", "", `traffic mix as "class=weight,..." over single, batch, stream, bin, feedback, swap (default: the built-in estimate-dominated mix)`)
+		model    = flag.String("model", "", "target model name (empty = server default)")
+		buckets  = flag.Int("model-buckets", 4096, "grid-model buckets for the -self server")
+		timeout  = flag.Duration("timeout", 10*time.Second, "per-request timeout (0 = none)")
+		sloPath  = flag.String("slo", "", "SLO manifest path; violations fail the run (exit 1)")
+		out      = flag.String("o", "", "write the JSON report artifact to this file")
+	)
+	flag.Parse()
+
+	mix := load.DefaultMix()
+	if *mixFlag != "" {
+		m, err := load.ParseMix(*mixFlag)
+		if err != nil {
+			usage(err)
+		}
+		mix = m
+	}
+	arr, err := load.ParseArrival(*arrival)
+	if err != nil {
+		usage(err)
+	}
+	var manifest *load.Manifest
+	if *sloPath != "" {
+		f, err := os.Open(*sloPath)
+		if err != nil {
+			usage(err)
+		}
+		manifest, err = load.ParseManifest(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			usage(err)
+		}
+	}
+	if *self == (*addr != "") {
+		usage(fmt.Errorf("need exactly one of -self or -addr"))
+	}
+
+	opts := load.Options{
+		BaseURL: *addr,
+		BinAddr: *binAddr,
+		Model:   *model,
+		Workers: *workers,
+		Timeout: *timeout,
+		Spec: load.ScheduleSpec{
+			Seed:     *seed,
+			Rate:     *rate,
+			Duration: *duration,
+			Arrival:  arr,
+			Mix:      mix,
+		},
+	}
+	if *self {
+		stop, err := startSelf(&opts, *buckets)
+		if err != nil {
+			fatal(err)
+		}
+		defer stop()
+	}
+
+	before := scrape(opts.BaseURL, *timeout, "before")
+	res, err := load.Run(opts)
+	if err != nil {
+		fatal(err)
+	}
+	after := scrape(opts.BaseURL, *timeout, "after")
+
+	report := load.BuildReport(opts, res, before, after)
+	rep := load.NewReporter(os.Stdout)
+	rep.Titlef("selload: %d events in %.2fs (%.1f rps achieved, %.1f scheduled), seed %d, %d workers",
+		res.Events, res.Wall.Seconds(), report.AchievedRPS, *rate, *seed, *workers)
+	rep.ClassTable(res.Collector)
+	if err := rep.Err(); err != nil {
+		fatal(err)
+	}
+
+	pass := true
+	if manifest != nil {
+		verdict := report.Judge(manifest, res.Collector, load.FeedbackLostDelta(before, after))
+		pass = verdict.Pass
+		if pass {
+			fmt.Printf("SLO %q: PASS\n", verdict.Name)
+		} else {
+			fmt.Printf("SLO %q: FAIL (%d violations)\n", verdict.Name, len(verdict.Violations))
+			for _, v := range verdict.Violations {
+				fmt.Printf("  %s\n", v)
+			}
+		}
+	}
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		err = report.WriteJSON(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if !pass {
+		os.Exit(1)
+	}
+}
+
+// startSelf boots an in-process selserve on loopback listeners — online
+// updates enabled so feedback traffic exercises the microsecond update
+// path, background retraining effectively off so the run stays a function
+// of the schedule — and points opts at it.
+func startSelf(opts *load.Options, buckets int) (stop func(), err error) {
+	model := load.GridModel(buckets, 0)
+	core.Accelerate(model)
+	s := serve.NewServer(serve.Options{
+		OnlineUpdates:     true,
+		MinRetrainSamples: 1 << 30,
+	})
+	s.Registry().Set(serve.DefaultModelName, "selload-self", model)
+
+	httpLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	binLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		_ = httpLn.Close() // already failing; the listen error is the story
+		return nil, err
+	}
+	srv := &http.Server{Handler: s.Handler()}
+	go srv.Serve(httpLn)
+	ctx, cancel := context.WithCancel(context.Background())
+	binDone := make(chan struct{})
+	go func() { defer close(binDone); _ = s.ServeBin(ctx, binLn) }()
+
+	opts.BaseURL = "http://" + httpLn.Addr().String()
+	opts.BinAddr = binLn.Addr().String()
+	fmt.Printf("selload: self server on %s (bin %s)\n", opts.BaseURL, opts.BinAddr)
+	return func() {
+		cancel()
+		_ = srv.Close() // teardown on exit; nothing to do with the error
+		<-binDone
+	}, nil
+}
+
+// scrape fetches one /metrics bookend; a failed scrape degrades the report
+// (no server block) rather than failing the run.
+func scrape(baseURL string, timeout time.Duration, which string) *obs.Scrape {
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	sc, err := load.ScrapeMetrics(baseURL, timeout)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "selload: %s scrape failed, report will omit server deltas: %v\n", which, err)
+		return nil
+	}
+	return sc
+}
+
+func usage(err error) {
+	fmt.Fprintln(os.Stderr, "selload:", err)
+	flag.Usage()
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "selload:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,34 @@
+package load
+
+import "time"
+
+// internal/load sits in the deterministic scope: the schedule, payloads,
+// SLO evaluation, and report layout are pure functions of their inputs.
+// Only the runner may touch the wall clock — to pace the open loop and to
+// measure latencies — and every clock read is concentrated in the
+// suppressed one-liners below (the internal/obs idiom), so it can never
+// leak into what gets sent or how results are judged.
+
+// monotonicNow captures an instant carrying Go's monotonic reading: the
+// run epoch and per-request send marks.
+//
+//selvet:ignore detrand latency epoch capture only; never feeds schedules or payloads
+func monotonicNow() time.Time { return time.Now() }
+
+// monotonicSince returns the elapsed time since a monotonicNow instant,
+// immune to wall-clock steps.
+//
+//selvet:ignore detrand latency measurement only; never feeds schedules or payloads
+func monotonicSince(t0 time.Time) time.Duration { return time.Since(t0) }
+
+// sleepFor blocks for d (no-op when d <= 0): the open-loop pacer waiting
+// out the gap to the next intended start.
+//
+//selvet:ignore detrand open-loop pacing sleep; never feeds schedules or payloads
+func sleepFor(d time.Duration) { time.Sleep(d) }
+
+// deadlineIn returns the wall-clock instant d from now, for net.Conn
+// deadlines on the binary protocol.
+//
+//selvet:ignore detrand I/O deadline arming only; never feeds schedules or payloads
+func deadlineIn(d time.Duration) time.Time { return time.Now().Add(d) }

@@ -1,0 +1,243 @@
+package load
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/obs"
+)
+
+// LoadLatencyBuckets is the client-side latency layout: 1µs to 100s at
+// nine buckets per decade (~29% bucket width). Finer than the server's
+// obs.LatencyBuckets because the harness reports p999 — at four buckets
+// per decade a p999 estimate can be off by a third, which is the
+// difference between passing and failing a 1ms SLO.
+var LoadLatencyBuckets = obs.ExpBuckets(1e-6, 1e2, 9)
+
+// ClassStats holds one traffic class's metric handles. Two histograms per
+// class is the whole point of the harness:
+//
+//   - Intended: completion − scheduled start. Includes every microsecond a
+//     request spent waiting behind a backlog, so coordinated omission
+//     cannot hide a stall. This is the distribution SLOs are judged on.
+//   - Actual: completion − send. The service-time view; diverging from
+//     Intended means the client could not keep up with its own schedule
+//     (saturation, either side).
+type ClassStats struct {
+	Sent     *obs.Counter
+	Errors   *obs.Counter
+	Intended *obs.Histogram // seconds since intended (scheduled) start
+	Actual   *obs.Histogram // seconds since actual send
+}
+
+// Collector owns the per-class client metrics of one run, backed by an
+// obs.Registry so the same numbers can render as a table, a JSON report,
+// or a Prometheus page.
+type Collector struct {
+	reg     *obs.Registry
+	classes [NumClasses]ClassStats
+}
+
+// NewCollector registers the per-class series in a fresh registry.
+func NewCollector() *Collector {
+	c := &Collector{reg: obs.NewRegistry()}
+	for i := Class(0); i < NumClasses; i++ {
+		cl := obs.Label{Key: "class", Value: i.String()}
+		c.classes[i] = ClassStats{
+			Sent: c.reg.Counter("selload_requests_total",
+				"Load-harness requests sent, by traffic class.", cl),
+			Errors: c.reg.Counter("selload_errors_total",
+				"Load-harness requests that failed, by traffic class.", cl),
+			Intended: c.reg.Histogram("selload_intended_latency_seconds",
+				"Completion minus intended (scheduled) start, by traffic class.",
+				LoadLatencyBuckets, cl),
+			Actual: c.reg.Histogram("selload_actual_latency_seconds",
+				"Completion minus actual send, by traffic class.",
+				LoadLatencyBuckets, cl),
+		}
+	}
+	return c
+}
+
+// Class returns the handles for one traffic class.
+func (c *Collector) Class(cl Class) *ClassStats { return &c.classes[cl] }
+
+// Registry exposes the backing registry (tests render it as exposition).
+func (c *Collector) Registry() *obs.Registry { return c.reg }
+
+// TotalSent and TotalErrors sum across classes.
+func (c *Collector) TotalSent() int64 {
+	var n int64
+	for i := range c.classes {
+		n += c.classes[i].Sent.Value()
+	}
+	return n
+}
+
+func (c *Collector) TotalErrors() int64 {
+	var n int64
+	for i := range c.classes {
+		n += c.classes[i].Errors.Value()
+	}
+	return n
+}
+
+// LatencySummary is the quantile digest of one histogram, in
+// microseconds (the regime serving latencies live in).
+type LatencySummary struct {
+	Count  int64   `json:"count"`
+	MeanUs float64 `json:"mean_us"`
+	P50Us  float64 `json:"p50_us"`
+	P99Us  float64 `json:"p99_us"`
+	P999Us float64 `json:"p999_us"`
+	MaxUs  float64 `json:"max_us"`
+}
+
+// Summarize digests a histogram snapshot.
+func Summarize(s obs.HistogramSnapshot) LatencySummary {
+	const toUs = 1e6
+	if s.Count == 0 {
+		return LatencySummary{}
+	}
+	return LatencySummary{
+		Count:  s.Count,
+		MeanUs: s.Mean() * toUs,
+		P50Us:  s.Quantile(0.50) * toUs,
+		P99Us:  s.Quantile(0.99) * toUs,
+		P999Us: s.Quantile(0.999) * toUs,
+		MaxUs:  s.Max * toUs,
+	}
+}
+
+// ---- shared text reporter -------------------------------------------------
+
+// Reporter renders latency and throughput tables in one fixed format,
+// shared by cmd/selbench's -estpath/-stream/-bin modes and cmd/selload.
+// Given the same histogram contents it always produces the same bytes
+// (histograms are order-independent, so concurrent fills at any worker
+// count render identically — test-gated), which is what makes two runs'
+// tables diffable.
+type Reporter struct {
+	w   io.Writer
+	err error
+}
+
+// NewReporter writes tables to w.
+func NewReporter(w io.Writer) *Reporter { return &Reporter{w: w} }
+
+func (r *Reporter) printf(format string, args ...any) {
+	if r.err != nil {
+		return
+	}
+	_, r.err = fmt.Fprintf(r.w, format, args...)
+}
+
+// Err returns the first write error.
+func (r *Reporter) Err() error { return r.err }
+
+// Titlef prints a table title line.
+func (r *Reporter) Titlef(format string, args ...any) {
+	r.printf(format+"\n", args...)
+}
+
+// ThroughputHeader starts a name / ns-per-op / ops-per-sec table (the
+// format selbench's wire benchmarks have always printed), e.g.
+// ThroughputHeader("ns/query", "queries/sec").
+func (r *Reporter) ThroughputHeader(perOp, perSec string) {
+	r.printf("%10s %12s %14s\n", "path", perOp, perSec)
+}
+
+// ThroughputRow prints one throughput row from a mean ns/op.
+func (r *Reporter) ThroughputRow(name string, nsPerOp float64) {
+	r.printf("%10s %12.0f %14.0f\n", name, nsPerOp, 1e9/nsPerOp)
+}
+
+// Rowf prints one arbitrary formatted row (comparison tables with
+// bespoke columns, like the estimate-path kernel table).
+func (r *Reporter) Rowf(format string, args ...any) {
+	r.printf(format+"\n", args...)
+}
+
+// LatencyHeader starts a per-arm latency table (microsecond quantiles).
+func (r *Reporter) LatencyHeader() {
+	r.printf("%10s %10s %8s %10s %10s %10s %10s %12s\n",
+		"arm", "ops", "errors", "mean_us", "p50_us", "p99_us", "p999_us", "max_us")
+}
+
+// LatencyRow prints one arm's digest.
+func (r *Reporter) LatencyRow(name string, errors int64, s LatencySummary) {
+	r.printf("%10s %10d %8d %10.1f %10.1f %10.1f %10.1f %12.1f\n",
+		name, s.Count, errors, s.MeanUs, s.P50Us, s.P99Us, s.P999Us, s.MaxUs)
+}
+
+// ClassTable prints the collector's per-class intended/actual digests:
+// one row per populated (class, view) pair, classes in enum order.
+func (r *Reporter) ClassTable(c *Collector) {
+	r.printf("%10s %9s %10s %8s %10s %10s %10s %10s %12s\n",
+		"class", "view", "ops", "errors", "mean_us", "p50_us", "p99_us", "p999_us", "max_us")
+	for i := Class(0); i < NumClasses; i++ {
+		cs := c.Class(i)
+		if cs.Sent.Value() == 0 {
+			continue
+		}
+		for _, view := range []struct {
+			name string
+			h    *obs.Histogram
+		}{{"intended", cs.Intended}, {"actual", cs.Actual}} {
+			s := Summarize(view.h.Snapshot())
+			r.printf("%10s %9s %10d %8d %10.1f %10.1f %10.1f %10.1f %12.1f\n",
+				i.String(), view.name, cs.Sent.Value(), cs.Errors.Value(),
+				s.MeanUs, s.P50Us, s.P99Us, s.P999Us, s.MaxUs)
+		}
+	}
+}
+
+// ---- per-arm bench accumulator --------------------------------------------
+
+// Bench accumulates per-operation latencies for one benchmark arm.
+// selbench's three wire modes each used to hand-roll elapsed/N
+// accounting; they now share this: every arm is an obs.Histogram, so the
+// printed mean is exact (integer-tick sum) and percentiles come for free.
+type Bench struct {
+	Name string
+	Hist *obs.Histogram
+	errs int64
+}
+
+// NewBench returns an arm accumulator.
+func NewBench(name string) *Bench {
+	return &Bench{Name: name, Hist: obs.NewHistogram(LoadLatencyBuckets)}
+}
+
+// ObserveSeconds records one operation's latency.
+func (b *Bench) ObserveSeconds(sec float64) { b.Hist.Observe(sec) }
+
+// ObserveBatch spreads a batch's wall time evenly over its n operations —
+// the honest way to fold a one-round-trip batch into a per-op histogram
+// (individual op latencies inside the batch are unobservable).
+func (b *Bench) ObserveBatch(sec float64, n int) {
+	if n <= 0 {
+		return
+	}
+	per := sec / float64(n)
+	for i := 0; i < n; i++ {
+		b.Hist.Observe(per)
+	}
+}
+
+// Error counts one failed operation.
+func (b *Bench) Error() { b.errs++ }
+
+// Row prints the arm into a latency table.
+func (b *Bench) Row(r *Reporter) {
+	r.LatencyRow(b.Name, b.errs, Summarize(b.Hist.Snapshot()))
+}
+
+// MeanNs returns the arm's mean ns/op (0 before any observation).
+func (b *Bench) MeanNs() float64 {
+	s := b.Hist.Snapshot()
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Mean() * 1e9
+}

@@ -1,0 +1,179 @@
+package load
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+
+	"repro/internal/obs"
+)
+
+// ClassReport is one traffic class's client-side measurements.
+type ClassReport struct {
+	Sent     int64          `json:"sent"`
+	Errors   int64          `json:"errors"`
+	Intended LatencySummary `json:"intended"`
+	Actual   LatencySummary `json:"actual"`
+}
+
+// ServerReport is the server-side view of the run, computed generically
+// from the before/after /metrics scrapes: every counter family's summed
+// delta, every gauge series' closing value, and a per-series latency
+// digest of every histogram family's interval delta. Nothing here is
+// hand-picked — when the server grows a new histogram (say, a GC pause
+// tracker), the next report carries it automatically. The online-update
+// and HTTP-route histograms land next to the client tails, which is the
+// correlation the harness exists for.
+type ServerReport struct {
+	CounterDeltas   map[string]float64                   `json:"counter_deltas,omitempty"`
+	Gauges          map[string]float64                   `json:"gauges,omitempty"`
+	HistogramDeltas map[string]map[string]LatencySummary `json:"histogram_deltas,omitempty"`
+}
+
+// SLOResult records the verdict of judging the run against a manifest.
+type SLOResult struct {
+	Name       string      `json:"name"`
+	Pass       bool        `json:"pass"`
+	Violations []Violation `json:"violations"`
+}
+
+// Report is the JSON artifact one selload run emits: the schedule
+// parameters (enough to reproduce the run bit-for-bit), the client-side
+// per-class intended/actual distributions, the server-side deltas, and
+// the SLO verdict when a manifest was supplied.
+type Report struct {
+	Tool            string             `json:"tool"`
+	Scenario        string             `json:"scenario,omitempty"`
+	Seed            uint64             `json:"seed"`
+	RateRPS         float64            `json:"rate_rps"`
+	DurationSeconds float64            `json:"duration_seconds"`
+	Arrival         string             `json:"arrival"`
+	Mix             map[string]float64 `json:"mix"`
+	Workers         int                `json:"workers"`
+	Model           string             `json:"model,omitempty"`
+
+	Events      int     `json:"events"`
+	WallSeconds float64 `json:"wall_seconds"`
+	AchievedRPS float64 `json:"achieved_rps"`
+
+	Client map[string]ClassReport `json:"client"`
+	Server *ServerReport          `json:"server,omitempty"`
+	SLO    *SLOResult             `json:"slo,omitempty"`
+}
+
+// BuildReport assembles the artifact. before/after may be nil (no server
+// scrape — e.g. the target exposes no /metrics); the server block is then
+// omitted.
+func BuildReport(opts Options, res *RunResult, before, after *obs.Scrape) *Report {
+	r := &Report{
+		Tool:            "selload",
+		Seed:            opts.Spec.Seed,
+		RateRPS:         opts.Spec.Rate,
+		DurationSeconds: opts.Spec.Duration.Seconds(),
+		Arrival:         opts.Spec.Arrival.String(),
+		Mix:             opts.Spec.Mix.Map(),
+		Workers:         opts.workers(),
+		Model:           opts.Model,
+		Events:          res.Events,
+		WallSeconds:     res.Wall.Seconds(),
+		Client:          make(map[string]ClassReport),
+	}
+	if res.Wall > 0 {
+		r.AchievedRPS = float64(res.Events) / res.Wall.Seconds()
+	}
+	for i := Class(0); i < NumClasses; i++ {
+		cs := res.Collector.Class(i)
+		if cs.Sent.Value() == 0 {
+			continue
+		}
+		r.Client[i.String()] = ClassReport{
+			Sent:     cs.Sent.Value(),
+			Errors:   cs.Errors.Value(),
+			Intended: Summarize(cs.Intended.Snapshot()),
+			Actual:   Summarize(cs.Actual.Snapshot()),
+		}
+	}
+	if before != nil && after != nil {
+		r.Server = NewServerReport(before, after)
+	}
+	return r
+}
+
+// Judge attaches the SLO verdict for a manifest to the report.
+func (r *Report) Judge(m *Manifest, col *Collector, feedbackLost int64) *SLOResult {
+	vs := m.Evaluate(col, feedbackLost)
+	if vs == nil {
+		vs = []Violation{} // render as [] not null
+	}
+	r.Scenario = m.Name
+	r.SLO = &SLOResult{Name: m.Name, Pass: len(vs) == 0, Violations: vs}
+	return r.SLO
+}
+
+// WriteJSON renders the artifact with stable key order (encoding/json
+// sorts map keys), so two runs of the same seed diff cleanly.
+func (r *Report) WriteJSON(w io.Writer) error {
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	_, err = w.Write(buf)
+	return err
+}
+
+// NewServerReport computes the generic before/after deltas described on
+// ServerReport.
+func NewServerReport(before, after *obs.Scrape) *ServerReport {
+	sr := &ServerReport{
+		CounterDeltas:   make(map[string]float64),
+		Gauges:          make(map[string]float64),
+		HistogramDeltas: make(map[string]map[string]LatencySummary),
+	}
+	for fi := range after.Families {
+		f := &after.Families[fi]
+		switch f.Type {
+		case "counter":
+			d := after.SumCounter(f.Name) - before.SumCounter(f.Name)
+			if d > 0 || d < 0 {
+				sr.CounterDeltas[f.Name] = d
+			}
+		case "gauge":
+			for _, s := range f.Samples {
+				sr.Gauges[f.Name+s.Labels] = s.Value
+			}
+		case "histogram":
+			for _, labels := range after.HistogramSeries(f.Name) {
+				a, ok := after.HistogramSnapshot(f.Name, labels)
+				if !ok {
+					continue
+				}
+				// A series absent from the before scrape deltas against the
+				// zero snapshot (identity).
+				b, _ := before.HistogramSnapshot(f.Name, labels)
+				d := a.Delta(b)
+				if d.Count == 0 {
+					continue
+				}
+				if sr.HistogramDeltas[f.Name] == nil {
+					sr.HistogramDeltas[f.Name] = make(map[string]LatencySummary)
+				}
+				key := labels
+				if key == "" {
+					key = "{}"
+				}
+				sr.HistogramDeltas[f.Name][key] = Summarize(d)
+			}
+		}
+	}
+	return sr
+}
+
+// FeedbackLostDelta extracts the run's feedback-loss delta from the
+// scrape bookends (0 when either scrape is nil or lacks the counter).
+func FeedbackLostDelta(before, after *obs.Scrape) int64 {
+	if before == nil || after == nil {
+		return 0
+	}
+	return int64(math.Round(after.SumCounter(FeedbackLostMetric) - before.SumCounter(FeedbackLostMetric)))
+}

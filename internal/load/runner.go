@@ -1,0 +1,266 @@
+package load
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/wirebin"
+)
+
+// Options configures one open-loop run against a live selserve.
+type Options struct {
+	// BaseURL is the HTTP endpoint root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// BinAddr is the binary-protocol listener ("host:port"). Required when
+	// the mix gives ClassBin positive weight.
+	BinAddr string
+	// Model is the target model name; "" uses the server default. Hot-swap
+	// events PUT to this name (or the server default when empty).
+	Model string
+	// Workers is the number of concurrent senders; each holds one
+	// persistent HTTP connection (and one binary connection if the mix
+	// needs it). The schedule is independent of this knob — workers only
+	// partition it.
+	Workers int
+	// Timeout bounds each request (0 means no timeout).
+	Timeout time.Duration
+	// Spec is the open-loop schedule to drive.
+	Spec ScheduleSpec
+}
+
+func (o *Options) workers() int {
+	if o.Workers < 1 {
+		return 1
+	}
+	return o.Workers
+}
+
+func (o *Options) validate() error {
+	if o.BaseURL == "" {
+		return fmt.Errorf("load: Options.BaseURL is required")
+	}
+	if o.BinAddr == "" && o.Spec.Mix[ClassBin] > 0 {
+		return fmt.Errorf("load: mix gives class %q weight %v but Options.BinAddr is empty",
+			ClassBin, o.Spec.Mix[ClassBin])
+	}
+	return nil
+}
+
+// RunResult is what one open-loop run measured.
+type RunResult struct {
+	Collector *Collector
+	Events    int           // scheduled (and attempted) events
+	Wall      time.Duration // epoch to last completion
+}
+
+const (
+	ctJSON   = "application/json"
+	ctNDJSON = "application/x-ndjson"
+
+	binDialTimeout = 10 * time.Second
+)
+
+// worker is one sender: a partition of the schedule, one persistent HTTP
+// connection, and a lazily dialed binary connection.
+type worker struct {
+	opts  *Options
+	col   *Collector
+	httpc *http.Client
+
+	estimateURL string
+	streamURL   string
+	feedbackURL string
+	swapURL     string
+
+	binConn net.Conn
+	bin     *wirebin.Client
+}
+
+func newWorker(opts *Options, col *Collector) *worker {
+	base := strings.TrimRight(opts.BaseURL, "/")
+	stream := base + "/v1/estimate/stream"
+	if opts.Model != "" {
+		stream += "?model=" + url.QueryEscape(opts.Model)
+	}
+	swapName := opts.Model
+	if swapName == "" {
+		swapName = "default" // serve.DefaultModelName, not imported to keep load client-only
+	}
+	return &worker{
+		opts: opts,
+		col:  col,
+		httpc: &http.Client{
+			Timeout: opts.Timeout,
+			Transport: &http.Transport{
+				// One persistent connection per worker: the harness's
+				// concurrency is exactly its worker count.
+				MaxIdleConns:        1,
+				MaxIdleConnsPerHost: 1,
+				MaxConnsPerHost:     1,
+				DisableCompression:  true,
+			},
+		},
+		estimateURL: base + "/v1/estimate",
+		streamURL:   stream,
+		feedbackURL: base + "/v1/feedback",
+		swapURL:     base + "/v1/models/" + url.PathEscape(swapName),
+	}
+}
+
+// do round-trips one HTTP request, draining the body so the connection is
+// reusable. Any non-2xx status is an error.
+func (w *worker) do(method, u string, body []byte, contentType string) error {
+	req, err := http.NewRequest(method, u, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", contentType)
+	resp, err := w.httpc.Do(req)
+	if err != nil {
+		return err
+	}
+	_, cerr := io.Copy(io.Discard, resp.Body)
+	if err := resp.Body.Close(); err != nil && cerr == nil {
+		cerr = err
+	}
+	if resp.StatusCode/100 != 2 {
+		return fmt.Errorf("load: %s %s: status %d", method, u, resp.StatusCode)
+	}
+	return cerr
+}
+
+// sendBin round-trips one binary-protocol estimate, dialing lazily and
+// discarding the connection on any error (the next bin event redials).
+func (w *worker) sendBin(ev Event) error {
+	if w.bin == nil {
+		conn, err := net.DialTimeout("tcp", w.opts.BinAddr, binDialTimeout)
+		if err != nil {
+			return err
+		}
+		w.binConn, w.bin = conn, wirebin.NewClient(conn)
+	}
+	if w.opts.Timeout > 0 {
+		if err := w.binConn.SetDeadline(deadlineIn(w.opts.Timeout)); err != nil {
+			return err
+		}
+	}
+	if _, _, err := w.bin.Estimate(w.opts.Model, EventQueries(ev)[0]); err != nil {
+		// A failed round trip leaves the stream position unknown; drop the
+		// connection rather than desynchronize.
+		w.closeBin()
+		return err
+	}
+	return nil
+}
+
+func (w *worker) closeBin() {
+	if w.binConn != nil {
+		// Best-effort teardown of an already-failed connection.
+		_ = w.binConn.Close()
+	}
+	w.binConn, w.bin = nil, nil
+}
+
+// send fires one event's request. The bytes on the wire are exactly what
+// EventPayload renders for the event (the determinism tests diff those).
+func (w *worker) send(ev Event) error {
+	switch ev.Class {
+	case ClassSingle:
+		return w.do(http.MethodPost, w.estimateURL, SingleBody(w.opts.Model, EventQueries(ev)[0]), ctJSON)
+	case ClassBatch:
+		return w.do(http.MethodPost, w.estimateURL, BatchBody(w.opts.Model, EventQueries(ev)), ctJSON)
+	case ClassStream:
+		return w.do(http.MethodPost, w.streamURL, StreamBody(EventQueries(ev)), ctNDJSON)
+	case ClassBin:
+		return w.sendBin(ev)
+	case ClassFeedback:
+		qs, sels := EventFeedback(ev)
+		return w.do(http.MethodPost, w.feedbackURL, FeedbackBody(w.opts.Model, qs, sels), ctJSON)
+	case ClassSwap:
+		body, err := SwapBody(ev)
+		if err != nil {
+			return err
+		}
+		return w.do(http.MethodPut, w.swapURL, body, ctJSON)
+	}
+	return fmt.Errorf("load: event %d has unknown class %d", ev.Index, ev.Class)
+}
+
+// run drives one worker's partition on the shared epoch: sleep until each
+// event's intended start, send, observe. When the worker is behind
+// schedule the sleep is a no-op and events fire back-to-back — the
+// backlog lands in the intended-start histogram instead of stretching the
+// schedule (the open-loop contract).
+func (w *worker) run(epoch time.Time, events []Event) {
+	defer w.closeBin()
+	for _, ev := range events {
+		sleepFor(ev.At - monotonicSince(epoch))
+		cs := w.col.Class(ev.Class)
+		cs.Sent.Add(1)
+		sendMark := monotonicNow()
+		if err := w.send(ev); err != nil {
+			cs.Errors.Add(1)
+			continue
+		}
+		done := monotonicSince(epoch)
+		cs.Actual.Observe(monotonicSince(sendMark).Seconds())
+		cs.Intended.Observe((done - ev.At).Seconds())
+	}
+}
+
+// Run executes the open-loop schedule against the target server and
+// returns the client-side measurements. It builds the one global
+// schedule, partitions it round-robin across workers, and anchors every
+// worker on the same epoch.
+func Run(opts Options) (*RunResult, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	events, err := opts.Spec.Build()
+	if err != nil {
+		return nil, err
+	}
+	col := NewCollector()
+	parts := Partition(events, opts.workers())
+
+	var wg sync.WaitGroup
+	epoch := monotonicNow()
+	for _, part := range parts {
+		if len(part) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(evs []Event) {
+			defer wg.Done()
+			newWorker(&opts, col).run(epoch, evs)
+		}(part)
+	}
+	wg.Wait()
+	return &RunResult{Collector: col, Events: len(events), Wall: monotonicSince(epoch)}, nil
+}
+
+// ScrapeMetrics fetches and parses a server's Prometheus page — the
+// before/after server-side bookends of a run.
+func ScrapeMetrics(baseURL string, timeout time.Duration) (*obs.Scrape, error) {
+	c := &http.Client{Timeout: timeout}
+	resp, err := c.Get(strings.TrimRight(baseURL, "/") + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		// The parser consumes the body; a close error has nothing to add.
+		_ = resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("load: GET /metrics: status %d", resp.StatusCode)
+	}
+	return obs.ParseScrape(resp.Body)
+}

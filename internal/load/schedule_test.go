@@ -1,0 +1,210 @@
+package load
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+func testSpec() ScheduleSpec {
+	return ScheduleSpec{
+		Seed:     42,
+		Rate:     2000,
+		Duration: 500 * time.Millisecond,
+		Arrival:  ArrivalExp,
+		Mix:      DefaultMix(),
+	}
+}
+
+// renderSchedule canonicalizes a whole schedule (order, timing, classes,
+// seeds, and exact request payloads) into one byte string.
+func renderSchedule(t *testing.T, events []Event, model string) []byte {
+	t.Helper()
+	var buf []byte
+	var err error
+	for _, ev := range events {
+		buf, err = AppendEventBytes(buf, ev, model)
+		if err != nil {
+			t.Fatalf("AppendEventBytes(event %d): %v", ev.Index, err)
+		}
+	}
+	return buf
+}
+
+// TestScheduleDeterministicAcrossWorkers is the open-loop determinism
+// gate: the same spec builds the same schedule byte-for-byte, and
+// partitioning it across any worker count covers exactly the same events
+// with the same intended times and payloads.
+func TestScheduleDeterministicAcrossWorkers(t *testing.T) {
+	spec := testSpec()
+	events, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("empty schedule")
+	}
+	base := renderSchedule(t, events, "default")
+
+	// A second build of the same spec is bit-identical.
+	again, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(base, renderSchedule(t, again, "default")) {
+		t.Fatal("rebuilding the same spec changed the schedule")
+	}
+
+	for _, workers := range []int{1, 4, 8} {
+		parts := Partition(events, workers)
+		if len(parts) != workers {
+			t.Fatalf("Partition(%d) returned %d partitions", workers, len(parts))
+		}
+		merged := make([]Event, len(events))
+		seen := 0
+		for w, part := range parts {
+			prev := time.Duration(-1)
+			for _, ev := range part {
+				if ev.Index%workers != w {
+					t.Fatalf("workers=%d: event %d landed on worker %d", workers, ev.Index, w)
+				}
+				if ev.At < prev {
+					t.Fatalf("workers=%d: worker %d partition not in schedule order", workers, w)
+				}
+				prev = ev.At
+				merged[ev.Index] = ev
+				seen++
+			}
+		}
+		if seen != len(events) {
+			t.Fatalf("workers=%d: partitions cover %d of %d events", workers, seen, len(events))
+		}
+		if !bytes.Equal(base, renderSchedule(t, merged, "default")) {
+			t.Fatalf("workers=%d: reassembled schedule diverged from the global one", workers)
+		}
+	}
+}
+
+// TestScheduleMixCoverage: with the default mix over ~1000 events, every
+// weighted class (including the 0.02-weight hot-swap trickle) appears,
+// and class shares roughly track the weights.
+func TestScheduleMixCoverage(t *testing.T) {
+	spec := testSpec()
+	spec.Duration = 2 * time.Second // ~4000 events: enough for the swap trickle
+	events, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var counts [NumClasses]int
+	for _, ev := range events {
+		if ev.Class >= NumClasses {
+			t.Fatalf("event %d has out-of-range class %d", ev.Index, ev.Class)
+		}
+		counts[ev.Class]++
+	}
+	mix := DefaultMix()
+	total := 0.0
+	for _, w := range mix {
+		total += w
+	}
+	for cl, n := range counts {
+		if mix[cl] > 0 && n == 0 {
+			t.Errorf("class %s has weight %v but zero events", Class(cl), mix[cl])
+		}
+		// Loose share check on the heavyweight classes only.
+		if mix[cl]/total >= 0.1 {
+			want := mix[cl] / total * float64(len(events))
+			if float64(n) < want*0.7 || float64(n) > want*1.3 {
+				t.Errorf("class %s: %d events, want ~%.0f", Class(cl), n, want)
+			}
+		}
+	}
+}
+
+// TestScheduleRate: both arrival processes hit the target mean rate.
+func TestScheduleRate(t *testing.T) {
+	for _, arrival := range []Arrival{ArrivalExp, ArrivalUniform} {
+		spec := testSpec()
+		spec.Arrival = arrival
+		spec.Duration = 5 * time.Second
+		events, err := spec.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := spec.Rate * spec.Duration.Seconds()
+		if got := float64(len(events)); got < want*0.9 || got > want*1.1 {
+			t.Errorf("%s arrivals: %v events over %v at rate %v, want ~%v",
+				arrival, got, spec.Duration, spec.Rate, want)
+		}
+		for i, ev := range events {
+			if ev.At < 0 || ev.At >= spec.Duration {
+				t.Fatalf("%s arrivals: event %d at %v outside [0,%v)", arrival, i, ev.At, spec.Duration)
+			}
+		}
+	}
+}
+
+func TestScheduleSpecValidation(t *testing.T) {
+	bad := []ScheduleSpec{
+		{Seed: 1, Rate: 0, Duration: time.Second, Mix: DefaultMix()},
+		{Seed: 1, Rate: -5, Duration: time.Second, Mix: DefaultMix()},
+		{Seed: 1, Rate: 100, Duration: 0, Mix: DefaultMix()},
+		{Seed: 1, Rate: 100, Duration: time.Second},                          // zero mix
+		{Seed: 1, Rate: 1e9, Duration: 1e6 * time.Second, Mix: DefaultMix()}, // over ceiling
+	}
+	for i, spec := range bad {
+		if _, err := spec.Build(); err == nil {
+			t.Errorf("spec %d: Build accepted an invalid spec", i)
+		}
+	}
+}
+
+func TestParseMix(t *testing.T) {
+	m, err := ParseMix("single=6, batch=1, swap=0.02")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m[ClassSingle] != 6 || m[ClassBatch] != 1 || m[ClassSwap] != 0.02 {
+		t.Fatalf("ParseMix weights wrong: %+v", m)
+	}
+	if m[ClassStream] != 0 || m[ClassBin] != 0 || m[ClassFeedback] != 0 {
+		t.Fatalf("omitted classes nonzero: %+v", m)
+	}
+	for _, bad := range []string{"nope=1", "single", "single=x", "single=-1", "", "single=0"} {
+		if _, err := ParseMix(bad); err == nil {
+			t.Errorf("ParseMix(%q) accepted", bad)
+		}
+	}
+	// Round trip through the map form.
+	m2, err := MixFromMap(m.Map())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2 != m {
+		t.Fatalf("MixFromMap(Map()) = %+v, want %+v", m2, m)
+	}
+	if d, err := MixFromMap(nil); err != nil || d != DefaultMix() {
+		t.Fatalf("MixFromMap(nil) = %+v, %v", d, err)
+	}
+}
+
+func TestParseClassAndArrival(t *testing.T) {
+	for i := Class(0); i < NumClasses; i++ {
+		got, err := ParseClass(i.String())
+		if err != nil || got != i {
+			t.Errorf("ParseClass(%q) = %v, %v", i.String(), got, err)
+		}
+	}
+	if _, err := ParseClass("mystery"); err == nil {
+		t.Error("ParseClass accepted an unknown class")
+	}
+	if a, err := ParseArrival(""); err != nil || a != ArrivalExp {
+		t.Errorf("ParseArrival(\"\") = %v, %v", a, err)
+	}
+	if a, err := ParseArrival("uniform"); err != nil || a != ArrivalUniform {
+		t.Errorf("ParseArrival(uniform) = %v, %v", a, err)
+	}
+	if _, err := ParseArrival("pareto"); err == nil {
+		t.Error("ParseArrival accepted an unknown process")
+	}
+}

@@ -1,0 +1,169 @@
+package load
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// FeedbackLostMetric is the server counter the feedback-loss SLO reads:
+// observations overwritten in the feedback ring before any retrain
+// snapshot saw them. "Lost" is stronger than "dropped" — dropped
+// observations were at least superseded by fresher ones the trainer read.
+const FeedbackLostMetric = "selserve_feedback_lost_total"
+
+// LatencySLO bounds one traffic class's intended-start latency quantiles,
+// in microseconds. Zero fields are unchecked. Thresholds are judged on
+// the INTENDED-start distribution — the coordinated-omission-safe number;
+// an SLO on actual-start latency would go blind exactly when the system
+// saturates.
+type LatencySLO struct {
+	P50Us  float64 `json:"p50_us,omitempty"`
+	P99Us  float64 `json:"p99_us,omitempty"`
+	P999Us float64 `json:"p999_us,omitempty"`
+	MaxUs  float64 `json:"max_us,omitempty"`
+}
+
+// Manifest is the declarative SLO a run is judged against, e.g.:
+//
+//	{
+//	  "name": "estimate-p99-smoke",
+//	  "min_requests": 50,
+//	  "max_error_rate": 0.001,
+//	  "max_feedback_lost": 0,
+//	  "latency": {"single": {"p99_us": 1000}, "bin": {"p99_us": 500}}
+//	}
+//
+// Pointer fields distinguish "unchecked" from an explicit zero bound
+// (max_feedback_lost: 0 means feedback loss is forbidden, the common
+// case).
+type Manifest struct {
+	Name string `json:"name"`
+	// MinRequests guards against vacuous passes: a run that sent fewer
+	// total requests than this violates (an SLO met by not testing is not
+	// met).
+	MinRequests int64 `json:"min_requests,omitempty"`
+	// MaxErrorRate bounds failed/sent across all classes.
+	MaxErrorRate *float64 `json:"max_error_rate,omitempty"`
+	// MaxFeedbackLost bounds the run's delta of FeedbackLostMetric.
+	MaxFeedbackLost *int64 `json:"max_feedback_lost,omitempty"`
+	// Latency maps traffic-class name → intended-latency bounds.
+	Latency map[string]LatencySLO `json:"latency,omitempty"`
+}
+
+// ParseManifest decodes and validates a manifest. Unknown fields are
+// rejected: a typoed threshold must fail loudly, not silently uncheck.
+func ParseManifest(r io.Reader) (*Manifest, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var m Manifest
+	if err := dec.Decode(&m); err != nil {
+		return nil, fmt.Errorf("load: bad SLO manifest: %w", err)
+	}
+	if err := m.validate(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+func (m *Manifest) validate() error {
+	if m.MinRequests < 0 {
+		return fmt.Errorf("load: SLO min_requests must be non-negative")
+	}
+	if m.MaxErrorRate != nil && (*m.MaxErrorRate < 0 || *m.MaxErrorRate > 1) {
+		return fmt.Errorf("load: SLO max_error_rate must be in [0,1]")
+	}
+	if m.MaxFeedbackLost != nil && *m.MaxFeedbackLost < 0 {
+		return fmt.Errorf("load: SLO max_feedback_lost must be non-negative")
+	}
+	for _, name := range sortedKeys(m.Latency) {
+		if _, err := ParseClass(name); err != nil {
+			return fmt.Errorf("load: SLO latency block: %w", err)
+		}
+		slo := m.Latency[name]
+		for _, v := range []float64{slo.P50Us, slo.P99Us, slo.P999Us, slo.MaxUs} {
+			if v < 0 {
+				return fmt.Errorf("load: SLO latency bounds for %q must be non-negative", name)
+			}
+		}
+	}
+	return nil
+}
+
+func sortedKeys(m map[string]LatencySLO) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Violation is one broken SLO clause.
+type Violation struct {
+	Check  string  `json:"check"`  // e.g. "single.intended_p99_us"
+	Limit  float64 `json:"limit"`  // the manifest bound
+	Actual float64 `json:"actual"` // what the run measured
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s: measured %g, limit %g", v.Check, v.Actual, v.Limit)
+}
+
+// Evaluate judges a run's client measurements (plus the server-side
+// feedback-lost delta) against the manifest and returns every violation,
+// in a deterministic order. An empty slice means the SLO holds.
+func (m *Manifest) Evaluate(col *Collector, feedbackLost int64) []Violation {
+	var out []Violation
+	sent, errs := col.TotalSent(), col.TotalErrors()
+
+	if m.MinRequests > 0 && sent < m.MinRequests {
+		out = append(out, Violation{Check: "min_requests", Limit: float64(m.MinRequests), Actual: float64(sent)})
+	}
+	if m.MaxErrorRate != nil {
+		rate := 0.0
+		if sent > 0 {
+			rate = float64(errs) / float64(sent)
+		}
+		if rate > *m.MaxErrorRate {
+			out = append(out, Violation{Check: "error_rate", Limit: *m.MaxErrorRate, Actual: rate})
+		}
+	}
+	if m.MaxFeedbackLost != nil && feedbackLost > *m.MaxFeedbackLost {
+		out = append(out, Violation{Check: "feedback_lost", Limit: float64(*m.MaxFeedbackLost), Actual: float64(feedbackLost)})
+	}
+
+	for _, name := range sortedKeys(m.Latency) {
+		cl, err := ParseClass(name)
+		if err != nil {
+			// validate() rejected this at parse time; an unchecked manifest
+			// built by hand still fails closed.
+			out = append(out, Violation{Check: name + ".unknown_class", Limit: 0, Actual: 1})
+			continue
+		}
+		slo := m.Latency[name]
+		s := Summarize(col.Class(cl).Intended.Snapshot())
+		if s.Count == 0 {
+			// A latency bound on a class that never completed a request is a
+			// violation, not a pass: there is nothing to certify.
+			out = append(out, Violation{Check: name + ".intended_samples", Limit: 1, Actual: 0})
+			continue
+		}
+		for _, c := range []struct {
+			suffix string
+			limit  float64
+			actual float64
+		}{
+			{"intended_p50_us", slo.P50Us, s.P50Us},
+			{"intended_p99_us", slo.P99Us, s.P99Us},
+			{"intended_p999_us", slo.P999Us, s.P999Us},
+			{"intended_max_us", slo.MaxUs, s.MaxUs},
+		} {
+			if c.limit > 0 && c.actual > c.limit {
+				out = append(out, Violation{Check: name + "." + c.suffix, Limit: c.limit, Actual: c.actual})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,132 @@
+package load
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseManifest(t *testing.T) {
+	m, err := ParseManifest(strings.NewReader(`{
+		"name": "smoke",
+		"min_requests": 50,
+		"max_error_rate": 0.001,
+		"max_feedback_lost": 0,
+		"latency": {"single": {"p99_us": 1000}, "bin": {"p50_us": 200, "p999_us": 5000}}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name != "smoke" || m.MinRequests != 50 {
+		t.Fatalf("parsed manifest wrong: %+v", m)
+	}
+	if m.MaxErrorRate == nil || *m.MaxErrorRate != 0.001 {
+		t.Fatal("max_error_rate not parsed")
+	}
+	if m.MaxFeedbackLost == nil || *m.MaxFeedbackLost != 0 {
+		t.Fatal("explicit zero max_feedback_lost must parse as a bound, not absence")
+	}
+	if m.Latency["single"].P99Us != 1000 {
+		t.Fatal("latency block not parsed")
+	}
+
+	for name, bad := range map[string]string{
+		"unknown field":  `{"name":"x","p99_typo":1}`,
+		"unknown class":  `{"name":"x","latency":{"mystery":{"p99_us":1}}}`,
+		"negative bound": `{"name":"x","latency":{"single":{"p99_us":-1}}}`,
+		"bad error rate": `{"name":"x","max_error_rate":2}`,
+		"negative lost":  `{"name":"x","max_feedback_lost":-1}`,
+		"not json":       `p99 < 1ms`,
+	} {
+		if _, err := ParseManifest(strings.NewReader(bad)); err == nil {
+			t.Errorf("%s: ParseManifest accepted %s", name, bad)
+		}
+	}
+}
+
+// evalCollector builds a collector where class single completed 1000
+// requests at ~100µs intended latency with 1 error.
+func evalCollector() *Collector {
+	c := NewCollector()
+	cs := c.Class(ClassSingle)
+	for i := 0; i < 1000; i++ {
+		cs.Sent.Add(1)
+		cs.Intended.Observe(100e-6)
+		cs.Actual.Observe(80e-6)
+	}
+	cs.Sent.Add(1)
+	cs.Errors.Add(1)
+	return c
+}
+
+func fptr(v float64) *float64 { return &v }
+func iptr(v int64) *int64     { return &v }
+
+func TestEvaluatePass(t *testing.T) {
+	m := &Manifest{
+		Name:            "pass",
+		MinRequests:     100,
+		MaxErrorRate:    fptr(0.01),
+		MaxFeedbackLost: iptr(0),
+		Latency:         map[string]LatencySLO{"single": {P99Us: 1000, MaxUs: 10000}},
+	}
+	if vs := m.Evaluate(evalCollector(), 0); len(vs) != 0 {
+		t.Fatalf("clean run violated: %v", vs)
+	}
+}
+
+func TestEvaluateViolations(t *testing.T) {
+	col := evalCollector()
+	cases := []struct {
+		name  string
+		m     Manifest
+		lost  int64
+		check string
+	}{
+		{"latency", Manifest{Latency: map[string]LatencySLO{"single": {P99Us: 1}}}, 0, "single.intended_p99_us"},
+		{"max latency", Manifest{Latency: map[string]LatencySLO{"single": {MaxUs: 1}}}, 0, "single.intended_max_us"},
+		{"error rate", Manifest{MaxErrorRate: fptr(0.0001)}, 0, "error_rate"},
+		{"feedback lost", Manifest{MaxFeedbackLost: iptr(0)}, 3, "feedback_lost"},
+		{"min requests", Manifest{MinRequests: 1 << 40}, 0, "min_requests"},
+		{"no samples", Manifest{Latency: map[string]LatencySLO{"batch": {P99Us: 1000}}}, 0, "batch.intended_samples"},
+	}
+	for _, tc := range cases {
+		vs := tc.m.Evaluate(col, tc.lost)
+		if len(vs) != 1 {
+			t.Errorf("%s: got %d violations %v, want 1", tc.name, len(vs), vs)
+			continue
+		}
+		if vs[0].Check != tc.check {
+			t.Errorf("%s: violated %q, want %q", tc.name, vs[0].Check, tc.check)
+		}
+		if vs[0].String() == "" {
+			t.Errorf("%s: empty violation string", tc.name)
+		}
+	}
+}
+
+// TestEvaluateDeterministicOrder: violations come out in a fixed order
+// regardless of map iteration.
+func TestEvaluateDeterministicOrder(t *testing.T) {
+	col := evalCollector()
+	m := Manifest{
+		MinRequests:  1 << 40,
+		MaxErrorRate: fptr(0.0001),
+		Latency: map[string]LatencySLO{
+			"single": {P99Us: 1},
+			"batch":  {P99Us: 1},
+			"bin":    {P99Us: 1},
+		},
+	}
+	first := m.Evaluate(col, 0)
+	for i := 0; i < 20; i++ {
+		again := m.Evaluate(col, 0)
+		if len(again) != len(first) {
+			t.Fatalf("violation count flapped: %d vs %d", len(again), len(first))
+		}
+		for j := range again {
+			if again[j] != first[j] {
+				t.Fatalf("violation order flapped at %d: %v vs %v", j, again[j], first[j])
+			}
+		}
+	}
+}

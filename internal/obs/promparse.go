@@ -1,0 +1,380 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is the read side of the exposition format: a parser for the
+// Prometheus text pages WritePrometheus produces, used by the load harness
+// to scrape a live server's /metrics before and after a run and join the
+// server's own histograms with client-observed latencies. The parser is
+// deliberately strict — it accepts exactly the dialect our writer emits
+// (HELP then TYPE then samples, no timestamps, no stray comments) and
+// Render re-emits a parsed page byte-for-byte, so a parse→render→parse
+// round trip is an identity and any drift between reader and writer fails
+// loudly in tests instead of silently mis-joining metrics.
+
+// ScrapeSample is one sample line of a scraped exposition page.
+type ScrapeSample struct {
+	Name   string  // full sample name, including _bucket/_sum/_count suffixes
+	Labels string  // raw label block including braces, "" when unlabelled
+	Raw    string  // value text exactly as scraped
+	Value  float64 // parsed value
+}
+
+// ScrapeFamily is one metric family: a HELP/TYPE header and its samples,
+// in page order.
+type ScrapeFamily struct {
+	Name    string
+	Help    string // escaped form, exactly as scraped
+	Type    string // "counter", "gauge", or "histogram"
+	Samples []ScrapeSample
+}
+
+// Scrape is a parsed exposition page.
+type Scrape struct {
+	Families []ScrapeFamily
+	byName   map[string]int // family name -> index in Families
+}
+
+// ParseScrape parses a Prometheus text exposition page in the dialect
+// WritePrometheus emits. Every line must be a HELP comment, a TYPE
+// comment, or a sample; anything else (blank lines, timestamps, unknown
+// comments, samples outside a family) is a parse error carrying the line
+// number.
+func ParseScrape(r io.Reader) (*Scrape, error) {
+	s := &Scrape{byName: make(map[string]int)}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	var cur *ScrapeFamily
+	pendingHelp := "" // HELP seen, TYPE not yet
+	pendingName := ""
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			if pendingName != "" {
+				return nil, scrapeErr(lineNo, "HELP %s while HELP %s awaits its TYPE", line, pendingName)
+			}
+			rest := line[len("# HELP "):]
+			sp := strings.IndexByte(rest, ' ')
+			if sp <= 0 {
+				return nil, scrapeErr(lineNo, "HELP line without help text: %q", line)
+			}
+			pendingName, pendingHelp = rest[:sp], rest[sp+1:]
+			if !validMetricName(pendingName) {
+				return nil, scrapeErr(lineNo, "invalid metric name %q", pendingName)
+			}
+			if _, dup := s.byName[pendingName]; dup {
+				return nil, scrapeErr(lineNo, "duplicate family %q", pendingName)
+			}
+		case strings.HasPrefix(line, "# TYPE "):
+			rest := line[len("# TYPE "):]
+			sp := strings.IndexByte(rest, ' ')
+			if sp <= 0 {
+				return nil, scrapeErr(lineNo, "TYPE line without a kind: %q", line)
+			}
+			name, kind := rest[:sp], rest[sp+1:]
+			if name != pendingName {
+				return nil, scrapeErr(lineNo, "TYPE %s does not follow its HELP (pending %q)", name, pendingName)
+			}
+			switch kind {
+			case "counter", "gauge", "histogram":
+			default:
+				return nil, scrapeErr(lineNo, "unsupported metric type %q", kind)
+			}
+			s.Families = append(s.Families, ScrapeFamily{Name: name, Help: pendingHelp, Type: kind})
+			s.byName[name] = len(s.Families) - 1
+			cur = &s.Families[len(s.Families)-1]
+			pendingName, pendingHelp = "", ""
+		case strings.HasPrefix(line, "#"):
+			return nil, scrapeErr(lineNo, "unsupported comment line: %q", line)
+		case line == "":
+			return nil, scrapeErr(lineNo, "blank line")
+		default:
+			if pendingName != "" {
+				return nil, scrapeErr(lineNo, "sample before TYPE of %q", pendingName)
+			}
+			if cur == nil {
+				return nil, scrapeErr(lineNo, "sample before any family: %q", line)
+			}
+			sample, err := parseSampleLine(line)
+			if err != nil {
+				return nil, scrapeErr(lineNo, "%v", err)
+			}
+			if !sampleBelongs(cur, sample.Name) {
+				return nil, scrapeErr(lineNo, "sample %q outside family %q", sample.Name, cur.Name)
+			}
+			cur.Samples = append(cur.Samples, sample)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: scrape read: %w", err)
+	}
+	if pendingName != "" {
+		return nil, fmt.Errorf("obs: scrape: HELP %s without a TYPE", pendingName)
+	}
+	return s, nil
+}
+
+func scrapeErr(line int, format string, args ...any) error {
+	return fmt.Errorf("obs: scrape line %d: %s", line, fmt.Sprintf(format, args...))
+}
+
+// parseSampleLine splits `name{labels} value` / `name value`.
+func parseSampleLine(line string) (ScrapeSample, error) {
+	var out ScrapeSample
+	nameEnd := 0
+	for nameEnd < len(line) && isMetricNameByte(line[nameEnd], nameEnd == 0) {
+		nameEnd++
+	}
+	if nameEnd == 0 {
+		return out, fmt.Errorf("malformed sample line: %q", line)
+	}
+	out.Name = line[:nameEnd]
+	rest := line[nameEnd:]
+	if strings.HasPrefix(rest, "{") {
+		end := labelBlockEnd(rest)
+		if end < 0 {
+			return out, fmt.Errorf("unclosed label block: %q", line)
+		}
+		out.Labels = rest[:end+1]
+		rest = rest[end+1:]
+	}
+	if !strings.HasPrefix(rest, " ") {
+		return out, fmt.Errorf("sample without a value: %q", line)
+	}
+	out.Raw = rest[1:]
+	if out.Raw == "" || strings.ContainsAny(out.Raw, " \t") {
+		return out, fmt.Errorf("malformed value %q (timestamps are not supported)", out.Raw)
+	}
+	v, err := strconv.ParseFloat(out.Raw, 64)
+	if err != nil {
+		return out, fmt.Errorf("malformed value %q", out.Raw)
+	}
+	out.Value = v
+	return out, nil
+}
+
+// labelBlockEnd returns the index of the '}' closing the label block at
+// s[0] == '{', or -1. Braces inside quoted label values (e.g. the route
+// pattern `/v1/models/{name}`) do not close the block, and backslash
+// escapes inside quotes are skipped.
+func labelBlockEnd(s string) int {
+	inQuote := false
+	for i := 1; i < len(s); i++ {
+		switch {
+		case inQuote && s[i] == '\\':
+			i++
+		case s[i] == '"':
+			inQuote = !inQuote
+		case !inQuote && s[i] == '}':
+			return i
+		}
+	}
+	return -1
+}
+
+// sampleBelongs reports whether a sample name is legal inside a family:
+// the bare name for counters and gauges, the _bucket/_sum/_count forms for
+// histograms.
+func sampleBelongs(f *ScrapeFamily, sample string) bool {
+	if f.Type == "histogram" {
+		return sample == f.Name+"_bucket" || sample == f.Name+"_sum" || sample == f.Name+"_count"
+	}
+	return sample == f.Name
+}
+
+func validMetricName(name string) bool {
+	for i := 0; i < len(name); i++ {
+		if !isMetricNameByte(name[i], i == 0) {
+			return false
+		}
+	}
+	return len(name) > 0
+}
+
+func isMetricNameByte(b byte, first bool) bool {
+	switch {
+	case b >= 'a' && b <= 'z', b >= 'A' && b <= 'Z', b == '_', b == ':':
+		return true
+	case b >= '0' && b <= '9':
+		return !first
+	}
+	return false
+}
+
+// Render writes the scrape back out, byte-identical to the page it was
+// parsed from.
+func (s *Scrape) Render(w io.Writer) error {
+	ew := &errWriter{w: w}
+	for i := range s.Families {
+		f := &s.Families[i]
+		ew.printf("# HELP %s %s\n", f.Name, f.Help)
+		ew.printf("# TYPE %s %s\n", f.Name, f.Type)
+		for _, sm := range f.Samples {
+			ew.printf("%s%s %s\n", sm.Name, sm.Labels, sm.Raw)
+		}
+	}
+	return ew.err
+}
+
+// Family returns the named family, or nil.
+func (s *Scrape) Family(name string) *ScrapeFamily {
+	if s == nil {
+		return nil
+	}
+	i, ok := s.byName[name]
+	if !ok {
+		return nil
+	}
+	return &s.Families[i]
+}
+
+// Value returns the value of the sample with the given full name and raw
+// label block ("" for unlabelled). Histogram component samples are
+// addressed by their _bucket/_sum/_count names.
+func (s *Scrape) Value(sampleName, labels string) (float64, bool) {
+	if s == nil {
+		return 0, false
+	}
+	famName := sampleName
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		if f := s.Family(strings.TrimSuffix(sampleName, suffix)); f != nil && f.Type == "histogram" {
+			famName = strings.TrimSuffix(sampleName, suffix)
+			break
+		}
+	}
+	f := s.Family(famName)
+	if f == nil {
+		return 0, false
+	}
+	for _, sm := range f.Samples {
+		if sm.Name == sampleName && sm.Labels == labels {
+			return sm.Value, true
+		}
+	}
+	return 0, false
+}
+
+// SumCounter sums every series of a counter family (0 when absent) — the
+// per-label breakdown collapsed to the total the SLO gates care about.
+func (s *Scrape) SumCounter(name string) float64 {
+	f := s.Family(name)
+	if f == nil {
+		return 0
+	}
+	total := 0.0
+	for _, sm := range f.Samples {
+		total += sm.Value
+	}
+	return total
+}
+
+// HistogramSeries lists the distinct base label blocks (le removed) of a
+// scraped histogram family, sorted.
+func (s *Scrape) HistogramSeries(name string) []string {
+	f := s.Family(name)
+	if f == nil || f.Type != "histogram" {
+		return nil
+	}
+	seen := make(map[string]bool)
+	for _, sm := range f.Samples {
+		if sm.Name != name+"_count" {
+			continue
+		}
+		seen[sm.Labels] = true
+	}
+	out := make([]string, 0, len(seen))
+	for k := range seen {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// HistogramSnapshot reconstructs a HistogramSnapshot from a scraped
+// histogram series (base label block without le; "" for unlabelled).
+// Bucket counts are de-cumulated; the reconstruction fails (ok=false) when
+// the series is absent or its cumulative counts are inconsistent with the
+// _count sample. Max is unknown to a scrape and left 0, so Quantile caps
+// the overflow bucket at its lower bound.
+func (s *Scrape) HistogramSnapshot(name, baseLabels string) (HistogramSnapshot, bool) {
+	f := s.Family(name)
+	if f == nil || f.Type != "histogram" {
+		return HistogramSnapshot{}, false
+	}
+	var snap HistogramSnapshot
+	var cums []float64
+	sawCount := false
+	for _, sm := range f.Samples {
+		switch sm.Name {
+		case name + "_bucket":
+			base, le, ok := splitLE(sm.Labels)
+			if !ok || base != baseLabels {
+				continue
+			}
+			if le == "+Inf" {
+				snap.Bounds = append(snap.Bounds, math.Inf(1))
+			} else {
+				b, err := strconv.ParseFloat(le, 64)
+				if err != nil {
+					return HistogramSnapshot{}, false
+				}
+				snap.Bounds = append(snap.Bounds, b)
+			}
+			cums = append(cums, sm.Value)
+		case name + "_sum":
+			if sm.Labels == baseLabels {
+				snap.Sum = sm.Value
+			}
+		case name + "_count":
+			if sm.Labels == baseLabels {
+				snap.Count = int64(sm.Value)
+				sawCount = true
+			}
+		}
+	}
+	if !sawCount || len(cums) == 0 {
+		return HistogramSnapshot{}, false
+	}
+	if !math.IsInf(snap.Bounds[len(snap.Bounds)-1], 1) {
+		return HistogramSnapshot{}, false
+	}
+	snap.Bounds = snap.Bounds[:len(snap.Bounds)-1] // drop +Inf; overflow is implicit
+	snap.Counts = make([]int64, len(cums))
+	prev := 0.0
+	for i, c := range cums {
+		if c < prev {
+			return HistogramSnapshot{}, false // cumulative counts must not decrease
+		}
+		snap.Counts[i] = int64(c - prev)
+		prev = c
+	}
+	if int64(prev) != snap.Count {
+		return HistogramSnapshot{}, false
+	}
+	return snap, true
+}
+
+// splitLE removes the le label our exposition splices last into a bucket
+// label block, returning the base block and the le value.
+func splitLE(labels string) (base, le string, ok bool) {
+	const only = `{le="`
+	if strings.HasPrefix(labels, only) && strings.HasSuffix(labels, `"}`) && !strings.Contains(labels[len(only):], `="`) {
+		return "", labels[len(only) : len(labels)-2], true
+	}
+	i := strings.LastIndex(labels, `,le="`)
+	if i < 0 || !strings.HasSuffix(labels, `"}`) {
+		return "", "", false
+	}
+	return labels[:i] + "}", labels[i+len(`,le="`) : len(labels)-2], true
+}

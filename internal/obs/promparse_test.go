@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// scrapeFixtureRegistry populates a registry with one metric of every
+// kind, labelled and unlabelled, so the round-trip test covers the full
+// grammar the writer can emit (escaping included).
+func scrapeFixtureRegistry() *Registry {
+	reg := NewRegistry()
+	reg.Counter("test_requests_total", "Requests served.").Add(41)
+	reg.Counter("test_errors_total", "Errors, by class.",
+		Label{Key: "class", Value: "4xx"}).Add(3)
+	reg.Counter("test_errors_total", "Errors, by class.",
+		Label{Key: "class", Value: "5xx"}).Add(1)
+	reg.Gauge("test_temperature", `Escapes: backslash \ quote " newline.`,
+		Label{Key: "site", Value: `weird"va{l}ue\n`}).Set(36.625)
+	reg.GaugeFunc("test_func_gauge", "Func-backed gauge.", func() float64 { return 2.5 })
+	h := reg.Histogram("test_latency_seconds", "Latency.", nil,
+		Label{Key: "route", Value: "/v1/estimate"})
+	for _, v := range []float64{1e-5, 2e-4, 2e-4, 0.03, 4} {
+		h.Observe(v)
+	}
+	reg.Histogram("test_plain_hist", "Unlabelled histogram.", ExpBuckets(0.1, 10, 1)).Observe(0.5)
+	return reg
+}
+
+func TestScrapeRoundTripByteIdentity(t *testing.T) {
+	reg := scrapeFixtureRegistry()
+	var page bytes.Buffer
+	if err := reg.WritePrometheus(&page); err != nil {
+		t.Fatal(err)
+	}
+	s, err := ParseScrape(bytes.NewReader(page.Bytes()))
+	if err != nil {
+		t.Fatalf("ParseScrape on our own exposition: %v", err)
+	}
+	var out bytes.Buffer
+	if err := s.Render(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(page.Bytes(), out.Bytes()) {
+		t.Fatalf("parse→render not byte-identical:\n--- wrote ---\n%s\n--- rendered ---\n%s", page.Bytes(), out.Bytes())
+	}
+	// And the re-parse is stable too (parse∘render is an identity).
+	s2, err := ParseScrape(bytes.NewReader(out.Bytes()))
+	if err != nil {
+		t.Fatalf("re-parse: %v", err)
+	}
+	var out2 bytes.Buffer
+	if err := s2.Render(&out2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), out2.Bytes()) {
+		t.Fatal("second round trip diverged")
+	}
+}
+
+func TestScrapeValueLookup(t *testing.T) {
+	reg := scrapeFixtureRegistry()
+	var page bytes.Buffer
+	if err := reg.WritePrometheus(&page); err != nil {
+		t.Fatal(err)
+	}
+	s, err := ParseScrape(&page)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := s.Value("test_requests_total", ""); !ok || v != 41 {
+		t.Fatalf("test_requests_total = %v,%v; want 41,true", v, ok)
+	}
+	if v, ok := s.Value("test_errors_total", `{class="4xx"}`); !ok || v != 3 {
+		t.Fatalf("test_errors_total{4xx} = %v,%v; want 3,true", v, ok)
+	}
+	if got := s.SumCounter("test_errors_total"); got != 4 {
+		t.Fatalf("SumCounter(test_errors_total) = %v, want 4", got)
+	}
+	if got := s.SumCounter("no_such_counter"); got != 0 {
+		t.Fatalf("SumCounter(absent) = %v, want 0", got)
+	}
+	if v, ok := s.Value("test_latency_seconds_count", `{route="/v1/estimate"}`); !ok || v != 5 {
+		t.Fatalf("latency _count = %v,%v; want 5,true", v, ok)
+	}
+	if _, ok := s.Value("test_requests_total", `{class="4xx"}`); ok {
+		t.Fatal("lookup with wrong labels succeeded")
+	}
+}
+
+func TestScrapeHistogramSnapshot(t *testing.T) {
+	reg := scrapeFixtureRegistry()
+	var page bytes.Buffer
+	if err := reg.WritePrometheus(&page); err != nil {
+		t.Fatal(err)
+	}
+	s, err := ParseScrape(&page)
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := s.HistogramSeries("test_latency_seconds")
+	if len(series) != 1 || series[0] != `{route="/v1/estimate"}` {
+		t.Fatalf("HistogramSeries = %q", series)
+	}
+	snap, ok := s.HistogramSnapshot("test_latency_seconds", series[0])
+	if !ok {
+		t.Fatal("HistogramSnapshot failed on a well-formed series")
+	}
+	// The reconstruction must agree with a direct snapshot of the live
+	// histogram on everything a scrape can know (max is client-side only).
+	live := reg.Histogram("test_latency_seconds", "Latency.", nil,
+		Label{Key: "route", Value: "/v1/estimate"}).Snapshot()
+	if snap.Count != live.Count || math.Abs(snap.Sum-live.Sum) > 1e-12 {
+		t.Fatalf("scraped count/sum %d/%v, live %d/%v", snap.Count, snap.Sum, live.Count, live.Sum)
+	}
+	if len(snap.Counts) != len(live.Counts) {
+		t.Fatalf("scraped %d buckets, live %d", len(snap.Counts), len(live.Counts))
+	}
+	for i := range snap.Counts {
+		if snap.Counts[i] != live.Counts[i] {
+			t.Fatalf("bucket %d: scraped %d, live %d", i, snap.Counts[i], live.Counts[i])
+		}
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		got, want := snap.Quantile(q), live.Quantile(q)
+		if math.Abs(got-want) > 1e-12*math.Max(1, want) {
+			t.Fatalf("Quantile(%v): scraped %v, live %v", q, got, want)
+		}
+	}
+	if _, ok := s.HistogramSnapshot("test_latency_seconds", `{route="/nope"}`); ok {
+		t.Fatal("HistogramSnapshot succeeded for an absent series")
+	}
+	if _, ok := s.HistogramSnapshot("test_requests_total", ""); ok {
+		t.Fatal("HistogramSnapshot succeeded on a counter family")
+	}
+}
+
+func TestScrapeRejectsMalformedLines(t *testing.T) {
+	cases := []struct {
+		name string
+		page string
+	}{
+		{"blank line", "# HELP a A.\n# TYPE a counter\na 1\n\n"},
+		{"unknown comment", "# EOF\n"},
+		{"sample before family", "orphan 1\n"},
+		{"help without type", "# HELP a A.\na 1\n"},
+		{"type without help", "# TYPE a counter\na 1\n"},
+		{"type name mismatch", "# HELP a A.\n# TYPE b counter\n"},
+		{"bad kind", "# HELP a A.\n# TYPE a summary\na 1\n"},
+		{"missing value", "# HELP a A.\n# TYPE a counter\na\n"},
+		{"bad float", "# HELP a A.\n# TYPE a counter\na nope\n"},
+		{"timestamp", "# HELP a A.\n# TYPE a counter\na 1 1700000000\n"},
+		{"unclosed labels", "# HELP a A.\n# TYPE a counter\na{x=\"1\" 1\n"},
+		{"foreign sample", "# HELP a A.\n# TYPE a counter\nb 1\n"},
+		{"bare histogram sample", "# HELP h H.\n# TYPE h histogram\nh 1\n"},
+		{"duplicate family", "# HELP a A.\n# TYPE a counter\na 1\n# HELP a A.\n# TYPE a counter\na 2\n"},
+		{"bad metric name", "# HELP 9a A.\n# TYPE 9a counter\n9a 1\n"},
+	}
+	for _, tc := range cases {
+		if _, err := ParseScrape(strings.NewReader(tc.page)); err == nil {
+			t.Errorf("%s: ParseScrape accepted a malformed page", tc.name)
+		}
+	}
+}

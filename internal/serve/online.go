@@ -184,17 +184,18 @@ func (m *onlineManager) ingest(name string, batch []core.LabeledQuery) {
 
 // onlineStatus is the /statz block for the online-update subsystem.
 type onlineStatus struct {
-	Rule            string  `json:"rule"`
-	Rate            float64 `json:"rate"`
-	BatchSize       int     `json:"batch_size"`
-	Applied         int64   `json:"applied"`
-	Skipped         int64   `json:"skipped"`
-	Published       int64   `json:"published"`
-	Conflicts       int64   `json:"conflicts"`
-	Fallbacks       int64   `json:"fallbacks"`
-	Pending         int     `json:"pending"`
-	CumulativeDrift float64 `json:"cumulative_drift"`
-	UpdateP99Micros float64 `json:"update_p99_us,omitempty"`
+	Rule             string  `json:"rule"`
+	Rate             float64 `json:"rate"`
+	BatchSize        int     `json:"batch_size"`
+	Applied          int64   `json:"applied"`
+	Skipped          int64   `json:"skipped"`
+	Published        int64   `json:"published"`
+	Conflicts        int64   `json:"conflicts"`
+	Fallbacks        int64   `json:"fallbacks"`
+	Pending          int     `json:"pending"`
+	CumulativeDrift  float64 `json:"cumulative_drift"`
+	UpdateP99Micros  float64 `json:"update_p99_us,omitempty"`
+	UpdateP999Micros float64 `json:"update_p999_us,omitempty"`
 }
 
 func (m *onlineManager) status() onlineStatus {
@@ -222,6 +223,7 @@ func (m *onlineManager) status() onlineStatus {
 	}
 	if m.latency.Count() > 0 {
 		st.UpdateP99Micros = m.latency.Quantile(0.99) * 1e6
+		st.UpdateP999Micros = m.latency.Quantile(0.999) * 1e6
 	}
 	return st
 }

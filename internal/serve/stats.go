@@ -4,6 +4,7 @@ import (
 	"log/slog"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
@@ -18,6 +19,7 @@ type endpointStats struct {
 	errors4xx *obs.Counter
 	errors5xx *obs.Counter
 	latency   *obs.Histogram // seconds
+	inflight  atomic.Int64   // requests currently inside the handler
 	spanName  string         // precomputed so tracing never formats per request
 }
 
@@ -38,10 +40,11 @@ func (e *endpointStats) record(d time.Duration, status int) {
 // within one bucket, max exact) instead of a 1024-entry sliding window —
 // so they summarize the full uptime, not just recent traffic.
 type latencySummary struct {
-	P50 float64 `json:"p50_ms"`
-	P95 float64 `json:"p95_ms"`
-	P99 float64 `json:"p99_ms"`
-	Max float64 `json:"max_ms"`
+	P50  float64 `json:"p50_ms"`
+	P95  float64 `json:"p95_ms"`
+	P99  float64 `json:"p99_ms"`
+	P999 float64 `json:"p999_ms"`
+	Max  float64 `json:"max_ms"`
 }
 
 // endpointStatus is one /statz endpoint row.
@@ -61,10 +64,11 @@ func (e *endpointStats) status() endpointStatus {
 	if e.latency.Count() > 0 {
 		const toMS = 1e3 // histogram records seconds; /statz reports ms
 		st.Latency = &latencySummary{
-			P50: e.latency.Quantile(0.50) * toMS,
-			P95: e.latency.Quantile(0.95) * toMS,
-			P99: e.latency.Quantile(0.99) * toMS,
-			Max: e.latency.Max() * toMS,
+			P50:  e.latency.Quantile(0.50) * toMS,
+			P95:  e.latency.Quantile(0.95) * toMS,
+			P99:  e.latency.Quantile(0.99) * toMS,
+			P999: e.latency.Quantile(0.999) * toMS,
+			Max:  e.latency.Max() * toMS,
 		}
 	}
 	return st
@@ -101,6 +105,11 @@ func (s *statsSet) route(pattern string) *endpointStats {
 				"HTTP request latency in seconds, by route.", nil, rl),
 			spanName: "http " + pattern,
 		}
+		// Func-backed so the scrape reads the live atomic: a load-harness
+		// scrape mid-run sees how deep each route's concurrency actually got.
+		s.reg.GaugeFunc("selserve_http_inflight",
+			"Requests currently being handled, by route.",
+			func() float64 { return float64(e.inflight.Load()) }, rl)
 		s.routes[pattern] = e
 	}
 	return e
@@ -163,9 +172,11 @@ func (s *Server) instrument(pattern string, h http.HandlerFunc) http.HandlerFunc
 		if sp.Active() {
 			r = r.WithContext(obs.ContextWithSpan(r.Context(), sp))
 		}
+		es.inflight.Add(1)
 		start := time.Now()
 		h(rec, r)
 		d := time.Since(start)
+		es.inflight.Add(-1)
 		sp.End()
 		es.record(d, rec.status)
 		if rec.status >= 500 && s.logger != nil {

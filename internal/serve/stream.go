@@ -55,6 +55,14 @@ func (s *Server) handleEstimateStream(w http.ResponseWriter, r *http.Request) {
 	dim, _ := modelDim(entry.Model)
 	sp := obs.SpanFromContext(r.Context())
 
+	// The handler interleaves request-body reads with response writes. Go's
+	// HTTP/1 server is half-duplex by default: once the response starts, it
+	// may stop delivering the rest of the body, which truncates long streams
+	// whose upload is still in flight when the first batch flushes. Full
+	// duplex opts out of that; writers that don't support it (HTTP/2 is
+	// always full-duplex) return an error we can ignore.
+	_ = http.NewResponseController(w).EnableFullDuplex()
+
 	sc := scratchPool.Get().(*estimateScratch)
 	defer scratchPool.Put(sc)
 	br := streamReaderPool.Get().(*bufio.Reader)

@@ -20,7 +20,7 @@
 # `scripts/bench.sh -baseline BENCH_1.json` and trust the exit code.
 set -eu
 
-PATTERN='BenchmarkFig|BenchmarkTable|BenchmarkAblationSolver|BenchmarkObs'
+PATTERN='BenchmarkFig|BenchmarkTable|BenchmarkAblationSolver|BenchmarkObs|BenchmarkSelLoad'
 COUNT=1x
 BASELINE=
 OUT=
@@ -128,6 +128,11 @@ BEGIN {
         # BenchmarkObsDisabled/span -> obs_disabled_span
         key = name
         sub(/^BenchmarkObsDisabled\//, "obs_disabled_", key)
+    } else if (name ~ /^BenchmarkSelLoad\//) {
+        # BenchmarkSelLoad/single_p99 -> selload_single_p99 (the recorded
+        # ns/op is that arm+class open-loop intended-start p99, not throughput)
+        key = name
+        sub(/^BenchmarkSelLoad\//, "selload_", key)
     } else {
         key = (name in id) ? id[name] : name
     }

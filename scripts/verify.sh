@@ -28,7 +28,7 @@ go run ./cmd/selvet -strict-suppressions ./...
 # since /metrics pages are diffed byte-for-byte in tests. internal/online
 # is in the sweep because its whole contract is deterministic pure-compute
 # updates (detrand: no clocks — latency timing lives in the serve layer).
-go run ./cmd/selvet ./internal/serve ./internal/parallel ./internal/core ./internal/bvh ./internal/obs ./internal/online ./internal/gmm ./internal/wirebin ./internal/modelio
+go run ./cmd/selvet ./internal/serve ./internal/parallel ./internal/core ./internal/bvh ./internal/obs ./internal/online ./internal/gmm ./internal/wirebin ./internal/modelio ./internal/load
 
 # Prove the gate can fail: the seeded-violation fixture must be flagged.
 # If selvet ever exits 0 here, the analyzers have gone blind and the
@@ -98,3 +98,28 @@ go test -run 'TestBinFrameZeroAlloc' -count=1 ./internal/serve
 # Binary snapshot gates: load must seed the BVH (no rebuild on
 # Accelerate) and corrupted/truncated snapshots must fail typed.
 go test -run 'TestBinaryRoundTripEstimates|TestBinaryLoadSeedsIndex|TestBinaryCorruption' -count=1 ./internal/modelio
+# Load-harness gates (DESIGN.md §16). First the library contracts: the
+# open-loop schedule must be byte-identical across worker counts and the
+# shared latency reporter must render the same bytes at any fill
+# concurrency — the determinism that makes one run's artifact comparable
+# to the next.
+go test -race -run 'TestScheduleDeterministicAcrossWorkers|TestReporterByteIdentity|TestOpenLoopSmoke' -count=1 ./internal/load
+# Then the harness end-to-end with the SLO gate ACTIVE: a short mixed
+# open-loop run against the in-process server must satisfy the committed
+# smoke manifest (zero errors, zero feedback loss, sane tails) — selload
+# exits nonzero on violation, which fails this script.
+SELLOAD_REPORT=$(mktemp)
+go run ./cmd/selload -self -rate 300 -duration 2s -seed 1 -workers 4 \
+    -slo cmd/selload/testdata/slo_smoke.json -o "$SELLOAD_REPORT"
+rm -f "$SELLOAD_REPORT"
+# Prove the SLO gate can fail: the seeded-violation manifest (an
+# impossible p99 bound) must exit nonzero. If it ever passes, the gate
+# has gone blind and the clean run above certifies nothing.
+if go run ./cmd/selload -self -rate 200 -duration 1s -seed 1 \
+    -slo cmd/selload/testdata/slo_violate.json -o /dev/null >/dev/null 2>&1; then
+    echo "verify.sh: selload SLO gate passed the seeded-violation manifest" >&2
+    exit 1
+fi
+# One pass over the open-loop latency arms so a harness break surfaces
+# here rather than in scripts/bench.sh.
+go test -run '^$' -bench 'BenchmarkSelLoad/' -benchtime 1x .
